@@ -1,0 +1,70 @@
+// Ablation C: empirical coverage of the 95% intervals at fixed sample size
+// n = 30, swept across the true accuracy mu. This regenerates the
+// reliability comparison behind §3/§4: Wald's coverage collapses toward the
+// boundaries (where real KGs live), Wilson stays near nominal at the cost
+// of width, and the CrIs deliver close-to-nominal coverage with the
+// shortest intervals.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace kgacc;
+  const int reps = bench::Reps(20000);
+  const uint64_t seed = bench::BaseSeed();
+  const int n = 30;
+  const double alpha = 0.05;
+  const auto priors = DefaultUninformativePriors();
+
+  std::printf("Ablation C: empirical coverage of 95%% intervals at n=%d "
+              "(%d draws per cell)\n", n, reps);
+  bench::Rule(86);
+  std::printf("%6s %8s %8s %8s %8s %8s | %9s %9s\n", "mu", "Wald", "Wilson",
+              "CP", "ET-K", "aHPD", "w(Wils)", "w(aHPD)");
+  bench::Rule(86);
+
+  Rng rng(seed);
+  for (const double mu :
+       {0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95, 0.99}) {
+    int cover[5] = {0, 0, 0, 0, 0};
+    double width_wilson = 0.0, width_ahpd = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const int64_t tau = BinomialSample(n, mu, &rng);
+      const double mu_hat = static_cast<double>(tau) / n;
+
+      AccuracyEstimate est;
+      est.mu = mu_hat;
+      est.n = n;
+      est.tau = static_cast<uint64_t>(tau);
+      est.num_units = n;
+      est.variance = mu_hat * (1.0 - mu_hat) / n;
+
+      const auto wald = *WaldInterval(est, alpha);
+      const auto wilson = *WilsonInterval(mu_hat, n, alpha);
+      const auto cp = *ClopperPearsonInterval(est.tau, n, alpha);
+      const auto et = *EqualTailedInterval(
+          *KermanPrior().Posterior(static_cast<double>(tau), n), alpha);
+      const auto ahpd = *AhpdSelect(priors, static_cast<double>(tau), n,
+                                    alpha);
+
+      cover[0] += wald.Contains(mu) ? 1 : 0;
+      cover[1] += wilson.Contains(mu) ? 1 : 0;
+      cover[2] += cp.Contains(mu) ? 1 : 0;
+      cover[3] += et.Contains(mu) ? 1 : 0;
+      cover[4] += ahpd.interval.Contains(mu) ? 1 : 0;
+      width_wilson += wilson.Width();
+      width_ahpd += ahpd.interval.Width();
+    }
+    std::printf("%6.2f %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% | %9.4f "
+                "%9.4f\n", mu, 100.0 * cover[0] / reps,
+                100.0 * cover[1] / reps, 100.0 * cover[2] / reps,
+                100.0 * cover[3] / reps, 100.0 * cover[4] / reps,
+                width_wilson / reps, width_ahpd / reps);
+  }
+  bench::Rule(86);
+  std::printf("Expected shape: Wald collapses at mu -> 1 (zero-width "
+              "samples); Wilson and the\nCrIs stay near 95%%, with aHPD "
+              "producing the narrowest intervals.\n");
+  return 0;
+}

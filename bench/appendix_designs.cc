@@ -1,0 +1,83 @@
+// Online-appendix experiment: the additional sampling designs beyond SRS
+// and TWCS — systematic (SYS), stratified (SSRS), single-stage weighted
+// cluster (WCS) and uniform cluster (RCS) sampling — compared on the four
+// small datasets with aHPD interval estimation. The paper's main-text
+// recommendation (TWCS) should emerge as the cheapest reliable design on
+// skewed real-life KGs.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace kgacc;
+  const int reps = bench::Reps();
+  const uint64_t seed = bench::BaseSeed();
+  const auto profiles = SmallProfiles();
+
+  struct Design {
+    const char* name;
+    std::function<std::unique_ptr<Sampler>(const KgView&)> make;
+  };
+  const Design designs[] = {
+      {"SRS",
+       [](const KgView& kg) {
+         return std::make_unique<SrsSampler>(kg, SrsConfig{});
+       }},
+      {"SYS",
+       [](const KgView& kg) {
+         return std::make_unique<SystematicSampler>(kg, SystematicConfig{});
+       }},
+      {"SSRS",
+       [](const KgView& kg) {
+         return std::make_unique<StratifiedSampler>(kg, StratifiedConfig{});
+       }},
+      {"TWCS",
+       [](const KgView& kg) {
+         return std::make_unique<TwcsSampler>(
+             kg, TwcsConfig{.second_stage_size = 3});
+       }},
+      {"WCS",
+       [](const KgView& kg) {
+         return std::make_unique<WcsSampler>(kg, ClusterConfig{});
+       }},
+      {"RCS",
+       [](const KgView& kg) {
+         return std::make_unique<RcsSampler>(kg, ClusterConfig{});
+       }},
+  };
+
+  std::printf("Appendix: additional sampling designs under aHPD "
+              "(alpha=0.05, eps=0.05, %d reps)\n", reps);
+  bench::Rule(112);
+  std::printf("%-7s", "Design");
+  for (const DatasetProfile& profile : profiles) {
+    std::printf(" %12s %12s", (profile.name + " trp").c_str(), "cost(h)");
+  }
+  std::printf("\n");
+  bench::Rule(112);
+
+  OracleAnnotator annotator;
+  for (const Design& design : designs) {
+    std::printf("%-7s", design.name);
+    for (const DatasetProfile& profile : profiles) {
+      const auto kg = *MakeKg(profile, seed);
+      auto sampler = design.make(kg);
+      EvaluationConfig config;  // aHPD defaults.
+      const auto summary =
+          *RunReplications(*sampler, annotator, config, reps, seed + 51);
+      std::printf(" %12s %12s",
+                  bench::MeanStd(summary.triples_summary, 0).c_str(),
+                  bench::MeanStd(summary.cost_summary, 2).c_str());
+    }
+    std::printf("\n");
+  }
+  bench::Rule(112);
+  std::printf("Expected shape: per-triple designs (SRS/SYS/SSRS) need the "
+              "fewest triples but pay\nfull entity-identification cost; "
+              "cluster designs trade extra triples for lower cost,\nwith "
+              "TWCS's capped second stage beating whole-cluster WCS/RCS.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kgacc::bench {
+
+int Reps(int fallback) {
+  if (const char* env = std::getenv("KGACC_REPS")) {
+    const int reps = std::atoi(env);
+    if (reps > 0) return reps;
+  }
+  return fallback;
+}
+
+uint64_t BaseSeed() {
+  if (const char* env = std::getenv("KGACC_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20250226;  // The paper's arXiv date, for want of a better ritual.
+}
+
+std::string MeanStd(const SampleSummary& s, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", precision, s.mean, precision,
+                s.stddev);
+  return buf;
+}
+
+ReplicationSummary RunConfig(const KgView& kg, const BenchConfig& config,
+                             int reps, uint64_t seed) {
+  OracleAnnotator annotator;
+  EvaluationConfig eval;
+  eval.method = config.method;
+  eval.alpha = config.alpha;
+  eval.moe_threshold = config.epsilon;
+  eval.priors = config.priors;
+  if (config.twcs) {
+    TwcsSampler sampler(kg, TwcsConfig{.second_stage_size = config.twcs_m});
+    return *RunReplications(sampler, annotator, eval, reps, seed);
+  }
+  SrsSampler sampler(kg, SrsConfig{});
+  return *RunReplications(sampler, annotator, eval, reps, seed);
+}
+
+std::string SignificanceMarks(const ReplicationSummary& ahpd,
+                              const ReplicationSummary& wald,
+                              const ReplicationSummary& wilson) {
+  std::string marks;
+  const auto vs_wald = PooledTTest(ahpd.cost_hours, wald.cost_hours);
+  if (vs_wald.ok() && vs_wald->SignificantAt(0.01)) marks += "†";
+  const auto vs_wilson = PooledTTest(ahpd.cost_hours, wilson.cost_hours);
+  if (vs_wilson.ok() && vs_wilson->SignificantAt(0.01)) marks += "‡";
+  return marks.empty() ? "" : marks;
+}
+
+void Rule(int n) {
+  for (int i = 0; i < n; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace kgacc::bench

@@ -1,0 +1,51 @@
+#ifndef KGACC_BENCH_BENCH_UTIL_H_
+#define KGACC_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kgacc/kgacc.h"
+
+/// \file bench_util.h
+/// Shared plumbing for the experiment harness: replication counts, the
+/// mean +- std cells the paper's tables print, and significance marks.
+
+namespace kgacc::bench {
+
+/// Replications per configuration. Defaults to the paper's 1,000; override
+/// with the KGACC_REPS environment variable for quicker passes.
+int Reps(int fallback = 1000);
+
+/// Base seed for all harness runs; override with KGACC_SEED.
+uint64_t BaseSeed();
+
+/// "123±45" / "1.23±0.45" formatting used throughout the tables.
+std::string MeanStd(const SampleSummary& s, int precision);
+
+/// Runs one (population, design, method) configuration through the full
+/// iterative framework `reps` times.
+struct BenchConfig {
+  IntervalMethod method = IntervalMethod::kAhpd;
+  double alpha = 0.05;
+  double epsilon = 0.05;
+  std::vector<BetaPrior> priors = DefaultUninformativePriors();
+  bool twcs = false;
+  int twcs_m = 3;
+};
+
+ReplicationSummary RunConfig(const KgView& kg, const BenchConfig& config,
+                             int reps, uint64_t seed);
+
+/// Paper-style significance marks versus aHPD (pooled t-test, p < 0.01):
+/// dagger for Wald, double-dagger for Wilson.
+std::string SignificanceMarks(const ReplicationSummary& ahpd,
+                              const ReplicationSummary& wald,
+                              const ReplicationSummary& wilson);
+
+/// Prints a horizontal rule of width `n`.
+void Rule(int n);
+
+}  // namespace kgacc::bench
+
+#endif  // KGACC_BENCH_BENCH_UTIL_H_

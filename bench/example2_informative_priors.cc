@@ -1,0 +1,45 @@
+// Reproduces Example 2 (§4.5): an analyst audits DBPEDIA (mu = 0.85) under
+// TWCS knowing two similar KGs have accuracies 0.80 and 0.90. Feeding the
+// informative priors Beta(80, 20) and Beta(90, 10) to aHPD converges far
+// faster than the uninformative Kerman/Jeffreys/Uniform trio. The paper
+// reports 63±36 triples / 0.72±0.41 h vs 222±83 triples / 2.55±0.95 h.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace kgacc;
+  const int reps = bench::Reps();
+  const uint64_t seed = bench::BaseSeed();
+  const auto kg = *MakeKg(DbpediaProfile(), seed);
+
+  bench::BenchConfig informative;
+  informative.twcs = true;
+  informative.priors = {*InformativePrior(0.80, 100.0, "Beta(80,20)"),
+                        *InformativePrior(0.90, 100.0, "Beta(90,10)")};
+  const auto inf = bench::RunConfig(kg, informative, reps, seed + 41);
+
+  bench::BenchConfig uninformative;
+  uninformative.twcs = true;
+  const auto uninf = bench::RunConfig(kg, uninformative, reps, seed + 41);
+
+  std::printf("Example 2: aHPD with informative priors on DBPEDIA "
+              "(TWCS m=3, %d reps)\n", reps);
+  bench::Rule(76);
+  std::printf("%-36s %14s %14s\n", "Prior set", "Triples", "Cost (h)");
+  bench::Rule(76);
+  std::printf("%-36s %14s %14s\n", "{Beta(80,20), Beta(90,10)}",
+              bench::MeanStd(inf.triples_summary, 0).c_str(),
+              bench::MeanStd(inf.cost_summary, 2).c_str());
+  std::printf("%-36s %14s %14s\n", "{Kerman, Jeffreys, Uniform}",
+              bench::MeanStd(uninf.triples_summary, 0).c_str(),
+              bench::MeanStd(uninf.cost_summary, 2).c_str());
+  bench::Rule(76);
+  std::printf("Speedup: %.1fx fewer triples, %.1fx lower cost\n",
+              uninf.triples_summary.mean / inf.triples_summary.mean,
+              uninf.cost_summary.mean / inf.cost_summary.mean);
+  std::printf("Paper reference: 63±36 triples / 0.72±0.41 h with informative "
+              "priors vs\n222±83 / 2.55±0.95 with the uninformative trio.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Figure 3: expected width of 1-alpha HPD intervals under the
+// Kerman, Jeffreys and Uniform priors for n_S = 30 and alpha = 0.05, swept
+// across the true accuracy mu. The expectation is computed exactly:
+// E[width | mu] = sum_tau Bin(tau; n, mu) * width(HPD(prior + (tau, n))).
+// The paper's claims to verify: Kerman is shortest in the extreme regions,
+// Uniform in the central region, Jeffreys nowhere.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace kgacc;
+  const int n = 30;
+  const double alpha = 0.05;
+  const auto priors = DefaultUninformativePriors();
+
+  // Precompute HPD widths per (prior, tau) — they do not depend on mu.
+  std::vector<std::vector<double>> widths(priors.size(),
+                                          std::vector<double>(n + 1));
+  for (size_t p = 0; p < priors.size(); ++p) {
+    for (int tau = 0; tau <= n; ++tau) {
+      const auto posterior = *priors[p].Posterior(tau, n);
+      widths[p][tau] = (*HpdInterval(posterior, alpha)).interval.Width();
+    }
+  }
+
+  std::printf("Figure 3: expected HPD width under uninformative priors "
+              "(n=%d, alpha=%.2f)\n", n, alpha);
+  bench::Rule(66);
+  std::printf("%6s %10s %10s %10s   %s\n", "mu", "Kerman", "Jeffreys",
+              "Uniform", "shortest");
+  bench::Rule(66);
+
+  int kerman_best = 0, jeffreys_best = 0, uniform_best = 0;
+  for (int step = 0; step <= 50; ++step) {
+    const double mu = step / 50.0;
+    double expected[3] = {0.0, 0.0, 0.0};
+    for (int tau = 0; tau <= n; ++tau) {
+      const double pmf = *BinomialPmf(tau, n, mu);
+      for (size_t p = 0; p < priors.size(); ++p) {
+        expected[p] += pmf * widths[p][tau];
+      }
+    }
+    size_t best = 0;
+    for (size_t p = 1; p < priors.size(); ++p) {
+      if (expected[p] < expected[best]) best = p;
+    }
+    if (best == 0) ++kerman_best;
+    if (best == 1) ++jeffreys_best;
+    if (best == 2) ++uniform_best;
+    std::printf("%6.2f %10.5f %10.5f %10.5f   %s\n", mu, expected[0],
+                expected[1], expected[2], priors[best].name.c_str());
+  }
+  bench::Rule(66);
+  std::printf("Shortest-prior counts over the sweep: Kerman=%d Jeffreys=%d "
+              "Uniform=%d\n", kerman_best, jeffreys_best, uniform_best);
+  std::printf("Paper reference: Kerman optimal in the extreme regions, "
+              "Uniform centrally, Jeffreys never.\n");
+  return 0;
+}

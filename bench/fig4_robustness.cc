@@ -1,0 +1,48 @@
+// Reproduces Figure 4: annotation cost of aHPD vs Wilson across confidence
+// levels alpha in {0.10, 0.05, 0.01}, under SRS and TWCS (m = 3), on the
+// four small datasets — plus the reduction ratio of aHPD over Wilson that
+// the figure annotates (up to -47% on YAGO at alpha = 0.01 under SRS).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace kgacc;
+  const int reps = bench::Reps();
+  const uint64_t seed = bench::BaseSeed();
+  const auto profiles = SmallProfiles();
+  const double alphas[] = {0.10, 0.05, 0.01};
+
+  std::printf("Figure 4: aHPD vs Wilson annotation cost (hours) across "
+              "alpha (%d reps)\n", reps);
+  for (const bool twcs : {false, true}) {
+    std::printf("\n[%s]\n", twcs ? "(b) TWCS, m=3" : "(a) SRS");
+    bench::Rule(100);
+    std::printf("%-11s %6s %14s %14s %12s\n", "Dataset", "alpha", "Wilson",
+                "aHPD", "reduction");
+    bench::Rule(100);
+    for (const DatasetProfile& profile : profiles) {
+      const auto kg = *MakeKg(profile, seed);
+      for (const double alpha : alphas) {
+        bench::BenchConfig config;
+        config.twcs = twcs;
+        config.alpha = alpha;
+        config.method = IntervalMethod::kWilson;
+        const auto wilson = bench::RunConfig(kg, config, reps, seed + 31);
+        config.method = IntervalMethod::kAhpd;
+        const auto ahpd = bench::RunConfig(kg, config, reps, seed + 32);
+        const double reduction =
+            100.0 * (1.0 - ahpd.cost_summary.mean / wilson.cost_summary.mean);
+        std::printf("%-11s %6.2f %14s %14s %11.0f%%\n", profile.name.c_str(),
+                    alpha, bench::MeanStd(wilson.cost_summary, 2).c_str(),
+                    bench::MeanStd(ahpd.cost_summary, 2).c_str(), -reduction);
+      }
+      bench::Rule(100);
+    }
+  }
+  std::printf("\nPaper reference: reductions grow as alpha tightens — YAGO "
+              "-8/-21/-47%% (SRS) and\n-1/-11/-39%% (TWCS) at alpha "
+              "0.10/0.05/0.01; ~0%% everywhere on FACTBENCH.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Table 2: annotated triples to convergence for ET and HPD CrIs
+// under Kerman / Jeffreys / Uniform priors, plus aHPD over the trio, with
+// SRS on the four small datasets (alpha = 0.05, epsilon = 0.05, mean±std
+// over KGACC_REPS repetitions, default 1,000).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace kgacc;
+  const int reps = bench::Reps();
+  const uint64_t seed = bench::BaseSeed();
+  const auto profiles = SmallProfiles();
+  const auto priors = DefaultUninformativePriors();
+
+  std::printf("Table 2: ET/HPD/aHPD triples to convergence under SRS "
+              "(%d reps)\n", reps);
+  bench::Rule(86);
+  std::printf("%-9s %-9s %14s %14s %14s %14s\n", "Interval", "Prior", "YAGO",
+              "NELL", "DBPEDIA", "FACTBENCH");
+  bench::Rule(86);
+
+  auto print_row = [&](const char* interval, const char* prior_name,
+                       const bench::BenchConfig& config) {
+    std::printf("%-9s %-9s", interval, prior_name);
+    for (const DatasetProfile& profile : profiles) {
+      const auto kg = *MakeKg(profile, seed);
+      const auto summary = bench::RunConfig(kg, config, reps, seed + 1);
+      std::printf(" %14s", bench::MeanStd(summary.triples_summary, 0).c_str());
+    }
+    std::printf("\n");
+  };
+
+  for (const BetaPrior& prior : priors) {
+    bench::BenchConfig config;
+    config.method = IntervalMethod::kEqualTailed;
+    config.priors = {prior};
+    print_row("ET", prior.name.c_str(), config);
+  }
+  bench::Rule(86);
+  for (const BetaPrior& prior : priors) {
+    bench::BenchConfig config;
+    config.method = IntervalMethod::kHpd;
+    config.priors = {prior};
+    print_row("HPD", prior.name.c_str(), config);
+  }
+  bench::Rule(86);
+  {
+    bench::BenchConfig config;
+    config.method = IntervalMethod::kAhpd;
+    print_row("aHPD", "{K,J,U}", config);
+  }
+  bench::Rule(86);
+  std::printf("Paper reference (HPD row, SRS): YAGO 32±5 (Kerman), NELL "
+              "96±44 (Kerman),\nDBPEDIA 182±42 (Kerman), FACTBENCH 378±3 "
+              "(Uniform); aHPD matches the per-region winner.\n");
+  return 0;
+}

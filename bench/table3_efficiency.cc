@@ -1,0 +1,70 @@
+// Reproduces Table 3: Wald vs Wilson vs aHPD on YAGO, NELL, DBPEDIA and
+// FACTBENCH, under SRS and TWCS (m = 3). Reports annotated triples and
+// annotation cost (hours) as mean±std over KGACC_REPS repetitions, with the
+// paper's significance marks: † = aHPD vs Wald and ‡ = aHPD vs Wilson
+// differ at p < 0.01 (pooled independent t-test on costs).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace kgacc;
+  const int reps = bench::Reps();
+  const uint64_t seed = bench::BaseSeed();
+  const auto profiles = SmallProfiles();
+
+  std::printf("Table 3: efficiency of Wald / Wilson / aHPD (alpha=0.05, "
+              "eps=0.05, %d reps)\n", reps);
+  for (const bool twcs : {false, true}) {
+    std::printf("\n[%s]\n", twcs ? "TWCS, m=3" : "SRS");
+    bench::Rule(108);
+    std::printf("%-10s", "Interval");
+    for (const DatasetProfile& profile : profiles) {
+      std::printf(" %11s %12s", (profile.name + " trp").c_str(), "cost(h)");
+    }
+    std::printf("\n");
+    bench::Rule(108);
+
+    // Run all three methods per dataset so t-tests see matched populations.
+    std::vector<ReplicationSummary> wald_s, wilson_s, ahpd_s;
+    for (const DatasetProfile& profile : profiles) {
+      const auto kg = *MakeKg(profile, seed);
+      bench::BenchConfig config;
+      config.twcs = twcs;
+      config.twcs_m = 3;
+      config.method = IntervalMethod::kWald;
+      wald_s.push_back(bench::RunConfig(kg, config, reps, seed + 11));
+      config.method = IntervalMethod::kWilson;
+      wilson_s.push_back(bench::RunConfig(kg, config, reps, seed + 12));
+      config.method = IntervalMethod::kAhpd;
+      ahpd_s.push_back(bench::RunConfig(kg, config, reps, seed + 13));
+    }
+
+    auto print_method = [&](const char* name,
+                            const std::vector<ReplicationSummary>& rows,
+                            bool is_ahpd) {
+      std::printf("%-10s", name);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::string cost = bench::MeanStd(rows[i].cost_summary, 2);
+        if (is_ahpd) {
+          cost += bench::SignificanceMarks(rows[i], wald_s[i], wilson_s[i]);
+        }
+        std::printf(" %11s %12s",
+                    bench::MeanStd(rows[i].triples_summary, 0).c_str(),
+                    cost.c_str());
+      }
+      std::printf("\n");
+    };
+    print_method("Wald", wald_s, false);
+    print_method("Wilson", wilson_s, false);
+    print_method("aHPD", ahpd_s, true);
+    bench::Rule(108);
+  }
+  std::printf("\nPaper reference (SRS): aHPD 32±5/0.60, 96±44/1.76, "
+              "182±42/3.45, 378±3/6.32 —\nstatistically below Wald and "
+              "Wilson on the skewed datasets, tied on FACTBENCH.\n"
+              "(TWCS): aHPD 31±2/0.41, 112±68/1.40, 222±83/2.55, "
+              "257±39/3.11.\n");
+  return 0;
+}

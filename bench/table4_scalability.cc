@@ -1,0 +1,79 @@
+// Reproduces Table 4: scalability on the SYN 100M population (101,415,011
+// procedurally labeled triples over 5M clusters) with accuracy levels
+// mu in {0.9, 0.5, 0.1}, under SRS and TWCS (m = 5). The claim to verify:
+// convergence effort is independent of population size — the numbers stay
+// in the same range as the small datasets of Table 3.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace kgacc;
+  const int reps = bench::Reps();
+  const uint64_t seed = bench::BaseSeed();
+  const double mus[] = {0.9, 0.5, 0.1};
+
+  std::printf("Table 4: scalability on SYN 100M (alpha=0.05, eps=0.05, "
+              "%d reps)\n", reps);
+
+  // Materialize the three populations once (cluster-size prefix arrays).
+  std::vector<std::unique_ptr<SyntheticKg>> kgs;
+  for (const double mu : mus) {
+    kgs.push_back(
+        std::make_unique<SyntheticKg>(*MakeKg(Syn100MProfile(mu), seed)));
+  }
+
+  for (const bool twcs : {false, true}) {
+    std::printf("\n[%s]\n", twcs ? "TWCS, m=5" : "SRS");
+    bench::Rule(92);
+    std::printf("%-10s", "Interval");
+    for (const double mu : mus) {
+      char head[32];
+      std::snprintf(head, sizeof(head), "mu=%.1f trp", mu);
+      std::printf(" %13s %12s", head, "cost(h)");
+    }
+    std::printf("\n");
+    bench::Rule(92);
+
+    std::vector<ReplicationSummary> wald_s, wilson_s, ahpd_s;
+    for (size_t i = 0; i < kgs.size(); ++i) {
+      bench::BenchConfig config;
+      config.twcs = twcs;
+      config.twcs_m = 5;
+      config.method = IntervalMethod::kWald;
+      wald_s.push_back(bench::RunConfig(*kgs[i], config, reps, seed + 21));
+      config.method = IntervalMethod::kWilson;
+      wilson_s.push_back(bench::RunConfig(*kgs[i], config, reps, seed + 22));
+      config.method = IntervalMethod::kAhpd;
+      ahpd_s.push_back(bench::RunConfig(*kgs[i], config, reps, seed + 23));
+    }
+
+    auto print_method = [&](const char* name,
+                            const std::vector<ReplicationSummary>& rows,
+                            bool is_ahpd) {
+      std::printf("%-10s", name);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::string cost = bench::MeanStd(rows[i].cost_summary, 2);
+        if (is_ahpd) {
+          cost += bench::SignificanceMarks(rows[i], wald_s[i], wilson_s[i]);
+        }
+        std::printf(" %13s %12s",
+                    bench::MeanStd(rows[i].triples_summary, 0).c_str(),
+                    cost.c_str());
+      }
+      std::printf("\n");
+    };
+    print_method("Wald", wald_s, false);
+    print_method("Wilson", wilson_s, false);
+    print_method("aHPD", ahpd_s, true);
+    bench::Rule(92);
+  }
+  std::printf("\nPaper reference (SRS): aHPD 114±46/2.22, 380±1/7.39, "
+              "117±45/2.28;\n(TWCS): aHPD 106±52/1.01, 374±65/3.54, "
+              "108±54/1.02. Effort matches the small-scale\nresults of "
+              "Table 3 — population size does not matter; mu=0.9 and mu=0.1 "
+              "cost the same.\n");
+  return 0;
+}

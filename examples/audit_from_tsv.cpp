@@ -1,0 +1,105 @@
+// Audit a knowledge graph loaded from a labeled TSV file — the workflow a
+// practitioner follows with their own annotated sample:
+//
+//     subject<TAB>predicate<TAB>object<TAB>label(0|1)
+//
+// Usage: audit_from_tsv [path/to/kg.tsv]
+// Without an argument the example writes a demo file first and audits it.
+
+#include <cstdio>
+#include <string>
+
+#include "kgacc/kgacc.h"
+
+namespace {
+
+kgacc::Status WriteDemoFile(const std::string& path) {
+  using namespace kgacc;
+  KnowledgeGraphBuilder builder;
+  Rng rng(99);
+  // A DBpedia-flavored mix: people, places and works, 85% accurate with
+  // errors concentrated in a few noisy entities.
+  const char* kinds[] = {"person", "place", "work"};
+  for (int e = 0; e < 600; ++e) {
+    const std::string subject =
+        std::string(kinds[e % 3]) + "/" + std::to_string(e);
+    const bool noisy_entity = rng.Bernoulli(0.1);
+    const int facts = 2 + static_cast<int>(rng.UniformInt(4));
+    for (int f = 0; f < facts; ++f) {
+      const double p_correct = noisy_entity ? 0.4 : 0.92;
+      builder.Add(subject, "prop/" + std::to_string(f),
+                  "value/" + std::to_string(e) + "_" + std::to_string(f),
+                  rng.Bernoulli(p_correct));
+    }
+  }
+  KGACC_ASSIGN_OR_RETURN(const KnowledgeGraph kg, builder.Build());
+  return WriteKgToTsv(kg, path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kgacc;
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = "/tmp/kgacc_demo_kg.tsv";
+    const Status written = WriteDemoFile(path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write demo file: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("No input given; wrote a demo KG to %s\n\n", path.c_str());
+  }
+
+  const auto kg = LoadKgFromTsv(path);
+  if (!kg.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", kg.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Loaded %llu facts / %llu entities from %s\n",
+              static_cast<unsigned long long>(kg->num_triples()),
+              static_cast<unsigned long long>(kg->num_clusters()),
+              path.c_str());
+
+  // Audit under both designs and report the cheaper one.
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+
+  SrsSampler srs(*kg, SrsConfig{});
+  const auto srs_result = RunEvaluation(srs, annotator, config, 1);
+  TwcsSampler twcs(*kg, TwcsConfig{.second_stage_size = 3});
+  const auto twcs_result = RunEvaluation(twcs, annotator, config, 1);
+  if (!srs_result.ok() || !twcs_result.ok()) {
+    std::fprintf(stderr, "evaluation failed\n");
+    return 1;
+  }
+
+  std::printf("\n%-8s %10s %22s %10s %10s\n", "Design", "mu_hat", "95% CrI",
+              "triples", "cost(h)");
+  for (const auto* r : {&*srs_result, &*twcs_result}) {
+    char interval[32];
+    std::snprintf(interval, sizeof(interval), "[%.4f, %.4f]",
+                  r->interval.lower, r->interval.upper);
+    std::printf("%-8s %10.4f %22s %10llu %10.2f\n",
+                r == &*srs_result ? "SRS" : "TWCS", r->mu, interval,
+                static_cast<unsigned long long>(r->distinct_triples),
+                r->cost_hours);
+  }
+  std::printf("\nTrue accuracy of the file: %.4f\n", kg->TrueAccuracy());
+  const double saving =
+      100.0 * (1.0 - twcs_result->cost_hours / srs_result->cost_hours);
+  if (saving >= 1.0) {
+    std::printf("TWCS saves %.0f%% of the manual effort on this KG.\n",
+                saving);
+  } else {
+    // Clustered errors inflate the TWCS design effect; on such KGs the
+    // entity-identification savings may not pay for the extra triples.
+    std::printf("TWCS does not pay off here (%.0f%% more effort): errors "
+                "cluster by entity,\nso the design effect outweighs the "
+                "shared entity-identification cost.\n", -saving);
+  }
+  return 0;
+}

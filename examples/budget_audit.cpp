@@ -1,0 +1,54 @@
+// Budget-constrained auditing — the §6.5 scenario: "Depending on the
+// available annotation budget, the cost reduction introduced by aHPD can
+// make the difference between an evaluation process that concludes
+// successfully (due to convergence) and one that terminates prematurely
+// (due to budget exhaustion)." This example sweeps a fixed manual-effort
+// budget and counts, for Wilson vs aHPD, how many of 200 audits finish
+// inside it.
+
+#include <cstdio>
+
+#include "kgacc/kgacc.h"
+
+int main() {
+  using namespace kgacc;
+  const auto kg = *MakeKg(NellProfile(), /*seed=*/11);
+  std::printf("Budget-constrained audits of a NELL-like KG "
+              "(true accuracy %.3f, alpha=0.01)\n\n", kg.TrueAccuracy());
+
+  OracleAnnotator annotator;
+  const int runs = 200;
+  std::printf("%10s %22s %22s\n", "budget(h)", "Wilson finished",
+              "aHPD finished");
+  for (const double budget_hours : {1.0, 2.0, 3.0, 4.0, 6.0}) {
+    int finished[2] = {0, 0};
+    double mean_moe[2] = {0.0, 0.0};
+    const IntervalMethod methods[] = {IntervalMethod::kWilson,
+                                      IntervalMethod::kAhpd};
+    for (int m = 0; m < 2; ++m) {
+      SrsSampler sampler(kg, SrsConfig{});
+      EvaluationConfig config;
+      config.method = methods[m];
+      config.alpha = 0.01;  // High-precision regime of Fig. 4.
+      config.max_cost_seconds = budget_hours * 3600.0;
+      for (int r = 0; r < runs; ++r) {
+        const auto result = *RunEvaluation(sampler, annotator, config,
+                                           1000 + r);
+        if (result.converged) ++finished[m];
+        mean_moe[m] += result.interval.Moe();
+      }
+      mean_moe[m] /= runs;
+    }
+    char wilson_cell[48], ahpd_cell[48];
+    std::snprintf(wilson_cell, sizeof(wilson_cell), "%3d/%d (MoE %.3f)",
+                  finished[0], runs, mean_moe[0]);
+    std::snprintf(ahpd_cell, sizeof(ahpd_cell), "%3d/%d (MoE %.3f)",
+                  finished[1], runs, mean_moe[1]);
+    std::printf("%10.1f %22s %22s\n", budget_hours, wilson_cell, ahpd_cell);
+  }
+  std::printf("\nWhere the budget bites, aHPD completes audits Wilson "
+              "cannot; when neither\nfinishes, aHPD still leaves the "
+              "analyst a tighter (and honestly interpretable)\ninterval "
+              "for the money spent.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Compare every interval method on the same audit task — the "which
+// interval should my pipeline use?" question the paper answers. Runs the
+// full iterative framework on a NELL-like automatically-extracted KG with
+// each method and prints annotations, cost, and the final interval, plus a
+// short replication study so the differences are not one-off luck.
+
+#include <cstdio>
+
+#include "kgacc/kgacc.h"
+
+int main() {
+  using namespace kgacc;
+  const auto kg = *MakeKg(NellProfile(), /*seed=*/2024);
+  std::printf("Auditing a NELL-like KG: %llu facts, true accuracy %.4f\n\n",
+              static_cast<unsigned long long>(kg.num_triples()),
+              kg.TrueAccuracy());
+
+  OracleAnnotator annotator;
+  const IntervalMethod methods[] = {
+      IntervalMethod::kWald,         IntervalMethod::kWilson,
+      IntervalMethod::kAgrestiCoull, IntervalMethod::kClopperPearson,
+      IntervalMethod::kEqualTailed,  IntervalMethod::kHpd,
+      IntervalMethod::kAhpd,
+  };
+
+  std::printf("%-16s %8s %22s %9s %9s\n", "Method", "mu_hat", "95% interval",
+              "triples", "cost(h)");
+  for (const IntervalMethod method : methods) {
+    SrsSampler sampler(kg, SrsConfig{});
+    EvaluationConfig config;
+    config.method = method;
+    const auto result = RunEvaluation(sampler, annotator, config, 7);
+    if (!result.ok()) {
+      std::printf("%-16s failed: %s\n", IntervalMethodName(method),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    char interval[32];
+    std::snprintf(interval, sizeof(interval), "[%.4f, %.4f]",
+                  result->interval.lower, result->interval.upper);
+    std::printf("%-16s %8.4f %22s %9llu %9.2f\n", IntervalMethodName(method),
+                result->mu, interval,
+                static_cast<unsigned long long>(result->annotated_triples),
+                result->cost_hours);
+  }
+
+  // Replication study: one run can be lucky; 200 repetitions show the
+  // systematic ordering (aHPD cheapest among the reliable methods).
+  std::printf("\nMean annotated triples over 200 repetitions:\n");
+  for (const IntervalMethod method :
+       {IntervalMethod::kWald, IntervalMethod::kWilson,
+        IntervalMethod::kClopperPearson, IntervalMethod::kAhpd}) {
+    SrsSampler sampler(kg, SrsConfig{});
+    EvaluationConfig config;
+    config.method = method;
+    const auto summary = RunReplications(sampler, annotator, config, 200, 77);
+    std::printf("  %-16s %7.1f ± %-6.1f  (zero-width runs: %d)\n",
+                IntervalMethodName(method), summary->triples_summary.mean,
+                summary->triples_summary.stddev, summary->zero_width);
+  }
+  std::printf("\nTakeaway: Wald is cheap but degenerate on skewed KGs;\n"
+              "Clopper-Pearson is safe but conservative; aHPD is both\n"
+              "reliable (valid post-data probability) and the cheapest.\n");
+  return 0;
+}

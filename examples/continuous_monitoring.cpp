@@ -1,0 +1,110 @@
+// Continuous accuracy monitoring of an evolving KG — the future-work
+// scenario of §8: batches of new content arrive over time; each re-audit
+// feeds the previous audit's result to aHPD as an informative prior, so the
+// evaluation converges with a fraction of the annotations a cold audit
+// needs. The final act demonstrates the limitation the paper warns about:
+// after a massive update with a very different accuracy, the carried-over
+// prior is *deceptive* — aHPD's shortest-interval rule happily keeps it —
+// and the honest mitigation is a fresh audit with uninformative priors.
+
+#include <cstdio>
+#include <vector>
+
+#include "kgacc/kgacc.h"
+
+namespace {
+
+using namespace kgacc;
+
+SyntheticKg MakeEpoch(double accuracy, uint64_t clusters, uint64_t seed) {
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = clusters;
+  cfg.mean_cluster_size = 3.0;
+  cfg.accuracy = accuracy;
+  cfg.label_model = LabelModel::kBetaMixture;
+  cfg.intra_cluster_rho = 0.2;
+  cfg.seed = seed;
+  return *SyntheticKg::Create(cfg);
+}
+
+EvaluationResult Audit(const KgView& kg, const std::vector<BetaPrior>& priors,
+                       uint64_t seed) {
+  TwcsSampler sampler(kg, TwcsConfig{.second_stage_size = 3});
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+  config.priors = priors;
+  return *RunEvaluation(sampler, annotator, config, seed);
+}
+
+void Report(const char* label, const EvaluationResult& audit,
+            const std::vector<BetaPrior>& priors, double truth) {
+  std::printf("%-15s mu_hat=%.3f CrI=[%.3f, %.3f] triples=%4llu cost=%.2fh"
+              "  winner=%-16s truth=%.2f%s\n",
+              label, audit.mu, audit.interval.lower, audit.interval.upper,
+              static_cast<unsigned long long>(audit.annotated_triples),
+              audit.cost_hours, priors[audit.winning_prior].name.c_str(),
+              truth, audit.interval.Contains(truth) ? "" : "  <-- MISSED");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Continuous monitoring of an evolving KG (aHPD + TWCS)\n\n");
+
+  // Epoch 0: cold audit with the uninformative trio.
+  const auto epoch0 = MakeEpoch(0.86, 4000, 1);
+  auto priors = DefaultUninformativePriors();
+  const auto audit0 = Audit(epoch0, priors, 100);
+  Report("Epoch 0 (cold)", audit0, priors, epoch0.TrueAccuracy());
+
+  // Epochs 1-3: content grows, accuracy drifts slowly. Carry the center of
+  // the previous credible interval forward as an informative prior with a
+  // deliberately modest weight — strong enough to converge in ~1/6 of the
+  // annotations, weak enough that fresh data can still move the posterior.
+  const double kCarryWeight = 100.0;
+  double carried_mu =
+      0.5 * (audit0.interval.lower + audit0.interval.upper);
+  const double drift[] = {0.86, 0.85, 0.87};
+  double warm_cost = 0.0;
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    const auto kg = MakeEpoch(drift[epoch - 1], 4000 + 800 * epoch,
+                              static_cast<uint64_t>(epoch + 1));
+    priors = DefaultUninformativePriors();
+    priors.push_back(*InformativePrior(
+        carried_mu, kCarryWeight,
+        "carry-over(e" + std::to_string(epoch - 1) + ")"));
+    const auto audit = Audit(kg, priors, 100 + epoch);
+    warm_cost += audit.cost_hours;
+    char label[32];
+    std::snprintf(label, sizeof(label), "Epoch %d (warm)", epoch);
+    Report(label, audit, priors, kg.TrueAccuracy());
+    carried_mu = 0.5 * (audit.interval.lower + audit.interval.upper);
+  }
+
+  // Epoch 4: a massive noisy ingestion halves the accuracy. The carried
+  // prior is now plain wrong — and because its posterior is the *tightest*,
+  // aHPD's shortest-interval rule keeps selecting it and stops early with a
+  // deceptive interval. This is the §8 limitation, reproduced live.
+  const auto shocked = MakeEpoch(0.45, 9000, 17);
+  priors = DefaultUninformativePriors();
+  priors.push_back(*InformativePrior(carried_mu, kCarryWeight, "stale"));
+  const auto audit4 = Audit(shocked, priors, 104);
+  std::printf("\nEpoch 4: accuracy shock to 0.45 with the stale prior in "
+              "the race:\n");
+  Report("Epoch 4 (warm)", audit4, priors, shocked.TrueAccuracy());
+
+  // Mitigation: when an update is large relative to the audited KG (here
+  // more than doubling it), drop carried priors and audit cold.
+  priors = DefaultUninformativePriors();
+  const auto audit4_cold = Audit(shocked, priors, 105);
+  Report("Epoch 4 (cold)", audit4_cold, priors, shocked.TrueAccuracy());
+
+  std::printf("\nLesson: carried priors cut the average re-audit cost to "
+              "%.2fh vs the %.2fh cold\naudit while the KG drifts slowly, "
+              "but a massive update makes them deceptive —\nthe stale "
+              "prior's tight, wrong posterior wins the shortest-interval "
+              "race. Gate\ncarry-over priors on the relative size of the "
+              "update (the paper's §8 caveat).\n",
+              warm_cost / 3.0, audit0.cost_hours);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: audit the accuracy of a small in-memory knowledge graph with
+// the adaptive HPD algorithm.
+//
+// Build:  cmake --build build --target quickstart
+// Run:    ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "kgacc/kgacc.h"
+
+int main() {
+  using namespace kgacc;
+
+  // 1. Assemble a labeled KG. In a real audit the labels are unknown and
+  //    produced on demand by human annotators; here they are gold labels
+  //    the simulation oracle replays.
+  KnowledgeGraphBuilder builder;
+  Rng rng(7);
+  for (int e = 0; e < 400; ++e) {
+    const std::string subject = "entity/" + std::to_string(e);
+    const int facts = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int f = 0; f < facts; ++f) {
+      builder.Add(subject, "predicate/" + std::to_string(f),
+                  "object/" + std::to_string(e * 7 + f),
+                  /*correct=*/rng.Bernoulli(0.88));
+    }
+  }
+  const auto kg_result = builder.Build();
+  if (!kg_result.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 kg_result.status().ToString().c_str());
+    return 1;
+  }
+  const KnowledgeGraph& kg = *kg_result;
+  std::printf("KG: %llu facts across %llu entities (true accuracy %.4f)\n",
+              static_cast<unsigned long long>(kg.num_triples()),
+              static_cast<unsigned long long>(kg.num_clusters()),
+              kg.TrueAccuracy());
+
+  // 2. Pick a sampling design (TWCS is the recommended default) and an
+  //    annotator. OracleAnnotator stands in for the human loop.
+  TwcsSampler sampler(kg, TwcsConfig{.second_stage_size = 3});
+  OracleAnnotator annotator;
+
+  // 3. Run the iterative evaluation: aHPD over the Kerman/Jeffreys/Uniform
+  //    priors, 95% credible interval, stop when the margin of error is
+  //    within ±0.05.
+  EvaluationConfig config;
+  config.alpha = 0.05;
+  config.moe_threshold = 0.05;
+  const auto result = RunEvaluation(sampler, annotator, config, /*seed=*/46);
+  if (!result.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Read the audit report.
+  std::printf("\nEstimated accuracy: %.4f\n", result->mu);
+  std::printf("95%% credible interval: [%.4f, %.4f]  (MoE %.4f)\n",
+              result->interval.lower, result->interval.upper,
+              result->interval.Moe());
+  std::printf("Winning prior: %s\n",
+              config.priors[result->winning_prior].name.c_str());
+  std::printf("Annotated %llu triples over %llu entities in %d rounds\n",
+              static_cast<unsigned long long>(result->distinct_triples),
+              static_cast<unsigned long long>(result->distinct_entities),
+              result->iterations);
+  std::printf("Estimated manual effort: %.2f hours\n", result->cost_hours);
+  std::printf("\nBecause this is a credible interval, the statement \"the\n"
+              "accuracy lies in the interval with 95%% probability\" is a\n"
+              "valid post-data claim — unlike a confidence interval.\n");
+  return 0;
+}

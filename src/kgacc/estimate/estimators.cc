@@ -1,0 +1,164 @@
+#include "kgacc/estimate/estimators.h"
+
+#include <cmath>
+
+namespace kgacc {
+
+Result<AccuracyEstimate> EstimateSrs(const AnnotatedSample& sample,
+                                     uint64_t population_size) {
+  if (sample.num_triples() == 0) {
+    return Status::FailedPrecondition("cannot estimate from an empty sample");
+  }
+  if (population_size != 0 && sample.num_triples() > population_size) {
+    return Status::InvalidArgument(
+        "sample larger than the declared population");
+  }
+  AccuracyEstimate est;
+  est.n = sample.num_triples();
+  est.tau = sample.num_correct();
+  est.num_units = est.n;
+  est.mu = static_cast<double>(est.tau) / static_cast<double>(est.n);
+  est.variance = est.mu * (1.0 - est.mu) / static_cast<double>(est.n);
+  if (population_size != 0) {
+    const double fpc = 1.0 - static_cast<double>(est.n) /
+                                 static_cast<double>(population_size);
+    est.variance *= std::max(fpc, 0.0);
+    est.population = population_size;
+  }
+  return est;
+}
+
+Result<AccuracyEstimate> EstimateCluster(const AnnotatedSample& sample) {
+  const auto& units = sample.units();
+  if (units.empty()) {
+    return Status::FailedPrecondition("cannot estimate from an empty sample");
+  }
+  AccuracyEstimate est;
+  est.n = sample.num_triples();
+  est.tau = sample.num_correct();
+  est.num_units = units.size();
+
+  const double nc = static_cast<double>(units.size());
+  double mean = 0.0;
+  for (const AnnotatedUnit& u : units) {
+    mean += static_cast<double>(u.correct) / static_cast<double>(u.drawn);
+  }
+  mean /= nc;
+  est.mu = mean;
+
+  if (units.size() < 2) {
+    // No between-cluster information yet; report the worst-case Bernoulli
+    // variance so downstream intervals stay conservative.
+    est.variance = 0.25 / static_cast<double>(est.n);
+    return est;
+  }
+  double ss = 0.0;
+  for (const AnnotatedUnit& u : units) {
+    const double mu_i =
+        static_cast<double>(u.correct) / static_cast<double>(u.drawn);
+    ss += (mu_i - mean) * (mu_i - mean);
+  }
+  est.variance = ss / (nc * (nc - 1.0));
+  return est;
+}
+
+Result<AccuracyEstimate> EstimateRcs(const AnnotatedSample& sample) {
+  const auto& units = sample.units();
+  if (units.empty()) {
+    return Status::FailedPrecondition("cannot estimate from an empty sample");
+  }
+  AccuracyEstimate est;
+  est.n = sample.num_triples();
+  est.tau = sample.num_correct();
+  est.num_units = units.size();
+
+  double sum_tau = 0.0, sum_m = 0.0;
+  for (const AnnotatedUnit& u : units) {
+    sum_tau += static_cast<double>(u.correct);
+    sum_m += static_cast<double>(u.drawn);
+  }
+  const double ratio = sum_tau / sum_m;
+  est.mu = ratio;
+
+  if (units.size() < 2) {
+    est.variance = 0.25 / static_cast<double>(est.n);
+    return est;
+  }
+  // Linearized (Taylor) ratio variance: V = sum (tau_i - r M_i)^2 /
+  // (n_C (n_C - 1) Mbar^2), Mbar the mean sampled-cluster size.
+  const double nc = static_cast<double>(units.size());
+  const double mbar = sum_m / nc;
+  double ss = 0.0;
+  for (const AnnotatedUnit& u : units) {
+    const double resid =
+        static_cast<double>(u.correct) - ratio * static_cast<double>(u.drawn);
+    ss += resid * resid;
+  }
+  est.variance = ss / (nc * (nc - 1.0) * mbar * mbar);
+  return est;
+}
+
+Result<AccuracyEstimate> EstimateStratified(
+    const AnnotatedSample& sample,
+    const std::vector<double>& stratum_weights) {
+  if (sample.num_triples() == 0) {
+    return Status::FailedPrecondition("cannot estimate from an empty sample");
+  }
+  if (stratum_weights.empty()) {
+    return Status::InvalidArgument("stratified estimator needs weights");
+  }
+  const size_t num_strata = stratum_weights.size();
+  std::vector<double> n_h(num_strata, 0.0), tau_h(num_strata, 0.0);
+  for (const AnnotatedUnit& u : sample.units()) {
+    if (u.stratum >= num_strata) {
+      return Status::InvalidArgument("unit stratum out of range");
+    }
+    n_h[u.stratum] += static_cast<double>(u.drawn);
+    tau_h[u.stratum] += static_cast<double>(u.correct);
+  }
+
+  AccuracyEstimate est;
+  est.n = sample.num_triples();
+  est.tau = sample.num_correct();
+  est.num_units = sample.units().size();
+  const double pooled =
+      static_cast<double>(est.tau) / static_cast<double>(est.n);
+
+  double mu = 0.0, var = 0.0;
+  for (size_t h = 0; h < num_strata; ++h) {
+    const double w = stratum_weights[h];
+    if (n_h[h] > 0.0) {
+      const double mu_h = tau_h[h] / n_h[h];
+      mu += w * mu_h;
+      var += w * w * mu_h * (1.0 - mu_h) / n_h[h];
+    } else {
+      // Unobserved stratum: impute the pooled mean, charge worst-case
+      // Bernoulli variance against a single pseudo-observation.
+      mu += w * pooled;
+      var += w * w * 0.25;
+    }
+  }
+  est.mu = mu;
+  est.variance = var;
+  return est;
+}
+
+Result<AccuracyEstimate> Estimate(EstimatorKind kind,
+                                  const AnnotatedSample& sample,
+                                  const std::vector<double>* stratum_weights) {
+  switch (kind) {
+    case EstimatorKind::kSrs:
+      return EstimateSrs(sample);
+    case EstimatorKind::kCluster:
+      return EstimateCluster(sample);
+    case EstimatorKind::kStratified:
+      if (stratum_weights == nullptr) {
+        return Status::InvalidArgument(
+            "stratified estimation requires stratum weights");
+      }
+      return EstimateStratified(sample, *stratum_weights);
+  }
+  return Status::InvalidArgument("unknown estimator kind");
+}
+
+}  // namespace kgacc

@@ -1,0 +1,76 @@
+#include "kgacc/eval/annotator.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "kgacc/util/check.h"
+
+namespace kgacc {
+
+bool OracleAnnotator::Annotate(const KgView& kg, const TripleRef& ref,
+                               Rng* rng) {
+  (void)rng;
+  return kg.label(ref.cluster, ref.offset);
+}
+
+NoisyAnnotator::NoisyAnnotator(double error_rate) : error_rate_(error_rate) {
+  KGACC_CHECK(error_rate >= 0.0 && error_rate < 0.5);
+}
+
+bool NoisyAnnotator::Annotate(const KgView& kg, const TripleRef& ref,
+                              Rng* rng) {
+  const bool truth = kg.label(ref.cluster, ref.offset);
+  return rng->Bernoulli(error_rate_) ? !truth : truth;
+}
+
+MajorityVoteAnnotator::MajorityVoteAnnotator(int num_annotators,
+                                             double per_annotator_error_rate)
+    : num_annotators_(num_annotators), worker_(per_annotator_error_rate) {
+  KGACC_CHECK(num_annotators >= 1 && num_annotators % 2 == 1);
+}
+
+bool MajorityVoteAnnotator::Annotate(const KgView& kg, const TripleRef& ref,
+                                     Rng* rng) {
+  int votes_correct = 0;
+  for (int i = 0; i < num_annotators_; ++i) {
+    votes_correct += worker_.Annotate(kg, ref, rng) ? 1 : 0;
+  }
+  return votes_correct * 2 > num_annotators_;
+}
+
+InteractiveAnnotator::InteractiveAnnotator(std::istream* in,
+                                           std::ostream* out)
+    : in_(in), out_(out) {
+  KGACC_CHECK(in != nullptr && out != nullptr);
+}
+
+bool InteractiveAnnotator::Annotate(const KgView& kg, const TripleRef& ref,
+                                    Rng* rng) {
+  (void)rng;
+  ++prompts_issued_;
+  // Show the real triple when the view carries one; coordinates otherwise.
+  if (const auto* materialized = dynamic_cast<const KnowledgeGraph*>(&kg)) {
+    const Triple& t = materialized->triple(ref.cluster, ref.offset);
+    const Vocabulary& vocab = materialized->vocabulary();
+    *out_ << "Is this fact correct?  (" << vocab.TermOf(t.subject) << ", "
+          << vocab.TermOf(t.predicate) << ", " << vocab.TermOf(t.object)
+          << ")  [y/n] ";
+  } else {
+    *out_ << "Is triple (cluster " << ref.cluster << ", offset " << ref.offset
+          << ") correct? [y/n] ";
+  }
+  std::string line;
+  while (std::getline(*in_, line)) {
+    std::transform(line.begin(), line.end(), line.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (line == "y" || line == "yes" || line == "1") return true;
+    if (line == "n" || line == "no" || line == "0") return false;
+    *out_ << "Please answer y or n: ";
+  }
+  *out_ << "(end of input; recording as incorrect)\n";
+  return false;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,95 @@
+#ifndef KGACC_EVAL_ANNOTATOR_H_
+#define KGACC_EVAL_ANNOTATOR_H_
+
+#include <iosfwd>
+#include <memory>
+
+#include "kgacc/kg/kg_view.h"
+#include "kgacc/kg/knowledge_graph.h"
+#include "kgacc/util/random.h"
+
+/// \file annotator.h
+/// Annotation oracles (phase 2 of the evaluation framework, Fig. 1). In
+/// production these calls are manual judgments; the simulators replay the
+/// population's gold labels, optionally through a noisy multi-annotator
+/// model (the 3-5 annotators + aggregation setting discussed in §6.5).
+
+namespace kgacc {
+
+/// Produces a correctness judgment for one triple.
+class Annotator {
+ public:
+  virtual ~Annotator() = default;
+
+  /// Returns the judged label 1(t) for the triple at `ref`.
+  virtual bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) = 0;
+
+  /// How many elementary human judgments one call consumes (1 for a single
+  /// annotator, k for a k-way majority vote). Reported by the cost model
+  /// extensions.
+  virtual int JudgmentsPerTriple() const { return 1; }
+};
+
+/// Reads the ground-truth label — a perfect annotator.
+class OracleAnnotator final : public Annotator {
+ public:
+  bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override;
+};
+
+/// Flips the ground-truth label with probability `error_rate` (layman
+/// annotator with imperfect quality).
+class NoisyAnnotator final : public Annotator {
+ public:
+  explicit NoisyAnnotator(double error_rate);
+
+  bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override;
+
+  double error_rate() const { return error_rate_; }
+
+ private:
+  double error_rate_;
+};
+
+/// Aggregates an odd number of independent noisy judgments by majority
+/// vote — the real-world protocol of the DBPEDIA dataset (§5).
+class MajorityVoteAnnotator final : public Annotator {
+ public:
+  /// `num_annotators` must be odd and >= 1.
+  MajorityVoteAnnotator(int num_annotators, double per_annotator_error_rate);
+
+  bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override;
+  int JudgmentsPerTriple() const override { return num_annotators_; }
+
+ private:
+  int num_annotators_;
+  NoisyAnnotator worker_;
+};
+
+/// A genuine human-in-the-loop annotator: prints each sampled triple (when
+/// the view is a materialized `KnowledgeGraph`, the actual subject /
+/// predicate / object strings) and reads a y/n judgment from an input
+/// stream. This is the annotator the `kgacc_audit` CLI uses in
+/// `--annotator=human` mode; tests drive it with string streams.
+class InteractiveAnnotator final : public Annotator {
+ public:
+  /// Judgments are read from `in`; prompts go to `out`. Both must outlive
+  /// the annotator.
+  InteractiveAnnotator(std::istream* in, std::ostream* out);
+
+  /// Prompts for one triple. Accepts y/yes/1/n/no/0 (case-insensitive) and
+  /// re-prompts on anything else; end-of-input defaults to "incorrect" so a
+  /// truncated session fails conservative.
+  bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override;
+
+  /// Triples judged so far.
+  int prompts_issued() const { return prompts_issued_; }
+
+ private:
+  std::istream* in_;
+  std::ostream* out_;
+  int prompts_issued_ = 0;
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_EVAL_ANNOTATOR_H_

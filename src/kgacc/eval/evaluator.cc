@@ -1,0 +1,203 @@
+#include "kgacc/eval/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace kgacc {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged:
+      return "converged";
+    case StopReason::kTripleCapReached:
+      return "triple-cap";
+    case StopReason::kBudgetExhausted:
+      return "budget-exhausted";
+    case StopReason::kPopulationExhausted:
+      return "population-exhausted";
+  }
+  return "unknown";
+}
+
+const char* IntervalMethodName(IntervalMethod method) {
+  switch (method) {
+    case IntervalMethod::kWald:
+      return "Wald";
+    case IntervalMethod::kWilson:
+      return "Wilson";
+    case IntervalMethod::kAgrestiCoull:
+      return "Agresti-Coull";
+    case IntervalMethod::kClopperPearson:
+      return "Clopper-Pearson";
+    case IntervalMethod::kEqualTailed:
+      return "ET";
+    case IntervalMethod::kHpd:
+      return "HPD";
+    case IntervalMethod::kAhpd:
+      return "aHPD";
+  }
+  return "Unknown";
+}
+
+Result<Interval> BuildInterval(const EvaluationConfig& config,
+                               EstimatorKind kind,
+                               const AccuracyEstimate& estimate,
+                               size_t* winning_prior, double* deff_out) {
+  // Effective sample for the methods parameterized by (tau, n) rather than
+  // a variance: identity under SRS, Kish-adjusted under complex designs
+  // (Alg. 1 lines 11-13).
+  double n_eff = static_cast<double>(estimate.n);
+  double tau_eff = static_cast<double>(estimate.tau);
+  double deff = 1.0;
+  if (kind != EstimatorKind::kSrs) {
+    const EffectiveSample eff =
+        ComputeEffectiveSample(estimate, config.design_effect);
+    n_eff = eff.n_eff;
+    tau_eff = eff.tau_eff;
+    deff = eff.deff;
+  } else if (estimate.population != 0) {
+    // Finite-population correction as a design effect below 1: at full
+    // census the effective sample diverges and every interval collapses.
+    const double fpc = 1.0 - static_cast<double>(estimate.n) /
+                                 static_cast<double>(estimate.population);
+    deff = std::max(fpc, 1e-9);
+    n_eff = static_cast<double>(estimate.n) / deff;
+    tau_eff = estimate.mu * n_eff;
+  }
+  if (deff_out != nullptr) *deff_out = deff;
+  if (winning_prior != nullptr) *winning_prior = 0;
+
+  switch (config.method) {
+    case IntervalMethod::kWald:
+      return WaldInterval(estimate, config.alpha);
+    case IntervalMethod::kWilson:
+      return WilsonInterval(estimate.mu, n_eff, config.alpha);
+    case IntervalMethod::kAgrestiCoull:
+      return AgrestiCoullInterval(estimate.mu, n_eff, config.alpha);
+    case IntervalMethod::kClopperPearson:
+      return ClopperPearsonInterval(
+          static_cast<uint64_t>(std::llround(tau_eff)),
+          static_cast<uint64_t>(std::llround(n_eff)), config.alpha);
+    case IntervalMethod::kEqualTailed: {
+      if (config.priors.empty()) {
+        return Status::InvalidArgument("ET CrI requires a prior");
+      }
+      KGACC_ASSIGN_OR_RETURN(const BetaDistribution posterior,
+                             config.priors[0].Posterior(tau_eff, n_eff));
+      return EqualTailedInterval(posterior, config.alpha);
+    }
+    case IntervalMethod::kHpd: {
+      if (config.priors.empty()) {
+        return Status::InvalidArgument("HPD CrI requires a prior");
+      }
+      KGACC_ASSIGN_OR_RETURN(const BetaDistribution posterior,
+                             config.priors[0].Posterior(tau_eff, n_eff));
+      KGACC_ASSIGN_OR_RETURN(const HpdResult hpd,
+                             HpdInterval(posterior, config.alpha, config.hpd));
+      return hpd.interval;
+    }
+    case IntervalMethod::kAhpd: {
+      KGACC_ASSIGN_OR_RETURN(
+          const AhpdChoice choice,
+          AhpdSelect(config.priors, tau_eff, n_eff, config.alpha, config.hpd));
+      if (winning_prior != nullptr) *winning_prior = choice.prior_index;
+      return choice.interval;
+    }
+  }
+  return Status::InvalidArgument("unknown interval method");
+}
+
+Result<EvaluationResult> RunEvaluation(Sampler& sampler, Annotator& annotator,
+                                       const EvaluationConfig& config,
+                                       uint64_t seed) {
+  if (!(config.moe_threshold > 0.0)) {
+    return Status::InvalidArgument("MoE threshold must be positive");
+  }
+  if (!(config.alpha > 0.0) || !(config.alpha < 1.0)) {
+    return Status::OutOfRange("alpha must be in (0,1)");
+  }
+
+  sampler.Reset();
+  Rng rng(seed);
+  const KgView& kg = sampler.kg();
+  AnnotatedSample sample;
+  EvaluationResult out;
+
+  CostModel cost_model = config.cost;
+  cost_model.annotators_per_triple = annotator.JudgmentsPerTriple();
+
+  for (;;) {
+    // Phase 1: draw a batch according to the sampling design.
+    KGACC_ASSIGN_OR_RETURN(const SampleBatch batch, sampler.NextBatch(&rng));
+    if (batch.empty()) {
+      out.stop_reason = StopReason::kPopulationExhausted;
+      break;
+    }
+    ++out.iterations;
+
+    // Phase 2: annotate the batch and merge into the running sample.
+    for (const SampledUnit& unit : batch) {
+      AnnotatedUnit annotated;
+      annotated.cluster = unit.cluster;
+      annotated.cluster_population = unit.cluster_population;
+      annotated.stratum = unit.stratum;
+      annotated.drawn = static_cast<uint32_t>(unit.offsets.size());
+      for (uint64_t offset : unit.offsets) {
+        const TripleRef ref{unit.cluster, offset};
+        sample.MarkAnnotated(ref);
+        annotated.correct += annotator.Annotate(kg, ref, &rng) ? 1 : 0;
+      }
+      sample.Add(annotated);
+    }
+
+    // Phase 3: estimate and build the configured 1-alpha interval.
+    Result<AccuracyEstimate> estimate_result =
+        (sampler.estimator() == EstimatorKind::kSrs &&
+         config.finite_population_correction)
+            ? EstimateSrs(sample, kg.num_triples())
+            : Estimate(sampler.estimator(), sample,
+                       sampler.stratum_weights());
+    KGACC_ASSIGN_OR_RETURN(const AccuracyEstimate estimate,
+                           std::move(estimate_result));
+    KGACC_ASSIGN_OR_RETURN(
+        out.interval, BuildInterval(config, sampler.estimator(), estimate,
+                                    &out.winning_prior, &out.deff));
+    out.mu = estimate.mu;
+    const double moe = out.interval.Moe();
+    if (config.record_trace) {
+      out.trace.push_back(TracePoint{estimate.n, moe, estimate.mu});
+    }
+
+    // Phase 4: quality control against the MoE budget and resource caps.
+    if (sample.num_triples() >= config.min_sample_triples &&
+        moe <= config.moe_threshold) {
+      out.converged = true;
+      out.stop_reason = StopReason::kConverged;
+      break;
+    }
+    if (sample.num_triples() >= config.max_triples) {
+      out.stop_reason = StopReason::kTripleCapReached;
+      break;
+    }
+    if (config.max_cost_seconds > 0.0 &&
+        AnnotationCostSeconds(cost_model, sample) >=
+            config.max_cost_seconds) {
+      out.stop_reason = StopReason::kBudgetExhausted;
+      break;
+    }
+  }
+
+  if (sample.empty()) {
+    return Status::FailedPrecondition(
+        "sampler produced no units; population may be empty");
+  }
+  out.annotated_triples = sample.num_triples();
+  out.distinct_triples = sample.num_distinct_triples();
+  out.distinct_entities = sample.num_distinct_entities();
+  out.cost_seconds = AnnotationCostSeconds(cost_model, sample);
+  out.cost_hours = out.cost_seconds / 3600.0;
+  return out;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,121 @@
+#include "kgacc/eval/report.h"
+
+#include <cstdio>
+
+namespace kgacc {
+
+namespace {
+
+std::string Escaped(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Num(double v, const char* fmt = "%.6f") {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderTextReport(const ReportContext& context,
+                             const EvaluationConfig& config,
+                             const EvaluationResult& result) {
+  std::string out;
+  out += "KG accuracy audit: " + context.dataset_name + "\n";
+  out += "  method: " + std::string(IntervalMethodName(config.method)) +
+         " under " + context.design_name + " sampling\n";
+  out += "  estimated accuracy: " + Num(result.mu, "%.4f") + "\n";
+  char interval[96];
+  std::snprintf(interval, sizeof(interval),
+                "  %.0f%% interval: [%.4f, %.4f]  (MoE %.4f, budget %.4f)\n",
+                100.0 * (1.0 - config.alpha), result.interval.lower,
+                result.interval.upper, result.interval.Moe(),
+                config.moe_threshold);
+  out += interval;
+  if (config.method == IntervalMethod::kAhpd ||
+      config.method == IntervalMethod::kHpd ||
+      config.method == IntervalMethod::kEqualTailed) {
+    out += "  interpretation: the accuracy lies in this interval with " +
+           Num(100.0 * (1.0 - config.alpha), "%.0f") +
+           "% probability (credible interval)\n";
+    if (config.method == IntervalMethod::kAhpd &&
+        result.winning_prior < config.priors.size()) {
+      out += "  winning prior: " + config.priors[result.winning_prior].name +
+             "\n";
+    }
+  } else {
+    out += "  interpretation: across repeated audits, " +
+           Num(100.0 * (1.0 - config.alpha), "%.0f") +
+           "% of intervals built this way cover the true accuracy "
+           "(confidence interval)\n";
+  }
+  char effort[128];
+  std::snprintf(effort, sizeof(effort),
+                "  effort: %llu annotations over %llu facts / %llu entities "
+                "in %d rounds (%.2f h)\n",
+                static_cast<unsigned long long>(result.annotated_triples),
+                static_cast<unsigned long long>(result.distinct_triples),
+                static_cast<unsigned long long>(result.distinct_entities),
+                result.iterations, result.cost_hours);
+  out += effort;
+  out += "  stop reason: " + std::string(StopReasonName(result.stop_reason)) +
+         "\n";
+  if (result.deff != 1.0) {
+    out += "  design effect: " + Num(result.deff, "%.3f") + "\n";
+  }
+  return out;
+}
+
+std::string RenderJsonReport(const ReportContext& context,
+                             const EvaluationConfig& config,
+                             const EvaluationResult& result) {
+  std::string out = "{";
+  out += "\"dataset\":\"" + Escaped(context.dataset_name) + "\"";
+  out += ",\"design\":\"" + Escaped(context.design_name) + "\"";
+  out += ",\"method\":\"" +
+         std::string(IntervalMethodName(config.method)) + "\"";
+  out += ",\"alpha\":" + Num(config.alpha, "%.17g");
+  out += ",\"epsilon\":" + Num(config.moe_threshold, "%.17g");
+  out += ",\"mu\":" + Num(result.mu, "%.17g");
+  out += ",\"lower\":" + Num(result.interval.lower, "%.17g");
+  out += ",\"upper\":" + Num(result.interval.upper, "%.17g");
+  out += ",\"moe\":" + Num(result.interval.Moe(), "%.17g");
+  out += ",\"annotated_triples\":" +
+         std::to_string(result.annotated_triples);
+  out += ",\"distinct_triples\":" + std::to_string(result.distinct_triples);
+  out += ",\"distinct_entities\":" +
+         std::to_string(result.distinct_entities);
+  out += ",\"iterations\":" + std::to_string(result.iterations);
+  out += ",\"cost_hours\":" + Num(result.cost_hours, "%.17g");
+  out += ",\"design_effect\":" + Num(result.deff, "%.17g");
+  out += ",\"converged\":" + std::string(result.converged ? "true" : "false");
+  out += ",\"stop_reason\":\"" +
+         std::string(StopReasonName(result.stop_reason)) + "\"";
+  if (config.method == IntervalMethod::kAhpd &&
+      result.winning_prior < config.priors.size()) {
+    out += ",\"winning_prior\":\"" +
+           Escaped(config.priors[result.winning_prior].name) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,35 @@
+#ifndef KGACC_EVAL_REPORT_H_
+#define KGACC_EVAL_REPORT_H_
+
+#include <string>
+
+#include "kgacc/eval/evaluator.h"
+
+/// \file report.h
+/// Renders an audit outcome as a human-readable report or a JSON record —
+/// the artifact an analyst files after running the evaluation framework.
+/// Shared by the `kgacc_audit` CLI and the examples.
+
+namespace kgacc {
+
+/// Context lines included at the top of a report.
+struct ReportContext {
+  std::string dataset_name = "knowledge graph";
+  std::string design_name = "SRS";
+};
+
+/// Multi-line plain-text audit report: estimate, interval with its
+/// post-data interpretation, annotation effort and the stopping condition.
+std::string RenderTextReport(const ReportContext& context,
+                             const EvaluationConfig& config,
+                             const EvaluationResult& result);
+
+/// Single-line JSON record of the same content (stable key order; numbers
+/// rendered with enough digits to round-trip).
+std::string RenderJsonReport(const ReportContext& context,
+                             const EvaluationConfig& config,
+                             const EvaluationResult& result);
+
+}  // namespace kgacc
+
+#endif  // KGACC_EVAL_REPORT_H_

@@ -1,0 +1,70 @@
+#include "kgacc/intervals/ahpd.h"
+
+namespace kgacc {
+
+namespace {
+
+/// Reduces per-prior HPD results (interval or error) to the final choice.
+Result<AhpdChoice> ReduceCandidates(
+    const std::vector<Result<HpdResult>>& results) {
+  AhpdChoice choice;
+  choice.candidates.reserve(results.size());
+  double best_width = 0.0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) return results[i].status();
+    const HpdResult& hpd = *results[i];
+    choice.candidates.push_back(hpd.interval);
+    if (i == 0 || hpd.interval.Width() < best_width) {
+      best_width = hpd.interval.Width();
+      choice.interval = hpd.interval;
+      choice.prior_index = i;
+      choice.shape = hpd.shape;
+    }
+  }
+  return choice;
+}
+
+}  // namespace
+
+Result<AhpdChoice> AhpdSelect(const std::vector<BetaPrior>& priors,
+                              double tau, double n, double alpha,
+                              const HpdOptions& options) {
+  if (priors.empty()) {
+    return Status::InvalidArgument("aHPD requires at least one prior");
+  }
+  std::vector<Result<HpdResult>> results;
+  results.reserve(priors.size());
+  for (const BetaPrior& prior : priors) {
+    const Result<BetaDistribution> posterior = prior.Posterior(tau, n);
+    if (!posterior.ok()) return posterior.status();
+    results.push_back(HpdInterval(*posterior, alpha, options));
+  }
+  return ReduceCandidates(results);
+}
+
+Result<AhpdChoice> AhpdSelectParallel(const std::vector<BetaPrior>& priors,
+                                      double tau, double n, double alpha,
+                                      ThreadPool* pool,
+                                      const HpdOptions& options) {
+  if (priors.empty()) {
+    return Status::InvalidArgument("aHPD requires at least one prior");
+  }
+  if (pool == nullptr) return AhpdSelect(priors, tau, n, alpha, options);
+
+  std::vector<Result<HpdResult>> results(
+      priors.size(), Result<HpdResult>(Status::Internal("task not run")));
+  for (size_t i = 0; i < priors.size(); ++i) {
+    pool->Submit([&, i] {
+      const Result<BetaDistribution> posterior = priors[i].Posterior(tau, n);
+      if (!posterior.ok()) {
+        results[i] = posterior.status();
+        return;
+      }
+      results[i] = HpdInterval(*posterior, alpha, options);
+    });
+  }
+  pool->Wait();
+  return ReduceCandidates(results);
+}
+
+}  // namespace kgacc

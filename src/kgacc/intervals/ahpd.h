@@ -1,0 +1,53 @@
+#ifndef KGACC_INTERVALS_AHPD_H_
+#define KGACC_INTERVALS_AHPD_H_
+
+#include <vector>
+
+#include "kgacc/intervals/credible.h"
+#include "kgacc/intervals/priors.h"
+#include "kgacc/util/status.h"
+#include "kgacc/util/thread_pool.h"
+
+/// \file ahpd.h
+/// The interval-selection core of the adaptive HPD algorithm (Algorithm 1,
+/// lines 14-23): given the current annotation outcome, build one 1-alpha
+/// HPD interval per competing prior and keep the shortest. The surrounding
+/// sample-annotate-estimate loop lives in `eval/evaluator.h`.
+
+namespace kgacc {
+
+/// Outcome of one aHPD selection round.
+struct AhpdChoice {
+  /// The winning (shortest) 1-alpha HPD interval.
+  Interval interval;
+  /// Index into the prior set of the winner.
+  size_t prior_index = 0;
+  /// Posterior shape branch taken for the winner.
+  BetaShape shape = BetaShape::kUnimodal;
+  /// All competing intervals, parallel to the prior set (for diagnostics
+  /// and the prior-selection experiments of §6.2).
+  std::vector<Interval> candidates;
+};
+
+/// Computes the per-prior posteriors Beta(a_i + tau, b_i + n - tau), their
+/// 1-alpha HPD intervals, and returns the shortest (Alg. 1 line 23).
+///
+/// `tau` / `n` may be fractional: complex sampling designs pass the
+/// design-effect-adjusted effective sample (Alg. 1 lines 11-13). The prior
+/// set must be non-empty; there is no upper limit on its size.
+Result<AhpdChoice> AhpdSelect(const std::vector<BetaPrior>& priors,
+                              double tau, double n, double alpha,
+                              const HpdOptions& options = {});
+
+/// Parallel variant of `AhpdSelect`: one task per prior on `pool` (the
+/// parallelization §4.5 points out keeps aHPD efficient "regardless of the
+/// number of considered priors"). Bitwise-identical results to the serial
+/// version; worthwhile from a handful of priors upward.
+Result<AhpdChoice> AhpdSelectParallel(const std::vector<BetaPrior>& priors,
+                                      double tau, double n, double alpha,
+                                      ThreadPool* pool,
+                                      const HpdOptions& options = {});
+
+}  // namespace kgacc
+
+#endif  // KGACC_INTERVALS_AHPD_H_

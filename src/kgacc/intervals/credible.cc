@@ -1,0 +1,154 @@
+#include "kgacc/intervals/credible.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kgacc/opt/brent.h"
+#include "kgacc/opt/slsqp.h"
+
+namespace kgacc {
+
+namespace {
+
+Status ValidateAlpha(double alpha) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::OutOfRange("significance level alpha must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+/// Standard-case HPD via the SQP solver: minimize (u - l) subject to
+/// F(u) - F(l) = 1 - alpha with (l, u) in [0, 1]^2 (§4.3).
+Result<HpdResult> HpdViaSlsqp(const BetaDistribution& posterior, double alpha,
+                              const Interval& warm_start) {
+  SlsqpProblem problem;
+  problem.objective = [](const std::vector<double>& x) { return x[1] - x[0]; };
+  problem.gradient = [](const std::vector<double>&) {
+    return std::vector<double>{-1.0, 1.0};
+  };
+  problem.eq_constraints.push_back(
+      [&posterior, alpha](const std::vector<double>& x) {
+        return posterior.Cdf(x[1]) - posterior.Cdf(x[0]) - (1.0 - alpha);
+      });
+  problem.eq_gradients.push_back(
+      [&posterior](const std::vector<double>& x) {
+        return std::vector<double>{-posterior.Pdf(x[0]), posterior.Pdf(x[1])};
+      });
+  problem.lower = {0.0, 0.0};
+  problem.upper = {1.0, 1.0};
+
+  SlsqpOptions options;
+  options.max_iterations = 80;
+  options.constraint_tol = 1e-10;
+  options.step_tol = 1e-11;
+
+  KGACC_ASSIGN_OR_RETURN(
+      SlsqpSolve solve,
+      MinimizeSlsqp(problem, {warm_start.lower, warm_start.upper}, options));
+  if (!solve.converged && solve.max_violation > 1e-6) {
+    return Status::NumericError("HPD SQP failed to satisfy the coverage "
+                                "constraint");
+  }
+  HpdResult out;
+  out.interval = Interval{solve.x[0], solve.x[1]};
+  out.shape = BetaShape::kUnimodal;
+  out.solver_iterations = solve.iterations;
+  return out;
+}
+
+/// Standard-case HPD via 1-D reduction: for each candidate lower bound l,
+/// the matching upper bound is u(l) = F^{-1}(F(l) + 1 - alpha); the width
+/// u(l) - l is unimodal in l for a unimodal posterior, so Brent's method
+/// finds the global minimum.
+Result<HpdResult> HpdViaOneDim(const BetaDistribution& posterior,
+                               double alpha) {
+  KGACC_ASSIGN_OR_RETURN(const double l_max, posterior.Quantile(alpha));
+  Status failure = Status::OK();
+  auto width = [&](double l) {
+    const double target = posterior.Cdf(l) + (1.0 - alpha);
+    Result<double> u = posterior.Quantile(std::min(target, 1.0));
+    if (!u.ok()) {
+      failure = u.status();
+      return 1.0;  // Poison the search; reported below.
+    }
+    return *u - l;
+  };
+  KGACC_ASSIGN_OR_RETURN(
+      ScalarSolve solve,
+      MinimizeBrent(width, 0.0, std::max(l_max, 1e-300), 1e-12));
+  KGACC_RETURN_IF_ERROR(failure);
+
+  HpdResult out;
+  const double l = solve.x;
+  KGACC_ASSIGN_OR_RETURN(
+      const double u,
+      posterior.Quantile(std::min(posterior.Cdf(l) + (1.0 - alpha), 1.0)));
+  out.interval = Interval{l, u};
+  out.shape = BetaShape::kUnimodal;
+  out.solver_iterations = solve.iterations;
+  return out;
+}
+
+}  // namespace
+
+Result<Interval> EqualTailedInterval(const BetaDistribution& posterior,
+                                     double alpha) {
+  KGACC_RETURN_IF_ERROR(ValidateAlpha(alpha));
+  KGACC_ASSIGN_OR_RETURN(const double lower, posterior.Quantile(alpha / 2.0));
+  KGACC_ASSIGN_OR_RETURN(const double upper,
+                         posterior.Quantile(1.0 - alpha / 2.0));
+  return Interval{lower, upper};
+}
+
+Result<HpdResult> HpdInterval(const BetaDistribution& posterior, double alpha,
+                              const HpdOptions& options) {
+  KGACC_RETURN_IF_ERROR(ValidateAlpha(alpha));
+  HpdResult out;
+  out.shape = posterior.Shape();
+
+  switch (out.shape) {
+    case BetaShape::kDecreasing: {
+      // Limiting case (2), Eq. 11: density peaks at 0.
+      KGACC_ASSIGN_OR_RETURN(const double u, posterior.Quantile(1.0 - alpha));
+      out.interval = Interval{0.0, u};
+      return out;
+    }
+    case BetaShape::kIncreasing: {
+      // Limiting case (1), Eq. 10: density peaks at 1.
+      KGACC_ASSIGN_OR_RETURN(const double l, posterior.Quantile(alpha));
+      out.interval = Interval{l, 1.0};
+      return out;
+    }
+    case BetaShape::kUShaped: {
+      // Both endpoints are modes; the highest-density *region* is a union
+      // of two disjoint pieces and no single interval is HPD. Report the ET
+      // interval, which remains a valid 1-alpha CrI.
+      KGACC_ASSIGN_OR_RETURN(out.interval,
+                             EqualTailedInterval(posterior, alpha));
+      return out;
+    }
+    case BetaShape::kUnimodal:
+      break;
+  }
+
+  if (options.solver == HpdSolver::kOneDim) {
+    return HpdViaOneDim(posterior, alpha);
+  }
+
+  Interval start;
+  if (options.warm_start_at_et) {
+    KGACC_ASSIGN_OR_RETURN(start, EqualTailedInterval(posterior, alpha));
+  } else {
+    // Cold start: a symmetric interval about the mode, clipped to [0, 1].
+    const double mode = posterior.Mode();
+    start = Interval{std::max(0.0, mode - 0.25), std::min(1.0, mode + 0.25)};
+  }
+  Result<HpdResult> sqp = HpdViaSlsqp(posterior, alpha, start);
+  if (sqp.ok()) return sqp;
+  // Extremely peaked or otherwise ill-conditioned posteriors can defeat the
+  // SQP line search; the 1-D reduction is slower but unconditionally robust
+  // for unimodal shapes.
+  return HpdViaOneDim(posterior, alpha);
+}
+
+}  // namespace kgacc

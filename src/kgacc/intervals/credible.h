@@ -1,0 +1,62 @@
+#ifndef KGACC_INTERVALS_CREDIBLE_H_
+#define KGACC_INTERVALS_CREDIBLE_H_
+
+#include "kgacc/intervals/interval.h"
+#include "kgacc/math/beta.h"
+#include "kgacc/util/status.h"
+
+/// \file credible.h
+/// Bayesian credible intervals on a beta posterior — the paper's core
+/// contribution (§4): Equal-Tailed intervals (Eq. 9) and Highest Posterior
+/// Density intervals, which Theorems 1-2 prove to be the shortest and
+/// unique 1-alpha interval for every annotation scenario.
+
+namespace kgacc {
+
+/// Which algorithm computes the standard-case (interior unimodal) HPD.
+enum class HpdSolver {
+  /// Minimize u - l s.t. F(u) - F(l) = 1 - alpha with the SLSQP-style SQP
+  /// solver, warm-started at the ET interval (§4.3; the paper's method).
+  kSlsqp,
+  /// Independent 1-D reduction: u(l) = F^{-1}(F(l) + 1 - alpha), Brent
+  /// width minimization over l. Used for cross-validation and ablation.
+  kOneDim,
+};
+
+/// Options for `HpdInterval`.
+struct HpdOptions {
+  HpdSolver solver = HpdSolver::kSlsqp;
+  /// Warm-start the SQP at the ET interval (Alg. 1 line 20). Disabling
+  /// this (cold start at a central interval) is Ablation B.
+  bool warm_start_at_et = true;
+};
+
+/// An HPD computation result with solver diagnostics.
+struct HpdResult {
+  Interval interval;
+  /// Which posterior-shape branch produced the interval.
+  BetaShape shape = BetaShape::kUnimodal;
+  /// Outer iterations used by the numeric solver (0 for limiting cases).
+  int solver_iterations = 0;
+};
+
+/// 1-alpha Equal-Tailed credible interval (Eq. 9):
+/// [qBeta(alpha/2), qBeta(1 - alpha/2)] on the posterior.
+Result<Interval> EqualTailedInterval(const BetaDistribution& posterior,
+                                     double alpha);
+
+/// 1-alpha Highest Posterior Density credible interval.
+///
+/// Dispatches on the posterior shape:
+/// * interior unimodal — numeric minimization per `options` (Thm. 1/2);
+/// * monotone decreasing (tau = 0 under an uninformative prior) —
+///   [0, qBeta(1 - alpha)] (Eq. 11, Corollary 1/2);
+/// * monotone increasing (tau = n) — [qBeta(alpha), 1] (Eq. 10);
+/// * U-shaped (no data under a sub-uniform prior) — the density has no
+///   single HPD *interval*; falls back to the ET interval.
+Result<HpdResult> HpdInterval(const BetaDistribution& posterior, double alpha,
+                              const HpdOptions& options = {});
+
+}  // namespace kgacc
+
+#endif  // KGACC_INTERVALS_CREDIBLE_H_

@@ -1,0 +1,83 @@
+#include "kgacc/intervals/frequentist.h"
+
+#include <cmath>
+
+#include "kgacc/math/beta.h"
+#include "kgacc/math/normal.h"
+
+namespace kgacc {
+
+Result<Interval> WaldInterval(const AccuracyEstimate& estimate, double alpha) {
+  if (estimate.n == 0) {
+    return Status::FailedPrecondition("Wald interval needs a non-empty sample");
+  }
+  if (estimate.variance < 0.0) {
+    return Status::InvalidArgument("negative variance estimate");
+  }
+  KGACC_ASSIGN_OR_RETURN(const double z, TwoSidedZ(alpha));
+  const double half = z * std::sqrt(estimate.variance);
+  return Interval{estimate.mu - half, estimate.mu + half};
+}
+
+Result<Interval> WilsonInterval(double mu, double n, double alpha) {
+  if (!(n > 0.0)) {
+    return Status::FailedPrecondition("Wilson interval needs n > 0");
+  }
+  if (!(mu >= 0.0) || !(mu <= 1.0)) {
+    return Status::OutOfRange("estimate must be in [0,1]");
+  }
+  KGACC_ASSIGN_OR_RETURN(const double z, TwoSidedZ(alpha));
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (mu + z2 / (2.0 * n)) / denom;
+  const double spread =
+      z / denom * std::sqrt(mu * (1.0 - mu) / n + z2 / (4.0 * n * n));
+  return Interval{center - spread, center + spread};
+}
+
+Result<Interval> AgrestiCoullInterval(double mu, double n, double alpha) {
+  if (!(n > 0.0)) {
+    return Status::FailedPrecondition("Agresti-Coull interval needs n > 0");
+  }
+  if (!(mu >= 0.0) || !(mu <= 1.0)) {
+    return Status::OutOfRange("estimate must be in [0,1]");
+  }
+  KGACC_ASSIGN_OR_RETURN(const double z, TwoSidedZ(alpha));
+  const double z2 = z * z;
+  const double n_tilde = n + z2;
+  const double p_tilde = (mu * n + z2 / 2.0) / n_tilde;
+  const double half = z * std::sqrt(p_tilde * (1.0 - p_tilde) / n_tilde);
+  return Interval{p_tilde - half, p_tilde + half};
+}
+
+Result<Interval> ClopperPearsonInterval(uint64_t tau, uint64_t n,
+                                        double alpha) {
+  if (n == 0) {
+    return Status::FailedPrecondition(
+        "Clopper-Pearson interval needs a non-empty sample");
+  }
+  if (tau > n) return Status::InvalidArgument("tau exceeds n");
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::OutOfRange("alpha must be in (0,1)");
+  }
+  Interval out;
+  if (tau == 0) {
+    out.lower = 0.0;
+  } else {
+    KGACC_ASSIGN_OR_RETURN(
+        auto lo_dist, BetaDistribution::Create(static_cast<double>(tau),
+                                               static_cast<double>(n - tau + 1)));
+    KGACC_ASSIGN_OR_RETURN(out.lower, lo_dist.Quantile(alpha / 2.0));
+  }
+  if (tau == n) {
+    out.upper = 1.0;
+  } else {
+    KGACC_ASSIGN_OR_RETURN(
+        auto hi_dist, BetaDistribution::Create(static_cast<double>(tau + 1),
+                                               static_cast<double>(n - tau)));
+    KGACC_ASSIGN_OR_RETURN(out.upper, hi_dist.Quantile(1.0 - alpha / 2.0));
+  }
+  return out;
+}
+
+}  // namespace kgacc

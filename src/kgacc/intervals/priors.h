@@ -1,0 +1,53 @@
+#ifndef KGACC_INTERVALS_PRIORS_H_
+#define KGACC_INTERVALS_PRIORS_H_
+
+#include <string>
+#include <vector>
+
+#include "kgacc/math/beta.h"
+#include "kgacc/util/status.h"
+
+/// \file priors.h
+/// Beta priors for the beta-binomial model of the annotation process
+/// (§4.1) and the three standard uninformative priors of §4.4 — Kerman,
+/// Jeffreys, Uniform — that aHPD races against each other.
+
+namespace kgacc {
+
+/// A named Beta(a, b) prior on the KG accuracy.
+struct BetaPrior {
+  std::string name;
+  double a = 1.0;
+  double b = 1.0;
+
+  /// Uninformative in the paper's sense: a == b <= 1.
+  bool IsUninformative() const { return a == b && a <= 1.0; }
+
+  /// Conjugate update (§4.1): Beta(a + tau, b + n - tau). Counts may be
+  /// fractional when design-effect-adjusted effective samples are used.
+  Result<BetaDistribution> Posterior(double tau, double n) const;
+};
+
+/// Kerman's neutral prior Beta(1/3, 1/3): shortest HPD widths in the
+/// extreme accuracy regions.
+BetaPrior KermanPrior();
+
+/// Jeffreys' invariant prior Beta(1/2, 1/2): the common default, never the
+/// shortest (§4.4).
+BetaPrior JeffreysPrior();
+
+/// Bayes-Laplace uniform prior Beta(1, 1): shortest in the central region.
+BetaPrior UniformPrior();
+
+/// An informative prior encoding `accuracy` worth `weight` pseudo-triples
+/// of prior knowledge (e.g., from an earlier audit of a similar KG;
+/// Example 2 uses {0.80, 100} and {0.90, 100}).
+Result<BetaPrior> InformativePrior(double accuracy, double weight,
+                                   std::string name = "");
+
+/// The {Kerman, Jeffreys, Uniform} trio the paper feeds to aHPD.
+std::vector<BetaPrior> DefaultUninformativePriors();
+
+}  // namespace kgacc
+
+#endif  // KGACC_INTERVALS_PRIORS_H_

@@ -1,0 +1,98 @@
+#include "kgacc/kg/kg_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace kgacc {
+
+Result<KgStatistics> ComputeKgStatistics(const KgView& kg,
+                                         int twcs_second_stage) {
+  constexpr uint64_t kMaxTriples = 64ull * 1000 * 1000;
+  if (kg.num_triples() == 0) {
+    return Status::FailedPrecondition("empty population");
+  }
+  if (kg.num_triples() > kMaxTriples) {
+    return Status::InvalidArgument(
+        "population too large for exact diagnostics; sample it instead");
+  }
+  if (twcs_second_stage < 1) {
+    return Status::InvalidArgument("second-stage size must be >= 1");
+  }
+
+  KgStatistics stats;
+  stats.num_triples = kg.num_triples();
+  stats.num_clusters = kg.num_clusters();
+  stats.avg_cluster_size = static_cast<double>(stats.num_triples) /
+                           static_cast<double>(stats.num_clusters);
+
+  // Cluster-size moments and Gini (via the sorted-sizes identity).
+  std::vector<uint64_t> sizes(stats.num_clusters);
+  double size_ss = 0.0;
+  for (uint64_t c = 0; c < stats.num_clusters; ++c) {
+    sizes[c] = kg.cluster_size(c);
+    stats.max_cluster_size = std::max(stats.max_cluster_size, sizes[c]);
+    const double d = static_cast<double>(sizes[c]) - stats.avg_cluster_size;
+    size_ss += d * d;
+  }
+  stats.cluster_size_stddev =
+      stats.num_clusters > 1
+          ? std::sqrt(size_ss / static_cast<double>(stats.num_clusters - 1))
+          : 0.0;
+  std::sort(sizes.begin(), sizes.end());
+  double weighted = 0.0;
+  for (uint64_t i = 0; i < sizes.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sizes[i]);
+  }
+  const double n_c = static_cast<double>(stats.num_clusters);
+  const double total = static_cast<double>(stats.num_triples);
+  stats.cluster_size_gini = (2.0 * weighted) / (n_c * total) - (n_c + 1) / n_c;
+
+  // Label pass: accuracy + one-way ANOVA components for the ICC.
+  uint64_t correct = 0;
+  double between_ss = 0.0;   // sum_i M_i (p_i - mu)^2, filled after mu known.
+  std::vector<double> cluster_means(stats.num_clusters);
+  for (uint64_t c = 0; c < stats.num_clusters; ++c) {
+    const uint64_t m = kg.cluster_size(c);
+    uint64_t tau = 0;
+    for (uint64_t o = 0; o < m; ++o) tau += kg.label(c, o) ? 1 : 0;
+    correct += tau;
+    cluster_means[c] = static_cast<double>(tau) / static_cast<double>(m);
+  }
+  stats.accuracy = static_cast<double>(correct) / total;
+
+  // One-way ANOVA ICC with unequal cluster sizes (Donner's n0 correction):
+  //   n0 = (N - sum M_i^2 / N) / (k - 1)
+  //   MSB = sum M_i (p_i - mu)^2 / (k - 1);  MSW = within SS / (N - k)
+  //   icc = (MSB - MSW) / (MSB + (n0 - 1) MSW)
+  double within_ss = 0.0;
+  double sum_m_sq = 0.0;
+  for (uint64_t c = 0; c < stats.num_clusters; ++c) {
+    const double m = static_cast<double>(kg.cluster_size(c));
+    const double p = cluster_means[c];
+    between_ss += m * (p - stats.accuracy) * (p - stats.accuracy);
+    within_ss += m * p * (1.0 - p);  // sum over triples of (x - p_i)^2.
+    sum_m_sq += m * m;
+  }
+  if (stats.num_clusters > 1 && total > n_c) {
+    const double msb = between_ss / (n_c - 1.0);
+    const double msw = within_ss / (total - n_c);
+    const double n0 = (total - sum_m_sq / total) / (n_c - 1.0);
+    const double denom = msb + (n0 - 1.0) * msw;
+    stats.intra_cluster_correlation = denom > 0.0 ? (msb - msw) / denom : 0.0;
+  }
+
+  // Kish's deff approximation for TWCS with cap m: deff = 1 + (m_bar-1) icc
+  // where m_bar is the expected take per sampled cluster under PPS.
+  double expected_take = 0.0;
+  for (uint64_t c = 0; c < stats.num_clusters; ++c) {
+    const double m = static_cast<double>(kg.cluster_size(c));
+    expected_take += (m / total) *
+                     std::min(m, static_cast<double>(twcs_second_stage));
+  }
+  stats.predicted_design_effect =
+      1.0 + (expected_take - 1.0) * stats.intra_cluster_correlation;
+  return stats;
+}
+
+}  // namespace kgacc

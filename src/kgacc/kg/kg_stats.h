@@ -1,0 +1,46 @@
+#ifndef KGACC_KG_KG_STATS_H_
+#define KGACC_KG_KG_STATS_H_
+
+#include "kgacc/kg/kg_view.h"
+#include "kgacc/util/status.h"
+
+/// \file kg_stats.h
+/// Structural and label diagnostics for a clustered KG population. These
+/// are the quantities an analyst inspects *before* choosing a sampling
+/// design: heavy-tailed cluster sizes favor TWCS's PPS first stage; a high
+/// intra-cluster label correlation warns that the TWCS design effect will
+/// exceed 1 (more triples, but still cheaper per Eq. 12).
+
+namespace kgacc {
+
+/// Summary of a KG population's cluster structure and labels.
+struct KgStatistics {
+  uint64_t num_triples = 0;
+  uint64_t num_clusters = 0;
+  double avg_cluster_size = 0.0;
+  double cluster_size_stddev = 0.0;
+  uint64_t max_cluster_size = 0;
+  /// Gini coefficient of the cluster-size distribution in [0, 1): 0 for
+  /// uniform sizes, large for heavy-tailed ones.
+  double cluster_size_gini = 0.0;
+  /// Exact population accuracy mu.
+  double accuracy = 0.0;
+  /// ANOVA estimate of the intra-cluster correlation of correctness labels
+  /// (clusters of size 1 contribute nothing); roughly the rho of the
+  /// beta-mixture label model. Near 0 for iid labels, negative for
+  /// balanced-composition clusters.
+  double intra_cluster_correlation = 0.0;
+  /// Predicted TWCS design effect 1 + (m_bar - 1) * icc for a second-stage
+  /// size m (Kish), using m_bar = E[min(M_i, m)] under PPS.
+  double predicted_design_effect = 1.0;
+};
+
+/// Computes the full diagnostics by one pass over the population. O(M)
+/// label reads — intended for the in-memory datasets and tests, not for
+/// SYN-100M-scale populations (cap: 64M triples).
+Result<KgStatistics> ComputeKgStatistics(const KgView& kg,
+                                         int twcs_second_stage = 3);
+
+}  // namespace kgacc
+
+#endif  // KGACC_KG_KG_STATS_H_

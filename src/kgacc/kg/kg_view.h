@@ -1,0 +1,50 @@
+#ifndef KGACC_KG_KG_VIEW_H_
+#define KGACC_KG_KG_VIEW_H_
+
+#include <cstdint>
+
+#include "kgacc/kg/triple.h"
+
+/// \file kg_view.h
+/// The abstract clustered-population interface every sampler, estimator and
+/// the evaluation framework are written against. Implemented by the
+/// in-memory `KnowledgeGraph` (small real-data-like KGs) and the procedural
+/// `SyntheticKg` (the 100M-triple scalability workload), so the same bench
+/// code runs unchanged at both scales.
+
+namespace kgacc {
+
+/// Read-only view of a KG as a population of entity clusters of triples.
+///
+/// Ground-truth correctness labels are exposed through `label()`. In a real
+/// deployment these would come from human annotators; here the simulation
+/// oracle (`OracleAnnotator`) reads them on demand, exactly mirroring how
+/// the paper replays fixed gold labels during its 1,000-run protocols.
+class KgView {
+ public:
+  virtual ~KgView() = default;
+
+  /// Total number of triples M = |T|.
+  virtual uint64_t num_triples() const = 0;
+
+  /// Number of entity clusters (distinct subjects).
+  virtual uint64_t num_clusters() const = 0;
+
+  /// Size M_i of cluster `cluster`; always >= 1.
+  virtual uint64_t cluster_size(uint64_t cluster) const = 0;
+
+  /// Ground-truth correctness 1(t) of the triple at (cluster, offset).
+  virtual bool label(uint64_t cluster, uint64_t offset) const = 0;
+
+  /// Maps a global triple index in [0, num_triples) to its coordinates.
+  /// Global indices enumerate triples cluster by cluster.
+  virtual TripleRef TripleAt(uint64_t global_index) const = 0;
+
+  /// True KG accuracy mu (Eq. 1). Exposed for experiment ground truth;
+  /// production estimation code never reads it.
+  virtual double TrueAccuracy() const = 0;
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_KG_KG_VIEW_H_

@@ -1,0 +1,108 @@
+#include "kgacc/kg/knowledge_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "kgacc/util/check.h"
+
+namespace kgacc {
+
+uint32_t Vocabulary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+Result<uint32_t> Vocabulary::Find(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  if (it == index_.end()) {
+    return Status::NotFound("term not in vocabulary: " + std::string(term));
+  }
+  return it->second;
+}
+
+const std::string& Vocabulary::TermOf(uint32_t id) const {
+  KGACC_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+TripleRef KnowledgeGraph::TripleAt(uint64_t global_index) const {
+  KGACC_DCHECK(global_index < num_triples());
+  // cluster_begin_ is sorted; find the cluster containing global_index.
+  const auto it = std::upper_bound(cluster_begin_.begin(),
+                                   cluster_begin_.end(), global_index);
+  const uint64_t cluster =
+      static_cast<uint64_t>(it - cluster_begin_.begin()) - 1;
+  return TripleRef{cluster, global_index - cluster_begin_[cluster]};
+}
+
+double KnowledgeGraph::TrueAccuracy() const {
+  if (labels_.empty()) return 0.0;
+  const uint64_t correct =
+      std::accumulate(labels_.begin(), labels_.end(), uint64_t{0});
+  return static_cast<double>(correct) / static_cast<double>(labels_.size());
+}
+
+void KnowledgeGraphBuilder::Add(std::string_view subject,
+                                std::string_view predicate,
+                                std::string_view object, bool correct) {
+  Triple t;
+  t.subject = vocab_.Intern(subject);
+  t.predicate = vocab_.Intern(predicate);
+  t.object = vocab_.Intern(object);
+  triples_.push_back(t);
+  labels_.push_back(correct ? 1 : 0);
+}
+
+Result<KnowledgeGraph> KnowledgeGraphBuilder::Build() {
+  if (triples_.empty()) {
+    return Status::FailedPrecondition("cannot build an empty knowledge graph");
+  }
+  // Sort triples (with their labels) by subject, then predicate/object for a
+  // canonical order and duplicate detection.
+  std::vector<uint32_t> order(triples_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const Triple& ta = triples_[a];
+    const Triple& tb = triples_[b];
+    if (ta.subject != tb.subject) return ta.subject < tb.subject;
+    if (ta.predicate != tb.predicate) return ta.predicate < tb.predicate;
+    return ta.object < tb.object;
+  });
+
+  KnowledgeGraph kg;
+  kg.vocab_ = std::move(vocab_);
+  kg.triples_.reserve(triples_.size());
+  kg.labels_.reserve(labels_.size());
+  kg.cluster_begin_.push_back(0);
+
+  uint32_t prev_subject = 0;
+  bool first = true;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Triple& t = triples_[order[i]];
+    if (!first && t.subject == kg.triples_.back().subject &&
+        t.predicate == kg.triples_.back().predicate &&
+        t.object == kg.triples_.back().object) {
+      return Status::InvalidArgument(
+          "duplicate triple: " + kg.vocab_.TermOf(t.subject) + " " +
+          kg.vocab_.TermOf(t.predicate) + " " + kg.vocab_.TermOf(t.object));
+    }
+    if (!first && t.subject != prev_subject) {
+      kg.cluster_begin_.push_back(kg.triples_.size());
+    }
+    prev_subject = t.subject;
+    first = false;
+    kg.triples_.push_back(t);
+    kg.labels_.push_back(labels_[order[i]]);
+  }
+  kg.cluster_begin_.push_back(kg.triples_.size());
+
+  triples_.clear();
+  labels_.clear();
+  return kg;
+}
+
+}  // namespace kgacc

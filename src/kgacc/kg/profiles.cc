@@ -1,0 +1,86 @@
+#include "kgacc/kg/profiles.h"
+
+namespace kgacc {
+
+DatasetProfile YagoProfile() {
+  DatasetProfile p;
+  p.name = "YAGO";
+  p.num_facts = 1386;
+  p.num_clusters = 822;
+  p.accuracy = 0.99;
+  // Near-perfect accuracy leaves little room for clustering of errors; a
+  // small rho keeps the handful of wrong facts mildly concentrated.
+  p.label_model = LabelModel::kBetaMixture;
+  p.intra_cluster_rho = 0.05;
+  p.twcs_second_stage = 3;
+  return p;
+}
+
+DatasetProfile NellProfile() {
+  DatasetProfile p;
+  p.name = "NELL";
+  p.num_facts = 1860;
+  p.num_clusters = 817;
+  p.accuracy = 0.91;
+  // Automatically extracted KG: extraction errors concentrate per entity.
+  p.label_model = LabelModel::kBetaMixture;
+  p.intra_cluster_rho = 0.20;
+  p.twcs_second_stage = 3;
+  return p;
+}
+
+DatasetProfile DbpediaProfile() {
+  DatasetProfile p;
+  p.name = "DBPEDIA";
+  p.num_facts = 9344;
+  p.num_clusters = 2936;
+  p.accuracy = 0.85;
+  p.label_model = LabelModel::kBetaMixture;
+  p.intra_cluster_rho = 0.20;
+  p.twcs_second_stage = 3;
+  return p;
+}
+
+DatasetProfile FactbenchProfile() {
+  DatasetProfile p;
+  p.name = "FACTBENCH";
+  p.num_facts = 2800;
+  p.num_clusters = 1157;
+  p.accuracy = 0.54;
+  // FACTBENCH negatives are perturbed copies of positives within the same
+  // entities, so cluster compositions are balanced around mu (design effect
+  // below 1 under cluster sampling).
+  p.label_model = LabelModel::kBalanced;
+  p.twcs_second_stage = 3;
+  return p;
+}
+
+DatasetProfile Syn100MProfile(double accuracy) {
+  DatasetProfile p;
+  p.name = "SYN 100M";
+  p.num_facts = 101415011;
+  p.num_clusters = 5000000;
+  p.accuracy = accuracy;
+  p.label_model = LabelModel::kIid;  // "fixed rate" per §5.
+  p.twcs_second_stage = 5;
+  return p;
+}
+
+std::vector<DatasetProfile> SmallProfiles() {
+  return {YagoProfile(), NellProfile(), DbpediaProfile(), FactbenchProfile()};
+}
+
+Result<SyntheticKg> MakeKg(const DatasetProfile& profile, uint64_t seed) {
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = profile.num_clusters;
+  cfg.mean_cluster_size = profile.AvgClusterSize();
+  cfg.size_model = ClusterSizeModel::kGeometric;
+  cfg.accuracy = profile.accuracy;
+  cfg.label_model = profile.label_model;
+  cfg.intra_cluster_rho = profile.intra_cluster_rho;
+  cfg.seed = seed;
+  cfg.exact_total_triples = profile.num_facts;
+  return SyntheticKg::Create(cfg);
+}
+
+}  // namespace kgacc

@@ -1,0 +1,32 @@
+#ifndef KGACC_KG_TSV_LOADER_H_
+#define KGACC_KG_TSV_LOADER_H_
+
+#include <string>
+
+#include "kgacc/kg/knowledge_graph.h"
+#include "kgacc/util/status.h"
+
+/// \file tsv_loader.h
+/// Plain-text interchange for labeled KGs. One fact per line:
+///
+///     subject<TAB>predicate<TAB>object<TAB>label
+///
+/// where label is `1` (correct) or `0` (incorrect). Lines starting with `#`
+/// and blank lines are skipped. This is the format used by the example
+/// programs and by users bringing their own annotated samples.
+
+namespace kgacc {
+
+/// Parses a labeled TSV file into an entity-clustered KnowledgeGraph.
+Result<KnowledgeGraph> LoadKgFromTsv(const std::string& path);
+
+/// Parses labeled TSV content from a string (same grammar as the file
+/// loader; used for tests and embedded fixtures).
+Result<KnowledgeGraph> LoadKgFromTsvString(const std::string& content);
+
+/// Serializes a KnowledgeGraph back to the TSV format.
+Status WriteKgToTsv(const KnowledgeGraph& kg, const std::string& path);
+
+}  // namespace kgacc
+
+#endif  // KGACC_KG_TSV_LOADER_H_

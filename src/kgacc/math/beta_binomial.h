@@ -1,0 +1,62 @@
+#ifndef KGACC_MATH_BETA_BINOMIAL_H_
+#define KGACC_MATH_BETA_BINOMIAL_H_
+
+#include <cstdint>
+
+#include "kgacc/math/beta.h"
+#include "kgacc/util/random.h"
+#include "kgacc/util/status.h"
+
+/// \file beta_binomial.h
+/// The beta-binomial distribution — the posterior predictive of the
+/// beta-binomial model of §4.1: having observed (tau, n) under a Beta(a, b)
+/// prior, the number of correct triples among the next k annotations is
+/// BetaBin(k, a + tau, b + n - tau). This powers the planning module's
+/// lookahead ("what will the interval look like after the next batch?").
+
+namespace kgacc {
+
+/// BetaBin(k, a, b): the distribution of successes in k exchangeable
+/// Bernoulli trials whose common probability is Beta(a, b) distributed.
+class BetaBinomial {
+ public:
+  /// Creates the distribution; requires k >= 0 and a, b > 0.
+  static Result<BetaBinomial> Create(int64_t k, double a, double b);
+
+  int64_t k() const { return k_; }
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+  /// E[X] = k a / (a + b).
+  double Mean() const { return static_cast<double>(k_) * a_ / (a_ + b_); }
+
+  /// Var[X] = k ab (a + b + k) / ((a+b)^2 (a+b+1)).
+  double Variance() const {
+    const double s = a_ + b_;
+    const double kd = static_cast<double>(k_);
+    return kd * a_ * b_ * (s + kd) / (s * s * (s + 1.0));
+  }
+
+  /// log P(X = x); -inf outside [0, k].
+  double LogPmf(int64_t x) const;
+
+  /// P(X = x).
+  double Pmf(int64_t x) const;
+
+  /// P(X <= x) by pmf summation from the nearer tail.
+  double Cdf(int64_t x) const;
+
+  /// Draws X by compounding: p ~ Beta(a, b), X ~ Bin(k, p).
+  int64_t Sample(Rng* rng) const;
+
+ private:
+  BetaBinomial(int64_t k, double a, double b) : k_(k), a_(a), b_(b) {}
+
+  int64_t k_;
+  double a_;
+  double b_;
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_MATH_BETA_BINOMIAL_H_

@@ -1,0 +1,35 @@
+#ifndef KGACC_MATH_BINOMIAL_H_
+#define KGACC_MATH_BINOMIAL_H_
+
+#include <cstdint>
+
+#include "kgacc/util/random.h"
+#include "kgacc/util/status.h"
+
+/// \file binomial.h
+/// Binomial distribution utilities. The paper models the annotation process
+/// as tau_S ~ Bin(n_S, mu) (§4.1); these routines support the synthetic
+/// workload generators, the Clopper-Pearson baseline, and the test suite.
+
+namespace kgacc {
+
+/// log P(X = k) for X ~ Bin(n, p). Requires 0 <= k <= n and p in [0, 1].
+Result<double> BinomialLogPmf(int64_t k, int64_t n, double p);
+
+/// P(X = k) for X ~ Bin(n, p).
+Result<double> BinomialPmf(int64_t k, int64_t n, double p);
+
+/// P(X <= k) for X ~ Bin(n, p), computed via the regularized incomplete
+/// beta identity P(X <= k) = I_{1-p}(n-k, k+1).
+Result<double> BinomialCdf(int64_t k, int64_t n, double p);
+
+/// Draws X ~ Bin(n, p).
+///
+/// Exact for all inputs: a Bernoulli sum for small n, otherwise the BG
+/// (geometric waiting-time) method when n*p is small, otherwise inversion
+/// from the mode. All paths are exact samplers, chosen only for speed.
+int64_t BinomialSample(int64_t n, double p, Rng* rng);
+
+}  // namespace kgacc
+
+#endif  // KGACC_MATH_BINOMIAL_H_

@@ -1,0 +1,27 @@
+#ifndef KGACC_MATH_NORMAL_H_
+#define KGACC_MATH_NORMAL_H_
+
+#include "kgacc/util/status.h"
+
+/// \file normal.h
+/// Standard normal CDF and quantile. The quantile (`z_{alpha/2}`) is the
+/// critical value entering the Wald (Eq. 5) and Wilson (Eq. 7) intervals.
+
+namespace kgacc {
+
+/// Standard normal CDF Phi(x), accurate to ~1e-15 via erfc.
+double StdNormalCdf(double x);
+
+/// Standard normal quantile Phi^{-1}(p) for p in (0, 1).
+///
+/// Acklam's rational approximation (~1.15e-9 relative error) refined with a
+/// single Halley step, giving near machine precision.
+Result<double> StdNormalQuantile(double p);
+
+/// Two-sided critical value z_{alpha/2}: the (1 - alpha/2) normal quantile.
+/// Requires alpha in (0, 1).
+Result<double> TwoSidedZ(double alpha);
+
+}  // namespace kgacc
+
+#endif  // KGACC_MATH_NORMAL_H_

@@ -1,0 +1,25 @@
+#ifndef KGACC_MATH_STUDENT_T_H_
+#define KGACC_MATH_STUDENT_T_H_
+
+#include "kgacc/util/status.h"
+
+/// \file student_t.h
+/// Student's t distribution, needed by the independent two-sample t-tests
+/// the paper uses to mark significant differences (Tables 3-4, p < 0.01).
+
+namespace kgacc {
+
+/// CDF of Student's t with `nu` degrees of freedom at `t`. Requires nu > 0.
+/// Computed through the incomplete-beta identity
+/// P(T <= t) = 1 - I_{nu/(nu+t^2)}(nu/2, 1/2) / 2 for t >= 0.
+Result<double> StudentTCdf(double t, double nu);
+
+/// Two-sided tail probability P(|T| >= |t|).
+Result<double> StudentTTwoSidedP(double t, double nu);
+
+/// Quantile F^{-1}(p) of Student's t with `nu` degrees of freedom.
+Result<double> StudentTQuantile(double p, double nu);
+
+}  // namespace kgacc
+
+#endif  // KGACC_MATH_STUDENT_T_H_

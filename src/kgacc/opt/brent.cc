@@ -1,0 +1,157 @@
+#include "kgacc/opt/brent.h"
+
+#include <cmath>
+
+namespace kgacc {
+
+Result<ScalarSolve> FindRootBrent(const std::function<double(double)>& f,
+                                  double a, double b, double tol,
+                                  int max_iter) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return ScalarSolve{a, 0.0, 0};
+  if (fb == 0.0) return ScalarSolve{b, 0.0, 0};
+  if ((fa > 0.0) == (fb > 0.0)) {
+    return Status::InvalidArgument("FindRootBrent: f(a), f(b) same sign");
+  }
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = e = b - a;
+    }
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol1 = 2.0 * 1e-16 * std::fabs(b) + 0.5 * tol;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0) {
+      return ScalarSolve{b, fb, iter};
+    }
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      double p, q, r;
+      const double s = fb / fa;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        q = fa / fc;
+        r = fb / fc;
+        p = s * (2.0 * xm * q * (q - r) - (b - a) * (r - 1.0));
+        q = (q - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      const double min1 = 3.0 * xm * q - std::fabs(tol1 * q);
+      const double min2 = std::fabs(e * q);
+      if (2.0 * p < (min1 < min2 ? min1 : min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    if (std::fabs(d) > tol1) {
+      b += d;
+    } else {
+      b += (xm > 0.0 ? tol1 : -tol1);
+    }
+    fb = f(b);
+  }
+  return ScalarSolve{b, fb, max_iter};
+}
+
+Result<ScalarSolve> MinimizeBrent(const std::function<double(double)>& f,
+                                  double a, double b, double tol,
+                                  int max_iter) {
+  if (!(a < b)) {
+    return Status::InvalidArgument("MinimizeBrent: requires a < b");
+  }
+  const double golden = 0.3819660112501051;
+  double x = a + golden * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    const double xm = 0.5 * (a + b);
+    const double tol1 = tol * std::fabs(x) + 1e-15;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - xm) <= tol2 - 0.5 * (b - a)) {
+      return ScalarSolve{x, fx, iter};
+    }
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Fit a parabola through (x, fx), (w, fw), (v, fv).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double etemp = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * etemp) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) {
+          d = (xm - x >= 0.0 ? tol1 : -tol1);
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= xm ? a - x : b - x);
+      d = golden * e;
+    }
+    const double u =
+        (std::fabs(d) >= tol1 ? x + d : x + (d >= 0.0 ? tol1 : -tol1));
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u >= x) {
+        a = x;
+      } else {
+        b = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  return ScalarSolve{x, fx, max_iter};
+}
+
+}  // namespace kgacc

@@ -1,0 +1,389 @@
+#include "kgacc/opt/slsqp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "kgacc/util/check.h"
+
+namespace kgacc {
+
+namespace internal {
+
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, int n,
+                       std::vector<double>* x) {
+  KGACC_DCHECK(static_cast<int>(a.size()) == n * n);
+  KGACC_DCHECK(static_cast<int>(b.size()) == n);
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting.
+    int pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (int row = col + 1; row < n; ++row) {
+      const double v = std::fabs(a[row * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    if (best < 1e-14) return false;
+    if (pivot != col) {
+      for (int j = 0; j < n; ++j) std::swap(a[col * n + j], a[pivot * n + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (int row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (int j = col; j < n; ++j) a[row * n + j] -= factor * a[col * n + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (int row = n - 1; row >= 0; --row) {
+    double sum = b[row];
+    for (int j = row + 1; j < n; ++j) sum -= a[row * n + j] * (*x)[j];
+    (*x)[row] = sum / a[row * n + row];
+  }
+  return true;
+}
+
+}  // namespace internal
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> NumericGradient(const VectorFn& f,
+                                    const std::vector<double>& x, double h,
+                                    const std::vector<double>& lo,
+                                    const std::vector<double>& hi) {
+  const int n = static_cast<int>(x.size());
+  std::vector<double> g(n);
+  std::vector<double> xp = x;
+  for (int i = 0; i < n; ++i) {
+    const double step = h * std::max(1.0, std::fabs(x[i]));
+    double fwd = std::min(x[i] + step, hi.empty() ? kInf : hi[i]);
+    double bwd = std::max(x[i] - step, lo.empty() ? -kInf : lo[i]);
+    if (fwd == bwd) {  // Degenerate bound; widen inward.
+      fwd = x[i];
+    }
+    xp[i] = fwd;
+    const double f_fwd = f(xp);
+    xp[i] = bwd;
+    const double f_bwd = f(xp);
+    xp[i] = x[i];
+    g[i] = (f_fwd - f_bwd) / (fwd - bwd);
+  }
+  return g;
+}
+
+/// Computes the SQP search direction from the equality-constrained QP
+///   min 0.5 d' B d + g' d   s.t.  A d = -c
+/// with box handling suited to SQP globalization: variables sitting on a
+/// bound whose unconstrained step points outward are *pinned* (d_i = 0) and
+/// the system is re-solved; the caller additionally receives `alpha_cap`,
+/// the largest step fraction keeping x + alpha d inside the box (ratio
+/// test), so the line search never has to clamp and the direction stays a
+/// true tangent direction of the linearized constraints.
+///
+/// `dl`/`du` are the step bounds lo - x / hi - x. Returns false when every
+/// KKT system encountered was singular (caller falls back to steepest
+/// descent).
+bool SolveQp(const std::vector<double>& bmat, const std::vector<double>& g,
+             const std::vector<double>& amat, const std::vector<double>& c,
+             const std::vector<double>& dl, const std::vector<double>& du,
+             int n, int m, std::vector<double>* d_out,
+             std::vector<double>* lambda_out, double* alpha_cap) {
+  constexpr double kAtBound = 1e-14;
+  std::vector<bool> pinned(n, false);
+  std::vector<double> d(n, 0.0);
+  std::vector<double> lambda(m, 0.0);
+
+  for (int round = 0; round <= n; ++round) {
+    std::vector<int> free_idx;
+    for (int i = 0; i < n; ++i) {
+      if (!pinned[i]) free_idx.push_back(i);
+    }
+    const int nf = static_cast<int>(free_idx.size());
+    const int dim = nf + m;
+    std::fill(d.begin(), d.end(), 0.0);
+    std::fill(lambda.begin(), lambda.end(), 0.0);
+
+    if (nf == 0) {
+      // Every variable is blocked by a bound: no feasible descent direction
+      // from this iterate within the box.
+      *d_out = d;
+      *lambda_out = lambda;
+      *alpha_cap = 1.0;
+      return true;
+    }
+
+    std::vector<double> kkt(dim * dim, 0.0);
+    std::vector<double> rhs(dim, 0.0);
+    for (int r = 0; r < nf; ++r) {
+      const int i = free_idx[r];
+      for (int s = 0; s < nf; ++s) {
+        kkt[r * dim + s] = bmat[i * n + free_idx[s]];
+      }
+      for (int k = 0; k < m; ++k) {
+        kkt[r * dim + (nf + k)] = amat[k * n + i];
+      }
+      rhs[r] = -g[i];
+    }
+    for (int k = 0; k < m; ++k) {
+      for (int s = 0; s < nf; ++s) {
+        kkt[(nf + k) * dim + s] = amat[k * n + free_idx[s]];
+      }
+      rhs[nf + k] = -c[k];
+    }
+    std::vector<double> sol;
+    if (!internal::SolveLinearSystem(kkt, rhs, dim, &sol)) {
+      if (round == 0 || nf == n) return false;
+      // Pinning made the constraint rows rank-deficient; fall back to the
+      // unpinned solution direction with a conservative cap.
+      pinned.assign(n, false);
+      continue;
+    }
+    for (int r = 0; r < nf; ++r) d[free_idx[r]] = sol[r];
+    for (int k = 0; k < m; ++k) lambda[k] = sol[nf + k];
+
+    // Pin any free variable that sits on a bound and pushes outward.
+    bool newly_pinned = false;
+    for (int r = 0; r < nf; ++r) {
+      const int i = free_idx[r];
+      if ((dl[i] >= -kAtBound && d[i] < 0.0) ||
+          (du[i] <= kAtBound && d[i] > 0.0)) {
+        pinned[i] = true;
+        newly_pinned = true;
+      }
+    }
+    if (newly_pinned) continue;
+
+    // Ratio test: largest alpha with dl <= alpha d <= du for all i.
+    double cap = 1.0;
+    for (int i = 0; i < n; ++i) {
+      if (d[i] > 0.0 && du[i] < d[i]) {
+        cap = std::min(cap, du[i] / d[i]);
+      } else if (d[i] < 0.0 && dl[i] > d[i]) {
+        cap = std::min(cap, dl[i] / d[i]);
+      }
+    }
+    *d_out = d;
+    *lambda_out = lambda;
+    *alpha_cap = std::max(cap, 0.0);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
+                                 std::vector<double> x0,
+                                 const SlsqpOptions& options) {
+  if (!problem.objective) {
+    return Status::InvalidArgument("SLSQP: objective is required");
+  }
+  const int n = static_cast<int>(x0.size());
+  if (n == 0) return Status::InvalidArgument("SLSQP: empty start point");
+  const int m = static_cast<int>(problem.eq_constraints.size());
+  if (!problem.lower.empty() && static_cast<int>(problem.lower.size()) != n) {
+    return Status::InvalidArgument("SLSQP: lower bound size mismatch");
+  }
+  if (!problem.upper.empty() && static_cast<int>(problem.upper.size()) != n) {
+    return Status::InvalidArgument("SLSQP: upper bound size mismatch");
+  }
+  if (!problem.eq_gradients.empty() &&
+      static_cast<int>(problem.eq_gradients.size()) != m) {
+    return Status::InvalidArgument("SLSQP: constraint gradient count mismatch");
+  }
+
+  std::vector<double> lo(n, -kInf), hi(n, kInf);
+  if (!problem.lower.empty()) lo = problem.lower;
+  if (!problem.upper.empty()) hi = problem.upper;
+  for (int i = 0; i < n; ++i) {
+    if (lo[i] > hi[i]) {
+      return Status::InvalidArgument("SLSQP: lower bound exceeds upper bound");
+    }
+    x0[i] = std::clamp(x0[i], lo[i], hi[i]);
+  }
+
+  auto eval_constraints = [&](const std::vector<double>& x) {
+    std::vector<double> c(m);
+    for (int k = 0; k < m; ++k) c[k] = problem.eq_constraints[k](x);
+    return c;
+  };
+  auto eval_gradient = [&](const std::vector<double>& x) {
+    if (problem.gradient) return problem.gradient(x);
+    return NumericGradient(problem.objective, x, options.fd_step, lo, hi);
+  };
+  auto eval_jacobian = [&](const std::vector<double>& x) {
+    std::vector<double> a(m * n);
+    for (int k = 0; k < m; ++k) {
+      std::vector<double> row;
+      if (!problem.eq_gradients.empty() && problem.eq_gradients[k]) {
+        row = problem.eq_gradients[k](x);
+      } else {
+        row = NumericGradient(problem.eq_constraints[k], x, options.fd_step,
+                              lo, hi);
+      }
+      KGACC_CHECK(static_cast<int>(row.size()) == n);
+      for (int i = 0; i < n; ++i) a[k * n + i] = row[i];
+    }
+    return a;
+  };
+  auto max_violation = [&](const std::vector<double>& c) {
+    double v = 0.0;
+    for (double ci : c) v = std::max(v, std::fabs(ci));
+    return v;
+  };
+
+  std::vector<double> x = x0;
+  double fx = problem.objective(x);
+  std::vector<double> g = eval_gradient(x);
+  std::vector<double> c = eval_constraints(x);
+  std::vector<double> amat = eval_jacobian(x);
+
+  // BFGS model of the Lagrangian Hessian, started at identity.
+  std::vector<double> bmat(n * n, 0.0);
+  for (int i = 0; i < n; ++i) bmat[i * n + i] = 1.0;
+
+  double penalty = 1.0;
+  SlsqpSolve out;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // QP step bounds: keep x + d inside the box.
+    std::vector<double> dl(n), du(n);
+    for (int i = 0; i < n; ++i) {
+      dl[i] = lo[i] - x[i];
+      du[i] = hi[i] - x[i];
+    }
+    std::vector<double> d, lambda;
+    double alpha_cap = 1.0;
+    if (!SolveQp(bmat, g, amat, c, dl, du, n, m, &d, &lambda, &alpha_cap)) {
+      // Degenerate model: take a small feasible steepest-descent step.
+      d.assign(n, 0.0);
+      for (int i = 0; i < n; ++i) {
+        d[i] = std::clamp(-0.1 * g[i], dl[i], du[i]);
+      }
+      lambda.assign(m, 0.0);
+    }
+
+    double step_norm = 0.0;
+    for (double di : d) step_norm = std::max(step_norm, std::fabs(di));
+    const double viol = max_violation(c);
+    if (step_norm < options.step_tol && viol < options.constraint_tol) {
+      out.x = x;
+      out.fx = fx;
+      out.max_violation = viol;
+      out.iterations = iter;
+      out.converged = true;
+      return out;
+    }
+
+    // L1 exact-penalty merit with Powell's penalty update.
+    double lambda_max = 0.0;
+    for (double lk : lambda) lambda_max = std::max(lambda_max, std::fabs(lk));
+    penalty = std::max(penalty, 2.0 * lambda_max + 1.0);
+
+    auto merit = [&](const std::vector<double>& xx, double f_val,
+                     const std::vector<double>& c_val) {
+      double phi = f_val;
+      for (double ci : c_val) phi += penalty * std::fabs(ci);
+      return phi;
+    };
+    const double phi0 = merit(x, fx, c);
+    // Directional-derivative upper bound: g'd - penalty * ||c||_1.
+    double dphi = 0.0;
+    for (int i = 0; i < n; ++i) dphi += g[i] * d[i];
+    for (double ci : c) dphi -= penalty * std::fabs(ci);
+
+    double alpha = alpha_cap > 0.0 ? alpha_cap : 1.0;
+    std::vector<double> x_new(n);
+    double f_new = fx;
+    std::vector<double> c_new = c;
+    bool accepted = false;
+    for (int ls = 0; ls < 30; ++ls) {
+      for (int i = 0; i < n; ++i) {
+        x_new[i] = std::clamp(x[i] + alpha * d[i], lo[i], hi[i]);
+      }
+      f_new = problem.objective(x_new);
+      c_new = eval_constraints(x_new);
+      const double phi_new = merit(x_new, f_new, c_new);
+      if (phi_new <= phi0 + 1e-4 * alpha * std::min(dphi, 0.0) ||
+          phi_new < phi0 - 1e-16) {
+        accepted = true;
+        break;
+      }
+      alpha *= 0.5;
+    }
+    if (!accepted) {
+      // Line search failed: either we are at a merit-stationary point or the
+      // model is bad. Report what we have.
+      out.x = x;
+      out.fx = fx;
+      out.max_violation = viol;
+      out.iterations = iter;
+      out.converged = viol < options.constraint_tol &&
+                      step_norm < 1e-6;  // Loose stationarity.
+      return out;
+    }
+
+    // Damped BFGS update with the Lagrangian gradient difference.
+    std::vector<double> g_new = eval_gradient(x_new);
+    std::vector<double> a_new = eval_jacobian(x_new);
+    std::vector<double> s(n), y(n);
+    for (int i = 0; i < n; ++i) s[i] = x_new[i] - x[i];
+    for (int i = 0; i < n; ++i) {
+      double grad_l_new = g_new[i];
+      double grad_l_old = g[i];
+      for (int k = 0; k < m; ++k) {
+        grad_l_new += lambda[k] * a_new[k * n + i];
+        grad_l_old += lambda[k] * amat[k * n + i];
+      }
+      y[i] = grad_l_new - grad_l_old;
+    }
+    double sy = 0.0, s_bs = 0.0;
+    std::vector<double> bs(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) bs[i] += bmat[i * n + j] * s[j];
+    }
+    for (int i = 0; i < n; ++i) {
+      sy += s[i] * y[i];
+      s_bs += s[i] * bs[i];
+    }
+    if (s_bs > 1e-16) {
+      if (sy < 0.2 * s_bs) {
+        const double theta = 0.8 * s_bs / (s_bs - sy);
+        for (int i = 0; i < n; ++i) {
+          y[i] = theta * y[i] + (1.0 - theta) * bs[i];
+        }
+        sy = 0.0;
+        for (int i = 0; i < n; ++i) sy += s[i] * y[i];
+      }
+      if (sy > 1e-16) {
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < n; ++j) {
+            bmat[i * n + j] +=
+                y[i] * y[j] / sy - bs[i] * bs[j] / s_bs;
+          }
+        }
+      }
+    }
+
+    x = x_new;
+    fx = f_new;
+    g = std::move(g_new);
+    c = std::move(c_new);
+    amat = std::move(a_new);
+  }
+
+  out.x = x;
+  out.fx = fx;
+  out.max_violation = max_violation(c);
+  out.iterations = options.max_iterations;
+  out.converged = false;
+  return out;
+}
+
+}  // namespace kgacc

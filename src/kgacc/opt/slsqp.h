@@ -1,0 +1,86 @@
+#ifndef KGACC_OPT_SLSQP_H_
+#define KGACC_OPT_SLSQP_H_
+
+#include <functional>
+#include <vector>
+
+#include "kgacc/util/status.h"
+
+/// \file slsqp.h
+/// A dense Sequential Least-SQuares Programming (SLSQP-style) solver for
+/// small smooth problems with equality constraints and box bounds:
+///
+///     minimize    f(x)
+///     subject to  c_i(x) = 0,  lo <= x <= hi
+///
+/// This is the optimizer the paper prescribes for computing HPD credible
+/// intervals (§4.3, Kraft 1988): each outer iteration solves a quadratic
+/// subproblem whose objective is a damped-BFGS second-order model of the
+/// Lagrangian and whose constraints are linearizations of the originals,
+/// globalized with an L1 exact-penalty merit line search.
+///
+/// Designed for the low-dimensional problems arising here (n <= ~16); all
+/// linear algebra is dense with partial pivoting.
+
+namespace kgacc {
+
+/// A scalar function of a vector argument.
+using VectorFn = std::function<double(const std::vector<double>&)>;
+
+/// Problem definition for MinimizeSlsqp. Gradients/Jacobians are optional;
+/// when absent they are approximated with central finite differences.
+struct SlsqpProblem {
+  VectorFn objective;
+  /// Optional analytic gradient of the objective.
+  std::function<std::vector<double>(const std::vector<double>&)> gradient;
+  /// Equality constraints c_i(x) = 0.
+  std::vector<VectorFn> eq_constraints;
+  /// Optional analytic gradients of each equality constraint.
+  std::vector<std::function<std::vector<double>(const std::vector<double>&)>>
+      eq_gradients;
+  /// Box bounds; empty means unbounded in that direction.
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// Tuning knobs for the solver.
+struct SlsqpOptions {
+  int max_iterations = 100;
+  /// Step-size convergence threshold (infinity norm of the step).
+  double step_tol = 1e-11;
+  /// Feasibility threshold on max |c_i(x)|.
+  double constraint_tol = 1e-10;
+  /// Relative step for finite-difference derivatives.
+  double fd_step = 1e-7;
+};
+
+/// Outcome of an SLSQP solve.
+struct SlsqpSolve {
+  std::vector<double> x;          ///< Final iterate.
+  double fx = 0.0;                ///< Objective at `x`.
+  double max_violation = 0.0;     ///< max |c_i(x)| at `x`.
+  int iterations = 0;             ///< Outer iterations used.
+  bool converged = false;         ///< True if both tolerances were met.
+};
+
+/// Runs the SQP iteration from `x0` (clamped into the bounds first).
+/// Returns an error for malformed problems (no objective, inconsistent
+/// bound sizes); an unconverged-but-finite run is reported through
+/// `SlsqpSolve::converged`, not as an error.
+Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
+                                 std::vector<double> x0,
+                                 const SlsqpOptions& options = {});
+
+namespace internal {
+
+/// Solves the dense linear system `a * x = b` (row-major n x n) in place
+/// with partial pivoting. Returns false when the matrix is singular to
+/// working precision. Exposed for unit testing.
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, int n,
+                       std::vector<double>* x);
+
+}  // namespace internal
+
+}  // namespace kgacc
+
+#endif  // KGACC_OPT_SLSQP_H_

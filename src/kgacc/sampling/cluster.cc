@@ -1,0 +1,99 @@
+#include "kgacc/sampling/cluster.h"
+
+#include <numeric>
+
+#include "kgacc/util/check.h"
+
+namespace kgacc {
+
+namespace internal {
+
+std::unique_ptr<AliasTable> BuildSizeAliasTable(const KgView& kg) {
+  const uint64_t n = kg.num_clusters();
+  std::vector<double> weights(n);
+  for (uint64_t c = 0; c < n; ++c) {
+    weights[c] = static_cast<double>(kg.cluster_size(c));
+  }
+  return std::make_unique<AliasTable>(weights);
+}
+
+std::vector<uint64_t> DrawSecondStage(uint64_t cluster_size, int m, Rng* rng) {
+  KGACC_DCHECK(cluster_size >= 1);
+  if (m <= 0 || static_cast<uint64_t>(m) >= cluster_size) {
+    std::vector<uint64_t> all(cluster_size);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  return SampleWithoutReplacement(cluster_size, static_cast<uint64_t>(m), rng);
+}
+
+}  // namespace internal
+
+TwcsSampler::TwcsSampler(const KgView& kg, const TwcsConfig& config)
+    : kg_(kg), config_(config) {
+  KGACC_CHECK(config_.batch_clusters > 0);
+  KGACC_CHECK(config_.second_stage_size > 0);
+  alias_ = internal::BuildSizeAliasTable(kg_);
+}
+
+TwcsSampler::~TwcsSampler() = default;
+
+Result<SampleBatch> TwcsSampler::NextBatch(Rng* rng) {
+  SampleBatch batch;
+  batch.reserve(config_.batch_clusters);
+  for (int i = 0; i < config_.batch_clusters; ++i) {
+    const uint64_t cluster = alias_->Sample(rng);
+    SampledUnit unit;
+    unit.cluster = cluster;
+    unit.cluster_population = kg_.cluster_size(cluster);
+    unit.offsets = internal::DrawSecondStage(unit.cluster_population,
+                                             config_.second_stage_size, rng);
+    batch.push_back(std::move(unit));
+  }
+  return batch;
+}
+
+WcsSampler::WcsSampler(const KgView& kg, const ClusterConfig& config)
+    : kg_(kg), config_(config) {
+  KGACC_CHECK(config_.batch_clusters > 0);
+  alias_ = internal::BuildSizeAliasTable(kg_);
+}
+
+WcsSampler::~WcsSampler() = default;
+
+Result<SampleBatch> WcsSampler::NextBatch(Rng* rng) {
+  SampleBatch batch;
+  batch.reserve(config_.batch_clusters);
+  for (int i = 0; i < config_.batch_clusters; ++i) {
+    const uint64_t cluster = alias_->Sample(rng);
+    SampledUnit unit;
+    unit.cluster = cluster;
+    unit.cluster_population = kg_.cluster_size(cluster);
+    unit.offsets = internal::DrawSecondStage(unit.cluster_population,
+                                             /*m=*/0, rng);
+    batch.push_back(std::move(unit));
+  }
+  return batch;
+}
+
+RcsSampler::RcsSampler(const KgView& kg, const ClusterConfig& config)
+    : kg_(kg), config_(config) {
+  KGACC_CHECK(config_.batch_clusters > 0);
+}
+
+Result<SampleBatch> RcsSampler::NextBatch(Rng* rng) {
+  SampleBatch batch;
+  batch.reserve(config_.batch_clusters);
+  for (int i = 0; i < config_.batch_clusters; ++i) {
+    const uint64_t cluster = rng->UniformInt(kg_.num_clusters());
+    SampledUnit unit;
+    unit.cluster = cluster;
+    unit.cluster_population = kg_.cluster_size(cluster);
+    unit.offsets = internal::DrawSecondStage(unit.cluster_population,
+                                             /*m=*/0, rng);
+    batch.push_back(std::move(unit));
+  }
+  return batch;
+}
+
+}  // namespace kgacc

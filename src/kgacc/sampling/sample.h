@@ -1,0 +1,89 @@
+#ifndef KGACC_SAMPLING_SAMPLE_H_
+#define KGACC_SAMPLING_SAMPLE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "kgacc/kg/triple.h"
+#include "kgacc/util/status.h"
+
+/// \file sample.h
+/// Accumulated annotated sample (the `sample` variable of Algorithm 1).
+/// Grows batch by batch across the iterations of the evaluation framework
+/// and feeds the estimators, the interval constructors, and the cost model.
+
+namespace kgacc {
+
+/// One sampled unit: either a single SRS triple or one first-stage cluster
+/// occurrence with its second-stage offsets (TWCS/WCS). Produced by the
+/// samplers *before* annotation — offsets are chosen from structure only.
+struct SampledUnit {
+  uint64_t cluster = 0;
+  /// Cluster population size M_i (needed by cluster estimators).
+  uint64_t cluster_population = 0;
+  /// Stratum index for stratified designs; 0 for unstratified ones.
+  uint32_t stratum = 0;
+  /// Second-stage offsets within the cluster (one element for SRS units).
+  std::vector<uint64_t> offsets;
+};
+
+/// A batch of sampled units (phase 1 of the framework).
+using SampleBatch = std::vector<SampledUnit>;
+
+/// A sampled unit after annotation: how many of the drawn triples were
+/// annotated correct.
+struct AnnotatedUnit {
+  uint64_t cluster = 0;
+  uint64_t cluster_population = 0;
+  uint32_t stratum = 0;
+  uint32_t drawn = 0;
+  uint32_t correct = 0;
+};
+
+/// The running annotated sample. Tracks totals (n_S, tau_S), per-unit
+/// records for cluster estimators, and the *distinct* entities/triples
+/// touched, which is what the annotation cost function charges for
+/// (Eq. 12: identifying an already-identified entity is free).
+class AnnotatedSample {
+ public:
+  /// Appends an annotated unit.
+  void Add(const AnnotatedUnit& unit);
+
+  /// Number of annotated triples n_S (duplicates from with-replacement
+  /// designs count, matching the estimator's sample size).
+  uint64_t num_triples() const { return num_triples_; }
+
+  /// Number of correct annotations tau_S.
+  uint64_t num_correct() const { return num_correct_; }
+
+  /// Sampled units in arrival order (the first-stage units for cluster
+  /// designs; one unit per triple for SRS).
+  const std::vector<AnnotatedUnit>& units() const { return units_; }
+
+  /// Distinct entities |E_S| identified so far.
+  uint64_t num_distinct_entities() const { return entities_.size(); }
+
+  /// Distinct triples |T_S| annotated so far (a re-drawn triple is only
+  /// manually verified once).
+  uint64_t num_distinct_triples() const { return triples_.size(); }
+
+  /// Records a triple as manually annotated (updates the distinct sets).
+  /// Returns true when the triple had not been seen before.
+  bool MarkAnnotated(const TripleRef& ref);
+
+  bool empty() const { return units_.empty(); }
+
+ private:
+  static uint64_t TripleKey(const TripleRef& ref);
+
+  std::vector<AnnotatedUnit> units_;
+  uint64_t num_triples_ = 0;
+  uint64_t num_correct_ = 0;
+  std::unordered_set<uint64_t> entities_;
+  std::unordered_set<uint64_t> triples_;
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_SAMPLING_SAMPLE_H_

@@ -1,0 +1,60 @@
+#ifndef KGACC_SAMPLING_SAMPLER_H_
+#define KGACC_SAMPLING_SAMPLER_H_
+
+#include "kgacc/kg/kg_view.h"
+#include "kgacc/sampling/sample.h"
+#include "kgacc/util/random.h"
+#include "kgacc/util/status.h"
+
+/// \file sampler.h
+/// Sampling-strategy interface (the S of the constrained minimization
+/// problem, §2.2). A sampler is bound to one population at construction and
+/// produces batches of structural sampling decisions; annotation happens
+/// downstream in the evaluation framework.
+
+namespace kgacc {
+
+/// Which unbiased estimator matches the units a sampler emits.
+enum class EstimatorKind {
+  /// Sample proportion (Eq. 2) on per-triple units.
+  kSrs,
+  /// Mean of per-cluster accuracies (Eq. 3) on first-stage cluster units.
+  kCluster,
+  /// Stratum-weighted proportion on stratified per-triple units; requires
+  /// the sampler to expose stratum weights.
+  kStratified,
+};
+
+/// Abstract sampling strategy. Implementations are deterministic functions
+/// of the Rng stream, so replications are reproducible by reseeding.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Draws the next batch of units. May return fewer units than the batch
+  /// size when a without-replacement design nears exhaustion, and an empty
+  /// batch when the population is fully consumed.
+  virtual Result<SampleBatch> NextBatch(Rng* rng) = 0;
+
+  /// Clears any without-replacement bookkeeping for a fresh run.
+  virtual void Reset() = 0;
+
+  /// The estimator family matching this design.
+  virtual EstimatorKind estimator() const = 0;
+
+  /// The population this sampler is bound to.
+  virtual const KgView& kg() const = 0;
+
+  /// Human-readable design name ("SRS", "TWCS", ...).
+  virtual const char* name() const = 0;
+
+  /// Population shares W_h of each stratum, for kStratified designs;
+  /// nullptr otherwise.
+  virtual const std::vector<double>* stratum_weights() const {
+    return nullptr;
+  }
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_SAMPLING_SAMPLER_H_

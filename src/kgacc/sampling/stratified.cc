@@ -1,0 +1,73 @@
+#include "kgacc/sampling/stratified.h"
+
+#include <algorithm>
+
+#include "kgacc/util/check.h"
+
+namespace kgacc {
+
+StratifiedSampler::StratifiedSampler(const KgView& kg,
+                                     const StratifiedConfig& config)
+    : kg_(kg), config_(config) {
+  KGACC_CHECK(config_.batch_size > 0);
+  KGACC_CHECK(std::is_sorted(config_.size_boundaries.begin(),
+                             config_.size_boundaries.end()));
+
+  std::vector<Stratum> raw(config_.size_boundaries.size() + 1);
+  for (uint64_t c = 0; c < kg_.num_clusters(); ++c) {
+    const uint64_t size = kg_.cluster_size(c);
+    size_t h = 0;
+    while (h < config_.size_boundaries.size() &&
+           size > config_.size_boundaries[h]) {
+      ++h;
+    }
+    raw[h].clusters.push_back(c);
+  }
+  // Drop empty strata (their weight is zero and they cannot be sampled).
+  for (Stratum& s : raw) {
+    if (s.clusters.empty()) continue;
+    s.prefix.reserve(s.clusters.size() + 1);
+    s.prefix.push_back(0);
+    for (uint64_t c : s.clusters) {
+      s.prefix.push_back(s.prefix.back() + kg_.cluster_size(c));
+    }
+    s.total_triples = s.prefix.back();
+    strata_.push_back(std::move(s));
+  }
+  KGACC_CHECK(!strata_.empty());
+  const double total = static_cast<double>(kg_.num_triples());
+  weights_.reserve(strata_.size());
+  for (const Stratum& s : strata_) {
+    weights_.push_back(static_cast<double>(s.total_triples) / total);
+  }
+  carry_.assign(strata_.size(), 0.0);
+}
+
+Result<SampleBatch> StratifiedSampler::NextBatch(Rng* rng) {
+  SampleBatch batch;
+  batch.reserve(config_.batch_size);
+  for (size_t h = 0; h < strata_.size(); ++h) {
+    // Proportional allocation with fractional carry-over so small strata
+    // still receive their fair long-run share at small batch sizes.
+    carry_[h] += weights_[h] * static_cast<double>(config_.batch_size);
+    int draws = static_cast<int>(carry_[h]);
+    carry_[h] -= draws;
+    const Stratum& stratum = strata_[h];
+    for (int i = 0; i < draws; ++i) {
+      const uint64_t t = rng->UniformInt(stratum.total_triples);
+      const auto it =
+          std::upper_bound(stratum.prefix.begin(), stratum.prefix.end(), t);
+      const size_t idx = static_cast<size_t>(it - stratum.prefix.begin()) - 1;
+      const uint64_t cluster = stratum.clusters[idx];
+      SampledUnit unit;
+      unit.cluster = cluster;
+      unit.cluster_population = kg_.cluster_size(cluster);
+      unit.stratum = static_cast<uint32_t>(h);
+      unit.offsets.push_back(t - stratum.prefix[idx]);
+      batch.push_back(std::move(unit));
+    }
+  }
+  return batch;
+}
+
+}  // namespace kgacc

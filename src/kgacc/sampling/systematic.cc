@@ -1,0 +1,38 @@
+#include "kgacc/sampling/systematic.h"
+
+#include "kgacc/util/check.h"
+
+namespace kgacc {
+
+SystematicSampler::SystematicSampler(const KgView& kg,
+                                     const SystematicConfig& config)
+    : kg_(kg), config_(config) {
+  KGACC_CHECK(config_.batch_size > 0);
+  KGACC_CHECK(config_.skip >= 1);
+}
+
+Result<SampleBatch> SystematicSampler::NextBatch(Rng* rng) {
+  const uint64_t population = kg_.num_triples();
+  SampleBatch batch;
+  batch.reserve(config_.batch_size);
+  for (int i = 0; i < config_.batch_size; ++i) {
+    if (position_ == kNotStarted) {
+      position_ = rng->UniformInt(std::min(config_.skip, population));
+    } else {
+      position_ += config_.skip;
+      if (position_ >= population) {
+        // New pass with a fresh random phase to stay unbiased.
+        position_ = rng->UniformInt(std::min(config_.skip, population));
+      }
+    }
+    const TripleRef ref = kg_.TripleAt(position_);
+    SampledUnit unit;
+    unit.cluster = ref.cluster;
+    unit.cluster_population = kg_.cluster_size(ref.cluster);
+    unit.offsets.push_back(ref.offset);
+    batch.push_back(std::move(unit));
+  }
+  return batch;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,117 @@
+#include "kgacc/stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgacc {
+
+namespace {
+
+Status ValidateOptions(const BootstrapOptions& options) {
+  if (options.resamples < 10) {
+    return Status::InvalidArgument("bootstrap needs at least 10 resamples");
+  }
+  if (!(options.confidence > 0.0) || !(options.confidence < 1.0)) {
+    return Status::OutOfRange("confidence must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+/// Percentile endpoints of a (sorted in place) replicate vector.
+Interval PercentileInterval(std::vector<double>* replicates,
+                            double confidence) {
+  std::sort(replicates->begin(), replicates->end());
+  const double alpha = 1.0 - confidence;
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(replicates->size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, replicates->size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return (*replicates)[lo] * (1.0 - frac) + (*replicates)[hi] * frac;
+  };
+  return Interval{at(alpha / 2.0), at(1.0 - alpha / 2.0)};
+}
+
+double MeanOf(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+void Resample(const std::vector<double>& from, std::vector<double>* to,
+              Rng* rng) {
+  to->resize(from.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    (*to)[i] = from[rng->UniformInt(from.size())];
+  }
+}
+
+}  // namespace
+
+Result<Interval> BootstrapInterval(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    const BootstrapOptions& options) {
+  KGACC_RETURN_IF_ERROR(ValidateOptions(options));
+  if (sample.size() < 2) {
+    return Status::FailedPrecondition("bootstrap needs at least two values");
+  }
+  if (!statistic) {
+    return Status::InvalidArgument("bootstrap statistic is required");
+  }
+  Rng rng(options.seed);
+  std::vector<double> replicates(options.resamples);
+  std::vector<double> scratch;
+  for (int r = 0; r < options.resamples; ++r) {
+    Resample(sample, &scratch, &rng);
+    replicates[r] = statistic(scratch);
+  }
+  return PercentileInterval(&replicates, options.confidence);
+}
+
+Result<Interval> BootstrapRatioOfMeans(const std::vector<double>& x,
+                                       const std::vector<double>& y,
+                                       const BootstrapOptions& options) {
+  KGACC_RETURN_IF_ERROR(ValidateOptions(options));
+  if (x.size() < 2 || y.size() < 2) {
+    return Status::FailedPrecondition("bootstrap needs at least two values");
+  }
+  if (MeanOf(y) == 0.0) {
+    return Status::NumericError("denominator sample has zero mean");
+  }
+  Rng rng(options.seed);
+  std::vector<double> replicates;
+  replicates.reserve(options.resamples);
+  std::vector<double> sx, sy;
+  for (int r = 0; r < options.resamples; ++r) {
+    Resample(x, &sx, &rng);
+    Resample(y, &sy, &rng);
+    const double denom = MeanOf(sy);
+    if (denom == 0.0) continue;  // Degenerate resample; skip.
+    replicates.push_back(MeanOf(sx) / denom);
+  }
+  if (replicates.size() < 10) {
+    return Status::NumericError("too many degenerate bootstrap resamples");
+  }
+  return PercentileInterval(&replicates, options.confidence);
+}
+
+Result<Interval> BootstrapMeanDifference(const std::vector<double>& x,
+                                         const std::vector<double>& y,
+                                         const BootstrapOptions& options) {
+  KGACC_RETURN_IF_ERROR(ValidateOptions(options));
+  if (x.size() < 2 || y.size() < 2) {
+    return Status::FailedPrecondition("bootstrap needs at least two values");
+  }
+  Rng rng(options.seed);
+  std::vector<double> replicates(options.resamples);
+  std::vector<double> sx, sy;
+  for (int r = 0; r < options.resamples; ++r) {
+    Resample(x, &sx, &rng);
+    Resample(y, &sy, &rng);
+    replicates[r] = MeanOf(sx) - MeanOf(sy);
+  }
+  return PercentileInterval(&replicates, options.confidence);
+}
+
+}  // namespace kgacc

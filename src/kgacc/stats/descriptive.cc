@@ -1,0 +1,42 @@
+#include "kgacc/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgacc {
+
+Result<double> Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return Status::FailedPrecondition("mean of empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+Result<double> SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return Status::FailedPrecondition("variance needs at least two values");
+  }
+  KGACC_ASSIGN_OR_RETURN(const double m, Mean(xs));
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+Result<SampleSummary> Summarize(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return Status::FailedPrecondition("summary of empty sample");
+  }
+  SampleSummary s;
+  s.n = xs.size();
+  KGACC_ASSIGN_OR_RETURN(s.mean, Mean(xs));
+  if (xs.size() >= 2) {
+    KGACC_ASSIGN_OR_RETURN(const double var, SampleVariance(xs));
+    s.stddev = std::sqrt(var);
+  }
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *mn;
+  s.max = *mx;
+  return s;
+}
+
+}  // namespace kgacc

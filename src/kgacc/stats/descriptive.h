@@ -1,0 +1,35 @@
+#ifndef KGACC_STATS_DESCRIPTIVE_H_
+#define KGACC_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+#include "kgacc/util/status.h"
+
+/// \file descriptive.h
+/// Descriptive statistics for experiment reporting (the "mean +- std over
+/// 1,000 repetitions" protocol of §5).
+
+namespace kgacc {
+
+/// Summary of a univariate sample.
+struct SampleSummary {
+  size_t n = 0;
+  double mean = 0.0;
+  /// Sample standard deviation (n - 1 denominator); 0 for n < 2.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Arithmetic mean; requires a non-empty input.
+Result<double> Mean(const std::vector<double>& xs);
+
+/// Sample variance with the n-1 denominator; requires n >= 2.
+Result<double> SampleVariance(const std::vector<double>& xs);
+
+/// Full summary of `xs`; requires a non-empty input.
+Result<SampleSummary> Summarize(const std::vector<double>& xs);
+
+}  // namespace kgacc
+
+#endif  // KGACC_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,74 @@
+#include "kgacc/stats/mann_whitney.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kgacc/math/normal.h"
+
+namespace kgacc {
+
+Result<MannWhitneyResult> MannWhitneyUTest(const std::vector<double>& xs,
+                                           const std::vector<double>& ys) {
+  if (xs.size() < 2 || ys.size() < 2) {
+    return Status::FailedPrecondition(
+        "Mann-Whitney needs at least two observations per sample");
+  }
+  const size_t nx = xs.size();
+  const size_t ny = ys.size();
+  const size_t n = nx + ny;
+
+  // Pool, sort, assign mid-ranks.
+  struct Tagged {
+    double value;
+    bool from_x;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(n);
+  for (double x : xs) pooled.push_back({x, true});
+  for (double y : ys) pooled.push_back({y, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& a, const Tagged& b) { return a.value < b.value; });
+
+  double rank_sum_x = 0.0;
+  double tie_correction = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && pooled[j].value == pooled[i].value) ++j;
+    const double tied = static_cast<double>(j - i);
+    // Mid-rank of the tied block (ranks are 1-based).
+    const double mid_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (pooled[k].from_x) rank_sum_x += mid_rank;
+    }
+    tie_correction += tied * tied * tied - tied;
+    i = j;
+  }
+
+  MannWhitneyResult out;
+  const double nxd = static_cast<double>(nx);
+  const double nyd = static_cast<double>(ny);
+  out.u = rank_sum_x - nxd * (nxd + 1.0) / 2.0;
+
+  const double mean_u = nxd * nyd / 2.0;
+  const double nd = static_cast<double>(n);
+  const double var_u = nxd * nyd / 12.0 *
+                       ((nd + 1.0) - tie_correction / (nd * (nd - 1.0)));
+  if (var_u <= 0.0) {
+    // Every pooled value tied: the samples are indistinguishable.
+    out.z = 0.0;
+    out.p_two_sided = 1.0;
+    return out;
+  }
+  // Continuity correction toward the null.
+  const double diff = out.u - mean_u;
+  const double corrected =
+      diff > 0.5 ? diff - 0.5 : (diff < -0.5 ? diff + 0.5 : 0.0);
+  out.z = corrected / std::sqrt(var_u);
+  out.p_two_sided = 2.0 * StdNormalCdf(-std::fabs(out.z));
+  if (out.p_two_sided > 1.0) out.p_two_sided = 1.0;
+  return out;
+}
+
+}  // namespace kgacc

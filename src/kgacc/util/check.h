@@ -1,0 +1,30 @@
+#ifndef KGACC_UTIL_CHECK_H_
+#define KGACC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// Internal invariant checking. `KGACC_CHECK` aborts the process on
+/// violation and is kept in all build types; `KGACC_DCHECK` compiles away in
+/// NDEBUG builds. These macros are for programmer errors only — recoverable
+/// conditions must be reported through `kgacc::Status` instead.
+
+#define KGACC_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "KGACC_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define KGACC_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define KGACC_DCHECK(cond) KGACC_CHECK(cond)
+#endif
+
+#endif  // KGACC_UTIL_CHECK_H_

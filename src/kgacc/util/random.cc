@@ -1,0 +1,131 @@
+#include "kgacc/util/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace kgacc {
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * Uniform() - 1.0;
+    v = 2.0 * Uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * f;
+  has_spare_normal_ = true;
+  return u * f;
+}
+
+double Rng::Gamma(double shape) {
+  KGACC_DCHECK(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia & Tsang, section 6).
+    const double u = Uniform();
+    return Gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double Rng::Beta(double a, double b) {
+  const double x = Gamma(a);
+  const double y = Gamma(b);
+  return x / (x + y);
+}
+
+std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
+                                               Rng* rng) {
+  KGACC_CHECK(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Robert Floyd's algorithm: for j = n-k .. n-1 draw t in [0, j]; insert t
+  // unless already chosen, in which case insert j. Each subset of size k is
+  // equally likely.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(k * 2);
+  for (uint64_t j = n - k; j < n; ++j) {
+    const uint64_t t = rng->UniformInt(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  KGACC_CHECK(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    KGACC_CHECK(w >= 0.0);
+    total += w;
+  }
+  KGACC_CHECK(total > 0.0);
+
+  prob_.resize(n);
+  alias_.resize(n);
+  normalized_.resize(n);
+
+  // Scale so the average bucket holds probability 1.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Residuals are exactly-1 buckets up to floating point error.
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+uint64_t AliasTable::Sample(Rng* rng) const {
+  const uint64_t bucket = rng->UniformInt(prob_.size());
+  return rng->Uniform() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace kgacc

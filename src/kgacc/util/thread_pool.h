@@ -1,0 +1,53 @@
+#ifndef KGACC_UTIL_THREAD_POOL_H_
+#define KGACC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A small fixed-size worker pool. The paper notes that aHPD's per-prior
+/// posterior updates and interval constructions (Alg. 1 lines 14-21) are
+/// embarrassingly parallel; `AhpdSelectParallel` dispatches one task per
+/// prior through this pool so wall-clock cost stays flat as the prior set
+/// grows.
+
+namespace kgacc {
+
+/// Fixed-size thread pool with a FIFO task queue. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,146 @@
+#include "kgacc/eval/annotator.h"
+
+#include <sstream>
+
+#include "kgacc/kg/knowledge_graph.h"
+#include "kgacc/kg/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+SyntheticKg MakeKg() {
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = 200;
+  cfg.mean_cluster_size = 3.0;
+  cfg.accuracy = 0.7;
+  cfg.seed = 99;
+  return *SyntheticKg::Create(cfg);
+}
+
+TEST(OracleAnnotatorTest, ReturnsGroundTruth) {
+  const auto kg = MakeKg();
+  OracleAnnotator oracle;
+  Rng rng(1);
+  for (uint64_t c = 0; c < 50; ++c) {
+    for (uint64_t o = 0; o < kg.cluster_size(c); ++o) {
+      EXPECT_EQ(oracle.Annotate(kg, TripleRef{c, o}, &rng), kg.label(c, o));
+    }
+  }
+  EXPECT_EQ(oracle.JudgmentsPerTriple(), 1);
+}
+
+TEST(NoisyAnnotatorTest, ErrorRateIsRealized) {
+  const auto kg = MakeKg();
+  NoisyAnnotator noisy(0.2);
+  Rng rng(2);
+  int flips = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const TripleRef ref{static_cast<uint64_t>(i % kg.num_clusters()), 0};
+    const bool truth = kg.label(ref.cluster, ref.offset);
+    flips += (noisy.Annotate(kg, ref, &rng) != truth) ? 1 : 0;
+  }
+  EXPECT_NEAR(flips / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(NoisyAnnotatorTest, ZeroErrorEqualsOracle) {
+  const auto kg = MakeKg();
+  NoisyAnnotator perfect(0.0);
+  Rng rng(3);
+  for (uint64_t c = 0; c < 50; ++c) {
+    EXPECT_EQ(perfect.Annotate(kg, TripleRef{c, 0}, &rng), kg.label(c, 0));
+  }
+}
+
+TEST(MajorityVoteAnnotatorTest, ReducesEffectiveErrorRate) {
+  // Three annotators at 20% error: majority error = 3*0.04*0.8 + 0.008
+  // = 0.104, well below the individual 0.2.
+  const auto kg = MakeKg();
+  MajorityVoteAnnotator panel(3, 0.2);
+  Rng rng(4);
+  int errors = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const TripleRef ref{static_cast<uint64_t>(i % kg.num_clusters()), 0};
+    const bool truth = kg.label(ref.cluster, ref.offset);
+    errors += (panel.Annotate(kg, ref, &rng) != truth) ? 1 : 0;
+  }
+  EXPECT_NEAR(errors / static_cast<double>(n), 0.104, 0.012);
+  EXPECT_EQ(panel.JudgmentsPerTriple(), 3);
+}
+
+TEST(MajorityVoteAnnotatorTest, SingleAnnotatorDegeneratesToNoisy) {
+  const auto kg = MakeKg();
+  MajorityVoteAnnotator solo(1, 0.0);
+  Rng rng(5);
+  for (uint64_t c = 0; c < 30; ++c) {
+    EXPECT_EQ(solo.Annotate(kg, TripleRef{c, 0}, &rng), kg.label(c, 0));
+  }
+}
+
+KnowledgeGraph MakeNamedKg() {
+  KnowledgeGraphBuilder builder;
+  builder.Add("alice", "bornIn", "paris", true);
+  builder.Add("bob", "bornIn", "rome", false);
+  return *builder.Build();
+}
+
+TEST(InteractiveAnnotatorTest, ParsesAffirmativeAndNegativeAnswers) {
+  const auto kg = MakeNamedKg();
+  std::istringstream in("y\nNO\n1\nn\n");
+  std::ostringstream out;
+  InteractiveAnnotator annotator(&in, &out);
+  Rng rng(1);
+  EXPECT_TRUE(annotator.Annotate(kg, TripleRef{0, 0}, &rng));
+  EXPECT_FALSE(annotator.Annotate(kg, TripleRef{0, 0}, &rng));
+  EXPECT_TRUE(annotator.Annotate(kg, TripleRef{1, 0}, &rng));
+  EXPECT_FALSE(annotator.Annotate(kg, TripleRef{1, 0}, &rng));
+  EXPECT_EQ(annotator.prompts_issued(), 4);
+}
+
+TEST(InteractiveAnnotatorTest, ShowsTheActualTripleTerms) {
+  const auto kg = MakeNamedKg();
+  std::istringstream in("y\n");
+  std::ostringstream out;
+  InteractiveAnnotator annotator(&in, &out);
+  Rng rng(1);
+  annotator.Annotate(kg, TripleRef{0, 0}, &rng);
+  const std::string prompt = out.str();
+  EXPECT_NE(prompt.find("alice"), std::string::npos);
+  EXPECT_NE(prompt.find("bornIn"), std::string::npos);
+  EXPECT_NE(prompt.find("paris"), std::string::npos);
+}
+
+TEST(InteractiveAnnotatorTest, RepromptsOnGarbageInput) {
+  const auto kg = MakeNamedKg();
+  std::istringstream in("maybe\nperhaps\ny\n");
+  std::ostringstream out;
+  InteractiveAnnotator annotator(&in, &out);
+  Rng rng(1);
+  EXPECT_TRUE(annotator.Annotate(kg, TripleRef{0, 0}, &rng));
+  EXPECT_NE(out.str().find("Please answer"), std::string::npos);
+}
+
+TEST(InteractiveAnnotatorTest, EndOfInputDefaultsToIncorrect) {
+  const auto kg = MakeNamedKg();
+  std::istringstream in("");
+  std::ostringstream out;
+  InteractiveAnnotator annotator(&in, &out);
+  Rng rng(1);
+  EXPECT_FALSE(annotator.Annotate(kg, TripleRef{0, 0}, &rng));
+}
+
+TEST(InteractiveAnnotatorTest, FallsBackToCoordinatesOnProceduralKg) {
+  const auto kg = MakeKg();  // SyntheticKg: no vocabulary to show.
+  std::istringstream in("y\n");
+  std::ostringstream out;
+  InteractiveAnnotator annotator(&in, &out);
+  Rng rng(1);
+  annotator.Annotate(kg, TripleRef{3, 0}, &rng);
+  EXPECT_NE(out.str().find("cluster 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgacc

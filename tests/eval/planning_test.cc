@@ -1,0 +1,112 @@
+#include "kgacc/eval/planning.h"
+
+#include "kgacc/intervals/frequentist.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(WilsonPlanningTest, ReturnsTheExactThreshold) {
+  const auto n = *WilsonRequiredSampleSize(0.85, 0.05, 0.05);
+  // The returned n satisfies the budget; n - 1 must not.
+  EXPECT_LE((*WilsonInterval(0.85, static_cast<double>(n), 0.05)).Moe(),
+            0.05);
+  EXPECT_GT(
+      (*WilsonInterval(0.85, static_cast<double>(n - 1), 0.05)).Moe(), 0.05);
+}
+
+TEST(WilsonPlanningTest, CentralAccuracyNeedsTheMostSamples) {
+  const auto central = *WilsonRequiredSampleSize(0.5, 0.05, 0.05);
+  const auto skewed = *WilsonRequiredSampleSize(0.9, 0.05, 0.05);
+  const auto extreme = *WilsonRequiredSampleSize(0.99, 0.05, 0.05);
+  EXPECT_GT(central, skewed);
+  EXPECT_GT(skewed, extreme);
+  // Classic planning numbers: ~385 at mu=0.5 for a +-5% Wilson interval.
+  EXPECT_NEAR(static_cast<double>(central), 385.0, 10.0);
+}
+
+TEST(WilsonPlanningTest, TighterBudgetsNeedMoreSamples) {
+  EXPECT_GT(*WilsonRequiredSampleSize(0.8, 0.05, 0.02),
+            *WilsonRequiredSampleSize(0.8, 0.05, 0.05));
+  EXPECT_GT(*WilsonRequiredSampleSize(0.8, 0.01, 0.05),
+            *WilsonRequiredSampleSize(0.8, 0.05, 0.05));
+}
+
+TEST(WilsonPlanningTest, RejectsBadArguments) {
+  EXPECT_FALSE(WilsonRequiredSampleSize(1.5, 0.05, 0.05).ok());
+  EXPECT_FALSE(WilsonRequiredSampleSize(0.8, 0.0, 0.05).ok());
+  EXPECT_FALSE(WilsonRequiredSampleSize(0.8, 0.05, 0.0).ok());
+  EXPECT_FALSE(WilsonRequiredSampleSize(0.8, 0.05, 0.6).ok());
+}
+
+TEST(AhpdPlanningTest, BeatsWilsonOnSkewedAccuracy) {
+  // The planning forecast reproduces Table 3's ordering.
+  const auto priors = DefaultUninformativePriors();
+  for (const double mu : {0.9, 0.95, 0.99}) {
+    const auto ahpd = *AhpdRequiredSampleSize(priors, mu, 0.05, 0.05);
+    const auto wilson = *WilsonRequiredSampleSize(mu, 0.05, 0.05);
+    EXPECT_LE(ahpd, wilson) << mu;
+  }
+}
+
+TEST(AhpdPlanningTest, MatchesWilsonAtTheCenter) {
+  const auto priors = DefaultUninformativePriors();
+  const auto ahpd = *AhpdRequiredSampleSize(priors, 0.5, 0.05, 0.05);
+  const auto wilson = *WilsonRequiredSampleSize(0.5, 0.05, 0.05);
+  EXPECT_NEAR(static_cast<double>(ahpd), static_cast<double>(wilson), 6.0);
+}
+
+TEST(AhpdPlanningTest, ForecastTracksMeasuredStoppingPoints) {
+  // Table 2 anchor: HPD at YAGO-like mu=0.99 stops around ~32 triples in
+  // measured runs. The pure-interval forecast lands slightly below because
+  // the live framework also enforces the n >= 30 floor.
+  const auto priors = DefaultUninformativePriors();
+  const auto n = *AhpdRequiredSampleSize(priors, 0.99, 0.05, 0.05);
+  EXPECT_GE(n, 15u);
+  EXPECT_LE(n, 40u);
+}
+
+TEST(AhpdPlanningTest, RequiresPriors) {
+  EXPECT_FALSE(AhpdRequiredSampleSize({}, 0.8, 0.05, 0.05).ok());
+}
+
+TEST(PlanAhpdAuditTest, FreshAuditMatchesRequiredSampleSize) {
+  const auto priors = DefaultUninformativePriors();
+  const auto plan = *PlanAhpdAudit(priors, 0.85, 0.05, 0.05, 0.0, 0.0);
+  const auto direct = *AhpdRequiredSampleSize(priors, 0.85, 0.05, 0.05);
+  EXPECT_EQ(plan.total_triples, direct);
+  EXPECT_EQ(plan.additional_triples, direct);
+  EXPECT_GT(plan.additional_cost_hours, 0.0);
+}
+
+TEST(PlanAhpdAuditTest, MidAuditPlansOnlyTheRemainder) {
+  const auto priors = DefaultUninformativePriors();
+  const auto fresh = *PlanAhpdAudit(priors, 0.85, 0.05, 0.05, 0.0, 0.0);
+  const auto resumed =
+      *PlanAhpdAudit(priors, 0.85, 0.05, 0.05, /*tau=*/85.0, /*n=*/100.0);
+  EXPECT_LT(resumed.additional_triples, fresh.additional_triples);
+  EXPECT_GE(resumed.total_triples, 100u);
+}
+
+TEST(PlanAhpdAuditTest, EntitySharingCutsProjectedCost) {
+  const auto priors = DefaultUninformativePriors();
+  const auto srs_like =
+      *PlanAhpdAudit(priors, 0.85, 0.05, 0.05, 0, 0, /*entities=*/1.0);
+  const auto twcs_like =
+      *PlanAhpdAudit(priors, 0.85, 0.05, 0.05, 0, 0, /*entities=*/0.4);
+  EXPECT_EQ(srs_like.additional_triples, twcs_like.additional_triples);
+  EXPECT_LT(twcs_like.additional_cost_hours, srs_like.additional_cost_hours);
+}
+
+TEST(PlanAhpdAuditTest, RejectsInconsistentState) {
+  const auto priors = DefaultUninformativePriors();
+  EXPECT_FALSE(PlanAhpdAudit(priors, 0.8, 0.05, 0.05, 50.0, 40.0).ok());
+  EXPECT_FALSE(
+      PlanAhpdAudit(priors, 0.8, 0.05, 0.05, 0, 0, /*entities=*/0.0).ok());
+  EXPECT_FALSE(
+      PlanAhpdAudit(priors, 0.8, 0.05, 0.05, 0, 0, /*entities=*/1.5).ok());
+}
+
+}  // namespace
+}  // namespace kgacc

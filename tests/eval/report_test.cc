@@ -1,0 +1,95 @@
+#include "kgacc/eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+EvaluationResult MakeResult() {
+  EvaluationResult result;
+  result.mu = 0.871;
+  result.interval = Interval{0.82, 0.918};
+  result.annotated_triples = 246;
+  result.distinct_triples = 240;
+  result.distinct_entities = 88;
+  result.iterations = 29;
+  result.cost_seconds = 10260.0;
+  result.cost_hours = 2.85;
+  result.converged = true;
+  result.stop_reason = StopReason::kConverged;
+  result.winning_prior = 0;
+  result.deff = 1.37;
+  return result;
+}
+
+TEST(TextReportTest, ContainsTheHeadlineNumbers) {
+  ReportContext context{.dataset_name = "demo-kg", .design_name = "TWCS"};
+  EvaluationConfig config;  // aHPD.
+  const std::string report = RenderTextReport(context, config, MakeResult());
+  EXPECT_NE(report.find("demo-kg"), std::string::npos);
+  EXPECT_NE(report.find("aHPD"), std::string::npos);
+  EXPECT_NE(report.find("TWCS"), std::string::npos);
+  EXPECT_NE(report.find("0.8710"), std::string::npos);
+  EXPECT_NE(report.find("[0.8200, 0.9180]"), std::string::npos);
+  EXPECT_NE(report.find("Kerman"), std::string::npos);
+  EXPECT_NE(report.find("converged"), std::string::npos);
+  EXPECT_NE(report.find("design effect"), std::string::npos);
+}
+
+TEST(TextReportTest, CredibleVsConfidenceWording) {
+  ReportContext context;
+  EvaluationConfig bayes;
+  bayes.method = IntervalMethod::kAhpd;
+  EXPECT_NE(RenderTextReport(context, bayes, MakeResult())
+                .find("credible interval"),
+            std::string::npos);
+  EvaluationConfig freq;
+  freq.method = IntervalMethod::kWilson;
+  EXPECT_NE(RenderTextReport(context, freq, MakeResult())
+                .find("confidence interval"),
+            std::string::npos);
+}
+
+TEST(TextReportTest, OmitsDesignEffectWhenUnity) {
+  ReportContext context;
+  EvaluationConfig config;
+  EvaluationResult result = MakeResult();
+  result.deff = 1.0;
+  EXPECT_EQ(RenderTextReport(context, config, result).find("design effect"),
+            std::string::npos);
+}
+
+TEST(JsonReportTest, WellFormedAndComplete) {
+  ReportContext context{.dataset_name = "demo-kg", .design_name = "TWCS"};
+  EvaluationConfig config;
+  const std::string json = RenderJsonReport(context, config, MakeResult());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"dataset\":", "\"design\":", "\"method\":", "\"alpha\":",
+        "\"mu\":", "\"lower\":", "\"upper\":", "\"moe\":",
+        "\"annotated_triples\":246", "\"distinct_entities\":88",
+        "\"cost_hours\":", "\"converged\":true",
+        "\"stop_reason\":\"converged\"", "\"winning_prior\":\"Kerman\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(JsonReportTest, EscapesSpecialCharacters) {
+  ReportContext context;
+  context.dataset_name = "a\"b\\c\nd";
+  EvaluationConfig config;
+  const std::string json = RenderJsonReport(context, config, MakeResult());
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(JsonReportTest, NonAhpdOmitsWinningPrior) {
+  ReportContext context;
+  EvaluationConfig config;
+  config.method = IntervalMethod::kWilson;
+  const std::string json = RenderJsonReport(context, config, MakeResult());
+  EXPECT_EQ(json.find("winning_prior"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgacc

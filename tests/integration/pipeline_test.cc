@@ -1,0 +1,105 @@
+#include "kgacc/kgacc.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+/// End-to-end runs over the full stack: profile -> synthetic population ->
+/// sampler -> oracle -> iterative evaluation -> interval, exercising the
+/// exact paths the benchmark harness uses.
+
+TEST(PipelineTest, YagoProfileEndToEndWithAhpdSrs) {
+  const auto kg = *MakeKg(YagoProfile(), /*seed=*/1);
+  SrsSampler sampler(kg, SrsConfig{});
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+  const auto result = *RunEvaluation(sampler, annotator, config, 123);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.interval.Moe(), 0.05);
+  // YAGO converges fast: the paper reports ~32 triples for aHPD.
+  EXPECT_LT(result.annotated_triples, 120u);
+  EXPECT_TRUE(result.interval.Contains(result.mu));
+}
+
+TEST(PipelineTest, DbpediaProfileEndToEndWithAhpdTwcs) {
+  const auto profile = DbpediaProfile();
+  const auto kg = *MakeKg(profile, /*seed=*/2);
+  TwcsSampler sampler(
+      kg, TwcsConfig{.second_stage_size = profile.twcs_second_stage});
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+  const auto result = *RunEvaluation(sampler, annotator, config, 456);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.interval.Moe(), 0.05);
+  EXPECT_NEAR(result.mu, 0.85, 0.12);
+  // Entity identification is amortized across second-stage triples.
+  EXPECT_LT(result.distinct_entities, result.distinct_triples);
+}
+
+TEST(PipelineTest, TsvLoadedKgRunsTheFullLoop) {
+  // A hand-written 60-triple KG in the interchange format.
+  std::string content;
+  for (int e = 0; e < 20; ++e) {
+    for (int f = 0; f < 3; ++f) {
+      const bool correct = (e * 3 + f) % 10 != 0;  // 90% accurate.
+      content += "entity" + std::to_string(e) + "\tp" + std::to_string(f) +
+                  "\to" + std::to_string(f) + "\t" + (correct ? "1" : "0") +
+                  "\n";
+    }
+  }
+  const auto kg = *LoadKgFromTsvString(content);
+  ASSERT_EQ(kg.num_triples(), 60u);
+  SrsSampler sampler(kg, SrsConfig{});
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+  const auto result = *RunEvaluation(sampler, annotator, config, 789);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(PipelineTest, LargeSyntheticPopulationConvergesQuickly) {
+  // SYN-100M-scale population: convergence cost must not grow with size
+  // (the paper's scalability claim, Table 4).
+  const auto kg = *MakeKg(Syn100MProfile(0.9), /*seed=*/3);
+  ASSERT_EQ(kg.num_triples(), 101415011u);
+  TwcsSampler sampler(kg, TwcsConfig{.second_stage_size = 5});
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+  const auto result = *RunEvaluation(sampler, annotator, config, 1000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.annotated_triples, 2000u);
+}
+
+TEST(PipelineTest, MajorityVotePanelEndToEnd) {
+  const auto kg = *MakeKg(NellProfile(), /*seed=*/4);
+  SrsSampler sampler(kg, SrsConfig{});
+  MajorityVoteAnnotator panel(3, 0.1);
+  EvaluationConfig config;
+  const auto result = *RunEvaluation(sampler, panel, config, 999);
+  EXPECT_TRUE(result.converged);
+  // Three judgments per triple multiply the verification cost.
+  const double single_cost = result.distinct_entities * 45.0 +
+                             result.distinct_triples * 25.0;
+  EXPECT_GT(result.cost_seconds, single_cost);
+}
+
+TEST(PipelineTest, WilsonAndAhpdAgreeOnEstimate) {
+  const auto kg = *MakeKg(FactbenchProfile(), /*seed=*/5);
+  OracleAnnotator annotator;
+
+  SrsSampler s1(kg, SrsConfig{});
+  EvaluationConfig wilson;
+  wilson.method = IntervalMethod::kWilson;
+  const auto rw = *RunEvaluation(s1, annotator, wilson, 31337);
+
+  SrsSampler s2(kg, SrsConfig{});
+  EvaluationConfig ahpd;
+  const auto ra = *RunEvaluation(s2, annotator, ahpd, 31337);
+
+  // Same seed, same sampler stream: the point estimates track the truth.
+  EXPECT_NEAR(rw.mu, kg.TrueAccuracy(), 0.08);
+  EXPECT_NEAR(ra.mu, kg.TrueAccuracy(), 0.08);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,145 @@
+#include "kgacc/intervals/ahpd.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(AhpdTest, RequiresAtLeastOnePrior) {
+  EXPECT_FALSE(AhpdSelect({}, 10, 20, 0.05).ok());
+}
+
+TEST(AhpdTest, SinglePriorEqualsPlainHpd) {
+  const std::vector<BetaPrior> priors = {UniformPrior()};
+  const auto choice = *AhpdSelect(priors, 25, 30, 0.05);
+  const auto posterior = *UniformPrior().Posterior(25, 30);
+  const auto hpd = *HpdInterval(posterior, 0.05);
+  EXPECT_DOUBLE_EQ(choice.interval.lower, hpd.interval.lower);
+  EXPECT_DOUBLE_EQ(choice.interval.upper, hpd.interval.upper);
+  EXPECT_EQ(choice.prior_index, 0u);
+}
+
+TEST(AhpdTest, PicksTheShortestCandidate) {
+  const auto priors = DefaultUninformativePriors();
+  const auto choice = *AhpdSelect(priors, 28, 30, 0.05);
+  ASSERT_EQ(choice.candidates.size(), 3u);
+  for (const Interval& candidate : choice.candidates) {
+    EXPECT_LE(choice.interval.Width(), candidate.Width() + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(choice.interval.Width(),
+                   choice.candidates[choice.prior_index].Width());
+}
+
+TEST(AhpdTest, KermanWinsInExtremeRegion) {
+  // All-correct outcome (tau = n): extreme accuracy region — Kerman's
+  // Beta(1/3,1/3) yields the shortest HPD (§4.4 / Fig. 3).
+  const auto priors = DefaultUninformativePriors();
+  const auto choice = *AhpdSelect(priors, 30, 30, 0.05);
+  EXPECT_EQ(priors[choice.prior_index].name, "Kerman");
+}
+
+TEST(AhpdTest, UniformWinsInCentralRegion) {
+  // Balanced outcome: central region — the Uniform prior is optimal.
+  const auto priors = DefaultUninformativePriors();
+  const auto choice = *AhpdSelect(priors, 15, 30, 0.05);
+  EXPECT_EQ(priors[choice.prior_index].name, "Uniform");
+}
+
+TEST(AhpdTest, JeffreysNeverWinsAcrossOutcomeSweep) {
+  // §4.4: Jeffreys is a trade-off and is never the most efficient choice.
+  const auto priors = DefaultUninformativePriors();
+  int jeffreys_wins = 0;
+  for (int tau = 0; tau <= 30; ++tau) {
+    const auto choice = *AhpdSelect(priors, tau, 30, 0.05);
+    if (priors[choice.prior_index].name == "Jeffreys") ++jeffreys_wins;
+  }
+  EXPECT_EQ(jeffreys_wins, 0);
+}
+
+TEST(AhpdTest, LimitingCasesAreHandled) {
+  const auto priors = DefaultUninformativePriors();
+  const auto all_correct = *AhpdSelect(priors, 30, 30, 0.05);
+  EXPECT_EQ(all_correct.shape, BetaShape::kIncreasing);
+  EXPECT_DOUBLE_EQ(all_correct.interval.upper, 1.0);
+
+  const auto none_correct = *AhpdSelect(priors, 0, 30, 0.05);
+  EXPECT_EQ(none_correct.shape, BetaShape::kDecreasing);
+  EXPECT_DOUBLE_EQ(none_correct.interval.lower, 0.0);
+}
+
+TEST(AhpdTest, InformativePriorsShrinkTheInterval) {
+  // Example 2 regime: a well-placed informative prior beats the trio.
+  const std::vector<BetaPrior> informative = {*InformativePrior(0.85, 100.0)};
+  const auto inf = *AhpdSelect(informative, 17, 20, 0.05);
+  const auto uninf = *AhpdSelect(DefaultUninformativePriors(), 17, 20, 0.05);
+  EXPECT_LT(inf.interval.Width(), uninf.interval.Width());
+}
+
+TEST(AhpdTest, MixedPriorSetSelectsBestOverall) {
+  // aHPD with uninformative + informative priors picks the informative one
+  // when the data agree with it.
+  std::vector<BetaPrior> priors = DefaultUninformativePriors();
+  priors.push_back(*InformativePrior(0.9, 100.0));
+  const auto choice = *AhpdSelect(priors, 27, 30, 0.05);
+  EXPECT_EQ(choice.prior_index, 3u);
+}
+
+TEST(AhpdTest, FractionalEffectiveSamplesWork) {
+  const auto choice = AhpdSelect(DefaultUninformativePriors(), 24.6, 31.2,
+                                 0.05);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_GT(choice->interval.Width(), 0.0);
+}
+
+TEST(AhpdParallelTest, MatchesSerialExactly) {
+  ThreadPool pool(4);
+  const auto priors = DefaultUninformativePriors();
+  for (const double tau : {0.0, 12.0, 27.5, 30.0}) {
+    const auto serial = *AhpdSelect(priors, tau, 30, 0.05);
+    const auto parallel = *AhpdSelectParallel(priors, tau, 30, 0.05, &pool);
+    EXPECT_DOUBLE_EQ(parallel.interval.lower, serial.interval.lower) << tau;
+    EXPECT_DOUBLE_EQ(parallel.interval.upper, serial.interval.upper) << tau;
+    EXPECT_EQ(parallel.prior_index, serial.prior_index) << tau;
+    EXPECT_EQ(parallel.candidates.size(), serial.candidates.size());
+  }
+}
+
+TEST(AhpdParallelTest, NullPoolFallsBackToSerial) {
+  const auto priors = DefaultUninformativePriors();
+  const auto choice = AhpdSelectParallel(priors, 20, 30, 0.05, nullptr);
+  ASSERT_TRUE(choice.ok());
+  const auto serial = *AhpdSelect(priors, 20, 30, 0.05);
+  EXPECT_DOUBLE_EQ(choice->interval.lower, serial.interval.lower);
+}
+
+TEST(AhpdParallelTest, ManyPriorsAllEvaluated) {
+  ThreadPool pool(3);
+  std::vector<BetaPrior> priors = DefaultUninformativePriors();
+  for (int i = 1; i <= 12; ++i) {
+    priors.push_back(*InformativePrior(i / 13.0, 20.0));
+  }
+  const auto choice = *AhpdSelectParallel(priors, 25, 30, 0.05, &pool);
+  EXPECT_EQ(choice.candidates.size(), priors.size());
+  for (const Interval& candidate : choice.candidates) {
+    EXPECT_GE(choice.interval.Width(), 0.0);
+    EXPECT_LE(choice.interval.Width(), candidate.Width() + 1e-12);
+  }
+}
+
+TEST(AhpdParallelTest, RejectsEmptyPriorSet) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(AhpdSelectParallel({}, 10, 20, 0.05, &pool).ok());
+}
+
+TEST(AhpdTest, WidthShrinksMonotonicallyWithData) {
+  const auto priors = DefaultUninformativePriors();
+  double prev = 1.0;
+  for (const double n : {10.0, 30.0, 100.0, 300.0}) {
+    const auto choice = *AhpdSelect(priors, 0.9 * n, n, 0.05);
+    EXPECT_LT(choice.interval.Width(), prev) << n;
+    prev = choice.interval.Width();
+  }
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,201 @@
+#include "kgacc/intervals/credible.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+BetaDistribution MakeBeta(double a, double b) {
+  return *BetaDistribution::Create(a, b);
+}
+
+TEST(EqualTailedTest, QuantileDefinition) {
+  const auto d = MakeBeta(9.0, 3.0);
+  const auto et = *EqualTailedInterval(d, 0.05);
+  EXPECT_NEAR(d.Cdf(et.lower), 0.025, 1e-10);
+  EXPECT_NEAR(d.Cdf(et.upper), 0.975, 1e-10);
+}
+
+TEST(EqualTailedTest, CoversExactlyOneMinusAlpha) {
+  for (const double alpha : {0.01, 0.05, 0.10, 0.25}) {
+    const auto d = MakeBeta(25.0, 8.0);
+    const auto et = *EqualTailedInterval(d, alpha);
+    EXPECT_NEAR(d.Cdf(et.upper) - d.Cdf(et.lower), 1.0 - alpha, 1e-10)
+        << alpha;
+  }
+}
+
+TEST(EqualTailedTest, RejectsBadAlpha) {
+  const auto d = MakeBeta(2.0, 2.0);
+  EXPECT_FALSE(EqualTailedInterval(d, 0.0).ok());
+  EXPECT_FALSE(EqualTailedInterval(d, 1.0).ok());
+}
+
+TEST(HpdTest, SatisfiesCoverageConstraint) {
+  const auto d = MakeBeta(28.0, 4.0);
+  const auto hpd = *HpdInterval(d, 0.05);
+  EXPECT_NEAR(d.Cdf(hpd.interval.upper) - d.Cdf(hpd.interval.lower), 0.95,
+              1e-7);
+}
+
+TEST(HpdTest, EqualDensityAtInteriorEndpoints) {
+  // Theorem 1's first-order condition: f(l) = f(u).
+  const auto d = MakeBeta(10.0, 4.0);
+  const auto hpd = *HpdInterval(d, 0.05);
+  EXPECT_EQ(hpd.shape, BetaShape::kUnimodal);
+  EXPECT_NEAR(d.Pdf(hpd.interval.lower), d.Pdf(hpd.interval.upper), 1e-4);
+}
+
+TEST(HpdTest, ContainsTheMode) {
+  const auto d = MakeBeta(7.0, 3.0);
+  const auto hpd = *HpdInterval(d, 0.05);
+  EXPECT_TRUE(hpd.interval.Contains(d.Mode()));
+}
+
+TEST(HpdTest, NeverWiderThanEqualTailed) {
+  // Theorem 1: HPD is the smallest 1-alpha interval.
+  for (const double a : {1.5, 3.0, 9.0, 30.0}) {
+    for (const double b : {1.5, 4.0, 12.0}) {
+      const auto d = MakeBeta(a, b);
+      const auto hpd = *HpdInterval(d, 0.05);
+      const auto et = *EqualTailedInterval(d, 0.05);
+      EXPECT_LE(hpd.interval.Width(), et.Width() + 1e-8)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(HpdTest, SymmetricPosteriorMatchesEqualTailed) {
+  // Theorem 3: for a symmetric unimodal posterior, HPD == ET.
+  for (const double a : {2.0, 5.0, 40.0}) {
+    const auto d = MakeBeta(a, a);
+    const auto hpd = *HpdInterval(d, 0.05);
+    const auto et = *EqualTailedInterval(d, 0.05);
+    EXPECT_NEAR(hpd.interval.lower, et.lower, 1e-6) << a;
+    EXPECT_NEAR(hpd.interval.upper, et.upper, 1e-6) << a;
+  }
+}
+
+TEST(HpdTest, SkewedPosteriorShiftsTowardMode) {
+  // For a right-skewed-mass posterior (a >> b) the HPD sits closer to 1
+  // than the ET interval on both ends.
+  const auto d = MakeBeta(28.0, 2.0);
+  const auto hpd = *HpdInterval(d, 0.05);
+  const auto et = *EqualTailedInterval(d, 0.05);
+  EXPECT_GT(hpd.interval.lower, et.lower);
+  EXPECT_GT(hpd.interval.upper, et.upper);
+  EXPECT_LT(hpd.interval.Width(), et.Width());
+}
+
+TEST(HpdTest, DecreasingLimitingCase) {
+  // tau = 0 under an uninformative prior: Beta(a<=1, b+n) decreasing;
+  // Eq. 11 gives [0, qBeta(1-alpha)].
+  const auto d = MakeBeta(0.5, 30.5);
+  const auto hpd = *HpdInterval(d, 0.05);
+  EXPECT_EQ(hpd.shape, BetaShape::kDecreasing);
+  EXPECT_DOUBLE_EQ(hpd.interval.lower, 0.0);
+  EXPECT_NEAR(hpd.interval.upper, *d.Quantile(0.95), 1e-12);
+  EXPECT_EQ(hpd.solver_iterations, 0);
+}
+
+TEST(HpdTest, IncreasingLimitingCase) {
+  // tau = n: Beta(a+n, b<=1) increasing; Eq. 10 gives [qBeta(alpha), 1].
+  const auto d = MakeBeta(30.5, 0.5);
+  const auto hpd = *HpdInterval(d, 0.05);
+  EXPECT_EQ(hpd.shape, BetaShape::kIncreasing);
+  EXPECT_DOUBLE_EQ(hpd.interval.upper, 1.0);
+  EXPECT_NEAR(hpd.interval.lower, *d.Quantile(0.05), 1e-12);
+}
+
+TEST(HpdTest, LimitingCaseIsShorterThanEqualTailed) {
+  // Corollary 1: the one-sided interval beats the two-sided ET under the
+  // monotone posterior.
+  const auto d = MakeBeta(31.0 / 3.0 + 20.0, 1.0 / 3.0);
+  const auto hpd = *HpdInterval(d, 0.05);
+  const auto et = *EqualTailedInterval(d, 0.05);
+  EXPECT_LT(hpd.interval.Width(), et.Width());
+}
+
+TEST(HpdTest, UShapedFallsBackToEqualTailed) {
+  const auto d = MakeBeta(0.5, 0.5);
+  const auto hpd = *HpdInterval(d, 0.05);
+  EXPECT_EQ(hpd.shape, BetaShape::kUShaped);
+  const auto et = *EqualTailedInterval(d, 0.05);
+  EXPECT_DOUBLE_EQ(hpd.interval.lower, et.lower);
+  EXPECT_DOUBLE_EQ(hpd.interval.upper, et.upper);
+}
+
+TEST(HpdTest, SolversAgree) {
+  // The SQP and the independent 1-D reduction must find the same interval.
+  for (const double a : {2.0, 6.5, 28.0, 170.0}) {
+    for (const double b : {1.7, 5.0, 30.0}) {
+      const auto d = MakeBeta(a, b);
+      HpdOptions sqp_opts;
+      sqp_opts.solver = HpdSolver::kSlsqp;
+      HpdOptions oned_opts;
+      oned_opts.solver = HpdSolver::kOneDim;
+      const auto sqp = *HpdInterval(d, 0.05, sqp_opts);
+      const auto oned = *HpdInterval(d, 0.05, oned_opts);
+      EXPECT_NEAR(sqp.interval.lower, oned.interval.lower, 5e-6)
+          << "a=" << a << " b=" << b;
+      EXPECT_NEAR(sqp.interval.upper, oned.interval.upper, 5e-6)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(HpdTest, ColdStartReachesSameSolution) {
+  const auto d = MakeBeta(12.0, 5.0);
+  HpdOptions warm;
+  HpdOptions cold;
+  cold.warm_start_at_et = false;
+  const auto w = *HpdInterval(d, 0.05, warm);
+  const auto c = *HpdInterval(d, 0.05, cold);
+  EXPECT_NEAR(w.interval.lower, c.interval.lower, 1e-5);
+  EXPECT_NEAR(w.interval.upper, c.interval.upper, 1e-5);
+}
+
+TEST(HpdTest, RejectsBadAlpha) {
+  const auto d = MakeBeta(3.0, 3.0);
+  EXPECT_FALSE(HpdInterval(d, -0.1).ok());
+  EXPECT_FALSE(HpdInterval(d, 1.0).ok());
+}
+
+/// Parameterized sweep of the minimality property: no interval of the same
+/// coverage may be shorter. We verify against a fine grid of alternative
+/// intervals built from the CDF.
+class HpdMinimality
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(HpdMinimality, NoEqualCoverageIntervalIsShorter) {
+  const auto [a, b, alpha] = GetParam();
+  const auto d = MakeBeta(a, b);
+  const auto hpd = *HpdInterval(d, alpha);
+  // Slide the lower CDF mass point across [0, alpha] and compare widths.
+  for (int i = 0; i <= 40; ++i) {
+    const double p_lo = alpha * i / 40.0;
+    const double l = *d.Quantile(p_lo);
+    const double u = *d.Quantile(std::min(p_lo + 1.0 - alpha, 1.0));
+    EXPECT_GE(u - l, hpd.interval.Width() - 1e-6)
+        << "a=" << a << " b=" << b << " alpha=" << alpha << " p_lo=" << p_lo;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Posteriors, HpdMinimality,
+    ::testing::Values(std::make_tuple(5.0, 2.0, 0.05),
+                      std::make_tuple(2.0, 5.0, 0.05),
+                      std::make_tuple(28.0, 4.0, 0.05),
+                      std::make_tuple(28.0, 4.0, 0.01),
+                      std::make_tuple(28.0, 4.0, 0.10),
+                      std::make_tuple(170.0, 31.0, 0.05),
+                      std::make_tuple(1.5, 1.5, 0.05),
+                      std::make_tuple(0.5, 12.0, 0.05),   // limiting case
+                      std::make_tuple(12.0, 0.5, 0.05),   // limiting case
+                      std::make_tuple(350.0, 300.0, 0.01)));
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,86 @@
+#include "kgacc/intervals/priors.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(PriorsTest, StandardUninformativeParameters) {
+  EXPECT_NEAR(KermanPrior().a, 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(KermanPrior().b, 1.0 / 3.0, 1e-15);
+  EXPECT_DOUBLE_EQ(JeffreysPrior().a, 0.5);
+  EXPECT_DOUBLE_EQ(JeffreysPrior().b, 0.5);
+  EXPECT_DOUBLE_EQ(UniformPrior().a, 1.0);
+  EXPECT_DOUBLE_EQ(UniformPrior().b, 1.0);
+}
+
+TEST(PriorsTest, UninformativeFlag) {
+  EXPECT_TRUE(KermanPrior().IsUninformative());
+  EXPECT_TRUE(JeffreysPrior().IsUninformative());
+  EXPECT_TRUE(UniformPrior().IsUninformative());
+  EXPECT_FALSE((*InformativePrior(0.8, 100)).IsUninformative());
+  EXPECT_FALSE((BetaPrior{"asym", 0.5, 1.0}).IsUninformative());
+}
+
+TEST(PriorsTest, DefaultTrioOrderAndNames) {
+  const auto priors = DefaultUninformativePriors();
+  ASSERT_EQ(priors.size(), 3u);
+  EXPECT_EQ(priors[0].name, "Kerman");
+  EXPECT_EQ(priors[1].name, "Jeffreys");
+  EXPECT_EQ(priors[2].name, "Uniform");
+}
+
+TEST(PriorsTest, ConjugateUpdate) {
+  // Beta(1,1) + (tau=8, n=10) -> Beta(9, 3).
+  const auto posterior = *UniformPrior().Posterior(8, 10);
+  EXPECT_DOUBLE_EQ(posterior.a(), 9.0);
+  EXPECT_DOUBLE_EQ(posterior.b(), 3.0);
+}
+
+TEST(PriorsTest, FractionalEffectiveCountsSupported) {
+  const auto posterior = *JeffreysPrior().Posterior(12.7, 17.3);
+  EXPECT_DOUBLE_EQ(posterior.a(), 13.2);
+  EXPECT_NEAR(posterior.b(), 5.1, 1e-12);
+}
+
+TEST(PriorsTest, PosteriorRejectsInconsistentCounts) {
+  EXPECT_FALSE(UniformPrior().Posterior(11, 10).ok());
+  EXPECT_FALSE(UniformPrior().Posterior(-1, 10).ok());
+}
+
+TEST(PriorsTest, ZeroDataPosteriorIsThePrior) {
+  const auto posterior = *KermanPrior().Posterior(0, 0);
+  EXPECT_NEAR(posterior.a(), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(posterior.b(), 1.0 / 3.0, 1e-15);
+}
+
+TEST(InformativePriorTest, EncodesAccuracyTimesWeight) {
+  // Example 2: accuracy 0.80, weight 100 -> Beta(80, 20).
+  const auto prior = *InformativePrior(0.80, 100.0);
+  EXPECT_DOUBLE_EQ(prior.a, 80.0);
+  EXPECT_DOUBLE_EQ(prior.b, 20.0);
+  const auto prior2 = *InformativePrior(0.90, 100.0);
+  EXPECT_DOUBLE_EQ(prior2.a, 90.0);
+  EXPECT_DOUBLE_EQ(prior2.b, 10.0);
+}
+
+TEST(InformativePriorTest, PriorMeanMatchesAccuracy) {
+  const auto prior = *InformativePrior(0.73, 50.0);
+  const auto dist = *BetaDistribution::Create(prior.a, prior.b);
+  EXPECT_NEAR(dist.Mean(), 0.73, 1e-12);
+}
+
+TEST(InformativePriorTest, CustomNameIsKept) {
+  const auto prior = *InformativePrior(0.8, 10.0, "sister-kg");
+  EXPECT_EQ(prior.name, "sister-kg");
+}
+
+TEST(InformativePriorTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(InformativePrior(0.0, 10.0).ok());
+  EXPECT_FALSE(InformativePrior(1.0, 10.0).ok());
+  EXPECT_FALSE(InformativePrior(0.5, 0.0).ok());
+  EXPECT_FALSE(InformativePrior(0.5, -5.0).ok());
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,89 @@
+#include "kgacc/kg/kg_stats.h"
+
+#include "kgacc/kg/profiles.h"
+#include "kgacc/kg/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+SyntheticKg MakeKg(LabelModel model, double rho, double mu = 0.8,
+                   ClusterSizeModel sizes = ClusterSizeModel::kGeometric) {
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = 3000;
+  cfg.mean_cluster_size = 4.0;
+  cfg.size_model = sizes;
+  cfg.accuracy = mu;
+  cfg.label_model = model;
+  cfg.intra_cluster_rho = rho;
+  cfg.seed = 31;
+  return *SyntheticKg::Create(cfg);
+}
+
+TEST(KgStatisticsTest, BasicCountsMatchPopulation) {
+  const auto kg = MakeKg(LabelModel::kIid, 0.0);
+  const auto stats = *ComputeKgStatistics(kg);
+  EXPECT_EQ(stats.num_triples, kg.num_triples());
+  EXPECT_EQ(stats.num_clusters, kg.num_clusters());
+  EXPECT_NEAR(stats.avg_cluster_size, 4.0, 0.2);
+  EXPECT_NEAR(stats.accuracy, kg.TrueAccuracy(), 1e-12);
+  EXPECT_GE(stats.max_cluster_size, 4u);
+}
+
+TEST(KgStatisticsTest, FixedSizesHaveZeroSpreadAndGini) {
+  const auto kg = MakeKg(LabelModel::kIid, 0.0, 0.8, ClusterSizeModel::kFixed);
+  const auto stats = *ComputeKgStatistics(kg);
+  EXPECT_DOUBLE_EQ(stats.cluster_size_stddev, 0.0);
+  EXPECT_NEAR(stats.cluster_size_gini, 0.0, 1e-9);
+}
+
+TEST(KgStatisticsTest, ZipfSizesAreHeavyTailed) {
+  const auto geometric = MakeKg(LabelModel::kIid, 0.0);
+  const auto zipf =
+      MakeKg(LabelModel::kIid, 0.0, 0.8, ClusterSizeModel::kZipf);
+  const auto g_stats = *ComputeKgStatistics(geometric);
+  const auto z_stats = *ComputeKgStatistics(zipf);
+  EXPECT_GT(z_stats.cluster_size_gini, g_stats.cluster_size_gini);
+  EXPECT_GT(z_stats.max_cluster_size, g_stats.max_cluster_size);
+}
+
+TEST(KgStatisticsTest, IidLabelsHaveNearZeroIcc) {
+  const auto kg = MakeKg(LabelModel::kIid, 0.0);
+  const auto stats = *ComputeKgStatistics(kg);
+  EXPECT_NEAR(stats.intra_cluster_correlation, 0.0, 0.03);
+  EXPECT_NEAR(stats.predicted_design_effect, 1.0, 0.1);
+}
+
+TEST(KgStatisticsTest, BetaMixtureIccTracksRho) {
+  for (const double rho : {0.15, 0.4}) {
+    const auto kg = MakeKg(LabelModel::kBetaMixture, rho);
+    const auto stats = *ComputeKgStatistics(kg);
+    EXPECT_NEAR(stats.intra_cluster_correlation, rho, 0.08) << rho;
+    EXPECT_GT(stats.predicted_design_effect, 1.0) << rho;
+  }
+}
+
+TEST(KgStatisticsTest, BalancedLabelsHaveNegativeIcc) {
+  const auto kg = MakeKg(LabelModel::kBalanced, 0.0, 0.54);
+  const auto stats = *ComputeKgStatistics(kg);
+  EXPECT_LT(stats.intra_cluster_correlation, -0.05);
+  EXPECT_LT(stats.predicted_design_effect, 1.0);
+}
+
+TEST(KgStatisticsTest, PaperProfilesExposeTheExpectedRegimes) {
+  // The design-effect regimes behind Table 3: NELL/DBPEDIA > 1, FACTBENCH
+  // < 1.
+  const auto nell = *ComputeKgStatistics(*MakeKg(NellProfile(), 5));
+  const auto factbench = *ComputeKgStatistics(*MakeKg(FactbenchProfile(), 5));
+  EXPECT_GT(nell.predicted_design_effect, 1.0);
+  EXPECT_LT(factbench.predicted_design_effect, 1.0);
+}
+
+TEST(KgStatisticsTest, RejectsBadInputs) {
+  const auto kg = MakeKg(LabelModel::kIid, 0.0);
+  EXPECT_FALSE(ComputeKgStatistics(kg, 0).ok());
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,134 @@
+#include "kgacc/kg/knowledge_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+KnowledgeGraph MakeSmallKg() {
+  KnowledgeGraphBuilder builder;
+  builder.Add("alice", "bornIn", "paris", true);
+  builder.Add("alice", "worksAt", "acme", false);
+  builder.Add("bob", "bornIn", "rome", true);
+  builder.Add("carol", "bornIn", "oslo", true);
+  builder.Add("carol", "knows", "alice", true);
+  builder.Add("carol", "knows", "bob", false);
+  return *builder.Build();
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  const uint32_t a = vocab.Intern("alice");
+  const uint32_t b = vocab.Intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.Intern("alice"), a);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.TermOf(a), "alice");
+}
+
+TEST(VocabularyTest, FindReportsMissingTerms) {
+  Vocabulary vocab;
+  vocab.Intern("x");
+  EXPECT_TRUE(vocab.Find("x").ok());
+  EXPECT_FALSE(vocab.Find("y").ok());
+  EXPECT_EQ(vocab.Find("y").status().code(), StatusCode::kNotFound);
+}
+
+TEST(KnowledgeGraphTest, CountsAndClusters) {
+  const KnowledgeGraph kg = MakeSmallKg();
+  EXPECT_EQ(kg.num_triples(), 6u);
+  EXPECT_EQ(kg.num_clusters(), 3u);
+  // Cluster sizes sum to the triple count.
+  uint64_t total = 0;
+  for (uint64_t c = 0; c < kg.num_clusters(); ++c) {
+    total += kg.cluster_size(c);
+  }
+  EXPECT_EQ(total, kg.num_triples());
+}
+
+TEST(KnowledgeGraphTest, ClustersGroupBySubject) {
+  const KnowledgeGraph kg = MakeSmallKg();
+  for (uint64_t c = 0; c < kg.num_clusters(); ++c) {
+    const uint32_t subject = kg.cluster_subject(c);
+    for (uint64_t o = 0; o < kg.cluster_size(c); ++o) {
+      EXPECT_EQ(kg.triple(c, o).subject, subject);
+    }
+  }
+}
+
+TEST(KnowledgeGraphTest, TrueAccuracyIsLabelFraction) {
+  const KnowledgeGraph kg = MakeSmallKg();
+  EXPECT_DOUBLE_EQ(kg.TrueAccuracy(), 4.0 / 6.0);
+}
+
+TEST(KnowledgeGraphTest, TripleAtCoversWholeRange) {
+  const KnowledgeGraph kg = MakeSmallKg();
+  uint64_t index = 0;
+  for (uint64_t c = 0; c < kg.num_clusters(); ++c) {
+    for (uint64_t o = 0; o < kg.cluster_size(c); ++o, ++index) {
+      const TripleRef ref = kg.TripleAt(index);
+      EXPECT_EQ(ref.cluster, c) << index;
+      EXPECT_EQ(ref.offset, o) << index;
+    }
+  }
+  EXPECT_EQ(index, kg.num_triples());
+}
+
+TEST(KnowledgeGraphTest, LabelsFollowTriplesThroughSorting) {
+  // The builder sorts by (s, p, o); labels must stay attached.
+  KnowledgeGraphBuilder builder;
+  builder.Add("z", "p", "o1", false);
+  builder.Add("a", "p", "o1", true);
+  const KnowledgeGraph kg = *builder.Build();
+  // "a" sorts into cluster order; its label is true.
+  const auto& vocab = kg.vocabulary();
+  for (uint64_t c = 0; c < kg.num_clusters(); ++c) {
+    const std::string& subject = vocab.TermOf(kg.cluster_subject(c));
+    if (subject == "a") EXPECT_TRUE(kg.label(c, 0));
+    if (subject == "z") EXPECT_FALSE(kg.label(c, 0));
+  }
+}
+
+TEST(KnowledgeGraphBuilderTest, RejectsEmptyBuild) {
+  KnowledgeGraphBuilder builder;
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(KnowledgeGraphBuilderTest, RejectsDuplicateTriples) {
+  KnowledgeGraphBuilder builder;
+  builder.Add("s", "p", "o", true);
+  builder.Add("s", "p", "o", false);
+  const auto result = builder.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KnowledgeGraphBuilderTest, BuilderIsReusableAfterBuild) {
+  KnowledgeGraphBuilder builder;
+  builder.Add("s", "p", "o", true);
+  ASSERT_TRUE(builder.Build().ok());
+  EXPECT_EQ(builder.size(), 0u);
+  builder.Add("s2", "p2", "o2", true);
+  const auto second = builder.Build();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().num_triples(), 1u);
+}
+
+TEST(KnowledgeGraphBuilderTest, SingleClusterGraph) {
+  KnowledgeGraphBuilder builder;
+  for (int i = 0; i < 10; ++i) {
+    builder.Add("s", "p", "o" + std::to_string(i), i % 2 == 0);
+  }
+  const KnowledgeGraph kg = *builder.Build();
+  EXPECT_EQ(kg.num_clusters(), 1u);
+  EXPECT_EQ(kg.cluster_size(0), 10u);
+  EXPECT_DOUBLE_EQ(kg.TrueAccuracy(), 0.5);
+}
+
+TEST(KnowledgeGraphTest, AvgClusterSize) {
+  const KnowledgeGraph kg = MakeSmallKg();
+  EXPECT_DOUBLE_EQ(kg.AvgClusterSize(), 2.0);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,77 @@
+#include "kgacc/kg/profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(ProfilesTest, Table1FactCounts) {
+  EXPECT_EQ(YagoProfile().num_facts, 1386u);
+  EXPECT_EQ(NellProfile().num_facts, 1860u);
+  EXPECT_EQ(DbpediaProfile().num_facts, 9344u);
+  EXPECT_EQ(FactbenchProfile().num_facts, 2800u);
+  EXPECT_EQ(Syn100MProfile(0.9).num_facts, 101415011u);
+}
+
+TEST(ProfilesTest, Table1ClusterCounts) {
+  EXPECT_EQ(YagoProfile().num_clusters, 822u);
+  EXPECT_EQ(NellProfile().num_clusters, 817u);
+  EXPECT_EQ(DbpediaProfile().num_clusters, 2936u);
+  EXPECT_EQ(FactbenchProfile().num_clusters, 1157u);
+  EXPECT_EQ(Syn100MProfile(0.5).num_clusters, 5000000u);
+}
+
+TEST(ProfilesTest, Table1AvgClusterSizes) {
+  EXPECT_NEAR(YagoProfile().AvgClusterSize(), 1.69, 0.01);
+  EXPECT_NEAR(NellProfile().AvgClusterSize(), 2.28, 0.01);
+  EXPECT_NEAR(DbpediaProfile().AvgClusterSize(), 3.18, 0.01);
+  EXPECT_NEAR(FactbenchProfile().AvgClusterSize(), 2.42, 0.01);
+  EXPECT_NEAR(Syn100MProfile(0.9).AvgClusterSize(), 20.28, 0.01);
+}
+
+TEST(ProfilesTest, Table1Accuracies) {
+  EXPECT_DOUBLE_EQ(YagoProfile().accuracy, 0.99);
+  EXPECT_DOUBLE_EQ(NellProfile().accuracy, 0.91);
+  EXPECT_DOUBLE_EQ(DbpediaProfile().accuracy, 0.85);
+  EXPECT_DOUBLE_EQ(FactbenchProfile().accuracy, 0.54);
+  EXPECT_DOUBLE_EQ(Syn100MProfile(0.1).accuracy, 0.1);
+}
+
+TEST(ProfilesTest, RecommendedSecondStageSizes) {
+  // Gao et al.: m = 3 for small-cluster KGs, m = 5 for SYN 100M.
+  EXPECT_EQ(YagoProfile().twcs_second_stage, 3);
+  EXPECT_EQ(FactbenchProfile().twcs_second_stage, 3);
+  EXPECT_EQ(Syn100MProfile(0.9).twcs_second_stage, 5);
+}
+
+TEST(ProfilesTest, SmallProfilesInPaperOrder) {
+  const auto profiles = SmallProfiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].name, "YAGO");
+  EXPECT_EQ(profiles[1].name, "NELL");
+  EXPECT_EQ(profiles[2].name, "DBPEDIA");
+  EXPECT_EQ(profiles[3].name, "FACTBENCH");
+}
+
+TEST(ProfilesTest, MakeKgMatchesProfileExactly) {
+  for (const DatasetProfile& profile : SmallProfiles()) {
+    const auto kg = MakeKg(profile, /*seed=*/11);
+    ASSERT_TRUE(kg.ok()) << profile.name;
+    EXPECT_EQ(kg->num_triples(), profile.num_facts) << profile.name;
+    EXPECT_EQ(kg->num_clusters(), profile.num_clusters) << profile.name;
+    // The realized accuracy should be close to the nominal mu; the small
+    // populations carry binomial noise of ~1/sqrt(N).
+    EXPECT_NEAR(kg->TrueAccuracy(), profile.accuracy, 0.03) << profile.name;
+  }
+}
+
+TEST(ProfilesTest, FactbenchUsesBalancedLabels) {
+  EXPECT_EQ(FactbenchProfile().label_model, LabelModel::kBalanced);
+}
+
+TEST(ProfilesTest, SynUsesIidLabels) {
+  EXPECT_EQ(Syn100MProfile(0.9).label_model, LabelModel::kIid);
+}
+
+}  // namespace
+}  // namespace kgacc

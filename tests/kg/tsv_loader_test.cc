@@ -1,0 +1,87 @@
+#include "kgacc/kg/tsv_loader.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(TsvLoaderTest, ParsesWellFormedContent) {
+  const std::string content =
+      "# a comment\n"
+      "alice\tbornIn\tparis\t1\n"
+      "\n"
+      "alice\tworksAt\tacme\t0\n"
+      "bob\tbornIn\trome\t1\n";
+  const auto kg = LoadKgFromTsvString(content);
+  ASSERT_TRUE(kg.ok()) << kg.status().ToString();
+  EXPECT_EQ(kg->num_triples(), 3u);
+  EXPECT_EQ(kg->num_clusters(), 2u);
+  EXPECT_NEAR(kg->TrueAccuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TsvLoaderTest, HandlesWindowsLineEndings) {
+  const auto kg = LoadKgFromTsvString("a\tp\to\t1\r\nb\tp\to\t0\r\n");
+  ASSERT_TRUE(kg.ok());
+  EXPECT_EQ(kg->num_triples(), 2u);
+}
+
+TEST(TsvLoaderTest, RejectsWrongFieldCount) {
+  const auto r = LoadKgFromTsvString("a\tp\t1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TsvLoaderTest, RejectsBadLabel) {
+  EXPECT_FALSE(LoadKgFromTsvString("a\tp\to\tyes\n").ok());
+  EXPECT_FALSE(LoadKgFromTsvString("a\tp\to\t2\n").ok());
+}
+
+TEST(TsvLoaderTest, RejectsEmptyTerm) {
+  EXPECT_FALSE(LoadKgFromTsvString("\tp\to\t1\n").ok());
+  EXPECT_FALSE(LoadKgFromTsvString("a\t\to\t1\n").ok());
+}
+
+TEST(TsvLoaderTest, RejectsEmptyInput) {
+  EXPECT_FALSE(LoadKgFromTsvString("# only comments\n").ok());
+}
+
+TEST(TsvLoaderTest, ErrorMessagesNameTheLine) {
+  const auto r = LoadKgFromTsvString("a\tp\to\t1\nbad line\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TsvLoaderTest, MissingFileIsIoError) {
+  const auto r = LoadKgFromTsv("/nonexistent/path/to/kg.tsv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(TsvLoaderTest, WriteThenLoadRoundTrips) {
+  const std::string content =
+      "alice\tbornIn\tparis\t1\n"
+      "alice\tworksAt\tacme\t0\n"
+      "bob\tbornIn\trome\t1\n"
+      "carol\tknows\talice\t1\n";
+  const auto kg = *LoadKgFromTsvString(content);
+
+  const std::string path = ::testing::TempDir() + "/kgacc_roundtrip.tsv";
+  ASSERT_TRUE(WriteKgToTsv(kg, path).ok());
+  const auto reloaded = LoadKgFromTsv(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->num_triples(), kg.num_triples());
+  EXPECT_EQ(reloaded->num_clusters(), kg.num_clusters());
+  EXPECT_DOUBLE_EQ(reloaded->TrueAccuracy(), kg.TrueAccuracy());
+  std::remove(path.c_str());
+}
+
+TEST(TsvLoaderTest, WriteToUnwritablePathFails) {
+  const auto kg = *LoadKgFromTsvString("a\tp\to\t1\n");
+  EXPECT_FALSE(WriteKgToTsv(kg, "/nonexistent/dir/out.tsv").ok());
+}
+
+}  // namespace
+}  // namespace kgacc

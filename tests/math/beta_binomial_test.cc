@@ -1,0 +1,102 @@
+#include "kgacc/math/beta_binomial.h"
+
+#include <cmath>
+
+#include "kgacc/math/binomial.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(BetaBinomialTest, RejectsBadParameters) {
+  EXPECT_FALSE(BetaBinomial::Create(-1, 1.0, 1.0).ok());
+  EXPECT_FALSE(BetaBinomial::Create(5, 0.0, 1.0).ok());
+  EXPECT_FALSE(BetaBinomial::Create(5, 1.0, -2.0).ok());
+}
+
+TEST(BetaBinomialTest, UniformMixingGivesDiscreteUniform) {
+  // BetaBin(k, 1, 1) is uniform on {0, ..., k}.
+  const auto d = *BetaBinomial::Create(10, 1.0, 1.0);
+  for (int64_t x = 0; x <= 10; ++x) {
+    EXPECT_NEAR(d.Pmf(x), 1.0 / 11.0, 1e-12) << x;
+  }
+}
+
+TEST(BetaBinomialTest, PmfSumsToOne) {
+  const auto d = *BetaBinomial::Create(25, 2.5, 7.0);
+  double total = 0.0;
+  for (int64_t x = 0; x <= 25; ++x) total += d.Pmf(x);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BetaBinomialTest, MeanAndVarianceFormulas) {
+  const auto d = *BetaBinomial::Create(20, 3.0, 5.0);
+  // E = 20 * 3/8 = 7.5; Var = 20*15*(8+20)/(64*9) = 8400/576.
+  EXPECT_DOUBLE_EQ(d.Mean(), 7.5);
+  EXPECT_NEAR(d.Variance(), 8400.0 / 576.0, 1e-12);
+  // Cross-check against the pmf moments.
+  double mean = 0.0, second = 0.0;
+  for (int64_t x = 0; x <= 20; ++x) {
+    mean += x * d.Pmf(x);
+    second += x * x * d.Pmf(x);
+  }
+  EXPECT_NEAR(mean, d.Mean(), 1e-10);
+  EXPECT_NEAR(second - mean * mean, d.Variance(), 1e-9);
+}
+
+TEST(BetaBinomialTest, ConcentratedPriorApproachesBinomial) {
+  // As a, b -> inf with a/(a+b) = p fixed, BetaBin -> Bin(k, p).
+  const auto d = *BetaBinomial::Create(12, 7000.0, 3000.0);
+  for (int64_t x = 0; x <= 12; ++x) {
+    EXPECT_NEAR(d.Pmf(x), *BinomialPmf(x, 12, 0.7), 2e-3) << x;
+  }
+}
+
+TEST(BetaBinomialTest, CdfMatchesPmfSummation) {
+  const auto d = *BetaBinomial::Create(30, 1.5, 4.5);
+  double running = 0.0;
+  for (int64_t x = 0; x <= 30; ++x) {
+    running += d.Pmf(x);
+    EXPECT_NEAR(d.Cdf(x), running, 1e-10) << x;
+  }
+  EXPECT_DOUBLE_EQ(d.Cdf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(31), 1.0);
+}
+
+TEST(BetaBinomialTest, PmfOutsideSupportIsZero) {
+  const auto d = *BetaBinomial::Create(5, 2.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.Pmf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Pmf(6), 0.0);
+  EXPECT_TRUE(std::isinf(d.LogPmf(-1)));
+}
+
+TEST(BetaBinomialTest, SampleMomentsMatch) {
+  const auto d = *BetaBinomial::Create(15, 2.0, 6.0);
+  Rng rng(77);
+  double sum = 0.0, sum_sq = 0.0;
+  const int reps = 60000;
+  for (int i = 0; i < reps; ++i) {
+    const double x = static_cast<double>(d.Sample(&rng));
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 15.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / reps;
+  EXPECT_NEAR(mean, d.Mean(), 0.05);
+  EXPECT_NEAR(sum_sq / reps - mean * mean, d.Variance(), 0.25);
+}
+
+TEST(BetaBinomialTest, PosteriorPredictiveOfAnnotationProcess) {
+  // Observed (tau=27, n=30) under Jeffreys: the next batch of 10 should be
+  // mostly correct — P(X >= 8) well above 1/2.
+  const auto posterior_predictive =
+      *BetaBinomial::Create(10, 0.5 + 27.0, 0.5 + 3.0);
+  const double p_ge_8 = 1.0 - posterior_predictive.Cdf(7);
+  EXPECT_GT(p_ge_8, 0.6);
+  EXPECT_NEAR(posterior_predictive.Mean(), 10.0 * 27.5 / 31.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,126 @@
+#include "kgacc/math/beta.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(BetaDistributionTest, RejectsBadParameters) {
+  EXPECT_FALSE(BetaDistribution::Create(0.0, 1.0).ok());
+  EXPECT_FALSE(BetaDistribution::Create(1.0, -2.0).ok());
+  EXPECT_FALSE(BetaDistribution::Create(std::nan(""), 1.0).ok());
+  EXPECT_FALSE(
+      BetaDistribution::Create(std::numeric_limits<double>::infinity(), 1.0)
+          .ok());
+}
+
+TEST(BetaDistributionTest, MeanAndVariance) {
+  const auto d = *BetaDistribution::Create(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.25);
+  EXPECT_NEAR(d.Variance(), 2.0 * 6.0 / (64.0 * 9.0), 1e-15);
+}
+
+TEST(BetaDistributionTest, ModeOfUnimodal) {
+  const auto d = *BetaDistribution::Create(3.0, 5.0);
+  EXPECT_DOUBLE_EQ(d.Mode(), 2.0 / 6.0);
+}
+
+TEST(BetaDistributionTest, ShapeClassification) {
+  EXPECT_EQ((*BetaDistribution::Create(2.0, 2.0)).Shape(),
+            BetaShape::kUnimodal);
+  EXPECT_EQ((*BetaDistribution::Create(0.5, 2.0)).Shape(),
+            BetaShape::kDecreasing);
+  EXPECT_EQ((*BetaDistribution::Create(1.0, 2.0)).Shape(),
+            BetaShape::kDecreasing);
+  EXPECT_EQ((*BetaDistribution::Create(2.0, 0.5)).Shape(),
+            BetaShape::kIncreasing);
+  EXPECT_EQ((*BetaDistribution::Create(2.0, 1.0)).Shape(),
+            BetaShape::kIncreasing);
+  EXPECT_EQ((*BetaDistribution::Create(0.5, 0.5)).Shape(),
+            BetaShape::kUShaped);
+  EXPECT_EQ((*BetaDistribution::Create(1.0, 1.0)).Shape(),
+            BetaShape::kUShaped);
+}
+
+TEST(BetaDistributionTest, SymmetryFlag) {
+  EXPECT_TRUE((*BetaDistribution::Create(3.0, 3.0)).IsSymmetric());
+  EXPECT_FALSE((*BetaDistribution::Create(3.0, 3.1)).IsSymmetric());
+}
+
+TEST(BetaDistributionTest, PdfMatchesClosedFormBeta22) {
+  // Beta(2,2): f(x) = 6 x (1-x).
+  const auto d = *BetaDistribution::Create(2.0, 2.0);
+  for (double x = 0.1; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(d.Pdf(x), 6.0 * x * (1.0 - x), 1e-12) << x;
+  }
+}
+
+TEST(BetaDistributionTest, PdfOutsideSupportIsZero) {
+  const auto d = *BetaDistribution::Create(2.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.Pdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Pdf(1.1), 0.0);
+  EXPECT_TRUE(std::isinf(d.LogPdf(-0.1)));
+}
+
+TEST(BetaDistributionTest, PdfEdgeBehaviour) {
+  // a > 1: density vanishes at 0; a < 1: density diverges at 0.
+  EXPECT_DOUBLE_EQ((*BetaDistribution::Create(2.0, 2.0)).Pdf(0.0), 0.0);
+  EXPECT_TRUE(std::isinf((*BetaDistribution::Create(0.5, 2.0)).Pdf(0.0)));
+  // Uniform: density 1 everywhere including edges.
+  EXPECT_NEAR((*BetaDistribution::Create(1.0, 1.0)).Pdf(0.0), 1.0, 1e-12);
+  EXPECT_NEAR((*BetaDistribution::Create(1.0, 1.0)).Pdf(1.0), 1.0, 1e-12);
+}
+
+TEST(BetaDistributionTest, PdfIntegratesToOne) {
+  // Trapezoid integration as an independent check of the normalization.
+  const auto d = *BetaDistribution::Create(3.5, 2.2);
+  const int steps = 20000;
+  double integral = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double x0 = static_cast<double>(i) / steps;
+    const double x1 = static_cast<double>(i + 1) / steps;
+    integral += 0.5 * (d.Pdf(x0) + d.Pdf(x1)) * (x1 - x0);
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+TEST(BetaDistributionTest, CdfMatchesClosedFormBeta22) {
+  // Beta(2,2): F(x) = 3x^2 - 2x^3.
+  const auto d = *BetaDistribution::Create(2.0, 2.0);
+  for (double x = 0.1; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(d.Cdf(x), 3.0 * x * x - 2.0 * x * x * x, 1e-12) << x;
+  }
+}
+
+TEST(BetaDistributionTest, CdfClampedOutsideSupport) {
+  const auto d = *BetaDistribution::Create(2.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(2.0), 1.0);
+}
+
+TEST(BetaDistributionTest, CdfIsDerivativeConsistentWithPdf) {
+  const auto d = *BetaDistribution::Create(4.0, 7.0);
+  const double h = 1e-6;
+  for (double x = 0.1; x < 1.0; x += 0.1) {
+    const double numeric = (d.Cdf(x + h) - d.Cdf(x - h)) / (2.0 * h);
+    EXPECT_NEAR(numeric, d.Pdf(x), 1e-5) << x;
+  }
+}
+
+TEST(BetaDistributionTest, QuantileRoundTrip) {
+  const auto d = *BetaDistribution::Create(30.33, 2.33);
+  for (const double p : {0.01, 0.05, 0.5, 0.95, 0.99}) {
+    EXPECT_NEAR(d.Cdf(*d.Quantile(p)), p, 1e-10) << p;
+  }
+}
+
+TEST(BetaDistributionTest, QuantileRejectsOutOfRange) {
+  const auto d = *BetaDistribution::Create(2.0, 2.0);
+  EXPECT_FALSE(d.Quantile(-0.1).ok());
+  EXPECT_FALSE(d.Quantile(1.5).ok());
+}
+
+}  // namespace
+}  // namespace kgacc

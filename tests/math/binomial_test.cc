@@ -1,0 +1,113 @@
+#include "kgacc/math/binomial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(BinomialPmfTest, MatchesHandComputedValues) {
+  // Bin(4, 0.5): pmf = {1, 4, 6, 4, 1} / 16.
+  for (int k = 0; k <= 4; ++k) {
+    const double expected[] = {1.0, 4.0, 6.0, 4.0, 1.0};
+    EXPECT_NEAR(*BinomialPmf(k, 4, 0.5), expected[k] / 16.0, 1e-14) << k;
+  }
+}
+
+TEST(BinomialPmfTest, SumsToOne) {
+  const int n = 23;
+  const double p = 0.31;
+  double total = 0.0;
+  for (int k = 0; k <= n; ++k) total += *BinomialPmf(k, n, p);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BinomialPmfTest, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(*BinomialPmf(0, 5, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*BinomialPmf(3, 5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(*BinomialPmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(*BinomialPmf(4, 5, 1.0), 0.0);
+}
+
+TEST(BinomialPmfTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(BinomialPmf(-1, 5, 0.5).ok());
+  EXPECT_FALSE(BinomialPmf(6, 5, 0.5).ok());
+  EXPECT_FALSE(BinomialPmf(2, 5, 1.5).ok());
+  EXPECT_FALSE(BinomialPmf(2, -1, 0.5).ok());
+}
+
+TEST(BinomialCdfTest, MatchesDirectSummation) {
+  const int n = 15;
+  const double p = 0.42;
+  double running = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    running += *BinomialPmf(k, n, p);
+    EXPECT_NEAR(*BinomialCdf(k, n, p), running, 1e-11) << k;
+  }
+}
+
+TEST(BinomialCdfTest, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(*BinomialCdf(-1, 10, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(*BinomialCdf(10, 10, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(*BinomialCdf(15, 10, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(*BinomialCdf(3, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*BinomialCdf(3, 10, 1.0), 0.0);
+}
+
+TEST(BinomialSampleTest, DegenerateCases) {
+  Rng rng(1);
+  EXPECT_EQ(BinomialSample(0, 0.5, &rng), 0);
+  EXPECT_EQ(BinomialSample(10, 0.0, &rng), 0);
+  EXPECT_EQ(BinomialSample(10, 1.0, &rng), 10);
+}
+
+TEST(BinomialSampleTest, StaysInRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = BinomialSample(20, 0.7, &rng);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 20);
+  }
+}
+
+/// Parameterized moment check across all three sampler paths (Bernoulli
+/// sum, waiting time, inversion-from-mode).
+struct BinomialCase {
+  int64_t n;
+  double p;
+};
+
+class BinomialSampleMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialSampleMoments, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(1234);
+  const int reps = 60000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const double x = static_cast<double>(BinomialSample(n, p, &rng));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / reps;
+  const double var = sum_sq / reps - mean * mean;
+  const double expected_mean = static_cast<double>(n) * p;
+  const double expected_var = static_cast<double>(n) * p * (1.0 - p);
+  EXPECT_NEAR(mean, expected_mean,
+              5.0 * std::sqrt(expected_var / reps) + 1e-9);
+  EXPECT_NEAR(var, expected_var, 0.08 * expected_var + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, BinomialSampleMoments,
+    ::testing::Values(BinomialCase{10, 0.3},     // Bernoulli-sum path
+                      BinomialCase{50, 0.5},     // Bernoulli-sum path
+                      BinomialCase{500, 0.01},   // waiting-time path
+                      BinomialCase{2000, 0.004}, // waiting-time path
+                      BinomialCase{300, 0.4},    // inversion path
+                      BinomialCase{10000, 0.8},  // symmetry + inversion
+                      BinomialCase{100000, 0.37}));
+
+}  // namespace
+}  // namespace kgacc

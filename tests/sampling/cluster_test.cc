@@ -1,0 +1,158 @@
+#include "kgacc/sampling/cluster.h"
+
+#include <cmath>
+#include <set>
+
+#include "kgacc/kg/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+SyntheticKg MakeKg(uint64_t clusters = 300, double mean_size = 4.0) {
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = clusters;
+  cfg.mean_cluster_size = mean_size;
+  cfg.accuracy = 0.85;
+  cfg.seed = 21;
+  return *SyntheticKg::Create(cfg);
+}
+
+TEST(TwcsSamplerTest, SecondStageCapsAtM) {
+  const auto kg = MakeKg();
+  TwcsSampler sampler(kg, TwcsConfig{.batch_clusters = 50,
+                                     .second_stage_size = 3});
+  Rng rng(1);
+  const auto batch = *sampler.NextBatch(&rng);
+  ASSERT_EQ(batch.size(), 50u);
+  for (const SampledUnit& unit : batch) {
+    const uint64_t m_i = kg.cluster_size(unit.cluster);
+    EXPECT_EQ(unit.offsets.size(), std::min<uint64_t>(m_i, 3));
+    EXPECT_EQ(unit.cluster_population, m_i);
+    // Offsets are distinct and in range (second stage is SRS-WOR).
+    std::set<uint64_t> distinct(unit.offsets.begin(), unit.offsets.end());
+    EXPECT_EQ(distinct.size(), unit.offsets.size());
+    for (uint64_t o : unit.offsets) EXPECT_LT(o, m_i);
+  }
+}
+
+TEST(TwcsSamplerTest, FirstStageIsPps) {
+  // Empirical first-stage frequencies must be proportional to cluster size.
+  const auto kg = MakeKg(100, 5.0);
+  TwcsSampler sampler(kg, TwcsConfig{.batch_clusters = 100,
+                                     .second_stage_size = 3});
+  Rng rng(2);
+  std::vector<double> hits(kg.num_clusters(), 0.0);
+  const int batches = 3000;
+  for (int b = 0; b < batches; ++b) {
+    const SampleBatch batch_ = *sampler.NextBatch(&rng);
+    for (const SampledUnit& unit : batch_) {
+      hits[unit.cluster] += 1.0;
+    }
+  }
+  const double total = 100.0 * batches;
+  for (uint64_t c = 0; c < kg.num_clusters(); ++c) {
+    const double expected = total * static_cast<double>(kg.cluster_size(c)) /
+                            static_cast<double>(kg.num_triples());
+    EXPECT_NEAR(hits[c], expected, 5.0 * std::sqrt(expected) + 20.0)
+        << "cluster " << c;
+  }
+}
+
+TEST(TwcsSamplerTest, EstimatorKindIsCluster) {
+  const auto kg = MakeKg();
+  TwcsSampler sampler(kg, TwcsConfig{});
+  EXPECT_EQ(sampler.estimator(), EstimatorKind::kCluster);
+  EXPECT_STREQ(sampler.name(), "TWCS");
+}
+
+TEST(TwcsSamplerTest, SingletonClustersContributeOneTriple) {
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = 50;
+  cfg.mean_cluster_size = 1.0;  // All singleton clusters.
+  cfg.accuracy = 0.5;
+  cfg.seed = 5;
+  const auto kg = *SyntheticKg::Create(cfg);
+  TwcsSampler sampler(kg, TwcsConfig{.batch_clusters = 10,
+                                     .second_stage_size = 3});
+  Rng rng(3);
+  const SampleBatch batch_ = *sampler.NextBatch(&rng);
+  for (const SampledUnit& unit : batch_) {
+    EXPECT_EQ(unit.offsets.size(), 1u);
+    EXPECT_EQ(unit.offsets[0], 0u);
+  }
+}
+
+TEST(WcsSamplerTest, AnnotatesWholeClusters) {
+  const auto kg = MakeKg();
+  WcsSampler sampler(kg, ClusterConfig{.batch_clusters = 20});
+  Rng rng(4);
+  const SampleBatch batch_ = *sampler.NextBatch(&rng);
+  for (const SampledUnit& unit : batch_) {
+    EXPECT_EQ(unit.offsets.size(), kg.cluster_size(unit.cluster));
+  }
+  EXPECT_STREQ(sampler.name(), "WCS");
+}
+
+TEST(RcsSamplerTest, UniformOverClusters) {
+  const auto kg = MakeKg(50, 4.0);
+  RcsSampler sampler(kg, ClusterConfig{.batch_clusters = 100});
+  Rng rng(5);
+  std::vector<double> hits(kg.num_clusters(), 0.0);
+  const int batches = 2000;
+  for (int b = 0; b < batches; ++b) {
+    const SampleBatch batch_ = *sampler.NextBatch(&rng);
+    for (const SampledUnit& unit : batch_) {
+      hits[unit.cluster] += 1.0;
+    }
+  }
+  const double expected = 100.0 * batches / static_cast<double>(kg.num_clusters());
+  for (uint64_t c = 0; c < kg.num_clusters(); ++c) {
+    EXPECT_NEAR(hits[c], expected, 5.0 * std::sqrt(expected)) << c;
+  }
+  EXPECT_STREQ(sampler.name(), "RCS");
+}
+
+TEST(SecondStageTest, DrawsExactlyMinOfSizeAndM) {
+  Rng rng(6);
+  EXPECT_EQ(internal::DrawSecondStage(10, 3, &rng).size(), 3u);
+  EXPECT_EQ(internal::DrawSecondStage(2, 3, &rng).size(), 2u);
+  EXPECT_EQ(internal::DrawSecondStage(3, 3, &rng).size(), 3u);
+  EXPECT_EQ(internal::DrawSecondStage(5, 0, &rng).size(), 5u);  // Whole.
+}
+
+TEST(SecondStageTest, WholeClusterIsIdentityRange) {
+  Rng rng(7);
+  const auto offsets = internal::DrawSecondStage(4, 0, &rng);
+  ASSERT_EQ(offsets.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(offsets[i], i);
+}
+
+TEST(SecondStageTest, SecondStageOffsetsAreUnbiased) {
+  // Every offset of a size-6 cluster should be drawn equally often at m=2.
+  Rng rng(8);
+  std::vector<int> counts(6, 0);
+  const int reps = 30000;
+  for (int r = 0; r < reps; ++r) {
+    for (uint64_t o : internal::DrawSecondStage(6, 2, &rng)) ++counts[o];
+  }
+  const double expected = reps * 2.0 / 6.0;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(counts[i], expected, 0.05 * expected) << i;
+  }
+}
+
+TEST(BuildSizeAliasTableTest, ProbabilitiesMatchSizes) {
+  const auto kg = MakeKg(10, 3.0);
+  const auto table = internal::BuildSizeAliasTable(kg);
+  for (uint64_t c = 0; c < kg.num_clusters(); ++c) {
+    EXPECT_NEAR(table->probability(c),
+                static_cast<double>(kg.cluster_size(c)) /
+                    static_cast<double>(kg.num_triples()),
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace kgacc

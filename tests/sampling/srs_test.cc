@@ -1,0 +1,117 @@
+#include "kgacc/sampling/srs.h"
+
+#include <cmath>
+#include <set>
+
+#include "kgacc/kg/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+SyntheticKg MakeKg(double accuracy = 0.8, uint64_t clusters = 500) {
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = clusters;
+  cfg.mean_cluster_size = 3.0;
+  cfg.accuracy = accuracy;
+  cfg.seed = 9;
+  return *SyntheticKg::Create(cfg);
+}
+
+TEST(SrsSamplerTest, BatchSizeIsHonored) {
+  const auto kg = MakeKg();
+  SrsSampler sampler(kg, SrsConfig{.batch_size = 7});
+  Rng rng(1);
+  const auto batch = *sampler.NextBatch(&rng);
+  EXPECT_EQ(batch.size(), 7u);
+  for (const SampledUnit& unit : batch) {
+    EXPECT_EQ(unit.offsets.size(), 1u);
+    EXPECT_LT(unit.cluster, kg.num_clusters());
+    EXPECT_LT(unit.offsets[0], kg.cluster_size(unit.cluster));
+    EXPECT_EQ(unit.cluster_population, kg.cluster_size(unit.cluster));
+  }
+}
+
+TEST(SrsSamplerTest, EstimatorKindIsSrs) {
+  const auto kg = MakeKg();
+  SrsSampler sampler(kg, SrsConfig{});
+  EXPECT_EQ(sampler.estimator(), EstimatorKind::kSrs);
+  EXPECT_STREQ(sampler.name(), "SRS");
+}
+
+TEST(SrsSamplerTest, WithoutReplacementNeverRepeats) {
+  const auto kg = MakeKg(0.8, 50);
+  SrsSampler sampler(kg,
+                     SrsConfig{.batch_size = 10, .without_replacement = true});
+  Rng rng(2);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (int b = 0; b < 10; ++b) {
+    const auto batch = *sampler.NextBatch(&rng);
+    for (const SampledUnit& unit : batch) {
+      const auto key = std::make_pair(unit.cluster, unit.offsets[0]);
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate draw";
+    }
+  }
+}
+
+TEST(SrsSamplerTest, WithoutReplacementExhaustsPopulation) {
+  const auto kg = MakeKg(0.8, 20);
+  SrsSampler sampler(kg,
+                     SrsConfig{.batch_size = 1000, .without_replacement = true});
+  Rng rng(3);
+  const auto first = *sampler.NextBatch(&rng);
+  EXPECT_EQ(first.size(), kg.num_triples());
+  const auto second = *sampler.NextBatch(&rng);
+  EXPECT_TRUE(second.empty());
+}
+
+TEST(SrsSamplerTest, ResetForgetsDrawHistory) {
+  const auto kg = MakeKg(0.8, 20);
+  SrsSampler sampler(kg,
+                     SrsConfig{.batch_size = 1000, .without_replacement = true});
+  Rng rng(4);
+  ASSERT_FALSE((*sampler.NextBatch(&rng)).empty());
+  ASSERT_TRUE((*sampler.NextBatch(&rng)).empty());
+  sampler.Reset();
+  EXPECT_FALSE((*sampler.NextBatch(&rng)).empty());
+}
+
+TEST(SrsSamplerTest, DrawsAreUniformOverTriples) {
+  const auto kg = MakeKg(0.8, 50);
+  SrsSampler sampler(kg, SrsConfig{.batch_size = 100});
+  Rng rng(5);
+  // Count hits per cluster; expectation is proportional to cluster size.
+  std::vector<double> hits(kg.num_clusters(), 0.0);
+  const int batches = 2000;
+  for (int b = 0; b < batches; ++b) {
+    const SampleBatch batch_ = *sampler.NextBatch(&rng);
+    for (const SampledUnit& unit : batch_) {
+      hits[unit.cluster] += 1.0;
+    }
+  }
+  const double total = 100.0 * batches;
+  for (uint64_t c = 0; c < kg.num_clusters(); ++c) {
+    const double expected =
+        total * static_cast<double>(kg.cluster_size(c)) /
+        static_cast<double>(kg.num_triples());
+    EXPECT_NEAR(hits[c], expected, 5.0 * std::sqrt(expected) + 10.0)
+        << "cluster " << c;
+  }
+}
+
+TEST(SrsSamplerTest, SameSeedSameDraws) {
+  const auto kg = MakeKg();
+  SrsSampler sampler(kg, SrsConfig{.batch_size = 20});
+  Rng rng1(77), rng2(77);
+  const auto a = *sampler.NextBatch(&rng1);
+  const auto b = *sampler.NextBatch(&rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cluster, b[i].cluster);
+    EXPECT_EQ(a[i].offsets[0], b[i].offsets[0]);
+  }
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,52 @@
+#include "kgacc/stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(MeanTest, SimpleValues) {
+  EXPECT_DOUBLE_EQ(*Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(*Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(*Mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(MeanTest, EmptyIsError) { EXPECT_FALSE(Mean({}).ok()); }
+
+TEST(SampleVarianceTest, KnownValue) {
+  // Var of {2, 4, 4, 4, 5, 5, 7, 9} with n-1 denominator is 32/7.
+  EXPECT_NEAR(*SampleVariance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SampleVarianceTest, ConstantSampleIsZero) {
+  EXPECT_DOUBLE_EQ(*SampleVariance({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(SampleVarianceTest, NeedsTwoValues) {
+  EXPECT_FALSE(SampleVariance({1.0}).ok());
+  EXPECT_FALSE(SampleVariance({}).ok());
+}
+
+TEST(SummarizeTest, AllFieldsPopulated) {
+  const auto s = *Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(SummarizeTest, SingletonHasZeroStddev) {
+  const auto s = *Summarize({7.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(SummarizeTest, EmptyIsError) { EXPECT_FALSE(Summarize({}).ok()); }
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,92 @@
+#include "kgacc/stats/mann_whitney.h"
+
+#include "kgacc/util/random.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(MannWhitneyTest, HandComputedUStatistic) {
+  // xs = {1, 3, 5}, ys = {2, 4}: ranks of xs are 1, 3, 5 -> R = 9;
+  // U = 9 - 3*4/2 = 3.
+  const auto r = *MannWhitneyUTest({1, 3, 5}, {2, 4});
+  EXPECT_DOUBLE_EQ(r.u, 3.0);
+}
+
+TEST(MannWhitneyTest, IdenticalDistributionsGiveHighP) {
+  const auto r = *MannWhitneyUTest({1, 2, 3, 4, 5}, {1, 2, 3, 4, 5});
+  EXPECT_GT(r.p_two_sided, 0.9);
+  EXPECT_FALSE(r.SignificantAt(0.05));
+}
+
+TEST(MannWhitneyTest, CompleteSeparationIsSignificant) {
+  std::vector<double> lo, hi;
+  for (int i = 0; i < 30; ++i) {
+    lo.push_back(i);
+    hi.push_back(100 + i);
+  }
+  const auto r = *MannWhitneyUTest(lo, hi);
+  EXPECT_LT(r.p_two_sided, 1e-8);
+  EXPECT_TRUE(r.SignificantAt(0.01));
+}
+
+TEST(MannWhitneyTest, AllTiedValuesGivePOne) {
+  const auto r = *MannWhitneyUTest({5, 5, 5}, {5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+  EXPECT_DOUBLE_EQ(r.z, 0.0);
+}
+
+TEST(MannWhitneyTest, SymmetricInArguments) {
+  const std::vector<double> a = {1, 4, 6, 9, 12};
+  const std::vector<double> b = {2, 3, 7, 8, 15};
+  const auto ab = *MannWhitneyUTest(a, b);
+  const auto ba = *MannWhitneyUTest(b, a);
+  EXPECT_NEAR(ab.p_two_sided, ba.p_two_sided, 1e-12);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-12);
+}
+
+TEST(MannWhitneyTest, TiesAreHandledViaMidRanks) {
+  // Heavily tied integer data (like annotation counts).
+  const std::vector<double> x = {30, 30, 40, 40, 40, 50};
+  const std::vector<double> y = {40, 40, 50, 50, 60, 60};
+  const auto r = MannWhitneyUTest(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->p_two_sided, 0.0);
+  EXPECT_LT(r->p_two_sided, 1.0);
+}
+
+TEST(MannWhitneyTest, RequiresTwoObservationsEach) {
+  EXPECT_FALSE(MannWhitneyUTest({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(MannWhitneyUTest({1.0, 2.0}, {}).ok());
+}
+
+TEST(MannWhitneyTest, FalsePositiveRateNearNominal) {
+  Rng rng(99);
+  int fp = 0;
+  const int trials = 1500;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs(25), ys(25);
+    for (int i = 0; i < 25; ++i) {
+      xs[i] = rng.Normal();
+      ys[i] = rng.Normal();
+    }
+    if ((*MannWhitneyUTest(xs, ys)).SignificantAt(0.05)) ++fp;
+  }
+  EXPECT_NEAR(fp / static_cast<double>(trials), 0.05, 0.02);
+}
+
+TEST(MannWhitneyTest, AgreesWithTTestDirectionOnShiftedData) {
+  Rng rng(7);
+  std::vector<double> xs(40), ys(40);
+  for (int i = 0; i < 40; ++i) {
+    xs[i] = rng.Normal();
+    ys[i] = rng.Normal() + 1.0;
+  }
+  const auto r = *MannWhitneyUTest(xs, ys);
+  EXPECT_LT(r.z, 0.0);  // xs stochastically smaller.
+  EXPECT_TRUE(r.SignificantAt(0.01));
+}
+
+}  // namespace
+}  // namespace kgacc

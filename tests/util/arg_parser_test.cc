@@ -1,0 +1,82 @@
+#include "kgacc/util/arg_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+ArgParser MakeParser() {
+  ArgParser parser;
+  parser.AddFlag("kg", "path").AddFlag("alpha", "level").AddFlag("json",
+                                                                 "toggle");
+  return parser;
+}
+
+Result<ParsedArgs> ParseAll(const std::vector<const char*>& argv) {
+  return MakeParser().Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  const auto args = *ParseAll({"--kg=facts.tsv", "--alpha=0.01"});
+  EXPECT_EQ(args.GetString("kg"), "facts.tsv");
+  EXPECT_DOUBLE_EQ(*args.GetDouble("alpha", 0.05), 0.01);
+}
+
+TEST(ArgParserTest, SpaceSyntax) {
+  const auto args = *ParseAll({"--kg", "facts.tsv"});
+  EXPECT_EQ(args.GetString("kg"), "facts.tsv");
+}
+
+TEST(ArgParserTest, BooleanForms) {
+  EXPECT_TRUE(*(*ParseAll({"--json"})).GetBool("json", false));
+  EXPECT_TRUE(*(*ParseAll({"--json=true"})).GetBool("json", false));
+  EXPECT_TRUE(*(*ParseAll({"--json=1"})).GetBool("json", false));
+  EXPECT_FALSE(*(*ParseAll({"--json=false"})).GetBool("json", true));
+  EXPECT_FALSE(*(*ParseAll({"--json=0"})).GetBool("json", true));
+  EXPECT_FALSE((*ParseAll({"--json=maybe"})).GetBool("json", false).ok());
+}
+
+TEST(ArgParserTest, FallbacksWhenAbsent) {
+  const auto args = *ParseAll({});
+  EXPECT_EQ(args.GetString("kg", "default.tsv"), "default.tsv");
+  EXPECT_DOUBLE_EQ(*args.GetDouble("alpha", 0.05), 0.05);
+  EXPECT_EQ(*args.GetInt("alpha", 7), 7);
+  EXPECT_FALSE(*args.GetBool("json", false));
+  EXPECT_FALSE(args.Has("kg"));
+}
+
+TEST(ArgParserTest, UnknownFlagIsError) {
+  const auto r = ParseAll({"--bogus=1"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParserTest, MalformedNumbersAreErrors) {
+  const auto args = *ParseAll({"--alpha=abc"});
+  EXPECT_FALSE(args.GetDouble("alpha", 0.05).ok());
+  EXPECT_FALSE(args.GetInt("alpha", 1).ok());
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  const auto args = *ParseAll({"--kg=x.tsv", "first", "second"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "first");
+  EXPECT_EQ(args.positional()[1], "second");
+}
+
+TEST(ArgParserTest, DoubleDashEndsFlagParsing) {
+  const auto args = *ParseAll({"--", "--kg=hidden"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "--kg=hidden");
+  EXPECT_FALSE(args.Has("kg"));
+}
+
+TEST(ArgParserTest, HelpTextListsAllFlags) {
+  const std::string help = MakeParser().HelpText();
+  EXPECT_NE(help.find("--kg"), std::string::npos);
+  EXPECT_NE(help.find("--alpha"), std::string::npos);
+  EXPECT_NE(help.find("--json"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgacc

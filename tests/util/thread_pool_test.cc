@@ -1,0 +1,73 @@
+#include "kgacc/util/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksCanWriteDisjointSlots) {
+  ThreadPool pool(3);
+  std::vector<int> results(50, 0);
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&results, i] { results[i] = i * i; });
+  }
+  pool.Wait();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ThreadPoolTest, MultipleWaitRoundsWork) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolIsSequentialButComplete) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 30; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 30);
+  EXPECT_EQ(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run everything.
+  }
+  EXPECT_EQ(counter.load(), 40);
+}
+
+}  // namespace
+}  // namespace kgacc
