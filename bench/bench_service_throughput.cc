@@ -1,0 +1,101 @@
+// EvaluationService throughput: runs the same mixed audit batch at 1, 2,
+// and N worker threads, reports audits/sec and annotated triples/sec, and
+// verifies along the way that the numbers coming back are identical at
+// every thread count. Emits BENCH_service.json (one machine-readable record
+// per thread count) to seed the performance trajectory across PRs.
+//
+// Knobs: KGACC_REPS = jobs in the batch (default 128), KGACC_SEED,
+// KGACC_THREADS = max thread count to sweep to (default: hardware).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace kgacc;
+  const int jobs_n = bench::Reps(128);
+  const uint64_t seed = bench::BaseSeed();
+
+  const auto kg = *MakeKg(NellProfile(), seed);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  TwcsSampler twcs(kg, TwcsConfig{});
+  const IntervalMethod methods[] = {
+      IntervalMethod::kWald, IntervalMethod::kWilson,
+      IntervalMethod::kClopperPearson, IntervalMethod::kAhpd};
+
+  // A representative mixed workload: methods x designs x split seeds.
+  std::vector<EvaluationJob> jobs;
+  jobs.reserve(jobs_n);
+  for (int i = 0; i < jobs_n; ++i) {
+    EvaluationJob job;
+    job.sampler = (i % 2 == 0) ? static_cast<const Sampler*>(&srs)
+                               : static_cast<const Sampler*>(&twcs);
+    job.annotator = &annotator;
+    job.config.method = methods[(i / 2) % 4];
+    job.seed = EvaluationService::DeriveJobSeed(seed, i);
+    jobs.push_back(std::move(job));
+  }
+
+  int max_threads = bench::Threads();
+  if (max_threads <= 0) {
+    // Let the service's own 0-means-hardware resolution decide the ceiling,
+    // so the sweep matches what a default-constructed service actually uses.
+    max_threads = EvaluationService().num_threads();
+  }
+  std::vector<int> sweep = {1};
+  if (max_threads >= 2) sweep.push_back(2);
+  if (max_threads > 2) sweep.push_back(max_threads);
+
+  std::printf("EvaluationService throughput: %d audits (NELL-like KG, "
+              "Wald/Wilson/CP/aHPD x SRS/TWCS)\n", jobs_n);
+  bench::Rule(72);
+  std::printf("%8s %12s %14s %16s %10s\n", "threads", "wall(s)",
+              "audits/s", "triples/s", "speedup");
+  bench::Rule(72);
+
+  std::FILE* json = std::fopen("BENCH_service.json", "w");
+  if (json != nullptr) std::fprintf(json, "[\n");
+  double base_wall = 0.0;
+  uint64_t reference_triples = 0;
+  bool deterministic = true;
+  for (size_t s = 0; s < sweep.size(); ++s) {
+    EvaluationService service(
+        EvaluationService::Options{.num_threads = sweep[s]});
+    const EvaluationBatchResult batch = service.RunBatch(jobs);
+    const ServiceBatchStats& stats = batch.stats;
+    if (s == 0) {
+      base_wall = stats.wall_seconds;
+      reference_triples = stats.annotated_triples;
+    } else if (stats.annotated_triples != reference_triples) {
+      deterministic = false;
+    }
+    std::printf("%8d %12.3f %14.1f %16.0f %9.2fx\n", stats.num_threads,
+                stats.wall_seconds, stats.audits_per_second,
+                stats.triples_per_second,
+                stats.wall_seconds > 0.0 ? base_wall / stats.wall_seconds
+                                         : 0.0);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "  {\"bench\": \"service_throughput\", \"jobs\": %d, "
+                   "\"threads\": %d, \"wall_seconds\": %.6f, "
+                   "\"audits_per_second\": %.2f, "
+                   "\"triples_per_second\": %.2f, "
+                   "\"annotated_triples\": %llu, \"failed\": %zu}%s\n",
+                   jobs_n, stats.num_threads, stats.wall_seconds,
+                   stats.audits_per_second, stats.triples_per_second,
+                   static_cast<unsigned long long>(stats.annotated_triples),
+                   stats.failed, s + 1 < sweep.size() ? "," : "");
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "]\n");
+    std::fclose(json);
+  }
+  bench::Rule(72);
+  std::printf("deterministic across thread counts: %s\n",
+              deterministic ? "yes" : "NO — BUG");
+  std::printf("wrote BENCH_service.json\n");
+  return deterministic ? 0 : 1;
+}

@@ -20,6 +20,20 @@ uint64_t BaseSeed() {
   return 20250226;  // The paper's arXiv date, for want of a better ritual.
 }
 
+int Threads() {
+  if (const char* env = std::getenv("KGACC_THREADS")) {
+    const int threads = std::atoi(env);
+    if (threads > 0) return threads;
+  }
+  return 0;  // EvaluationService resolves 0 to the hardware concurrency.
+}
+
+EvaluationService& SharedService() {
+  static EvaluationService service(
+      EvaluationService::Options{.num_threads = Threads()});
+  return service;
+}
+
 std::string MeanStd(const SampleSummary& s, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f±%.*f", precision, s.mean, precision,
@@ -37,10 +51,12 @@ ReplicationSummary RunConfig(const KgView& kg, const BenchConfig& config,
   eval.priors = config.priors;
   if (config.twcs) {
     TwcsSampler sampler(kg, TwcsConfig{.second_stage_size = config.twcs_m});
-    return *RunReplications(sampler, annotator, eval, reps, seed);
+    return *RunReplicationsParallel(SharedService(), sampler, annotator, eval,
+                                    reps, seed);
   }
   SrsSampler sampler(kg, SrsConfig{});
-  return *RunReplications(sampler, annotator, eval, reps, seed);
+  return *RunReplicationsParallel(SharedService(), sampler, annotator, eval,
+                                  reps, seed);
 }
 
 std::string SignificanceMarks(const ReplicationSummary& ahpd,

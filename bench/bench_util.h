@@ -20,11 +20,22 @@ int Reps(int fallback = 1000);
 /// Base seed for all harness runs; override with KGACC_SEED.
 uint64_t BaseSeed();
 
+/// Worker threads for the harness's `EvaluationService`; defaults to the
+/// hardware concurrency, override with KGACC_THREADS. Thread count never
+/// changes the numbers — only the wall-clock time.
+int Threads();
+
+/// The process-wide evaluation service the harness fans repetitions out
+/// on (constructed on first use with `Threads()` workers).
+EvaluationService& SharedService();
+
 /// "123±45" / "1.23±0.45" formatting used throughout the tables.
 std::string MeanStd(const SampleSummary& s, int precision);
 
 /// Runs one (population, design, method) configuration through the full
-/// iterative framework `reps` times.
+/// iterative framework `reps` times. Repetitions execute as one parallel
+/// `EvaluationService` batch (seed + i per rep), reproducing the serial
+/// protocol bit for bit.
 struct BenchConfig {
   IntervalMethod method = IntervalMethod::kAhpd;
   double alpha = 0.05;

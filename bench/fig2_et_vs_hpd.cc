@@ -72,5 +72,33 @@ int main() {
   }
   std::printf("\nPaper reference: ratio < 75%% in (b), < 20%% in (c); "
               "ET == HPD in (a).\n");
+
+  // Downstream consequence of the interval choice: run ET and HPD as the
+  // stopping rule of the full iterative framework on a skewed (NELL-like)
+  // population — one EvaluationService batch per method, so both columns
+  // come from a single parallel pass over all repetitions.
+  const int reps = bench::Reps(200);
+  const uint64_t seed = bench::BaseSeed();
+  const auto kg = *MakeKg(NellProfile(), seed);
+  OracleAnnotator annotator;
+  SrsSampler sampler(kg, SrsConfig{});
+  std::printf("\nAs stopping rules on a NELL-like KG (mu=%.2f, %d reps, "
+              "%d service threads):\n", kg.TrueAccuracy(), reps,
+              bench::SharedService().num_threads());
+  std::printf("%-8s %12s %14s %10s\n", "Method", "triples", "cost(h)",
+              "zero-w");
+  for (const IntervalMethod method :
+       {IntervalMethod::kEqualTailed, IntervalMethod::kHpd}) {
+    EvaluationConfig config;
+    config.method = method;
+    const auto summary = *RunReplicationsParallel(
+        bench::SharedService(), sampler, annotator, config, reps, seed + 2);
+    std::printf("%-8s %12s %14s %10d\n", IntervalMethodName(method),
+                bench::MeanStd(summary.triples_summary, 0).c_str(),
+                bench::MeanStd(summary.cost_summary, 2).c_str(),
+                summary.zero_width);
+  }
+  std::printf("The HPD rule stops at (weakly) fewer annotations: its "
+              "interval is never wider than ET.\n");
   return 0;
 }

@@ -16,6 +16,8 @@ int main() {
 
   std::printf("Figure 4: aHPD vs Wilson annotation cost (hours) across "
               "alpha (%d reps)\n", reps);
+  std::printf("(repetitions fan out on the EvaluationService: %d worker "
+              "threads)\n", bench::SharedService().num_threads());
   for (const bool twcs : {false, true}) {
     std::printf("\n[%s]\n", twcs ? "(b) TWCS, m=3" : "(a) SRS");
     bench::Rule(100);

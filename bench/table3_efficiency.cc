@@ -16,6 +16,8 @@ int main() {
 
   std::printf("Table 3: efficiency of Wald / Wilson / aHPD (alpha=0.05, "
               "eps=0.05, %d reps)\n", reps);
+  std::printf("(repetitions fan out on the EvaluationService: %d worker "
+              "threads)\n", bench::SharedService().num_threads());
   for (const bool twcs : {false, true}) {
     std::printf("\n[%s]\n", twcs ? "TWCS, m=3" : "SRS");
     bench::Rule(108);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "kgacc/eval/session.h"
+
 namespace kgacc {
 
 const char* StopReasonName(StopReason reason) {
@@ -75,10 +77,14 @@ Result<Interval> BuildInterval(const EvaluationConfig& config,
       return WilsonInterval(estimate.mu, n_eff, config.alpha);
     case IntervalMethod::kAgrestiCoull:
       return AgrestiCoullInterval(estimate.mu, n_eff, config.alpha);
-    case IntervalMethod::kClopperPearson:
-      return ClopperPearsonInterval(
-          static_cast<uint64_t>(std::llround(tau_eff)),
-          static_cast<uint64_t>(std::llround(n_eff)), config.alpha);
+    case IntervalMethod::kClopperPearson: {
+      // Round the effective sample to integers and clamp: rounding tau and
+      // n independently can yield tau > n under design effects.
+      const uint64_t n_round = static_cast<uint64_t>(std::llround(n_eff));
+      const uint64_t tau_round = std::min(
+          static_cast<uint64_t>(std::llround(tau_eff)), n_round);
+      return ClopperPearsonInterval(tau_round, n_round, config.alpha);
+    }
     case IntervalMethod::kEqualTailed: {
       if (config.priors.empty()) {
         return Status::InvalidArgument("ET CrI requires a prior");
@@ -111,93 +117,8 @@ Result<Interval> BuildInterval(const EvaluationConfig& config,
 Result<EvaluationResult> RunEvaluation(Sampler& sampler, Annotator& annotator,
                                        const EvaluationConfig& config,
                                        uint64_t seed) {
-  if (!(config.moe_threshold > 0.0)) {
-    return Status::InvalidArgument("MoE threshold must be positive");
-  }
-  if (!(config.alpha > 0.0) || !(config.alpha < 1.0)) {
-    return Status::OutOfRange("alpha must be in (0,1)");
-  }
-
-  sampler.Reset();
-  Rng rng(seed);
-  const KgView& kg = sampler.kg();
-  AnnotatedSample sample;
-  EvaluationResult out;
-
-  CostModel cost_model = config.cost;
-  cost_model.annotators_per_triple = annotator.JudgmentsPerTriple();
-
-  for (;;) {
-    // Phase 1: draw a batch according to the sampling design.
-    KGACC_ASSIGN_OR_RETURN(const SampleBatch batch, sampler.NextBatch(&rng));
-    if (batch.empty()) {
-      out.stop_reason = StopReason::kPopulationExhausted;
-      break;
-    }
-    ++out.iterations;
-
-    // Phase 2: annotate the batch and merge into the running sample.
-    for (const SampledUnit& unit : batch) {
-      AnnotatedUnit annotated;
-      annotated.cluster = unit.cluster;
-      annotated.cluster_population = unit.cluster_population;
-      annotated.stratum = unit.stratum;
-      annotated.drawn = static_cast<uint32_t>(unit.offsets.size());
-      for (uint64_t offset : unit.offsets) {
-        const TripleRef ref{unit.cluster, offset};
-        sample.MarkAnnotated(ref);
-        annotated.correct += annotator.Annotate(kg, ref, &rng) ? 1 : 0;
-      }
-      sample.Add(annotated);
-    }
-
-    // Phase 3: estimate and build the configured 1-alpha interval.
-    Result<AccuracyEstimate> estimate_result =
-        (sampler.estimator() == EstimatorKind::kSrs &&
-         config.finite_population_correction)
-            ? EstimateSrs(sample, kg.num_triples())
-            : Estimate(sampler.estimator(), sample,
-                       sampler.stratum_weights());
-    KGACC_ASSIGN_OR_RETURN(const AccuracyEstimate estimate,
-                           std::move(estimate_result));
-    KGACC_ASSIGN_OR_RETURN(
-        out.interval, BuildInterval(config, sampler.estimator(), estimate,
-                                    &out.winning_prior, &out.deff));
-    out.mu = estimate.mu;
-    const double moe = out.interval.Moe();
-    if (config.record_trace) {
-      out.trace.push_back(TracePoint{estimate.n, moe, estimate.mu});
-    }
-
-    // Phase 4: quality control against the MoE budget and resource caps.
-    if (sample.num_triples() >= config.min_sample_triples &&
-        moe <= config.moe_threshold) {
-      out.converged = true;
-      out.stop_reason = StopReason::kConverged;
-      break;
-    }
-    if (sample.num_triples() >= config.max_triples) {
-      out.stop_reason = StopReason::kTripleCapReached;
-      break;
-    }
-    if (config.max_cost_seconds > 0.0 &&
-        AnnotationCostSeconds(cost_model, sample) >=
-            config.max_cost_seconds) {
-      out.stop_reason = StopReason::kBudgetExhausted;
-      break;
-    }
-  }
-
-  if (sample.empty()) {
-    return Status::FailedPrecondition(
-        "sampler produced no units; population may be empty");
-  }
-  out.annotated_triples = sample.num_triples();
-  out.distinct_triples = sample.num_distinct_triples();
-  out.distinct_entities = sample.num_distinct_entities();
-  out.cost_seconds = AnnotationCostSeconds(cost_model, sample);
-  out.cost_hours = out.cost_seconds / 3600.0;
-  return out;
+  EvaluationSession session(sampler, annotator, config, seed);
+  return session.Run();
 }
 
 }  // namespace kgacc

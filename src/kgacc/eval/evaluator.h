@@ -125,6 +125,11 @@ struct EvaluationResult {
 /// to a population), annotator, and configuration. `seed` determines the
 /// entire stochastic path; rerunning with the same arguments reproduces the
 /// result bit for bit.
+///
+/// This is a convenience wrapper that drives an `EvaluationSession`
+/// (eval/session.h) to completion; use the session directly for stepwise
+/// control, or `EvaluationService` (eval/service.h) to fan many evaluations
+/// out over a thread pool.
 Result<EvaluationResult> RunEvaluation(Sampler& sampler, Annotator& annotator,
                                        const EvaluationConfig& config,
                                        uint64_t seed);

@@ -1,0 +1,117 @@
+#ifndef KGACC_EVAL_SERVICE_H_
+#define KGACC_EVAL_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kgacc/eval/evaluator.h"
+#include "kgacc/eval/session.h"
+#include "kgacc/sampling/sampler.h"
+#include "kgacc/util/status.h"
+#include "kgacc/util/thread_pool.h"
+
+/// \file service.h
+/// Multi-audit evaluation service: accepts a batch of independent
+/// evaluation jobs (population x sampling design x configuration x seed)
+/// and executes them concurrently on a thread pool, one `EvaluationSession`
+/// per job. Every "compare N interval methods on M KGs under R repetitions"
+/// scenario in the experiment harness is one such batch; the service turns
+/// it into a single parallel pass.
+///
+/// Determinism: each job's stochastic path is fully determined by its own
+/// seed (jobs clone their sampler prototypes and own their RNGs), so batch
+/// results are byte-identical regardless of the worker count or scheduling
+/// order, and are returned in submission order.
+
+namespace kgacc {
+
+/// One audit to execute.
+struct EvaluationJob {
+  /// Sampler prototype bound to the job's population. The service clones
+  /// it (`Sampler::Clone`) so concurrent jobs never share mutable sampler
+  /// state; the prototype itself is not touched. Must outlive RunBatch.
+  const Sampler* sampler = nullptr;
+  /// Annotation oracle, possibly shared across jobs: `Annotate` must then
+  /// be safe to call concurrently. The simulation annotators (Oracle,
+  /// Noisy, MajorityVote) qualify — all their randomness flows through the
+  /// per-job Rng argument. `InteractiveAnnotator` does not; route human
+  /// audits through a single-job batch or `RunEvaluation`.
+  Annotator* annotator = nullptr;
+  EvaluationConfig config;
+  /// Seed of the job's stochastic path. Use `DeriveJobSeed` to split one
+  /// base seed into independent per-job streams, or assign sequential
+  /// seeds to reproduce the paper's base_seed + i repetition protocol.
+  uint64_t seed = 0;
+  /// Free-form tag copied verbatim to the job's outcome (dataset name,
+  /// method name, ...).
+  std::string label;
+};
+
+/// Outcome of one job: a result or the error that stopped it. Job failures
+/// are reported per slot; they never abort the rest of the batch.
+struct EvaluationJobOutcome {
+  /// OK iff `result` is meaningful.
+  Status status;
+  EvaluationResult result;
+  std::string label;
+  uint64_t seed = 0;
+};
+
+/// Aggregate throughput accounting for one RunBatch call.
+struct ServiceBatchStats {
+  /// Worker threads in the pool.
+  int num_threads = 0;
+  /// Jobs submitted / jobs that returned a non-OK status.
+  size_t jobs = 0;
+  size_t failed = 0;
+  /// Annotated triples summed over the successful jobs.
+  uint64_t annotated_triples = 0;
+  /// Wall-clock time of the batch.
+  double wall_seconds = 0.0;
+  /// Successful audits and annotated triples per wall-clock second.
+  double audits_per_second = 0.0;
+  double triples_per_second = 0.0;
+};
+
+/// Ordered per-job outcomes plus the batch throughput stats.
+struct EvaluationBatchResult {
+  /// outcomes[i] corresponds to jobs[i] of the RunBatch call.
+  std::vector<EvaluationJobOutcome> outcomes;
+  ServiceBatchStats stats;
+};
+
+/// Executes evaluation-job batches on a fixed worker pool. One service can
+/// be reused across many batches; construction cost is the pool spawn.
+class EvaluationService {
+ public:
+  struct Options {
+    /// Worker threads; 0 means std::thread::hardware_concurrency()
+    /// (at least 1).
+    int num_threads = 0;
+  };
+
+  /// Default: one worker per hardware thread.
+  EvaluationService();
+  explicit EvaluationService(const Options& options);
+
+  /// Runs every job to completion and returns outcomes in submission
+  /// order. Blocks until the whole batch is done. Must not be called
+  /// concurrently from multiple threads with the same service if the jobs
+  /// share annotators that are not thread-safe.
+  EvaluationBatchResult RunBatch(const std::vector<EvaluationJob>& jobs);
+
+  int num_threads() const { return pool_.num_threads(); }
+
+  /// Splits `base_seed` into the `job_index`-th independent seed stream
+  /// (SplitMix64 over the pair), so one user-facing seed can fan out into
+  /// any number of decorrelated per-job RNGs.
+  static uint64_t DeriveJobSeed(uint64_t base_seed, uint64_t job_index);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_EVAL_SERVICE_H_

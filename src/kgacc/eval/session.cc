@@ -1,0 +1,134 @@
+#include "kgacc/eval/session.h"
+
+#include <utility>
+
+namespace kgacc {
+
+Status ValidateEvaluationConfig(const EvaluationConfig& config) {
+  if (!(config.moe_threshold > 0.0)) {
+    return Status::InvalidArgument("MoE threshold must be positive");
+  }
+  if (!(config.alpha > 0.0) || !(config.alpha < 1.0)) {
+    return Status::OutOfRange("alpha must be in (0,1)");
+  }
+  if (config.min_sample_triples > config.max_triples) {
+    return Status::InvalidArgument(
+        "min_sample_triples exceeds max_triples; the run could never "
+        "converge before hitting the cap");
+  }
+  return Status::OK();
+}
+
+EvaluationSession::EvaluationSession(Sampler& sampler, Annotator& annotator,
+                                     const EvaluationConfig& config,
+                                     uint64_t seed)
+    : sampler_(sampler),
+      annotator_(annotator),
+      config_(config),
+      cost_model_(config.cost),
+      seed_(seed),
+      rng_(seed),
+      init_status_(ValidateEvaluationConfig(config)) {
+  cost_model_.annotators_per_triple = annotator_.JudgmentsPerTriple();
+  if (init_status_.ok()) sampler_.Reset();
+}
+
+StepOutcome EvaluationSession::Snapshot() const {
+  StepOutcome outcome;
+  outcome.done = done_;
+  outcome.stop_reason = result_.stop_reason;
+  outcome.annotated_triples = sample_.num_triples();
+  outcome.mu = result_.mu;
+  outcome.moe = moe_;
+  return outcome;
+}
+
+Result<StepOutcome> EvaluationSession::Step() {
+  if (!init_status_.ok()) return init_status_;
+  if (done_) return Snapshot();
+
+  // Phase 1: draw a batch according to the sampling design.
+  KGACC_ASSIGN_OR_RETURN(const SampleBatch batch, sampler_.NextBatch(&rng_));
+  if (batch.empty()) {
+    result_.stop_reason = StopReason::kPopulationExhausted;
+    done_ = true;
+    return Snapshot();
+  }
+  ++result_.iterations;
+
+  // Phase 2: annotate the batch and merge into the running sample.
+  const KgView& kg = sampler_.kg();
+  for (const SampledUnit& unit : batch) {
+    AnnotatedUnit annotated;
+    annotated.cluster = unit.cluster;
+    annotated.cluster_population = unit.cluster_population;
+    annotated.stratum = unit.stratum;
+    annotated.drawn = static_cast<uint32_t>(unit.offsets.size());
+    for (uint64_t offset : unit.offsets) {
+      const TripleRef ref{unit.cluster, offset};
+      sample_.MarkAnnotated(ref);
+      annotated.correct += annotator_.Annotate(kg, ref, &rng_) ? 1 : 0;
+    }
+    sample_.Add(annotated);
+  }
+
+  // Phase 3: estimate and build the configured 1-alpha interval.
+  Result<AccuracyEstimate> estimate_result =
+      (sampler_.estimator() == EstimatorKind::kSrs &&
+       config_.finite_population_correction)
+          ? EstimateSrs(sample_, kg.num_triples())
+          : Estimate(sampler_.estimator(), sample_,
+                     sampler_.stratum_weights());
+  KGACC_ASSIGN_OR_RETURN(const AccuracyEstimate estimate,
+                         std::move(estimate_result));
+  KGACC_ASSIGN_OR_RETURN(
+      result_.interval, BuildInterval(config_, sampler_.estimator(), estimate,
+                                      &result_.winning_prior, &result_.deff));
+  result_.mu = estimate.mu;
+  moe_ = result_.interval.Moe();
+  if (config_.record_trace) {
+    result_.trace.push_back(TracePoint{estimate.n, moe_, estimate.mu});
+  }
+
+  // Phase 4: quality control against the MoE budget and resource caps.
+  if (sample_.num_triples() >= config_.min_sample_triples &&
+      moe_ <= config_.moe_threshold) {
+    result_.converged = true;
+    result_.stop_reason = StopReason::kConverged;
+    done_ = true;
+  } else if (sample_.num_triples() >= config_.max_triples) {
+    result_.stop_reason = StopReason::kTripleCapReached;
+    done_ = true;
+  } else if (config_.max_cost_seconds > 0.0 &&
+             AnnotationCostSeconds(cost_model_, sample_) >=
+                 config_.max_cost_seconds) {
+    result_.stop_reason = StopReason::kBudgetExhausted;
+    done_ = true;
+  }
+  return Snapshot();
+}
+
+Result<EvaluationResult> EvaluationSession::Finish() {
+  if (!init_status_.ok()) return init_status_;
+  if (sample_.empty()) {
+    return Status::FailedPrecondition(
+        "sampler produced no units; population may be empty");
+  }
+  EvaluationResult out = result_;
+  out.annotated_triples = sample_.num_triples();
+  out.distinct_triples = sample_.num_distinct_triples();
+  out.distinct_entities = sample_.num_distinct_entities();
+  out.cost_seconds = AnnotationCostSeconds(cost_model_, sample_);
+  out.cost_hours = out.cost_seconds / 3600.0;
+  return out;
+}
+
+Result<EvaluationResult> EvaluationSession::Run() {
+  while (!done_) {
+    KGACC_ASSIGN_OR_RETURN(const StepOutcome outcome, Step());
+    (void)outcome;
+  }
+  return Finish();
+}
+
+}  // namespace kgacc

@@ -1,0 +1,110 @@
+#ifndef KGACC_EVAL_SESSION_H_
+#define KGACC_EVAL_SESSION_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "kgacc/eval/evaluator.h"
+#include "kgacc/sampling/sample.h"
+#include "kgacc/sampling/sampler.h"
+#include "kgacc/util/random.h"
+#include "kgacc/util/status.h"
+
+/// \file session.h
+/// Incremental form of the iterative evaluation framework (Fig. 1 /
+/// Algorithm 1). `EvaluationSession` exposes the monolithic loop of
+/// `RunEvaluation` as explicit, resumable steps:
+///
+///   phase 1  draw a batch        \
+///   phase 2  annotate it          |  one Step()
+///   phase 3  estimate + interval  |
+///   phase 4  stop-rule check     /
+///
+/// so callers can interleave audits, inspect convergence mid-flight, or
+/// schedule many sessions on a thread pool (`EvaluationService`). Driving a
+/// session to completion reproduces `RunEvaluation` bit for bit: the same
+/// seed yields the identical `EvaluationResult`.
+
+namespace kgacc {
+
+/// Validates the stop-rule parameters shared by `RunEvaluation` and
+/// `EvaluationSession`: positive MoE budget, alpha in (0,1), and a minimum
+/// sample that does not exceed the annotation cap (a configuration that
+/// previously looped past the cap check silently).
+Status ValidateEvaluationConfig(const EvaluationConfig& config);
+
+/// Snapshot of a session after one step.
+struct StepOutcome {
+  /// True once a stop rule has fired; further Step() calls are no-ops.
+  bool done = false;
+  /// The stop rule that fired (meaningful only when `done`).
+  StopReason stop_reason = StopReason::kConverged;
+  /// Annotated triples n_S so far.
+  uint64_t annotated_triples = 0;
+  /// Current accuracy estimate mu-hat (0 before the first estimate).
+  double mu = 0.0;
+  /// Current margin of error (infinity before the first interval).
+  double moe = std::numeric_limits<double>::infinity();
+};
+
+/// One in-flight evaluation: a sampler bound to a population, an annotation
+/// oracle, a configuration, and the RNG stream derived from `seed`.
+///
+/// The sampler and annotator must outlive the session. The sampler is
+/// Reset() on construction and mutated by Step(); it must not be shared
+/// with a concurrently running session (clone it via `Sampler::Clone`).
+class EvaluationSession {
+ public:
+  EvaluationSession(Sampler& sampler, Annotator& annotator,
+                    const EvaluationConfig& config, uint64_t seed);
+
+  /// Runs one framework iteration: draw + annotate one batch, re-estimate,
+  /// rebuild the 1-alpha interval, and evaluate the stop rules. Returns the
+  /// post-step snapshot; once `done`, further calls return the same
+  /// snapshot without drawing. Errors (invalid config, estimator or solver
+  /// failure) are returned as statuses, exactly as `RunEvaluation` would.
+  Result<StepOutcome> Step();
+
+  /// True once a stop rule has fired.
+  bool done() const { return done_; }
+
+  /// Finalizes and returns the result accumulated so far: fills in the
+  /// distinct-triple/entity tallies and the cost-model charges. Fails with
+  /// FailedPrecondition when no units were ever drawn (empty population).
+  /// May be called mid-run for a partial-result snapshot; the session can
+  /// keep stepping afterwards.
+  Result<EvaluationResult> Finish();
+
+  /// Drives the session to completion (Step until done) and finalizes —
+  /// the full `RunEvaluation` semantics.
+  Result<EvaluationResult> Run();
+
+  /// The accumulated annotated sample (Algorithm 1's `sample` variable).
+  const AnnotatedSample& sample() const { return sample_; }
+
+  /// The seed this session's stochastic path is derived from.
+  uint64_t seed() const { return seed_; }
+
+  /// Batches drawn so far.
+  int iterations() const { return result_.iterations; }
+
+ private:
+  /// Builds the snapshot for the current state.
+  StepOutcome Snapshot() const;
+
+  Sampler& sampler_;
+  Annotator& annotator_;
+  EvaluationConfig config_;
+  CostModel cost_model_;
+  uint64_t seed_;
+  Rng rng_;
+  Status init_status_;
+  AnnotatedSample sample_;
+  EvaluationResult result_;
+  bool done_ = false;
+  double moe_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_EVAL_SESSION_H_

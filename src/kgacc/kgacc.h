@@ -23,6 +23,8 @@
 #include "kgacc/eval/evaluator.h"
 #include "kgacc/eval/planning.h"
 #include "kgacc/eval/report.h"
+#include "kgacc/eval/service.h"
+#include "kgacc/eval/session.h"
 #include "kgacc/intervals/ahpd.h"
 #include "kgacc/intervals/credible.h"
 #include "kgacc/intervals/frequentist.h"

@@ -38,6 +38,10 @@ TwcsSampler::TwcsSampler(const KgView& kg, const TwcsConfig& config)
 
 TwcsSampler::~TwcsSampler() = default;
 
+std::unique_ptr<Sampler> TwcsSampler::Clone() const {
+  return std::unique_ptr<Sampler>(new TwcsSampler(*this));
+}
+
 Result<SampleBatch> TwcsSampler::NextBatch(Rng* rng) {
   SampleBatch batch;
   batch.reserve(config_.batch_clusters);
@@ -60,6 +64,10 @@ WcsSampler::WcsSampler(const KgView& kg, const ClusterConfig& config)
 }
 
 WcsSampler::~WcsSampler() = default;
+
+std::unique_ptr<Sampler> WcsSampler::Clone() const {
+  return std::unique_ptr<Sampler>(new WcsSampler(*this));
+}
 
 Result<SampleBatch> WcsSampler::NextBatch(Rng* rng) {
   SampleBatch batch;

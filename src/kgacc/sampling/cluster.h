@@ -43,11 +43,15 @@ class TwcsSampler final : public Sampler {
   EstimatorKind estimator() const override { return EstimatorKind::kCluster; }
   const KgView& kg() const override { return kg_; }
   const char* name() const override { return "TWCS"; }
+  /// Cheap: the clone shares the immutable PPS alias table.
+  std::unique_ptr<Sampler> Clone() const override;
 
  private:
+  TwcsSampler(const TwcsSampler&) = default;
+
   const KgView& kg_;
   TwcsConfig config_;
-  std::unique_ptr<AliasTable> alias_;
+  std::shared_ptr<const AliasTable> alias_;
 };
 
 /// Configuration for the single-stage cluster samplers.
@@ -67,11 +71,15 @@ class WcsSampler final : public Sampler {
   EstimatorKind estimator() const override { return EstimatorKind::kCluster; }
   const KgView& kg() const override { return kg_; }
   const char* name() const override { return "WCS"; }
+  /// Cheap: the clone shares the immutable PPS alias table.
+  std::unique_ptr<Sampler> Clone() const override;
 
  private:
+  WcsSampler(const WcsSampler&) = default;
+
   const KgView& kg_;
   ClusterConfig config_;
-  std::unique_ptr<AliasTable> alias_;
+  std::shared_ptr<const AliasTable> alias_;
 };
 
 /// Uniform (unweighted) cluster sampler annotating whole clusters (RCS).
@@ -88,6 +96,9 @@ class RcsSampler final : public Sampler {
   EstimatorKind estimator() const override { return EstimatorKind::kCluster; }
   const KgView& kg() const override { return kg_; }
   const char* name() const override { return "RCS"; }
+  std::unique_ptr<Sampler> Clone() const override {
+    return std::make_unique<RcsSampler>(kg_, config_);
+  }
 
  private:
   const KgView& kg_;

@@ -1,6 +1,8 @@
 #ifndef KGACC_SAMPLING_SAMPLER_H_
 #define KGACC_SAMPLING_SAMPLER_H_
 
+#include <memory>
+
 #include "kgacc/kg/kg_view.h"
 #include "kgacc/sampling/sample.h"
 #include "kgacc/util/random.h"
@@ -53,6 +55,15 @@ class Sampler {
   virtual const std::vector<double>* stratum_weights() const {
     return nullptr;
   }
+
+  /// Creates an independent sampler of the same design bound to the same
+  /// population, in freshly Reset() state. Implementations share their
+  /// immutable precomputed structures (PPS alias tables, strata indexes)
+  /// with the clone, so cloning is cheap — this is what lets
+  /// `EvaluationService` give every concurrent job its own mutable sampler
+  /// without re-paying the O(#clusters) setup. Returns nullptr when the
+  /// design does not support cloning.
+  virtual std::unique_ptr<Sampler> Clone() const { return nullptr; }
 };
 
 }  // namespace kgacc

@@ -32,6 +32,9 @@ class SrsSampler final : public Sampler {
   EstimatorKind estimator() const override { return EstimatorKind::kSrs; }
   const KgView& kg() const override { return kg_; }
   const char* name() const override { return "SRS"; }
+  std::unique_ptr<Sampler> Clone() const override {
+    return std::make_unique<SrsSampler>(kg_, config_);
+  }
 
  private:
   const KgView& kg_;

@@ -24,6 +24,7 @@ StratifiedSampler::StratifiedSampler(const KgView& kg,
     raw[h].clusters.push_back(c);
   }
   // Drop empty strata (their weight is zero and they cannot be sampled).
+  auto index = std::make_shared<Index>();
   for (Stratum& s : raw) {
     if (s.clusters.empty()) continue;
     s.prefix.reserve(s.clusters.size() + 1);
@@ -32,27 +33,34 @@ StratifiedSampler::StratifiedSampler(const KgView& kg,
       s.prefix.push_back(s.prefix.back() + kg_.cluster_size(c));
     }
     s.total_triples = s.prefix.back();
-    strata_.push_back(std::move(s));
+    index->strata.push_back(std::move(s));
   }
-  KGACC_CHECK(!strata_.empty());
+  KGACC_CHECK(!index->strata.empty());
   const double total = static_cast<double>(kg_.num_triples());
-  weights_.reserve(strata_.size());
-  for (const Stratum& s : strata_) {
-    weights_.push_back(static_cast<double>(s.total_triples) / total);
+  index->weights.reserve(index->strata.size());
+  for (const Stratum& s : index->strata) {
+    index->weights.push_back(static_cast<double>(s.total_triples) / total);
   }
-  carry_.assign(strata_.size(), 0.0);
+  index_ = std::move(index);
+  carry_.assign(index_->strata.size(), 0.0);
+}
+
+std::unique_ptr<Sampler> StratifiedSampler::Clone() const {
+  auto clone = std::unique_ptr<StratifiedSampler>(new StratifiedSampler(*this));
+  clone->Reset();
+  return clone;
 }
 
 Result<SampleBatch> StratifiedSampler::NextBatch(Rng* rng) {
   SampleBatch batch;
   batch.reserve(config_.batch_size);
-  for (size_t h = 0; h < strata_.size(); ++h) {
+  for (size_t h = 0; h < index_->strata.size(); ++h) {
     // Proportional allocation with fractional carry-over so small strata
     // still receive their fair long-run share at small batch sizes.
-    carry_[h] += weights_[h] * static_cast<double>(config_.batch_size);
+    carry_[h] += index_->weights[h] * static_cast<double>(config_.batch_size);
     int draws = static_cast<int>(carry_[h]);
     carry_[h] -= draws;
-    const Stratum& stratum = strata_[h];
+    const Stratum& stratum = index_->strata[h];
     for (int i = 0; i < draws; ++i) {
       const uint64_t t = rng->UniformInt(stratum.total_triples);
       const auto it =

@@ -1,6 +1,7 @@
 #ifndef KGACC_SAMPLING_STRATIFIED_H_
 #define KGACC_SAMPLING_STRATIFIED_H_
 
+#include <memory>
 #include <vector>
 
 #include "kgacc/sampling/sampler.h"
@@ -37,18 +38,22 @@ class StratifiedSampler final : public Sampler {
   StratifiedSampler(const KgView& kg, const StratifiedConfig& config);
 
   Result<SampleBatch> NextBatch(Rng* rng) override;
-  void Reset() override {}
+  /// Restores fresh-construction state (clears the fractional allocation
+  /// carry-over, so a reset sampler replays the same stream as a clone).
+  void Reset() override { carry_.assign(index_->strata.size(), 0.0); }
   EstimatorKind estimator() const override {
     return EstimatorKind::kStratified;
   }
   const KgView& kg() const override { return kg_; }
   const char* name() const override { return "SSRS"; }
   const std::vector<double>* stratum_weights() const override {
-    return &weights_;
+    return &index_->weights;
   }
+  /// Cheap: the clone shares the immutable per-stratum triple index.
+  std::unique_ptr<Sampler> Clone() const override;
 
   /// Number of non-empty strata.
-  size_t num_strata() const { return strata_.size(); }
+  size_t num_strata() const { return index_->strata.size(); }
 
  private:
   struct Stratum {
@@ -58,11 +63,17 @@ class StratifiedSampler final : public Sampler {
     std::vector<uint64_t> prefix;
     uint64_t total_triples = 0;
   };
+  /// The immutable stratification, shared across clones.
+  struct Index {
+    std::vector<Stratum> strata;
+    std::vector<double> weights;   // W_h = stratum triples / M.
+  };
+
+  StratifiedSampler(const StratifiedSampler&) = default;
 
   const KgView& kg_;
   StratifiedConfig config_;
-  std::vector<Stratum> strata_;
-  std::vector<double> weights_;    // W_h = stratum triples / M.
+  std::shared_ptr<const Index> index_;
   std::vector<double> carry_;      // Fractional allocation carry-over.
 };
 

@@ -36,6 +36,9 @@ class SystematicSampler final : public Sampler {
   EstimatorKind estimator() const override { return EstimatorKind::kSrs; }
   const KgView& kg() const override { return kg_; }
   const char* name() const override { return "SYS"; }
+  std::unique_ptr<Sampler> Clone() const override {
+    return std::make_unique<SystematicSampler>(kg_, config_);
+  }
 
  private:
   static constexpr uint64_t kNotStarted = ~uint64_t{0};

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "kgacc/eval/evaluator.h"
+#include "kgacc/eval/service.h"
 #include "kgacc/stats/descriptive.h"
 #include "kgacc/util/status.h"
 
@@ -40,6 +41,16 @@ Result<ReplicationSummary> RunReplications(Sampler& sampler,
                                            Annotator& annotator,
                                            const EvaluationConfig& config,
                                            int reps, uint64_t base_seed);
+
+/// Parallel form of the same protocol: fans the `reps` runs out as
+/// `EvaluationService` jobs (seed = base_seed + i, one sampler clone per
+/// job) and aggregates in repetition order. Produces the identical
+/// `ReplicationSummary` as the serial version for every thread count; the
+/// annotator must be safe for concurrent `Annotate` calls (the simulation
+/// annotators are).
+Result<ReplicationSummary> RunReplicationsParallel(
+    EvaluationService& service, const Sampler& sampler, Annotator& annotator,
+    const EvaluationConfig& config, int reps, uint64_t base_seed);
 
 }  // namespace kgacc
 

@@ -35,6 +35,23 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    pool.Submit([&, i] {
+      fn(i);
+      std::unique_lock<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

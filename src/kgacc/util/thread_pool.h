@@ -2,10 +2,14 @@
 #define KGACC_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 /// \file thread_pool.h
@@ -13,7 +17,8 @@
 /// posterior updates and interval constructions (Alg. 1 lines 14-21) are
 /// embarrassingly parallel; `AhpdSelectParallel` dispatches one task per
 /// prior through this pool so wall-clock cost stays flat as the prior set
-/// grows.
+/// grows. `EvaluationService` fans whole evaluation jobs out through the
+/// same pool via `SubmitWithResult` / `ParallelFor`.
 
 namespace kgacc {
 
@@ -31,6 +36,18 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
+  /// Enqueues a value-returning task and hands back a future for its
+  /// result. The task must not throw (pool invariant); use `Result<T>`
+  /// return types for fallible work.
+  template <typename F>
+  auto SubmitWithResult(F func) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(func));
+    std::future<R> future = task->get_future();
+    Submit([task] { (*task)(); });
+    return future;
+  }
+
   /// Blocks until every submitted task has finished executing.
   void Wait();
 
@@ -47,6 +64,14 @@ class ThreadPool {
   int in_flight_ = 0;
   bool shutting_down_ = false;
 };
+
+/// Runs `fn(0), ..., fn(n - 1)` on the pool and blocks until all calls have
+/// completed. Tracks its own completion count, so it is safe to use while
+/// unrelated tasks are in flight on the same pool — unlike `pool.Wait()`,
+/// which waits for everything. Must not be called from inside a pool task
+/// (the waiting thread would occupy a worker slot and can deadlock).
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn);
 
 }  // namespace kgacc
 

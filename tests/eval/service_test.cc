@@ -1,0 +1,252 @@
+#include "kgacc/eval/service.h"
+
+#include <set>
+#include <vector>
+
+#include "kgacc/kg/synthetic.h"
+#include "kgacc/sampling/cluster.h"
+#include "kgacc/sampling/srs.h"
+#include "kgacc/sampling/stratified.h"
+#include "kgacc/stats/replication.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+SyntheticKg MakeKg(double accuracy, uint64_t clusters = 2000,
+                   uint64_t seed = 77) {
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = clusters;
+  cfg.mean_cluster_size = 3.0;
+  cfg.accuracy = accuracy;
+  cfg.seed = seed;
+  return *SyntheticKg::Create(cfg);
+}
+
+void ExpectSameResult(const EvaluationResult& a, const EvaluationResult& b) {
+  EXPECT_EQ(a.annotated_triples, b.annotated_triples);
+  EXPECT_EQ(a.distinct_triples, b.distinct_triples);
+  EXPECT_EQ(a.distinct_entities, b.distinct_entities);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.winning_prior, b.winning_prior);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  EXPECT_DOUBLE_EQ(a.mu, b.mu);
+  EXPECT_DOUBLE_EQ(a.interval.lower, b.interval.lower);
+  EXPECT_DOUBLE_EQ(a.interval.upper, b.interval.upper);
+  EXPECT_DOUBLE_EQ(a.cost_seconds, b.cost_seconds);
+  EXPECT_DOUBLE_EQ(a.deff, b.deff);
+}
+
+/// A mixed workload: two designs x two methods x three seeds on one KG.
+std::vector<EvaluationJob> MixedJobs(const Sampler& srs, const Sampler& twcs,
+                                     Annotator& annotator) {
+  std::vector<EvaluationJob> jobs;
+  for (const IntervalMethod method :
+       {IntervalMethod::kWilson, IntervalMethod::kAhpd}) {
+    for (const Sampler* sampler : {&srs, &twcs}) {
+      for (uint64_t i = 0; i < 3; ++i) {
+        EvaluationJob job;
+        job.sampler = sampler;
+        job.annotator = &annotator;
+        job.config.method = method;
+        job.seed = EvaluationService::DeriveJobSeed(2025, jobs.size());
+        job.label = std::string(sampler->name()) + "/" +
+                    IntervalMethodName(method);
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  return jobs;
+}
+
+TEST(EvaluationServiceTest, ResultsAreIndependentOfThreadCount) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  TwcsSampler twcs(kg, TwcsConfig{});
+  const auto jobs = MixedJobs(srs, twcs, annotator);
+
+  EvaluationService one(EvaluationService::Options{.num_threads = 1});
+  const auto baseline = one.RunBatch(jobs);
+  ASSERT_EQ(baseline.outcomes.size(), jobs.size());
+  for (const auto& outcome : baseline.outcomes) {
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+
+  for (const int threads : {2, 8}) {
+    EvaluationService service(
+        EvaluationService::Options{.num_threads = threads});
+    EXPECT_EQ(service.num_threads(), threads);
+    const auto batch = service.RunBatch(jobs);
+    ASSERT_EQ(batch.outcomes.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      SCOPED_TRACE(jobs[i].label + " @" + std::to_string(threads));
+      ASSERT_TRUE(batch.outcomes[i].status.ok());
+      ExpectSameResult(baseline.outcomes[i].result, batch.outcomes[i].result);
+    }
+  }
+}
+
+TEST(EvaluationServiceTest, MatchesDirectRunEvaluation) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  TwcsSampler twcs(kg, TwcsConfig{});
+  const auto jobs = MixedJobs(srs, twcs, annotator);
+
+  EvaluationService service(EvaluationService::Options{.num_threads = 4});
+  const auto batch = service.RunBatch(jobs);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(jobs[i].label);
+    ASSERT_TRUE(batch.outcomes[i].status.ok());
+    EXPECT_EQ(batch.outcomes[i].label, jobs[i].label);
+    EXPECT_EQ(batch.outcomes[i].seed, jobs[i].seed);
+    // A fresh clone run serially through the wrapper must agree.
+    auto clone = jobs[i].sampler->Clone();
+    ASSERT_NE(clone, nullptr);
+    ExpectSameResult(
+        *RunEvaluation(*clone, annotator, jobs[i].config, jobs[i].seed),
+        batch.outcomes[i].result);
+  }
+}
+
+TEST(EvaluationServiceTest, PerJobFailuresDoNotPoisonTheBatch) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+
+  std::vector<EvaluationJob> jobs(3);
+  jobs[0].sampler = &srs;
+  jobs[0].annotator = &annotator;
+  jobs[0].seed = 1;
+  jobs[1].sampler = &srs;
+  jobs[1].annotator = &annotator;
+  jobs[1].config.moe_threshold = 0.0;  // Invalid.
+  jobs[2].sampler = nullptr;           // Invalid.
+  jobs[2].annotator = &annotator;
+
+  EvaluationService service(EvaluationService::Options{.num_threads = 2});
+  const auto batch = service.RunBatch(jobs);
+  EXPECT_TRUE(batch.outcomes[0].status.ok());
+  EXPECT_TRUE(batch.outcomes[0].result.converged);
+  EXPECT_FALSE(batch.outcomes[1].status.ok());
+  EXPECT_FALSE(batch.outcomes[2].status.ok());
+  EXPECT_EQ(batch.stats.jobs, 3u);
+  EXPECT_EQ(batch.stats.failed, 2u);
+  EXPECT_EQ(batch.stats.annotated_triples,
+            batch.outcomes[0].result.annotated_triples);
+}
+
+TEST(EvaluationServiceTest, EmptyBatchIsFine) {
+  EvaluationService service(EvaluationService::Options{.num_threads = 2});
+  const auto batch = service.RunBatch({});
+  EXPECT_TRUE(batch.outcomes.empty());
+  EXPECT_EQ(batch.stats.jobs, 0u);
+}
+
+TEST(EvaluationServiceTest, ThroughputStatsAddUp) {
+  const auto kg = MakeKg(0.9);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  TwcsSampler twcs(kg, TwcsConfig{});
+  const auto jobs = MixedJobs(srs, twcs, annotator);
+
+  EvaluationService service(EvaluationService::Options{.num_threads = 2});
+  const auto batch = service.RunBatch(jobs);
+  uint64_t total = 0;
+  for (const auto& outcome : batch.outcomes) {
+    ASSERT_TRUE(outcome.status.ok());
+    total += outcome.result.annotated_triples;
+  }
+  EXPECT_EQ(batch.stats.annotated_triples, total);
+  EXPECT_EQ(batch.stats.failed, 0u);
+  EXPECT_GT(batch.stats.wall_seconds, 0.0);
+  EXPECT_GT(batch.stats.audits_per_second, 0.0);
+  EXPECT_GT(batch.stats.triples_per_second, 0.0);
+}
+
+TEST(EvaluationServiceTest, DeriveJobSeedSplitsIntoDistinctStreams) {
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(EvaluationService::DeriveJobSeed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // No collisions across indices.
+  EXPECT_NE(EvaluationService::DeriveJobSeed(1, 0),
+            EvaluationService::DeriveJobSeed(2, 0));
+}
+
+TEST(RunReplicationsParallelTest, MatchesSerialProtocolExactly) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+  const int reps = 40;
+  EvaluationService service(EvaluationService::Options{.num_threads = 4});
+
+  {
+    SrsSampler serial_sampler(kg, SrsConfig{});
+    const auto serial =
+        *RunReplications(serial_sampler, annotator, config, reps, 1000);
+    SrsSampler parallel_sampler(kg, SrsConfig{});
+    const auto parallel = *RunReplicationsParallel(
+        service, parallel_sampler, annotator, config, reps, 1000);
+    EXPECT_EQ(serial.triples, parallel.triples);
+    EXPECT_EQ(serial.cost_hours, parallel.cost_hours);
+    EXPECT_EQ(serial.mu, parallel.mu);
+    EXPECT_EQ(serial.interval_widths, parallel.interval_widths);
+    EXPECT_EQ(serial.unconverged, parallel.unconverged);
+    EXPECT_EQ(serial.zero_width, parallel.zero_width);
+    EXPECT_EQ(serial.prior_wins, parallel.prior_wins);
+  }
+  {
+    TwcsSampler serial_sampler(kg, TwcsConfig{});
+    const auto serial =
+        *RunReplications(serial_sampler, annotator, config, reps, 2000);
+    TwcsSampler parallel_sampler(kg, TwcsConfig{});
+    const auto parallel = *RunReplicationsParallel(
+        service, parallel_sampler, annotator, config, reps, 2000);
+    EXPECT_EQ(serial.triples, parallel.triples);
+    EXPECT_EQ(serial.mu, parallel.mu);
+  }
+  {
+    // Stratified designs too: Reset() restores fresh carry state, so the
+    // serial reuse protocol and per-job clones see identical streams.
+    StratifiedSampler serial_sampler(kg, StratifiedConfig{});
+    const auto serial =
+        *RunReplications(serial_sampler, annotator, config, reps, 3000);
+    StratifiedSampler parallel_sampler(kg, StratifiedConfig{});
+    const auto parallel = *RunReplicationsParallel(
+        service, parallel_sampler, annotator, config, reps, 3000);
+    EXPECT_EQ(serial.triples, parallel.triples);
+    EXPECT_EQ(serial.mu, parallel.mu);
+  }
+}
+
+TEST(SamplerCloneTest, ClonesAreIndependentAndEquivalent) {
+  const auto kg = MakeKg(0.85);
+  SrsSampler srs(kg, SrsConfig{.without_replacement = true});
+  TwcsSampler twcs(kg, TwcsConfig{});
+  StratifiedSampler ssrs(kg, StratifiedConfig{});
+  for (const Sampler* prototype :
+       std::vector<const Sampler*>{&srs, &twcs, &ssrs}) {
+    SCOPED_TRACE(prototype->name());
+    auto a = prototype->Clone();
+    auto b = prototype->Clone();
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_STREQ(a->name(), prototype->name());
+    // Same seed, independent instances: identical batches.
+    Rng rng_a(5), rng_b(5);
+    const SampleBatch batch_a = *a->NextBatch(&rng_a);
+    const SampleBatch batch_b = *b->NextBatch(&rng_b);
+    ASSERT_EQ(batch_a.size(), batch_b.size());
+    for (size_t i = 0; i < batch_a.size(); ++i) {
+      EXPECT_EQ(batch_a[i].cluster, batch_b[i].cluster);
+      EXPECT_EQ(batch_a[i].offsets, batch_b[i].offsets);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,221 @@
+#include "kgacc/eval/session.h"
+
+#include "kgacc/kg/profiles.h"
+#include "kgacc/kg/synthetic.h"
+#include "kgacc/sampling/cluster.h"
+#include "kgacc/sampling/srs.h"
+#include "kgacc/sampling/stratified.h"
+#include "kgacc/sampling/systematic.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+SyntheticKg MakeKg(double accuracy, uint64_t clusters = 2000,
+                   uint64_t seed = 77) {
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = clusters;
+  cfg.mean_cluster_size = 3.0;
+  cfg.accuracy = accuracy;
+  cfg.seed = seed;
+  return *SyntheticKg::Create(cfg);
+}
+
+void ExpectSameResult(const EvaluationResult& a, const EvaluationResult& b) {
+  EXPECT_EQ(a.annotated_triples, b.annotated_triples);
+  EXPECT_EQ(a.distinct_triples, b.distinct_triples);
+  EXPECT_EQ(a.distinct_entities, b.distinct_entities);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.winning_prior, b.winning_prior);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  EXPECT_DOUBLE_EQ(a.mu, b.mu);
+  EXPECT_DOUBLE_EQ(a.interval.lower, b.interval.lower);
+  EXPECT_DOUBLE_EQ(a.interval.upper, b.interval.upper);
+  EXPECT_DOUBLE_EQ(a.cost_seconds, b.cost_seconds);
+  EXPECT_DOUBLE_EQ(a.cost_hours, b.cost_hours);
+  EXPECT_DOUBLE_EQ(a.deff, b.deff);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].n, b.trace[i].n);
+    EXPECT_DOUBLE_EQ(a.trace[i].moe, b.trace[i].moe);
+    EXPECT_DOUBLE_EQ(a.trace[i].mu, b.trace[i].mu);
+  }
+}
+
+TEST(EvaluationSessionTest, RunMatchesRunEvaluationBitForBit) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  for (const IntervalMethod method :
+       {IntervalMethod::kWald, IntervalMethod::kWilson,
+        IntervalMethod::kClopperPearson, IntervalMethod::kAhpd}) {
+    EvaluationConfig config;
+    config.method = method;
+    config.record_trace = true;
+
+    SrsSampler loop_sampler(kg, SrsConfig{});
+    const auto loop = *RunEvaluation(loop_sampler, annotator, config, 42);
+
+    SrsSampler session_sampler(kg, SrsConfig{});
+    EvaluationSession session(session_sampler, annotator, config, 42);
+    const auto stepped = *session.Run();
+    SCOPED_TRACE(IntervalMethodName(method));
+    ExpectSameResult(loop, stepped);
+  }
+}
+
+TEST(EvaluationSessionTest, EquivalenceAcrossSamplingDesigns) {
+  const auto kg = MakeKg(0.9);
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+
+  {
+    TwcsSampler a(kg, TwcsConfig{});
+    TwcsSampler b(kg, TwcsConfig{});
+    EvaluationSession session(b, annotator, config, 11);
+    ExpectSameResult(*RunEvaluation(a, annotator, config, 11),
+                     *session.Run());
+  }
+  {
+    StratifiedSampler a(kg, StratifiedConfig{});
+    StratifiedSampler b(kg, StratifiedConfig{});
+    EvaluationSession session(b, annotator, config, 12);
+    ExpectSameResult(*RunEvaluation(a, annotator, config, 12),
+                     *session.Run());
+  }
+  {
+    SystematicSampler a(kg, SystematicConfig{});
+    SystematicSampler b(kg, SystematicConfig{});
+    EvaluationSession session(b, annotator, config, 13);
+    ExpectSameResult(*RunEvaluation(a, annotator, config, 13),
+                     *session.Run());
+  }
+}
+
+TEST(EvaluationSessionTest, StepByStepMatchesSingleRun) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+
+  SrsSampler loop_sampler(kg, SrsConfig{});
+  const auto loop = *RunEvaluation(loop_sampler, annotator, config, 7);
+
+  SrsSampler session_sampler(kg, SrsConfig{});
+  EvaluationSession session(session_sampler, annotator, config, 7);
+  int steps = 0;
+  while (!session.done()) {
+    const StepOutcome outcome = *session.Step();
+    ++steps;
+    EXPECT_EQ(outcome.annotated_triples, session.sample().num_triples());
+    if (!outcome.done) EXPECT_GT(outcome.moe, config.moe_threshold);
+  }
+  EXPECT_EQ(steps, loop.iterations);
+  ExpectSameResult(loop, *session.Finish());
+}
+
+TEST(EvaluationSessionTest, StepAfterDoneIsANoOp) {
+  const auto kg = MakeKg(0.95);
+  OracleAnnotator annotator;
+  SrsSampler sampler(kg, SrsConfig{});
+  EvaluationSession session(sampler, annotator, EvaluationConfig{}, 3);
+  const auto result = *session.Run();
+  const StepOutcome again = *session.Step();
+  EXPECT_TRUE(again.done);
+  EXPECT_EQ(again.annotated_triples, result.annotated_triples);
+  ExpectSameResult(result, *session.Finish());  // Unchanged.
+}
+
+TEST(EvaluationSessionTest, SnapshotProgressesMonotonically) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  SrsSampler sampler(kg, SrsConfig{.batch_size = 10});
+  EvaluationSession session(sampler, annotator, EvaluationConfig{}, 5);
+  uint64_t last_n = 0;
+  while (!session.done()) {
+    const StepOutcome outcome = *session.Step();
+    EXPECT_EQ(outcome.annotated_triples, last_n + 10);
+    last_n = outcome.annotated_triples;
+  }
+}
+
+TEST(EvaluationSessionTest, MidRunFinishIsASnapshotNotATerminator) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+
+  SrsSampler sampler(kg, SrsConfig{});
+  EvaluationSession session(sampler, annotator, config, 9);
+  ASSERT_FALSE((*session.Step()).done);
+  const auto partial = *session.Finish();
+  EXPECT_EQ(partial.annotated_triples, 10u);
+  EXPECT_FALSE(partial.converged);
+
+  // The session keeps going and still lands on the RunEvaluation result.
+  SrsSampler reference(kg, SrsConfig{});
+  ExpectSameResult(*RunEvaluation(reference, annotator, config, 9),
+                   *session.Run());
+}
+
+TEST(EvaluationSessionTest, FinishBeforeAnyStepFailsCleanly) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  SrsSampler sampler(kg, SrsConfig{});
+  EvaluationSession session(sampler, annotator, EvaluationConfig{}, 1);
+  const auto result = session.Finish();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EvaluationSessionTest, InvalidConfigReportedOnStepAndFinish) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  SrsSampler sampler(kg, SrsConfig{});
+  EvaluationConfig bad;
+  bad.moe_threshold = 0.0;
+  EvaluationSession session(sampler, annotator, bad, 1);
+  EXPECT_FALSE(session.Step().ok());
+  EXPECT_FALSE(session.Finish().ok());
+  EXPECT_FALSE(session.Run().ok());
+}
+
+TEST(ValidateEvaluationConfigTest, RejectsMinSampleAboveCap) {
+  EvaluationConfig config;
+  config.min_sample_triples = 500;
+  config.max_triples = 100;
+  const Status status = ValidateEvaluationConfig(config);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  // The guard reaches RunEvaluation too.
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  SrsSampler sampler(kg, SrsConfig{});
+  EXPECT_FALSE(RunEvaluation(sampler, annotator, config, 1).ok());
+}
+
+TEST(ValidateEvaluationConfigTest, AcceptsTheDefaults) {
+  EXPECT_TRUE(ValidateEvaluationConfig(EvaluationConfig{}).ok());
+}
+
+TEST(BuildIntervalTest, ClopperPearsonClampsRoundedTauToN) {
+  // A caller-constructed estimate whose mu exceeds 1 (possible for
+  // externally computed ratio estimates) used to round to tau > n and
+  // break the Clopper-Pearson constructor; the clamp keeps it valid.
+  AccuracyEstimate est;
+  est.mu = 1.02;
+  est.n = 100;
+  est.tau = 102;
+  est.num_units = 50;
+  est.variance = 1e-4;
+
+  EvaluationConfig config;
+  config.method = IntervalMethod::kClopperPearson;
+  const auto interval = BuildInterval(config, EstimatorKind::kCluster, est);
+  ASSERT_TRUE(interval.ok()) << interval.status().ToString();
+  EXPECT_LE(interval->upper, 1.0);
+  EXPECT_GT(interval->lower, 0.5);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,6 +1,8 @@
 #include "kgacc/util/thread_pool.h"
 
 #include <atomic>
+#include <future>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -55,6 +57,52 @@ TEST(ThreadPoolTest, SingleThreadPoolIsSequentialButComplete) {
   pool.Wait();
   EXPECT_EQ(counter.load(), 30);
   EXPECT_EQ(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultDeliversValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.SubmitWithResult([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitWithResultSupportsMoveOnlyResults) {
+  ThreadPool pool(2);
+  auto future = pool.SubmitWithResult(
+      [] { return std::make_unique<int>(99); });
+  EXPECT_EQ(*future.get(), 99);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  ParallelFor(pool, hits.size(),
+              [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroIterationsReturnsImmediately) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, SafeAlongsideUnrelatedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> background{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&background] { background.fetch_add(1); });
+  }
+  std::atomic<int> covered{0};
+  ParallelFor(pool, 30, [&](size_t) { covered.fetch_add(1); });
+  EXPECT_EQ(covered.load(), 30);  // Did not wait on a wrong signal.
+  pool.Wait();
+  EXPECT_EQ(background.load(), 50);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {

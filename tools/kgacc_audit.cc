@@ -8,9 +8,14 @@
 // triple on stdin — a genuine audit where the label column can be all
 // zeros.
 //
+// With `--methods=a,b,...` the tool compares several interval methods on
+// the same audit task in one parallel pass: one EvaluationService job per
+// method (cloned samplers, shared population), reports in list order.
+//
 // Examples:
 //   kgacc_audit --kg=facts.tsv
 //   kgacc_audit --kg=facts.tsv --design=twcs --method=ahpd --alpha=0.01
+//   kgacc_audit --kg=facts.tsv --methods=ahpd,wilson,cp --threads=4
 //   kgacc_audit --kg=facts.tsv --annotator=human --json
 
 #include <cstdio>
@@ -31,6 +36,11 @@ ArgParser BuildParser() {
       .AddFlag("design", "sampling design: srs|twcs|ssrs|sys (default srs)")
       .AddFlag("method",
                "interval method: ahpd|hpd|et|wilson|wald|cp (default ahpd)")
+      .AddFlag("methods",
+               "comma-separated method list; compares them in one parallel "
+               "EvaluationService pass (oracle annotator only)")
+      .AddFlag("threads",
+               "worker threads for --methods (default: hardware)")
       .AddFlag("alpha", "significance level (default 0.05)")
       .AddFlag("epsilon", "margin-of-error budget (default 0.05)")
       .AddFlag("m", "TWCS second-stage size (default 3)")
@@ -59,13 +69,21 @@ Result<IntervalMethod> ParseMethod(const std::string& name) {
   return Status::InvalidArgument("unknown method: " + name);
 }
 
-Result<std::vector<BetaPrior>> ParseExtraPriors(const std::string& spec) {
-  std::vector<BetaPrior> priors;
+std::vector<std::string> SplitCsv(const std::string& spec) {
+  std::vector<std::string> items;
   size_t start = 0;
-  while (start < spec.size()) {
+  while (start <= spec.size()) {
     size_t end = spec.find(',', start);
     if (end == std::string::npos) end = spec.size();
-    const std::string item = spec.substr(start, end - start);
+    if (end > start) items.push_back(spec.substr(start, end - start));
+    start = end + 1;
+  }
+  return items;
+}
+
+Result<std::vector<BetaPrior>> ParseExtraPriors(const std::string& spec) {
+  std::vector<BetaPrior> priors;
+  for (const std::string& item : SplitCsv(spec)) {
     const size_t colon = item.find(':');
     if (colon == std::string::npos) {
       return Status::InvalidArgument(
@@ -76,9 +94,20 @@ Result<std::vector<BetaPrior>> ParseExtraPriors(const std::string& spec) {
     KGACC_ASSIGN_OR_RETURN(BetaPrior prior,
                            InformativePrior(accuracy, weight));
     priors.push_back(std::move(prior));
-    start = end + 1;
   }
   return priors;
+}
+
+Result<std::vector<IntervalMethod>> ParseMethodList(const std::string& spec) {
+  std::vector<IntervalMethod> methods;
+  for (const std::string& item : SplitCsv(spec)) {
+    KGACC_ASSIGN_OR_RETURN(const IntervalMethod method, ParseMethod(item));
+    methods.push_back(method);
+  }
+  if (methods.empty()) {
+    return Status::InvalidArgument("--methods lists no methods");
+  }
+  return methods;
 }
 
 int RunMain(int argc, char** argv) {
@@ -210,6 +239,78 @@ int RunMain(int argc, char** argv) {
     return 2;
   }
 
+  ReportContext context;
+  context.dataset_name = kg_path;
+  context.design_name = sampler->name();
+
+  if (parsed->Has("methods")) {
+    // Multi-method comparison: one EvaluationService job per method, all
+    // executed in a single parallel pass over cloned samplers.
+    if (annotator_name != "oracle") {
+      std::fprintf(stderr, "--methods requires --annotator=oracle (human "
+                   "judgments cannot fan out in parallel)\n");
+      return 2;
+    }
+    const auto methods = ParseMethodList(parsed->GetString("methods"));
+    if (!methods.ok()) {
+      std::fprintf(stderr, "%s\n", methods.status().ToString().c_str());
+      return 2;
+    }
+    const auto threads = parsed->GetInt("threads", 0);
+    if (!threads.ok()) {
+      std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
+      return 2;
+    }
+    EvaluationService service(EvaluationService::Options{
+        .num_threads = static_cast<int>(*threads)});
+    std::vector<EvaluationJob> jobs;
+    for (const IntervalMethod method : *methods) {
+      EvaluationJob job;
+      job.sampler = sampler.get();
+      job.annotator = annotator.get();
+      job.config = config;
+      job.config.method = method;
+      job.seed = static_cast<uint64_t>(*seed);
+      job.label = IntervalMethodName(method);
+      jobs.push_back(std::move(job));
+    }
+    const EvaluationBatchResult batch = service.RunBatch(jobs);
+    bool all_converged = true;
+    size_t json_records = 0;
+    if (*json) std::printf("[");  // One parseable array, not N documents.
+    for (size_t i = 0; i < batch.outcomes.size(); ++i) {
+      const EvaluationJobOutcome& outcome = batch.outcomes[i];
+      if (!outcome.status.ok()) {
+        std::fprintf(stderr, "[%s] evaluation failed: %s\n",
+                     outcome.label.c_str(),
+                     outcome.status.ToString().c_str());
+        all_converged = false;
+        continue;
+      }
+      all_converged = all_converged && outcome.result.converged;
+      if (*json) {
+        std::printf("%s\n%s", json_records == 0 ? "" : ",",
+                    RenderJsonReport(context, jobs[i].config,
+                                     outcome.result).c_str());
+        ++json_records;
+      } else {
+        std::printf("=== %s ===\n%s\n", outcome.label.c_str(),
+                    RenderTextReport(context, jobs[i].config,
+                                     outcome.result).c_str());
+      }
+    }
+    if (*json) {
+      std::printf("%s]\n", json_records == 0 ? "" : "\n");
+    } else {
+      std::printf("[service] %zu audits, %d threads, %.2fs wall, "
+                  "%.1f audits/s, %.0f triples/s\n", batch.stats.jobs,
+                  batch.stats.num_threads, batch.stats.wall_seconds,
+                  batch.stats.audits_per_second,
+                  batch.stats.triples_per_second);
+    }
+    return all_converged ? 0 : 3;
+  }
+
   const auto result = RunEvaluation(*sampler, *annotator, config,
                                     static_cast<uint64_t>(*seed));
   if (!result.ok()) {
@@ -218,9 +319,6 @@ int RunMain(int argc, char** argv) {
     return 1;
   }
 
-  ReportContext context;
-  context.dataset_name = kg_path;
-  context.design_name = sampler->name();
   if (*json) {
     std::printf("%s\n", RenderJsonReport(context, config, *result).c_str());
   } else {
