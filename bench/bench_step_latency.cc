@@ -1,0 +1,182 @@
+// Per-step latency of EvaluationSession::Step() as the accumulated sample
+// grows: the streaming-estimator contract says one step costs O(batch)
+// regardless of how many triples are already annotated, so the per-step
+// latency measured around n = 1k, 10k, and 50k annotated triples must stay
+// flat for every design (before the EstimatorAccumulator it grew linearly:
+// each step re-walked the whole sample and cold-started the HPD solvers).
+//
+// Emits BENCH_step.json: one record per (design, checkpoint) with the
+// median and mean step latency over a measurement window, plus one summary
+// record per design with the 50k/1k flatness ratio.
+//
+// Knobs: KGACC_SEED, KGACC_REPS = steps per measurement window (default 40).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace kgacc;
+
+double MedianUs(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  return n == 0 ? 0.0 : (n % 2 == 1 ? xs[n / 2]
+                                    : 0.5 * (xs[n / 2 - 1] + xs[n / 2]));
+}
+
+double MeanUs(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+struct Checkpoint {
+  uint64_t target_n = 0;
+  double median_us = 0.0;
+  double mean_us = 0.0;
+  uint64_t measured_at_n = 0;
+  int steps_timed = 0;
+};
+
+}  // namespace
+
+int main() {
+  const uint64_t seed = bench::BaseSeed();
+  const int window = bench::Reps(40);
+  const std::vector<uint64_t> checkpoints = {1000, 10000, 50000};
+
+  // A mid-size synthetic population: large enough that a 50k-triple audit
+  // samples a small fraction, small enough to build instantly.
+  SyntheticKgConfig kg_cfg;
+  kg_cfg.num_clusters = 200000;
+  kg_cfg.mean_cluster_size = 3.0;
+  kg_cfg.accuracy = 0.9;
+  kg_cfg.seed = seed;
+  const auto kg = *SyntheticKg::Create(kg_cfg);
+  OracleAnnotator annotator;
+
+  // One audit per design, batch sizes tuned so every step annotates ~100
+  // triples (the latency of interest is per *step*, not per triple).
+  struct Design {
+    const char* name;
+    std::unique_ptr<Sampler> sampler;
+  };
+  std::vector<Design> designs;
+  designs.push_back({"SRS", std::make_unique<SrsSampler>(
+                                kg, SrsConfig{.batch_size = 100})});
+  designs.push_back({"TWCS", std::make_unique<TwcsSampler>(
+                                 kg, TwcsConfig{.batch_clusters = 34,
+                                                .second_stage_size = 3})});
+  designs.push_back({"RCS", std::make_unique<RcsSampler>(
+                                kg, ClusterConfig{.batch_clusters = 34})});
+  designs.push_back({"SSRS", std::make_unique<StratifiedSampler>(
+                                 kg, StratifiedConfig{.batch_size = 100})});
+
+  // An audit that never converges inside the measurement range: the MoE
+  // budget is unreachable, so only the triple cap stops the session.
+  EvaluationConfig config;
+  config.method = IntervalMethod::kAhpd;
+  config.moe_threshold = 1e-9;
+  config.max_triples = checkpoints.back() + 20000;
+  config.retain_unit_history = false;  // The O(batch) step needs no replay.
+
+  std::printf("EvaluationSession::Step() latency vs accumulated sample size "
+              "(aHPD, %d-step windows)\n", window);
+  bench::Rule(76);
+  std::printf("%8s %12s %14s %14s %14s %10s\n", "design", "n=1k(us)",
+              "n=10k(us)", "n=50k(us)", "50k/1k", "steps");
+  bench::Rule(76);
+
+  std::FILE* json = std::fopen("BENCH_step.json", "w");
+  if (json != nullptr) std::fprintf(json, "[\n");
+  bool first_record = true;
+  bool all_flat = true;
+
+  for (Design& design : designs) {
+    EvaluationSession session(*design.sampler, annotator, config,
+                              seed + 17);
+    std::vector<Checkpoint> measured;
+    int total_steps = 0;
+    for (const uint64_t target : checkpoints) {
+      // Advance (unmeasured) until the sample reaches the checkpoint.
+      while (!session.done() &&
+             session.sample().num_triples() < target) {
+        const auto outcome = session.Step();
+        if (!outcome.ok()) {
+          std::fprintf(stderr, "[%s] step failed: %s\n", design.name,
+                       outcome.status().ToString().c_str());
+          return 1;
+        }
+        ++total_steps;
+      }
+      // Measure a window of steps at this sample size.
+      Checkpoint cp;
+      cp.target_n = target;
+      cp.measured_at_n = session.sample().num_triples();
+      std::vector<double> step_us;
+      step_us.reserve(window);
+      for (int s = 0; s < window && !session.done(); ++s) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto outcome = session.Step();
+        const std::chrono::duration<double, std::micro> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (!outcome.ok()) {
+          std::fprintf(stderr, "[%s] step failed: %s\n", design.name,
+                       outcome.status().ToString().c_str());
+          return 1;
+        }
+        step_us.push_back(elapsed.count());
+        ++total_steps;
+      }
+      cp.steps_timed = static_cast<int>(step_us.size());
+      cp.median_us = MedianUs(step_us);
+      cp.mean_us = MeanUs(step_us);
+      measured.push_back(cp);
+    }
+
+    const double ratio =
+        measured.front().median_us > 0.0
+            ? measured.back().median_us / measured.front().median_us
+            : 0.0;
+    all_flat = all_flat && ratio <= 2.0;
+    std::printf("%8s %12.1f %14.1f %14.1f %13.2fx %10d\n", design.name,
+                measured[0].median_us, measured[1].median_us,
+                measured[2].median_us, ratio, total_steps);
+
+    if (json != nullptr) {
+      for (const Checkpoint& cp : measured) {
+        std::fprintf(json,
+                     "%s  {\"bench\": \"step_latency\", \"design\": \"%s\", "
+                     "\"checkpoint_n\": %llu, \"measured_at_n\": %llu, "
+                     "\"median_step_us\": %.3f, \"mean_step_us\": %.3f, "
+                     "\"steps_timed\": %d}",
+                     first_record ? "" : ",\n", design.name,
+                     static_cast<unsigned long long>(cp.target_n),
+                     static_cast<unsigned long long>(cp.measured_at_n),
+                     cp.median_us, cp.mean_us, cp.steps_timed);
+        first_record = false;
+      }
+      std::fprintf(json,
+                   ",\n  {\"bench\": \"step_latency_summary\", "
+                   "\"design\": \"%s\", \"latency_ratio_50k_over_1k\": %.3f, "
+                   "\"flat\": %s}",
+                   design.name, ratio, ratio <= 2.0 ? "true" : "false");
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n]\n");
+    std::fclose(json);
+  }
+  bench::Rule(76);
+  std::printf("per-step cost flat (50k within 2x of 1k) for every design: "
+              "%s\n", all_flat ? "yes" : "NO");
+  std::printf("wrote BENCH_step.json\n");
+  return 0;
+}

@@ -151,6 +151,8 @@ Result<AccuracyEstimate> Estimate(EstimatorKind kind,
       return EstimateSrs(sample);
     case EstimatorKind::kCluster:
       return EstimateCluster(sample);
+    case EstimatorKind::kRcs:
+      return EstimateRcs(sample);
     case EstimatorKind::kStratified:
       if (stratum_weights == nullptr) {
         return Status::InvalidArgument(

@@ -49,8 +49,9 @@ Result<AccuracyEstimate> EstimateCluster(const AnnotatedSample& sample);
 
 /// Ratio estimator for *uniform* whole-cluster sampling (RCS):
 ///   mu = sum tau_i / sum M_i, with the standard linearized ratio variance.
-/// Consistent (slightly biased in small samples); provided for the
-/// additional-designs appendix experiments.
+/// Consistent (slightly biased in small samples); what `RcsSampler`
+/// advertises (`EstimatorKind::kRcs`) and the additional-designs appendix
+/// experiments use.
 Result<AccuracyEstimate> EstimateRcs(const AnnotatedSample& sample);
 
 /// Stratified estimator: mu = sum_h W_h mu_h with
@@ -61,7 +62,8 @@ Result<AccuracyEstimate> EstimateRcs(const AnnotatedSample& sample);
 Result<AccuracyEstimate> EstimateStratified(
     const AnnotatedSample& sample, const std::vector<double>& stratum_weights);
 
-/// Dispatches on the estimator family advertised by the sampler.
+/// Dispatches on the estimator family advertised by the sampler (kSrs,
+/// kCluster, kRcs, or kStratified).
 /// `stratum_weights` is required for kStratified and ignored otherwise.
 Result<AccuracyEstimate> Estimate(
     EstimatorKind kind, const AnnotatedSample& sample,

@@ -45,7 +45,8 @@ const char* IntervalMethodName(IntervalMethod method) {
 Result<Interval> BuildInterval(const EvaluationConfig& config,
                                EstimatorKind kind,
                                const AccuracyEstimate& estimate,
-                               size_t* winning_prior, double* deff_out) {
+                               size_t* winning_prior, double* deff_out,
+                               AhpdWarmState* warm) {
   // Effective sample for the methods parameterized by (tau, n) rather than
   // a variance: identity under SRS, Kish-adjusted under complex designs
   // (Alg. 1 lines 11-13).
@@ -99,14 +100,22 @@ Result<Interval> BuildInterval(const EvaluationConfig& config,
       }
       KGACC_ASSIGN_OR_RETURN(const BetaDistribution posterior,
                              config.priors[0].Posterior(tau_eff, n_eff));
-      KGACC_ASSIGN_OR_RETURN(const HpdResult hpd,
-                             HpdInterval(posterior, config.alpha, config.hpd));
+      AhpdWarmState::PriorState* state = nullptr;
+      if (warm != nullptr) {
+        warm->Sync(1);
+        state = &warm->priors[0];
+      }
+      KGACC_ASSIGN_OR_RETURN(
+          const HpdResult hpd,
+          HpdIntervalWarm(posterior, tau_eff, n_eff, config.alpha, config.hpd,
+                          state));
       return hpd.interval;
     }
     case IntervalMethod::kAhpd: {
       KGACC_ASSIGN_OR_RETURN(
           const AhpdChoice choice,
-          AhpdSelect(config.priors, tau_eff, n_eff, config.alpha, config.hpd));
+          AhpdSelect(config.priors, tau_eff, n_eff, config.alpha, config.hpd,
+                     warm));
       if (winning_prior != nullptr) *winning_prior = choice.prior_index;
       return choice.interval;
     }

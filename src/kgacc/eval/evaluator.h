@@ -68,6 +68,12 @@ struct EvaluationConfig {
   DesignEffectOptions design_effect;
   /// When true, records (n, MoE) after every batch for plotting.
   bool record_trace = false;
+  /// Keep the per-unit history in the session's `AnnotatedSample`. The
+  /// streaming `EstimatorAccumulator` the session estimates from never
+  /// replays units, so long-running audits can opt out and hold O(1)
+  /// sample memory; keep it on (default) when `session.sample().units()`
+  /// is inspected afterwards (diagnostics, bootstrap, custom estimators).
+  bool retain_unit_history = true;
 };
 
 /// One point of the convergence trace.
@@ -138,11 +144,17 @@ Result<EvaluationResult> RunEvaluation(Sampler& sampler, Annotator& annotator,
 /// phase 3). Exposed separately so callers can construct intervals from
 /// pre-collected samples; `RunEvaluation` uses this internally. The Kish
 /// design-effect adjustment is applied for every non-SRS estimator kind.
+///
+/// `warm`, when given, carries the per-prior HPD solutions across
+/// successive calls of one iterative run (kHpd / kAhpd only): each step's
+/// SQP then starts from the previous step's interval instead of the ET
+/// interval, and an unchanged effective (tau, n) skips the solve outright.
 Result<Interval> BuildInterval(const EvaluationConfig& config,
                                EstimatorKind kind,
                                const AccuracyEstimate& estimate,
                                size_t* winning_prior = nullptr,
-                               double* deff_out = nullptr);
+                               double* deff_out = nullptr,
+                               AhpdWarmState* warm = nullptr);
 
 }  // namespace kgacc
 

@@ -28,8 +28,10 @@ EvaluationSession::EvaluationSession(Sampler& sampler, Annotator& annotator,
       cost_model_(config.cost),
       seed_(seed),
       rng_(seed),
-      init_status_(ValidateEvaluationConfig(config)) {
+      init_status_(ValidateEvaluationConfig(config)),
+      accumulator_(sampler.estimator()) {
   cost_model_.annotators_per_triple = annotator_.JudgmentsPerTriple();
+  sample_.set_retain_units(config_.retain_unit_history);
   if (init_status_.ok()) sampler_.Reset();
 }
 
@@ -56,7 +58,8 @@ Result<StepOutcome> EvaluationSession::Step() {
   }
   ++result_.iterations;
 
-  // Phase 2: annotate the batch and merge into the running sample.
+  // Phase 2: annotate the batch and fold it into the running sample and the
+  // streaming estimator state (each unit is touched exactly once).
   const KgView& kg = sampler_.kg();
   for (const SampledUnit& unit : batch) {
     AnnotatedUnit annotated;
@@ -70,20 +73,23 @@ Result<StepOutcome> EvaluationSession::Step() {
       annotated.correct += annotator_.Annotate(kg, ref, &rng_) ? 1 : 0;
     }
     sample_.Add(annotated);
+    accumulator_.Add(annotated);
   }
 
-  // Phase 3: estimate and build the configured 1-alpha interval.
+  // Phase 3: estimate from the accumulator — O(batch) per step where the
+  // batch estimators re-walk the whole sample — and build the configured
+  // 1-alpha interval, warm-starting the HPD solvers from the previous step.
   Result<AccuracyEstimate> estimate_result =
       (sampler_.estimator() == EstimatorKind::kSrs &&
        config_.finite_population_correction)
-          ? EstimateSrs(sample_, kg.num_triples())
-          : Estimate(sampler_.estimator(), sample_,
-                     sampler_.stratum_weights());
+          ? accumulator_.Estimate(nullptr, kg.num_triples())
+          : accumulator_.Estimate(sampler_.stratum_weights());
   KGACC_ASSIGN_OR_RETURN(const AccuracyEstimate estimate,
                          std::move(estimate_result));
   KGACC_ASSIGN_OR_RETURN(
-      result_.interval, BuildInterval(config_, sampler_.estimator(), estimate,
-                                      &result_.winning_prior, &result_.deff));
+      result_.interval,
+      BuildInterval(config_, sampler_.estimator(), estimate,
+                    &result_.winning_prior, &result_.deff, &interval_warm_));
   result_.mu = estimate.mu;
   moe_ = result_.interval.Moe();
   if (config_.record_trace) {

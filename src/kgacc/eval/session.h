@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "kgacc/estimate/accumulator.h"
 #include "kgacc/eval/evaluator.h"
 #include "kgacc/sampling/sample.h"
 #include "kgacc/sampling/sampler.h"
@@ -24,6 +25,11 @@
 /// schedule many sessions on a thread pool (`EvaluationService`). Driving a
 /// session to completion reproduces `RunEvaluation` bit for bit: the same
 /// seed yields the identical `EvaluationResult`.
+///
+/// Per-step cost is O(batch), independent of the accumulated sample size:
+/// phase 3 estimates from a streaming `EstimatorAccumulator` rather than
+/// re-walking the sample, and the HPD solvers warm-start from the previous
+/// step's solution (`AhpdWarmState`).
 
 namespace kgacc {
 
@@ -80,7 +86,13 @@ class EvaluationSession {
   Result<EvaluationResult> Run();
 
   /// The accumulated annotated sample (Algorithm 1's `sample` variable).
+  /// Its `units()` history is empty when the config opted out of
+  /// `retain_unit_history`; totals and distinct counts are always live.
   const AnnotatedSample& sample() const { return sample_; }
+
+  /// The streaming estimator state Step() estimates from — every batch is
+  /// folded in once, so phase 3 costs O(batch), not O(sample).
+  const EstimatorAccumulator& accumulator() const { return accumulator_; }
 
   /// The seed this session's stochastic path is derived from.
   uint64_t seed() const { return seed_; }
@@ -100,6 +112,8 @@ class EvaluationSession {
   Rng rng_;
   Status init_status_;
   AnnotatedSample sample_;
+  EstimatorAccumulator accumulator_;
+  AhpdWarmState interval_warm_;
   EvaluationResult result_;
   bool done_ = false;
   double moe_ = std::numeric_limits<double>::infinity();

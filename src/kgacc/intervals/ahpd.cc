@@ -1,5 +1,8 @@
 #include "kgacc/intervals/ahpd.h"
 
+#include <future>
+#include <utility>
+
 namespace kgacc {
 
 namespace {
@@ -26,18 +29,62 @@ Result<AhpdChoice> ReduceCandidates(
 
 }  // namespace
 
+namespace {
+
+/// A carried interval seeds the SQP only when the previous solve was the
+/// standard unimodal case and the posterior has not moved out from under
+/// it (its mean still falls inside). A far-off start can park the solver
+/// at a merit-stationary point in the near-flat width valley around the
+/// optimum; the ET start remains the fallback for those jumps.
+bool CarryIsUsable(const AhpdWarmState::PriorState& state,
+                   const BetaDistribution& posterior) {
+  return state.valid && state.hpd.shape == BetaShape::kUnimodal &&
+         state.hpd.interval.Contains(posterior.Mean());
+}
+
+}  // namespace
+
+Result<HpdResult> HpdIntervalWarm(const BetaDistribution& posterior,
+                                  double tau, double n, double alpha,
+                                  const HpdOptions& options,
+                                  AhpdWarmState::PriorState* state) {
+  if (state == nullptr) return HpdInterval(posterior, alpha, options);
+  if (state->valid && state->tau == tau && state->n == n &&
+      state->alpha == alpha) {
+    return state->hpd;
+  }
+  HpdOptions local = options;
+  if (CarryIsUsable(*state, posterior)) {
+    local.warm_start = &state->hpd.interval;
+  }
+  Result<HpdResult> result = HpdInterval(posterior, alpha, local);
+  if (result.ok()) {
+    state->valid = true;
+    state->tau = tau;
+    state->n = n;
+    state->alpha = alpha;
+    state->hpd = *result;
+  } else {
+    state->valid = false;
+  }
+  return result;
+}
+
 Result<AhpdChoice> AhpdSelect(const std::vector<BetaPrior>& priors,
                               double tau, double n, double alpha,
-                              const HpdOptions& options) {
+                              const HpdOptions& options,
+                              AhpdWarmState* warm) {
   if (priors.empty()) {
     return Status::InvalidArgument("aHPD requires at least one prior");
   }
+  if (warm != nullptr) warm->Sync(priors.size());
   std::vector<Result<HpdResult>> results;
   results.reserve(priors.size());
-  for (const BetaPrior& prior : priors) {
-    const Result<BetaDistribution> posterior = prior.Posterior(tau, n);
+  for (size_t i = 0; i < priors.size(); ++i) {
+    const Result<BetaDistribution> posterior = priors[i].Posterior(tau, n);
     if (!posterior.ok()) return posterior.status();
-    results.push_back(HpdInterval(*posterior, alpha, options));
+    results.push_back(HpdIntervalWarm(*posterior, tau, n, alpha, options,
+                                      warm ? &warm->priors[i] : nullptr));
   }
   return ReduceCandidates(results);
 }
@@ -45,25 +92,36 @@ Result<AhpdChoice> AhpdSelect(const std::vector<BetaPrior>& priors,
 Result<AhpdChoice> AhpdSelectParallel(const std::vector<BetaPrior>& priors,
                                       double tau, double n, double alpha,
                                       ThreadPool* pool,
-                                      const HpdOptions& options) {
+                                      const HpdOptions& options,
+                                      AhpdWarmState* warm) {
   if (priors.empty()) {
     return Status::InvalidArgument("aHPD requires at least one prior");
   }
-  if (pool == nullptr) return AhpdSelect(priors, tau, n, alpha, options);
+  if (pool == nullptr) return AhpdSelect(priors, tau, n, alpha, options, warm);
+  if (warm != nullptr) warm->Sync(priors.size());
 
+  // One future per prior: the call waits on exactly its own tasks, never on
+  // unrelated work sharing the pool (pool.Wait() would block on — and, from
+  // inside a worker, could deadlock with — the whole queue). Each task runs
+  // the same `HpdIntervalWarm` protocol as the serial loop on its own
+  // PriorState slot — distinct vector elements, never resized while tasks
+  // are in flight, so the carry updates are race-free.
   std::vector<Result<HpdResult>> results(
       priors.size(), Result<HpdResult>(Status::Internal("task not run")));
+  std::vector<std::future<Result<HpdResult>>> futures(priors.size());
   for (size_t i = 0; i < priors.size(); ++i) {
-    pool->Submit([&, i] {
-      const Result<BetaDistribution> posterior = priors[i].Posterior(tau, n);
-      if (!posterior.ok()) {
-        results[i] = posterior.status();
-        return;
-      }
-      results[i] = HpdInterval(*posterior, alpha, options);
-    });
+    AhpdWarmState::PriorState* state = warm ? &warm->priors[i] : nullptr;
+    futures[i] = pool->SubmitWithResult(
+        [&priors, i, tau, n, alpha, options, state]() -> Result<HpdResult> {
+          const Result<BetaDistribution> posterior =
+              priors[i].Posterior(tau, n);
+          if (!posterior.ok()) return posterior.status();
+          return HpdIntervalWarm(*posterior, tau, n, alpha, options, state);
+        });
   }
-  pool->Wait();
+  for (size_t i = 0; i < priors.size(); ++i) {
+    results[i] = futures[i].get();
+  }
   return ReduceCandidates(results);
 }
 

@@ -29,24 +29,69 @@ struct AhpdChoice {
   std::vector<Interval> candidates;
 };
 
+/// Cross-step warm-start carry for iterative interval construction: the
+/// previous step's per-prior HPD solutions and the inputs they solved.
+/// Thread one instance through the successive `AhpdSelect` (or
+/// `BuildInterval`) calls of one evaluation run; each step then warm-starts
+/// the SQP from the last interval instead of paying two ET quantile solves
+/// per prior, and skips the solve entirely when `(tau, n, alpha)` did not
+/// move. Do not share one state across interleaved runs.
+struct AhpdWarmState {
+  struct PriorState {
+    /// True once `hpd` holds a solution for (tau, n, alpha).
+    bool valid = false;
+    double tau = 0.0;
+    double n = 0.0;
+    double alpha = 0.0;
+    HpdResult hpd;
+  };
+  /// Parallel to the prior set; resized (and invalidated) on size change.
+  std::vector<PriorState> priors;
+
+  /// Aligns the carry with a prior set of `num_priors` entries, dropping
+  /// every stale solution when the set changed shape.
+  void Sync(size_t num_priors) {
+    if (priors.size() != num_priors) {
+      priors.assign(num_priors, PriorState{});
+    }
+  }
+};
+
+/// One prior's HPD with warm-start carry: returns the cached solution when
+/// `state` matches `(tau, n, alpha)` exactly, otherwise solves — seeding
+/// the SQP from the carried interval when one is available — and refreshes
+/// `state`. A null `state` degrades to a plain `HpdInterval` call.
+Result<HpdResult> HpdIntervalWarm(const BetaDistribution& posterior,
+                                  double tau, double n, double alpha,
+                                  const HpdOptions& options,
+                                  AhpdWarmState::PriorState* state);
+
 /// Computes the per-prior posteriors Beta(a_i + tau, b_i + n - tau), their
 /// 1-alpha HPD intervals, and returns the shortest (Alg. 1 line 23).
 ///
 /// `tau` / `n` may be fractional: complex sampling designs pass the
 /// design-effect-adjusted effective sample (Alg. 1 lines 11-13). The prior
-/// set must be non-empty; there is no upper limit on its size.
+/// set must be non-empty; there is no upper limit on its size. `warm`, when
+/// given, carries the per-prior solutions across successive calls.
 Result<AhpdChoice> AhpdSelect(const std::vector<BetaPrior>& priors,
                               double tau, double n, double alpha,
-                              const HpdOptions& options = {});
+                              const HpdOptions& options = {},
+                              AhpdWarmState* warm = nullptr);
 
 /// Parallel variant of `AhpdSelect`: one task per prior on `pool` (the
 /// parallelization §4.5 points out keeps aHPD efficient "regardless of the
 /// number of considered priors"). Bitwise-identical results to the serial
 /// version; worthwhile from a handful of priors upward.
+///
+/// Waits only on its own tasks (per-task futures), so it is safe to call
+/// while unrelated work is in flight on the same pool. It must still not be
+/// called from *inside* a pool task: the waiting thread would occupy a
+/// worker slot, which deadlocks a fully busy pool.
 Result<AhpdChoice> AhpdSelectParallel(const std::vector<BetaPrior>& priors,
                                       double tau, double n, double alpha,
                                       ThreadPool* pool,
-                                      const HpdOptions& options = {});
+                                      const HpdOptions& options = {},
+                                      AhpdWarmState* warm = nullptr);
 
 }  // namespace kgacc
 

@@ -136,9 +136,25 @@ Result<HpdResult> HpdInterval(const BetaDistribution& posterior, double alpha,
   }
 
   Interval start;
-  if (options.warm_start_at_et) {
+  bool have_start = false;
+  if (options.warm_start != nullptr) {
+    // Clip the carried-over interval into the domain; limiting-case
+    // endpoints (exact 0 or 1) are nudged inward so the constraint
+    // gradient stays nonzero at the start.
+    const double lo =
+        std::clamp(options.warm_start->lower, 1e-9, 1.0 - 1e-9);
+    const double hi =
+        std::clamp(options.warm_start->upper, 1e-9, 1.0 - 1e-9);
+    if (hi - lo > 1e-9) {
+      start = Interval{lo, hi};
+      have_start = true;
+    }
+  }
+  if (!have_start && options.warm_start_at_et) {
     KGACC_ASSIGN_OR_RETURN(start, EqualTailedInterval(posterior, alpha));
-  } else {
+    have_start = true;
+  }
+  if (!have_start) {
     // Cold start: a symmetric interval about the mode, clipped to [0, 1].
     const double mode = posterior.Mode();
     start = Interval{std::max(0.0, mode - 0.25), std::min(1.0, mode + 0.25)};

@@ -29,6 +29,13 @@ struct HpdOptions {
   /// Warm-start the SQP at the ET interval (Alg. 1 line 20). Disabling
   /// this (cold start at a central interval) is Ablation B.
   bool warm_start_at_et = true;
+  /// Externally supplied SQP start — typically the previous step's HPD
+  /// interval in an iterative audit, where the posterior moves only a
+  /// little per batch. Takes precedence over `warm_start_at_et` when it
+  /// describes a usable interval (positive width inside [0, 1]); the ET
+  /// quantile solves it replaces are the bulk of the standard-case cost.
+  /// Not owned; must outlive the call.
+  const Interval* warm_start = nullptr;
 };
 
 /// An HPD computation result with solver diagnostics.

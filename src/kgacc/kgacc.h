@@ -16,6 +16,7 @@
 ///     auto result = kgacc::RunEvaluation(sampler, annotator, config, seed);
 ///     // result->mu, result->interval, result->cost_hours ...
 
+#include "kgacc/estimate/accumulator.h"
 #include "kgacc/estimate/design_effect.h"
 #include "kgacc/estimate/estimators.h"
 #include "kgacc/eval/annotator.h"
@@ -57,6 +58,7 @@
 #include "kgacc/stats/replication.h"
 #include "kgacc/stats/ttest.h"
 #include "kgacc/util/arg_parser.h"
+#include "kgacc/util/flat_set.h"
 #include "kgacc/util/random.h"
 #include "kgacc/util/thread_pool.h"
 #include "kgacc/util/status.h"

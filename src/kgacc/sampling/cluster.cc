@@ -1,5 +1,6 @@
 #include "kgacc/sampling/cluster.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "kgacc/util/check.h"
@@ -18,13 +19,22 @@ std::unique_ptr<AliasTable> BuildSizeAliasTable(const KgView& kg) {
 }
 
 std::vector<uint64_t> DrawSecondStage(uint64_t cluster_size, int m, Rng* rng) {
+  std::vector<uint64_t> out;
+  FlatSet64 scratch;
+  DrawSecondStageInto(cluster_size, m, rng, &out, &scratch);
+  return out;
+}
+
+void DrawSecondStageInto(uint64_t cluster_size, int m, Rng* rng,
+                         std::vector<uint64_t>* out, FlatSet64* scratch) {
   KGACC_DCHECK(cluster_size >= 1);
   if (m <= 0 || static_cast<uint64_t>(m) >= cluster_size) {
-    std::vector<uint64_t> all(cluster_size);
-    std::iota(all.begin(), all.end(), 0);
-    return all;
+    out->resize(cluster_size);
+    std::iota(out->begin(), out->end(), 0);
+    return;
   }
-  return SampleWithoutReplacement(cluster_size, static_cast<uint64_t>(m), rng);
+  SampleWithoutReplacementInto(cluster_size, static_cast<uint64_t>(m), rng,
+                               out, scratch);
 }
 
 }  // namespace internal
@@ -50,8 +60,12 @@ Result<SampleBatch> TwcsSampler::NextBatch(Rng* rng) {
     SampledUnit unit;
     unit.cluster = cluster;
     unit.cluster_population = kg_.cluster_size(cluster);
-    unit.offsets = internal::DrawSecondStage(unit.cluster_population,
-                                             config_.second_stage_size, rng);
+    unit.offsets.reserve(std::min<uint64_t>(
+        unit.cluster_population,
+        static_cast<uint64_t>(config_.second_stage_size)));
+    internal::DrawSecondStageInto(unit.cluster_population,
+                                  config_.second_stage_size, rng,
+                                  &unit.offsets, &scratch_);
     batch.push_back(std::move(unit));
   }
   return batch;
@@ -77,8 +91,9 @@ Result<SampleBatch> WcsSampler::NextBatch(Rng* rng) {
     SampledUnit unit;
     unit.cluster = cluster;
     unit.cluster_population = kg_.cluster_size(cluster);
-    unit.offsets = internal::DrawSecondStage(unit.cluster_population,
-                                             /*m=*/0, rng);
+    // Whole-cluster annotation: the offsets are the identity range.
+    unit.offsets.resize(unit.cluster_population);
+    std::iota(unit.offsets.begin(), unit.offsets.end(), 0);
     batch.push_back(std::move(unit));
   }
   return batch;
@@ -97,8 +112,9 @@ Result<SampleBatch> RcsSampler::NextBatch(Rng* rng) {
     SampledUnit unit;
     unit.cluster = cluster;
     unit.cluster_population = kg_.cluster_size(cluster);
-    unit.offsets = internal::DrawSecondStage(unit.cluster_population,
-                                             /*m=*/0, rng);
+    // Whole-cluster annotation: the offsets are the identity range.
+    unit.offsets.resize(unit.cluster_population);
+    std::iota(unit.offsets.begin(), unit.offsets.end(), 0);
     batch.push_back(std::move(unit));
   }
   return batch;

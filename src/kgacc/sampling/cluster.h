@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "kgacc/sampling/sampler.h"
+#include "kgacc/util/flat_set.h"
 
 /// \file cluster.h
 /// Cluster sampling designs (§2.4 and the online-appendix extras):
@@ -52,6 +53,7 @@ class TwcsSampler final : public Sampler {
   const KgView& kg_;
   TwcsConfig config_;
   std::shared_ptr<const AliasTable> alias_;
+  FlatSet64 scratch_;  // Second-stage Floyd bookkeeping, reused per unit.
 };
 
 /// Configuration for the single-stage cluster samplers.
@@ -83,17 +85,17 @@ class WcsSampler final : public Sampler {
 };
 
 /// Uniform (unweighted) cluster sampler annotating whole clusters (RCS).
-/// Emitted units carry whole-cluster counts; pair with the unequal-size
-/// ratio estimator (`EstimateRcs`), as the per-cluster-accuracy mean is
-/// biased when cluster size correlates with accuracy under uniform
-/// selection.
+/// Emitted units carry whole-cluster counts and advertise the unequal-size
+/// ratio estimator (`EstimateRcs` / `EstimatorKind::kRcs`): the
+/// per-cluster-accuracy mean is biased when cluster size correlates with
+/// accuracy under uniform selection.
 class RcsSampler final : public Sampler {
  public:
   RcsSampler(const KgView& kg, const ClusterConfig& config);
 
   Result<SampleBatch> NextBatch(Rng* rng) override;
   void Reset() override {}
-  EstimatorKind estimator() const override { return EstimatorKind::kCluster; }
+  EstimatorKind estimator() const override { return EstimatorKind::kRcs; }
   const KgView& kg() const override { return kg_; }
   const char* name() const override { return "RCS"; }
   std::unique_ptr<Sampler> Clone() const override {
@@ -113,6 +115,13 @@ std::unique_ptr<AliasTable> BuildSizeAliasTable(const KgView& kg);
 /// Draws min{M_i, m} second-stage offsets from a cluster by SRS without
 /// replacement (the whole cluster when m >= M_i).
 std::vector<uint64_t> DrawSecondStage(uint64_t cluster_size, int m, Rng* rng);
+
+/// Allocation-lean variant for the samplers' hot loop: fills `*out`
+/// (cleared first) and reuses `*scratch` across units instead of building
+/// fresh containers per sampled unit. Identical Rng consumption and draw as
+/// `DrawSecondStage`.
+void DrawSecondStageInto(uint64_t cluster_size, int m, Rng* rng,
+                         std::vector<uint64_t>* out, FlatSet64* scratch);
 
 }  // namespace internal
 

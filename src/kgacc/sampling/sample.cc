@@ -6,7 +6,8 @@ namespace kgacc {
 
 void AnnotatedSample::Add(const AnnotatedUnit& unit) {
   KGACC_DCHECK(unit.correct <= unit.drawn);
-  units_.push_back(unit);
+  if (retain_units_) units_.push_back(unit);
+  ++num_units_;
   num_triples_ += unit.drawn;
   num_correct_ += unit.correct;
 }
@@ -21,7 +22,7 @@ uint64_t AnnotatedSample::TripleKey(const TripleRef& ref) {
 
 bool AnnotatedSample::MarkAnnotated(const TripleRef& ref) {
   entities_.insert(ref.cluster);
-  return triples_.insert(TripleKey(ref)).second;
+  return triples_.insert(TripleKey(ref));
 }
 
 }  // namespace kgacc

@@ -2,10 +2,10 @@
 #define KGACC_SAMPLING_SAMPLE_H_
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "kgacc/kg/triple.h"
+#include "kgacc/util/flat_set.h"
 #include "kgacc/util/status.h"
 
 /// \file sample.h
@@ -57,9 +57,23 @@ class AnnotatedSample {
   /// Number of correct annotations tau_S.
   uint64_t num_correct() const { return num_correct_; }
 
+  /// Units accumulated so far (including ones dropped from `units()` when
+  /// retention is off).
+  uint64_t num_units() const { return num_units_; }
+
   /// Sampled units in arrival order (the first-stage units for cluster
-  /// designs; one unit per triple for SRS).
+  /// designs; one unit per triple for SRS). Empty when unit retention is
+  /// disabled — check `retain_units()` before replaying.
   const std::vector<AnnotatedUnit>& units() const { return units_; }
+
+  /// Controls whether `Add` keeps the per-unit history. The batch
+  /// estimators in estimate/estimators.h replay `units()`, but the
+  /// streaming `EstimatorAccumulator` does not — sessions that feed an
+  /// accumulator can opt out and hold O(1) memory per design instead of
+  /// O(units). Totals and distinct-set tracking are unaffected. Disabling
+  /// retention mid-run keeps what was already recorded.
+  void set_retain_units(bool retain) { retain_units_ = retain; }
+  bool retain_units() const { return retain_units_; }
 
   /// Distinct entities |E_S| identified so far.
   uint64_t num_distinct_entities() const { return entities_.size(); }
@@ -72,16 +86,18 @@ class AnnotatedSample {
   /// Returns true when the triple had not been seen before.
   bool MarkAnnotated(const TripleRef& ref);
 
-  bool empty() const { return units_.empty(); }
+  bool empty() const { return num_units_ == 0; }
 
  private:
   static uint64_t TripleKey(const TripleRef& ref);
 
   std::vector<AnnotatedUnit> units_;
+  bool retain_units_ = true;
+  uint64_t num_units_ = 0;
   uint64_t num_triples_ = 0;
   uint64_t num_correct_ = 0;
-  std::unordered_set<uint64_t> entities_;
-  std::unordered_set<uint64_t> triples_;
+  FlatSet64 entities_;
+  FlatSet64 triples_;
 };
 
 }  // namespace kgacc

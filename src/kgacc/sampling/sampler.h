@@ -22,6 +22,10 @@ enum class EstimatorKind {
   kSrs,
   /// Mean of per-cluster accuracies (Eq. 3) on first-stage cluster units.
   kCluster,
+  /// Combined ratio estimator sum tau_i / sum M_i on *uniformly* drawn
+  /// whole clusters (RCS) — the per-cluster mean is biased there when
+  /// cluster size correlates with accuracy.
+  kRcs,
   /// Stratum-weighted proportion on stratified per-triple units; requires
   /// the sampler to expose stratum weights.
   kStratified,

@@ -20,7 +20,7 @@ Result<SampleBatch> SrsSampler::NextBatch(Rng* rng) {
       // evaluation runs sample far below 50% of any population.
       do {
         index = rng->UniformInt(population);
-      } while (!drawn_.insert(index).second);
+      } while (!drawn_.insert(index));
     } else {
       index = rng->UniformInt(population);
     }

@@ -1,9 +1,8 @@
 #ifndef KGACC_SAMPLING_SRS_H_
 #define KGACC_SAMPLING_SRS_H_
 
-#include <unordered_set>
-
 #include "kgacc/sampling/sampler.h"
+#include "kgacc/util/flat_set.h"
 
 /// \file srs.h
 /// Simple Random Sampling over triples (§2.4). Defaults to sampling with
@@ -39,7 +38,7 @@ class SrsSampler final : public Sampler {
  private:
   const KgView& kg_;
   SrsConfig config_;
-  std::unordered_set<uint64_t> drawn_;  // Global indices (WOR mode only).
+  FlatSet64 drawn_;  // Global indices (WOR mode only).
 };
 
 }  // namespace kgacc

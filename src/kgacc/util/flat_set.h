@@ -1,0 +1,110 @@
+#ifndef KGACC_UTIL_FLAT_SET_H_
+#define KGACC_UTIL_FLAT_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kgacc/util/random.h"
+
+/// \file flat_set.h
+/// Open-addressing hash set for 64-bit keys: power-of-two capacity, linear
+/// probing, SplitMix64-mixed keys. One flat allocation, no per-node boxes,
+/// cache-friendly probes — built for the distinct-triple/entity tracking on
+/// the annotation hot path, where `std::unordered_set<uint64_t>` pays a node
+/// allocation and a pointer chase per insert.
+
+namespace kgacc {
+
+/// A set of uint64 keys. Insert-only plus clear(): the evaluation loop only
+/// ever adds members and resets between runs, so erase is deliberately
+/// unsupported (tombstones would slow every probe).
+class FlatSet64 {
+ public:
+  FlatSet64() = default;
+
+  /// Pre-sizes the table for `expected` keys without rehashing.
+  explicit FlatSet64(size_t expected) { reserve(expected); }
+
+  /// Inserts `key`; returns true when it was not already a member.
+  bool insert(uint64_t key) {
+    // Slot value 0 marks "empty", so the zero key lives in a side flag.
+    if (key == 0) {
+      const bool fresh = !has_zero_;
+      has_zero_ = true;
+      size_ += fresh ? 1 : 0;
+      return fresh;
+    }
+    if (slots_.empty() || (used_ + 1) * 4 > slots_.size() * 3) {
+      Grow();
+    }
+    size_t i = Mix64(key) & mask_;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = key;
+    ++used_;
+    ++size_;
+    return true;
+  }
+
+  /// True when `key` is a member.
+  bool contains(uint64_t key) const {
+    if (key == 0) return has_zero_;
+    if (slots_.empty()) return false;
+    size_t i = Mix64(key) & mask_;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Removes every member; keeps the current capacity.
+  void clear() {
+    std::fill(slots_.begin(), slots_.end(), 0);
+    used_ = 0;
+    size_ = 0;
+    has_zero_ = false;
+  }
+
+  /// Ensures capacity for `expected` keys under the 3/4 load ceiling.
+  void reserve(size_t expected) {
+    size_t capacity = 16;
+    while (capacity * 3 < (expected + 1) * 4) capacity *= 2;
+    if (capacity > slots_.size()) Rehash(capacity);
+  }
+
+  /// Current table capacity (always a power of two once allocated).
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  void Grow() { Rehash(slots_.empty() ? 16 : slots_.size() * 2); }
+
+  void Rehash(size_t capacity) {
+    std::vector<uint64_t> old = std::move(slots_);
+    slots_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    for (uint64_t key : old) {
+      if (key == 0) continue;
+      size_t i = Mix64(key) & mask_;
+      while (slots_[i] != 0) i = (i + 1) & mask_;
+      slots_[i] = key;
+    }
+  }
+
+  std::vector<uint64_t> slots_;  // 0 = empty slot.
+  size_t mask_ = 0;
+  size_t used_ = 0;  // Non-zero keys stored in slots_.
+  size_t size_ = 0;  // Members, including the zero key.
+  bool has_zero_ = false;
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_UTIL_FLAT_SET_H_

@@ -1,7 +1,8 @@
 #include "kgacc/util/random.h"
 
 #include <cmath>
-#include <unordered_set>
+
+#include "kgacc/util/flat_set.h"
 
 namespace kgacc {
 
@@ -54,25 +55,33 @@ double Rng::Beta(double a, double b) {
 
 std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
                                                Rng* rng) {
-  KGACC_CHECK(k <= n);
   std::vector<uint64_t> out;
-  out.reserve(k);
-  if (k == 0) return out;
+  FlatSet64 chosen;
+  SampleWithoutReplacementInto(n, k, rng, &out, &chosen);
+  return out;
+}
+
+void SampleWithoutReplacementInto(uint64_t n, uint64_t k, Rng* rng,
+                                  std::vector<uint64_t>* out,
+                                  FlatSet64* scratch) {
+  KGACC_CHECK(k <= n);
+  out->clear();
+  out->reserve(k);
+  if (k == 0) return;
   // Robert Floyd's algorithm: for j = n-k .. n-1 draw t in [0, j]; insert t
   // unless already chosen, in which case insert j. Each subset of size k is
   // equally likely.
-  std::unordered_set<uint64_t> chosen;
-  chosen.reserve(k * 2);
+  scratch->clear();
+  scratch->reserve(k);
   for (uint64_t j = n - k; j < n; ++j) {
     const uint64_t t = rng->UniformInt(j + 1);
-    if (chosen.insert(t).second) {
-      out.push_back(t);
+    if (scratch->insert(t)) {
+      out->push_back(t);
     } else {
-      chosen.insert(j);
-      out.push_back(j);
+      scratch->insert(j);
+      out->push_back(j);
     }
   }
-  return out;
 }
 
 AliasTable::AliasTable(const std::vector<double>& weights) {

@@ -106,11 +106,21 @@ class Rng {
   double spare_normal_ = 0.0;
 };
 
+class FlatSet64;
+
 /// Draws `k` distinct indices uniformly from {0, ..., n-1} (sampling without
 /// replacement) using Robert Floyd's algorithm: O(k) expected time and O(k)
 /// memory, independent of `n`. The returned order is unspecified.
 std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
                                                Rng* rng);
+
+/// Allocation-free variant for hot loops: writes the draw into `*out`
+/// (cleared first) and tracks chosen indices in `*scratch` (cleared first),
+/// both reused across calls. Consumes the identical Rng stream — and
+/// returns the identical draw — as `SampleWithoutReplacement`.
+void SampleWithoutReplacementInto(uint64_t n, uint64_t k, Rng* rng,
+                                  std::vector<uint64_t>* out,
+                                  FlatSet64* scratch);
 
 /// Walker/Vose alias table for O(1) sampling from a discrete distribution
 /// with fixed weights. Used for the probability-proportional-to-size first

@@ -1,5 +1,9 @@
 #include "kgacc/eval/session.h"
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "kgacc/kg/profiles.h"
 #include "kgacc/kg/synthetic.h"
 #include "kgacc/sampling/cluster.h"
@@ -90,6 +94,78 @@ TEST(EvaluationSessionTest, EquivalenceAcrossSamplingDesigns) {
     EvaluationSession session(b, annotator, config, 13);
     ExpectSameResult(*RunEvaluation(a, annotator, config, 13),
                      *session.Run());
+  }
+}
+
+TEST(EvaluationSessionTest, RcsDesignRunsTheRatioEstimatorEndToEnd) {
+  const auto kg = MakeKg(0.9);
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+  RcsSampler a(kg, ClusterConfig{});
+  RcsSampler b(kg, ClusterConfig{});
+  EvaluationSession session(b, annotator, config, 14);
+  ExpectSameResult(*RunEvaluation(a, annotator, config, 14), *session.Run());
+}
+
+// The streaming accumulator the session estimates from must agree with the
+// batch estimators replaying the accumulated sample — at every step, for
+// every design (the batch functions stay the reference implementation).
+TEST(EvaluationSessionTest, AccumulatorMatchesBatchEstimateAtEveryStep) {
+  const auto kg = MakeKg(0.85, 500);
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+  config.moe_threshold = 0.02;  // Long enough run to stack many batches.
+  config.max_triples = 4000;
+
+  std::vector<std::unique_ptr<Sampler>> samplers;
+  samplers.push_back(std::make_unique<SrsSampler>(kg, SrsConfig{}));
+  samplers.push_back(std::make_unique<TwcsSampler>(kg, TwcsConfig{}));
+  samplers.push_back(std::make_unique<RcsSampler>(kg, ClusterConfig{}));
+  samplers.push_back(
+      std::make_unique<StratifiedSampler>(kg, StratifiedConfig{}));
+  for (const auto& sampler : samplers) {
+    SCOPED_TRACE(sampler->name());
+    EvaluationSession session(*sampler, annotator, config, 21);
+    while (!session.done()) {
+      ASSERT_TRUE(session.Step().ok());
+      const auto streaming =
+          *session.accumulator().Estimate(sampler->stratum_weights());
+      const auto batch = *Estimate(sampler->estimator(), session.sample(),
+                                   sampler->stratum_weights());
+      EXPECT_EQ(streaming.mu, batch.mu);
+      EXPECT_EQ(streaming.n, batch.n);
+      EXPECT_EQ(streaming.tau, batch.tau);
+      EXPECT_EQ(streaming.num_units, batch.num_units);
+      EXPECT_NEAR(streaming.variance, batch.variance,
+                  1e-12 * std::max(1.0, batch.variance));
+    }
+  }
+}
+
+TEST(EvaluationSessionTest, DroppingUnitHistoryDoesNotChangeTheRun) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  EvaluationConfig config;
+  config.record_trace = true;
+
+  for (const bool twcs : {false, true}) {
+    SrsSampler srs_a(kg, SrsConfig{}), srs_b(kg, SrsConfig{});
+    TwcsSampler twcs_a(kg, TwcsConfig{}), twcs_b(kg, TwcsConfig{});
+    Sampler& a = twcs ? static_cast<Sampler&>(twcs_a) : srs_a;
+    Sampler& b = twcs ? static_cast<Sampler&>(twcs_b) : srs_b;
+
+    EvaluationConfig lean = config;
+    lean.retain_unit_history = false;
+    EvaluationSession retained(a, annotator, config, 33);
+    EvaluationSession dropped(b, annotator, lean, 33);
+    const auto result_retained = *retained.Run();
+    const auto result_dropped = *dropped.Run();
+    SCOPED_TRACE(twcs ? "TWCS" : "SRS");
+    ExpectSameResult(result_retained, result_dropped);
+    EXPECT_FALSE(retained.sample().units().empty());
+    EXPECT_TRUE(dropped.sample().units().empty());
+    EXPECT_EQ(dropped.sample().num_units(),
+              retained.sample().units().size());
   }
 }
 

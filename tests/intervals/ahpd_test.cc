@@ -1,5 +1,7 @@
 #include "kgacc/intervals/ahpd.h"
 
+#include <future>
+
 #include <gtest/gtest.h>
 
 namespace kgacc {
@@ -129,6 +131,99 @@ TEST(AhpdParallelTest, ManyPriorsAllEvaluated) {
 TEST(AhpdParallelTest, RejectsEmptyPriorSet) {
   ThreadPool pool(2);
   EXPECT_FALSE(AhpdSelectParallel({}, 10, 20, 0.05, &pool).ok());
+}
+
+TEST(AhpdParallelTest, DoesNotWaitForUnrelatedTasksOnTheSamePool) {
+  // Regression: the old implementation used pool->Wait(), which blocks on
+  // *everything* in flight — here an unrelated task that only finishes
+  // after we let it. With per-task futures the selection returns first;
+  // with Wait() this test would hang.
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Submit([gate] { gate.wait(); });
+
+  const auto priors = DefaultUninformativePriors();
+  const auto serial = *AhpdSelect(priors, 25, 30, 0.05);
+  const auto parallel = AhpdSelectParallel(priors, 25, 30, 0.05, &pool);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_DOUBLE_EQ(parallel->interval.lower, serial.interval.lower);
+  EXPECT_DOUBLE_EQ(parallel->interval.upper, serial.interval.upper);
+  EXPECT_EQ(parallel->prior_index, serial.prior_index);
+
+  release.set_value();  // Only now may the unrelated task finish.
+  pool.Wait();
+}
+
+TEST(AhpdWarmTest, WarmStartedSelectionTracksColdSelection) {
+  // Simulate an iterative audit: tau/n grow batch by batch; the warm state
+  // carries each step's solution into the next solve.
+  const auto priors = DefaultUninformativePriors();
+  AhpdWarmState warm;
+  for (int step = 1; step <= 12; ++step) {
+    const double n = 10.0 * step;
+    const double tau = 0.87 * n;
+    const auto cold = *AhpdSelect(priors, tau, n, 0.05);
+    const auto warmed = *AhpdSelect(priors, tau, n, 0.05, {}, &warm);
+    EXPECT_NEAR(warmed.interval.lower, cold.interval.lower, 5e-7) << step;
+    EXPECT_NEAR(warmed.interval.upper, cold.interval.upper, 5e-7) << step;
+    EXPECT_EQ(warmed.prior_index, cold.prior_index) << step;
+  }
+}
+
+TEST(AhpdWarmTest, UnchangedInputsAreServedFromTheCarry) {
+  const auto priors = DefaultUninformativePriors();
+  AhpdWarmState warm;
+  const auto first = *AhpdSelect(priors, 26, 30, 0.05, {}, &warm);
+  ASSERT_EQ(warm.priors.size(), priors.size());
+  for (const auto& state : warm.priors) EXPECT_TRUE(state.valid);
+  // Same (tau, n, alpha): the carried solutions are returned bit for bit.
+  const auto second = *AhpdSelect(priors, 26, 30, 0.05, {}, &warm);
+  EXPECT_EQ(second.interval.lower, first.interval.lower);
+  EXPECT_EQ(second.interval.upper, first.interval.upper);
+  EXPECT_EQ(second.prior_index, first.prior_index);
+}
+
+TEST(AhpdWarmTest, CarryCrossesLimitingCaseBoundaries) {
+  // tau = n (kIncreasing) then an interior outcome: the carried interval
+  // touches 1.0 and must still seed a successful unimodal solve.
+  const auto priors = DefaultUninformativePriors();
+  AhpdWarmState warm;
+  const auto extreme = *AhpdSelect(priors, 30, 30, 0.05, {}, &warm);
+  EXPECT_DOUBLE_EQ(extreme.interval.upper, 1.0);
+  const auto interior = AhpdSelect(priors, 55, 70, 0.05, {}, &warm);
+  ASSERT_TRUE(interior.ok());
+  const auto cold = *AhpdSelect(priors, 55, 70, 0.05);
+  EXPECT_NEAR(interior->interval.lower, cold.interval.lower, 5e-7);
+  EXPECT_NEAR(interior->interval.upper, cold.interval.upper, 5e-7);
+}
+
+TEST(AhpdWarmTest, PriorSetSizeChangeInvalidatesTheCarry) {
+  AhpdWarmState warm;
+  auto priors = DefaultUninformativePriors();
+  ASSERT_TRUE(AhpdSelect(priors, 20, 30, 0.05, {}, &warm).ok());
+  EXPECT_EQ(warm.priors.size(), 3u);
+  priors.push_back(*InformativePrior(0.9, 50.0));
+  ASSERT_TRUE(AhpdSelect(priors, 22, 33, 0.05, {}, &warm).ok());
+  EXPECT_EQ(warm.priors.size(), 4u);
+  for (const auto& state : warm.priors) EXPECT_TRUE(state.valid);
+}
+
+TEST(AhpdWarmTest, ParallelWarmMatchesSerialWarm) {
+  ThreadPool pool(3);
+  const auto priors = DefaultUninformativePriors();
+  AhpdWarmState serial_warm, parallel_warm;
+  for (int step = 1; step <= 6; ++step) {
+    const double n = 15.0 * step;
+    const double tau = 0.8 * n;
+    const auto serial =
+        *AhpdSelect(priors, tau, n, 0.05, {}, &serial_warm);
+    const auto parallel = *AhpdSelectParallel(priors, tau, n, 0.05, &pool, {},
+                                              &parallel_warm);
+    EXPECT_DOUBLE_EQ(parallel.interval.lower, serial.interval.lower) << step;
+    EXPECT_DOUBLE_EQ(parallel.interval.upper, serial.interval.upper) << step;
+    EXPECT_EQ(parallel.prior_index, serial.prior_index) << step;
+  }
 }
 
 TEST(AhpdTest, WidthShrinksMonotonicallyWithData) {

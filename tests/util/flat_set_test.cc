@@ -1,0 +1,124 @@
+#include "kgacc/util/flat_set.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "kgacc/util/random.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(FlatSet64Test, StartsEmpty) {
+  FlatSet64 set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_FALSE(set.contains(42));
+}
+
+TEST(FlatSet64Test, InsertReportsNovelty) {
+  FlatSet64 set;
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_FALSE(set.insert(7));
+  EXPECT_TRUE(set.insert(8));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_TRUE(set.contains(8));
+  EXPECT_FALSE(set.contains(9));
+}
+
+TEST(FlatSet64Test, ZeroKeyIsAFirstClassMember) {
+  FlatSet64 set;
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_FALSE(set.insert(0));
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_EQ(set.size(), 1u);
+  set.clear();
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.insert(0));
+}
+
+TEST(FlatSet64Test, GrowthPreservesMembership) {
+  FlatSet64 set;
+  for (uint64_t k = 1; k <= 10000; ++k) {
+    EXPECT_TRUE(set.insert(k * 0x9e3779b97f4a7c15ULL));
+  }
+  EXPECT_EQ(set.size(), 10000u);
+  for (uint64_t k = 1; k <= 10000; ++k) {
+    EXPECT_TRUE(set.contains(k * 0x9e3779b97f4a7c15ULL)) << k;
+  }
+  // Load factor never exceeds 3/4.
+  EXPECT_GE(set.capacity() * 3, set.size() * 4);
+}
+
+TEST(FlatSet64Test, ClearKeepsCapacityAndResetsMembers) {
+  FlatSet64 set;
+  for (uint64_t k = 0; k < 1000; ++k) set.insert(k);
+  const size_t capacity = set.capacity();
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.capacity(), capacity);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_FALSE(set.contains(k));
+    EXPECT_TRUE(set.insert(k));
+  }
+}
+
+TEST(FlatSet64Test, ReserveAvoidsRehash) {
+  FlatSet64 set(5000);
+  const size_t capacity = set.capacity();
+  for (uint64_t k = 0; k < 5000; ++k) set.insert(Mix64(k));
+  EXPECT_EQ(set.capacity(), capacity);
+  EXPECT_EQ(set.size(), 5000u);
+}
+
+TEST(FlatSet64Test, MatchesUnorderedSetOnRandomKeys) {
+  // Random stream with deliberate duplicates (small key range) plus a few
+  // adversarial patterns: zero, consecutive runs, and high-bit keys.
+  Rng rng(1234);
+  FlatSet64 flat;
+  std::unordered_set<uint64_t> reference;
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t key;
+    switch (i % 4) {
+      case 0:
+        key = rng.UniformInt(50000);  // Dense duplicates.
+        break;
+      case 1:
+        key = rng.Next();  // Full 64-bit range.
+        break;
+      case 2:
+        key = 0xffffffff00000000ULL | rng.UniformInt(1024);  // High bits set.
+        break;
+      default:
+        key = static_cast<uint64_t>(i / 4);  // Consecutive run.
+    }
+    EXPECT_EQ(flat.insert(key), reference.insert(key).second) << key;
+  }
+  EXPECT_EQ(flat.size(), reference.size());
+  for (uint64_t key : reference) {
+    EXPECT_TRUE(flat.contains(key));
+  }
+  Rng probe(99);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t key = probe.Next();
+    EXPECT_EQ(flat.contains(key), reference.count(key) > 0);
+  }
+}
+
+TEST(FlatSet64Test, CopyIsIndependent) {
+  FlatSet64 a;
+  for (uint64_t k = 0; k < 100; ++k) a.insert(k);
+  FlatSet64 b = a;
+  b.insert(1000);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(b.size(), 101u);
+  EXPECT_FALSE(a.contains(1000));
+  EXPECT_TRUE(b.contains(1000));
+}
+
+}  // namespace
+}  // namespace kgacc
