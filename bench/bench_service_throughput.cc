@@ -1,20 +1,29 @@
-// EvaluationService throughput: runs the same mixed audit batch at 1, 2,
-// and N worker threads, reports audits/sec and annotated triples/sec, and
-// verifies along the way that the numbers coming back are identical at
-// every thread count. Emits BENCH_service.json (one machine-readable record
-// per thread count) to seed the performance trajectory across PRs.
+// EvaluationService throughput: sweeps worker threads x batch sizes over
+// the same mixed audit workload, reports audits/sec, triples/sec, and
+// heap allocations per audit, and verifies along the way that the numbers
+// coming back are identical at every thread count. Emits BENCH_service.json
+// (one machine-readable record per sweep cell) to seed the performance
+// trajectory across PRs.
 //
-// Knobs: KGACC_REPS = jobs in the batch (default 128), KGACC_SEED,
-// KGACC_THREADS = max thread count to sweep to (default: hardware).
+// The 32-job cells exist for continuity with the earlier single-cell
+// record; the 256- and 2048-job cells are the ones that say anything about
+// steady-state throughput (warm worker contexts need same-design jobs to
+// amortize over).
+//
+// Knobs: KGACC_SEED, KGACC_THREADS = max thread count to sweep to
+// (default: hardware).
 
 #include <cstdio>
 #include <vector>
+
+// Global allocation counter: every operator new in the process ticks it, so
+// (delta / audits) is the whole-pipeline allocation cost of one audit.
+#include "kgacc/util/alloc_counter.h"
 
 #include "bench_util.h"
 
 int main() {
   using namespace kgacc;
-  const int jobs_n = bench::Reps(128);
   const uint64_t seed = bench::BaseSeed();
 
   const auto kg = *MakeKg(NellProfile(), seed);
@@ -25,75 +34,88 @@ int main() {
       IntervalMethod::kWald, IntervalMethod::kWilson,
       IntervalMethod::kClopperPearson, IntervalMethod::kAhpd};
 
-  // A representative mixed workload: methods x designs x split seeds.
-  std::vector<EvaluationJob> jobs;
-  jobs.reserve(jobs_n);
-  for (int i = 0; i < jobs_n; ++i) {
-    EvaluationJob job;
-    job.sampler = (i % 2 == 0) ? static_cast<const Sampler*>(&srs)
-                               : static_cast<const Sampler*>(&twcs);
-    job.annotator = &annotator;
-    job.config.method = methods[(i / 2) % 4];
-    job.seed = EvaluationService::DeriveJobSeed(seed, i);
-    jobs.push_back(std::move(job));
-  }
-
   int max_threads = bench::Threads();
   if (max_threads <= 0) {
     // Let the service's own 0-means-hardware resolution decide the ceiling,
     // so the sweep matches what a default-constructed service actually uses.
     max_threads = EvaluationService().num_threads();
   }
-  std::vector<int> sweep = {1};
-  if (max_threads >= 2) sweep.push_back(2);
-  if (max_threads > 2) sweep.push_back(max_threads);
+  // Always sweep 1/2/4 (oversubscription on small boxes is harmless and
+  // still exercises the cross-thread determinism check), plus the full
+  // hardware width when it exceeds 4.
+  std::vector<int> thread_sweep = {1, 2, 4};
+  if (max_threads > 4) thread_sweep.push_back(max_threads);
+  const std::vector<int> job_sweep = {32, 256, 2048};
 
-  std::printf("EvaluationService throughput: %d audits (NELL-like KG, "
-              "Wald/Wilson/CP/aHPD x SRS/TWCS)\n", jobs_n);
-  bench::Rule(72);
-  std::printf("%8s %12s %14s %16s %10s\n", "threads", "wall(s)",
-              "audits/s", "triples/s", "speedup");
-  bench::Rule(72);
+  std::printf("EvaluationService throughput (NELL-like KG, "
+              "Wald/Wilson/CP/aHPD x SRS/TWCS, pinned worker contexts)\n");
+  bench::Rule(78);
+  std::printf("%6s %8s %12s %12s %14s %12s\n", "jobs", "threads", "wall(s)",
+              "audits/s", "triples/s", "allocs/audit");
+  bench::Rule(78);
 
   std::FILE* json = std::fopen("BENCH_service.json", "w");
   if (json != nullptr) std::fprintf(json, "[\n");
-  double base_wall = 0.0;
-  uint64_t reference_triples = 0;
+  bool first_record = true;
   bool deterministic = true;
-  for (size_t s = 0; s < sweep.size(); ++s) {
-    EvaluationService service(
-        EvaluationService::Options{.num_threads = sweep[s]});
-    const EvaluationBatchResult batch = service.RunBatch(jobs);
-    const ServiceBatchStats& stats = batch.stats;
-    if (s == 0) {
-      base_wall = stats.wall_seconds;
-      reference_triples = stats.annotated_triples;
-    } else if (stats.annotated_triples != reference_triples) {
-      deterministic = false;
+
+  for (const int jobs_n : job_sweep) {
+    // A representative mixed workload: methods x designs x split seeds.
+    std::vector<EvaluationJob> jobs;
+    jobs.reserve(jobs_n);
+    for (int i = 0; i < jobs_n; ++i) {
+      EvaluationJob job;
+      job.sampler = (i % 2 == 0) ? static_cast<const Sampler*>(&srs)
+                                 : static_cast<const Sampler*>(&twcs);
+      job.annotator = &annotator;
+      job.config.method = methods[(i / 2) % 4];
+      job.seed = EvaluationService::DeriveJobSeed(seed, i);
+      jobs.push_back(std::move(job));
     }
-    std::printf("%8d %12.3f %14.1f %16.0f %9.2fx\n", stats.num_threads,
-                stats.wall_seconds, stats.audits_per_second,
-                stats.triples_per_second,
-                stats.wall_seconds > 0.0 ? base_wall / stats.wall_seconds
-                                         : 0.0);
-    if (json != nullptr) {
-      std::fprintf(json,
-                   "  {\"bench\": \"service_throughput\", \"jobs\": %d, "
-                   "\"threads\": %d, \"wall_seconds\": %.6f, "
-                   "\"audits_per_second\": %.2f, "
-                   "\"triples_per_second\": %.2f, "
-                   "\"annotated_triples\": %llu, \"failed\": %zu}%s\n",
-                   jobs_n, stats.num_threads, stats.wall_seconds,
-                   stats.audits_per_second, stats.triples_per_second,
-                   static_cast<unsigned long long>(stats.annotated_triples),
-                   stats.failed, s + 1 < sweep.size() ? "," : "");
+
+    uint64_t reference_triples = 0;
+    for (size_t s = 0; s < thread_sweep.size(); ++s) {
+      EvaluationService service(
+          EvaluationService::Options{.num_threads = thread_sweep[s]});
+      const uint64_t allocs_before = alloc_counter::Current();
+      const EvaluationBatchResult batch = service.RunBatch(jobs);
+      const uint64_t allocs = alloc_counter::Current() - allocs_before;
+      const ServiceBatchStats& stats = batch.stats;
+      if (s == 0) {
+        reference_triples = stats.annotated_triples;
+      } else if (stats.annotated_triples != reference_triples) {
+        deterministic = false;
+      }
+      const double allocs_per_audit =
+          stats.jobs > 0 ? static_cast<double>(allocs) /
+                               static_cast<double>(stats.jobs)
+                         : 0.0;
+      std::printf("%6d %8d %12.3f %12.1f %14.0f %12.1f\n", jobs_n,
+                  stats.num_threads, stats.wall_seconds,
+                  stats.audits_per_second, stats.triples_per_second,
+                  allocs_per_audit);
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "%s  {\"bench\": \"service_throughput\", \"jobs\": %d, "
+                     "\"threads\": %d, \"wall_seconds\": %.6f, "
+                     "\"audits_per_second\": %.2f, "
+                     "\"triples_per_second\": %.2f, "
+                     "\"annotated_triples\": %llu, "
+                     "\"allocations_per_audit\": %.2f, \"failed\": %zu}",
+                     first_record ? "" : ",\n", jobs_n, stats.num_threads,
+                     stats.wall_seconds, stats.audits_per_second,
+                     stats.triples_per_second,
+                     static_cast<unsigned long long>(stats.annotated_triples),
+                     allocs_per_audit, stats.failed);
+        first_record = false;
+      }
     }
   }
   if (json != nullptr) {
-    std::fprintf(json, "]\n");
+    std::fprintf(json, "\n]\n");
     std::fclose(json);
   }
-  bench::Rule(72);
+  bench::Rule(78);
   std::printf("deterministic across thread counts: %s\n",
               deterministic ? "yes" : "NO — BUG");
   std::printf("wrote BENCH_service.json\n");

@@ -15,6 +15,17 @@ bool OracleAnnotator::Annotate(const KgView& kg, const TripleRef& ref,
   return kg.label(ref.cluster, ref.offset);
 }
 
+uint32_t OracleAnnotator::AnnotateUnit(const KgView& kg, uint64_t cluster,
+                                       std::span<const uint64_t> offsets,
+                                       Rng* rng) {
+  (void)rng;
+  uint32_t correct = 0;
+  for (uint64_t offset : offsets) {
+    correct += kg.label(cluster, offset) ? 1 : 0;
+  }
+  return correct;
+}
+
 NoisyAnnotator::NoisyAnnotator(double error_rate) : error_rate_(error_rate) {
   KGACC_CHECK(error_rate >= 0.0 && error_rate < 0.5);
 }

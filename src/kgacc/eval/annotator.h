@@ -1,8 +1,10 @@
 #ifndef KGACC_EVAL_ANNOTATOR_H_
 #define KGACC_EVAL_ANNOTATOR_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 
 #include "kgacc/kg/kg_view.h"
 #include "kgacc/kg/knowledge_graph.h"
@@ -24,6 +26,22 @@ class Annotator {
   /// Returns the judged label 1(t) for the triple at `ref`.
   virtual bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) = 0;
 
+  /// Judges one sampled unit's triples — `offsets` within `cluster`, the
+  /// span layout of the flat `SampleBatch` — and returns how many were
+  /// judged correct. The default loops `Annotate` in offset order (one
+  /// virtual call per triple); simulation annotators on the service hot
+  /// path override it with a tight loop. Overrides must consume the Rng
+  /// exactly as the per-triple loop would, so both paths replay the same
+  /// stochastic stream.
+  virtual uint32_t AnnotateUnit(const KgView& kg, uint64_t cluster,
+                                std::span<const uint64_t> offsets, Rng* rng) {
+    uint32_t correct = 0;
+    for (uint64_t offset : offsets) {
+      correct += Annotate(kg, TripleRef{cluster, offset}, rng) ? 1 : 0;
+    }
+    return correct;
+  }
+
   /// How many elementary human judgments one call consumes (1 for a single
   /// annotator, k for a k-way majority vote). Reported by the cost model
   /// extensions.
@@ -34,6 +52,10 @@ class Annotator {
 class OracleAnnotator final : public Annotator {
  public:
   bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override;
+  /// One virtual call per unit instead of per triple; rng is untouched
+  /// either way.
+  uint32_t AnnotateUnit(const KgView& kg, uint64_t cluster,
+                        std::span<const uint64_t> offsets, Rng* rng) override;
 };
 
 /// Flips the ground-truth label with probability `error_rate` (layman

@@ -1,5 +1,6 @@
 #include "kgacc/eval/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -19,10 +20,50 @@ int ResolveThreads(int requested) {
 
 }  // namespace
 
+/// Per-pinning-group execution state. Everything in here is touched by one
+/// pool task at a time (a group's jobs run sequentially), so no locking.
+struct EvaluationService::WorkerContext {
+  struct CachedSampler {
+    const Sampler* prototype = nullptr;
+    std::unique_ptr<Sampler> clone;
+  };
+
+  /// Cloned samplers keyed by prototype pointer. Batches mix a handful of
+  /// designs, so a linear scan beats a hash map here.
+  std::vector<CachedSampler> samplers;
+  /// Reused batch buffers and annotated-sample storage; survives across
+  /// batches so the distinct-set tables stay sized for the workload.
+  SessionScratch scratch;
+
+  /// Returns this context's clone for `prototype`. The clone may carry
+  /// state from the previous job; EvaluationSession's constructor Reset()s
+  /// its sampler, which is the invariant job isolation rests on.
+  /// Nullptr when the design does not support cloning.
+  Sampler* GetSampler(const Sampler* prototype) {
+    for (CachedSampler& entry : samplers) {
+      if (entry.prototype == prototype) {
+        return entry.clone.get();
+      }
+    }
+    std::unique_ptr<Sampler> clone = prototype->Clone();
+    if (clone == nullptr) return nullptr;
+    samplers.push_back(CachedSampler{prototype, std::move(clone)});
+    return samplers.back().clone.get();
+  }
+
+  /// Drops the cached clones (they reference the prototypes' populations,
+  /// which are only guaranteed to live for the duration of one RunBatch).
+  void ReleaseSamplers() { samplers.clear(); }
+};
+
 EvaluationService::EvaluationService() : EvaluationService(Options{}) {}
 
 EvaluationService::EvaluationService(const Options& options)
-    : pool_(ResolveThreads(options.num_threads)) {}
+    : options_(options), pool_(ResolveThreads(options.num_threads)) {
+  options_.groups_per_thread = std::max(options_.groups_per_thread, 1);
+}
+
+EvaluationService::~EvaluationService() = default;
 
 uint64_t EvaluationService::DeriveJobSeed(uint64_t base_seed,
                                           uint64_t job_index) {
@@ -31,40 +72,72 @@ uint64_t EvaluationService::DeriveJobSeed(uint64_t base_seed,
   return Mix64(base_seed ^ Mix64(job_index + 0x9e3779b97f4a7c15ULL));
 }
 
+void EvaluationService::RunJob(const EvaluationJob& job,
+                               WorkerContext* context,
+                               EvaluationJobOutcome* out) {
+  out->label = job.label;
+  out->seed = job.seed;
+  if (job.sampler == nullptr) {
+    out->status = Status::InvalidArgument("job has no sampler");
+    return;
+  }
+  if (job.annotator == nullptr) {
+    out->status = Status::InvalidArgument("job has no annotator");
+    return;
+  }
+  Sampler* sampler = nullptr;
+  std::unique_ptr<Sampler> owned;
+  if (context != nullptr) {
+    sampler = context->GetSampler(job.sampler);
+  } else {
+    owned = job.sampler->Clone();
+    sampler = owned.get();
+  }
+  if (sampler == nullptr) {
+    out->status = Status::Unimplemented(
+        std::string(job.sampler->name()) +
+        " sampler does not support Clone(); jobs need per-job isolation");
+    return;
+  }
+  EvaluationSession session(*sampler, *job.annotator, job.config, job.seed,
+                            context != nullptr ? &context->scratch : nullptr);
+  Result<EvaluationResult> result = session.Run();
+  if (result.ok()) {
+    out->result = std::move(result).value();
+  } else {
+    out->status = result.status();
+  }
+}
+
 EvaluationBatchResult EvaluationService::RunBatch(
     const std::vector<EvaluationJob>& jobs) {
   EvaluationBatchResult batch;
   batch.outcomes.resize(jobs.size());
 
   const auto start = std::chrono::steady_clock::now();
-  ParallelFor(pool_, jobs.size(), [&](size_t i) {
-    const EvaluationJob& job = jobs[i];
-    EvaluationJobOutcome& out = batch.outcomes[i];
-    out.label = job.label;
-    out.seed = job.seed;
-    if (job.sampler == nullptr) {
-      out.status = Status::InvalidArgument("job has no sampler");
-      return;
+  if (options_.reuse_contexts && !jobs.empty()) {
+    // Deterministic pinning: job i belongs to group i % G. Each group is
+    // one pool task that walks its jobs in submission order on one warm
+    // context; with G > workers, a thread finishing early pulls the next
+    // whole group off the queue (stealing across pinning groups only).
+    const size_t groups = std::min(
+        jobs.size(), static_cast<size_t>(pool_.num_threads()) *
+                         static_cast<size_t>(options_.groups_per_thread));
+    while (contexts_.size() < groups) {
+      contexts_.push_back(std::make_unique<WorkerContext>());
     }
-    if (job.annotator == nullptr) {
-      out.status = Status::InvalidArgument("job has no annotator");
-      return;
-    }
-    std::unique_ptr<Sampler> sampler = job.sampler->Clone();
-    if (sampler == nullptr) {
-      out.status = Status::Unimplemented(
-          std::string(job.sampler->name()) +
-          " sampler does not support Clone(); jobs need per-job isolation");
-      return;
-    }
-    EvaluationSession session(*sampler, *job.annotator, job.config, job.seed);
-    Result<EvaluationResult> result = session.Run();
-    if (result.ok()) {
-      out.result = std::move(result).value();
-    } else {
-      out.status = result.status();
-    }
-  });
+    ParallelFor(pool_, groups, [&](size_t g) {
+      WorkerContext& context = *contexts_[g];
+      for (size_t i = g; i < jobs.size(); i += groups) {
+        RunJob(jobs[i], &context, &batch.outcomes[i]);
+      }
+      context.ReleaseSamplers();
+    });
+  } else {
+    ParallelFor(pool_, jobs.size(), [&](size_t i) {
+      RunJob(jobs[i], nullptr, &batch.outcomes[i]);
+    });
+  }
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
 

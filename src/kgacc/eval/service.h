@@ -2,6 +2,7 @@
 #define KGACC_EVAL_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,9 +20,20 @@
 /// scenario in the experiment harness is one such batch; the service turns
 /// it into a single parallel pass.
 ///
+/// Execution model: jobs are pinned deterministically to *execution
+/// contexts* (`job_index % groups`), each context owning a cache of cloned
+/// samplers keyed by job prototype plus reusable session scratch (batch
+/// buffers and annotated-sample storage). A replication run submitting
+/// thousands of same-design jobs therefore pays the sampler clone and the
+/// distinct-set table growth once per context, not once per job; contexts
+/// outnumber workers so idle threads steal whole pinning groups from the
+/// queue. `Options::reuse_contexts = false` selects the legacy
+/// fresh-state-per-job path (same results, used as a cross-check).
+///
 /// Determinism: each job's stochastic path is fully determined by its own
-/// seed (jobs clone their sampler prototypes and own their RNGs), so batch
-/// results are byte-identical regardless of the worker count or scheduling
+/// seed (jobs clone their sampler prototypes and own their RNGs; a context
+/// Reset()s its cached clone before every job), so batch results are
+/// byte-identical regardless of worker count, pinning, or scheduling
 /// order, and are returned in submission order.
 
 namespace kgacc {
@@ -89,16 +101,30 @@ class EvaluationService {
     /// Worker threads; 0 means std::thread::hardware_concurrency()
     /// (at least 1).
     int num_threads = 0;
+    /// Pin jobs to per-group execution contexts that reuse cloned samplers
+    /// and session scratch across the batch (the fast path). Disable to run
+    /// every job with fresh state — results are byte-identical either way;
+    /// the slow path exists as the reference for determinism tests.
+    bool reuse_contexts = true;
+    /// Pinning groups per worker thread (>= 1). More groups mean
+    /// finer-grained stealing when job durations are uneven, at the price
+    /// of colder per-context caches.
+    int groups_per_thread = 4;
   };
 
   /// Default: one worker per hardware thread.
   EvaluationService();
   explicit EvaluationService(const Options& options);
+  ~EvaluationService();
 
   /// Runs every job to completion and returns outcomes in submission
-  /// order. Blocks until the whole batch is done. Must not be called
-  /// concurrently from multiple threads with the same service if the jobs
-  /// share annotators that are not thread-safe.
+  /// order. Blocks until the whole batch is done. Not reentrant: one
+  /// RunBatch at a time per service — the execution contexts are service
+  /// state, so a second concurrent call would share scratch with live
+  /// sessions (submit one combined batch instead). Job sampler prototypes
+  /// only need to outlive the call: cached clones are dropped before it
+  /// returns (scratch buffers persist across batches and hold no
+  /// population references).
   EvaluationBatchResult RunBatch(const std::vector<EvaluationJob>& jobs);
 
   int num_threads() const { return pool_.num_threads(); }
@@ -109,7 +135,18 @@ class EvaluationService {
   static uint64_t DeriveJobSeed(uint64_t base_seed, uint64_t job_index);
 
  private:
+  struct WorkerContext;
+
+  /// Runs one job into `*out`, drawing the sampler clone and scratch from
+  /// `context` when non-null.
+  static void RunJob(const EvaluationJob& job, WorkerContext* context,
+                     EvaluationJobOutcome* out);
+
+  Options options_;
   ThreadPool pool_;
+  /// One context per pinning group, grown on demand and reused across
+  /// batches (warm scratch capacity).
+  std::vector<std::unique_ptr<WorkerContext>> contexts_;
 };
 
 }  // namespace kgacc

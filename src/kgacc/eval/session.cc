@@ -21,7 +21,7 @@ Status ValidateEvaluationConfig(const EvaluationConfig& config) {
 
 EvaluationSession::EvaluationSession(Sampler& sampler, Annotator& annotator,
                                      const EvaluationConfig& config,
-                                     uint64_t seed)
+                                     uint64_t seed, SessionScratch* scratch)
     : sampler_(sampler),
       annotator_(annotator),
       config_(config),
@@ -30,8 +30,17 @@ EvaluationSession::EvaluationSession(Sampler& sampler, Annotator& annotator,
       rng_(seed),
       init_status_(ValidateEvaluationConfig(config)),
       accumulator_(sampler.estimator()) {
+  if (scratch != nullptr) {
+    scratch->sample.Clear();
+    scratch->batch.Clear();
+    sample_ = &scratch->sample;
+    batch_ = &scratch->batch;
+  } else {
+    sample_ = &own_sample_;
+    batch_ = &own_batch_;
+  }
   cost_model_.annotators_per_triple = annotator_.JudgmentsPerTriple();
-  sample_.set_retain_units(config_.retain_unit_history);
+  sample_->set_retain_units(config_.retain_unit_history);
   if (init_status_.ok()) sampler_.Reset();
 }
 
@@ -39,7 +48,7 @@ StepOutcome EvaluationSession::Snapshot() const {
   StepOutcome outcome;
   outcome.done = done_;
   outcome.stop_reason = result_.stop_reason;
-  outcome.annotated_triples = sample_.num_triples();
+  outcome.annotated_triples = sample_->num_triples();
   outcome.mu = result_.mu;
   outcome.moe = moe_;
   return outcome;
@@ -49,8 +58,11 @@ Result<StepOutcome> EvaluationSession::Step() {
   if (!init_status_.ok()) return init_status_;
   if (done_) return Snapshot();
 
-  // Phase 1: draw a batch according to the sampling design.
-  KGACC_ASSIGN_OR_RETURN(const SampleBatch batch, sampler_.NextBatch(&rng_));
+  // Phase 1: draw a batch according to the sampling design, into the reused
+  // batch buffers (no per-unit allocation; no allocation at all once the
+  // buffers have grown to the design's batch footprint).
+  SampleBatch& batch = *batch_;
+  KGACC_RETURN_IF_ERROR(sampler_.NextBatch(&rng_, &batch));
   if (batch.empty()) {
     result_.stop_reason = StopReason::kPopulationExhausted;
     done_ = true;
@@ -61,18 +73,20 @@ Result<StepOutcome> EvaluationSession::Step() {
   // Phase 2: annotate the batch and fold it into the running sample and the
   // streaming estimator state (each unit is touched exactly once).
   const KgView& kg = sampler_.kg();
-  for (const SampledUnit& unit : batch) {
+  for (size_t u = 0; u < batch.size(); ++u) {
+    const SampledUnit& unit = batch.unit(u);
+    const std::span<const uint64_t> offsets = batch.offsets(unit);
     AnnotatedUnit annotated;
     annotated.cluster = unit.cluster;
     annotated.cluster_population = unit.cluster_population;
     annotated.stratum = unit.stratum;
-    annotated.drawn = static_cast<uint32_t>(unit.offsets.size());
-    for (uint64_t offset : unit.offsets) {
-      const TripleRef ref{unit.cluster, offset};
-      sample_.MarkAnnotated(ref);
-      annotated.correct += annotator_.Annotate(kg, ref, &rng_) ? 1 : 0;
+    annotated.drawn = unit.offset_count;
+    for (uint64_t offset : offsets) {
+      sample_->MarkAnnotated(TripleRef{unit.cluster, offset});
     }
-    sample_.Add(annotated);
+    annotated.correct = annotator_.AnnotateUnit(kg, unit.cluster, offsets,
+                                                &rng_);
+    sample_->Add(annotated);
     accumulator_.Add(annotated);
   }
 
@@ -97,16 +111,16 @@ Result<StepOutcome> EvaluationSession::Step() {
   }
 
   // Phase 4: quality control against the MoE budget and resource caps.
-  if (sample_.num_triples() >= config_.min_sample_triples &&
+  if (sample_->num_triples() >= config_.min_sample_triples &&
       moe_ <= config_.moe_threshold) {
     result_.converged = true;
     result_.stop_reason = StopReason::kConverged;
     done_ = true;
-  } else if (sample_.num_triples() >= config_.max_triples) {
+  } else if (sample_->num_triples() >= config_.max_triples) {
     result_.stop_reason = StopReason::kTripleCapReached;
     done_ = true;
   } else if (config_.max_cost_seconds > 0.0 &&
-             AnnotationCostSeconds(cost_model_, sample_) >=
+             AnnotationCostSeconds(cost_model_, *sample_) >=
                  config_.max_cost_seconds) {
     result_.stop_reason = StopReason::kBudgetExhausted;
     done_ = true;
@@ -116,15 +130,15 @@ Result<StepOutcome> EvaluationSession::Step() {
 
 Result<EvaluationResult> EvaluationSession::Finish() {
   if (!init_status_.ok()) return init_status_;
-  if (sample_.empty()) {
+  if (sample_->empty()) {
     return Status::FailedPrecondition(
         "sampler produced no units; population may be empty");
   }
   EvaluationResult out = result_;
-  out.annotated_triples = sample_.num_triples();
-  out.distinct_triples = sample_.num_distinct_triples();
-  out.distinct_entities = sample_.num_distinct_entities();
-  out.cost_seconds = AnnotationCostSeconds(cost_model_, sample_);
+  out.annotated_triples = sample_->num_triples();
+  out.distinct_triples = sample_->num_distinct_triples();
+  out.distinct_entities = sample_->num_distinct_entities();
+  out.cost_seconds = AnnotationCostSeconds(cost_model_, *sample_);
   out.cost_hours = out.cost_seconds / 3600.0;
   return out;
 }

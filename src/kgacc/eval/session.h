@@ -53,6 +53,18 @@ struct StepOutcome {
   double moe = std::numeric_limits<double>::infinity();
 };
 
+/// Reusable storage for running many sessions back to back on one worker
+/// (the per-context scratch of `EvaluationService`). A session built on a
+/// scratch draws into its `SampleBatch` and accumulates into its
+/// `AnnotatedSample`, so consecutive audits inherit warm buffer capacity —
+/// in particular the distinct-set tables, which otherwise re-grow from 16
+/// slots on every job. One scratch serves one session at a time; it must
+/// outlive any session built on it.
+struct SessionScratch {
+  SampleBatch batch;
+  AnnotatedSample sample;
+};
+
 /// One in-flight evaluation: a sampler bound to a population, an annotation
 /// oracle, a configuration, and the RNG stream derived from `seed`.
 ///
@@ -61,8 +73,12 @@ struct StepOutcome {
 /// with a concurrently running session (clone it via `Sampler::Clone`).
 class EvaluationSession {
  public:
+  /// `scratch`, when given, supplies the batch and sample storage (cleared
+  /// on construction) instead of session-owned members; results are
+  /// identical either way.
   EvaluationSession(Sampler& sampler, Annotator& annotator,
-                    const EvaluationConfig& config, uint64_t seed);
+                    const EvaluationConfig& config, uint64_t seed,
+                    SessionScratch* scratch = nullptr);
 
   /// Runs one framework iteration: draw + annotate one batch, re-estimate,
   /// rebuild the 1-alpha interval, and evaluate the stop rules. Returns the
@@ -88,7 +104,7 @@ class EvaluationSession {
   /// The accumulated annotated sample (Algorithm 1's `sample` variable).
   /// Its `units()` history is empty when the config opted out of
   /// `retain_unit_history`; totals and distinct counts are always live.
-  const AnnotatedSample& sample() const { return sample_; }
+  const AnnotatedSample& sample() const { return *sample_; }
 
   /// The streaming estimator state Step() estimates from — every batch is
   /// folded in once, so phase 3 costs O(batch), not O(sample).
@@ -111,7 +127,12 @@ class EvaluationSession {
   uint64_t seed_;
   Rng rng_;
   Status init_status_;
-  AnnotatedSample sample_;
+  /// Session-owned storage, used when no external scratch is supplied.
+  AnnotatedSample own_sample_;
+  SampleBatch own_batch_;
+  /// Active storage: the scratch's buffers or the members above.
+  AnnotatedSample* sample_ = nullptr;
+  SampleBatch* batch_ = nullptr;
   EstimatorAccumulator accumulator_;
   AhpdWarmState interval_warm_;
   EvaluationResult result_;

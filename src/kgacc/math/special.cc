@@ -62,26 +62,32 @@ Result<double> RegularizedIncompleteBeta(double x, double a, double b) {
   if (!(a > 0.0) || !(b > 0.0)) {
     return Status::InvalidArgument("beta parameters must be positive");
   }
+  return RegularizedIncompleteBeta(x, a, b, LogBeta(a, b));
+}
+
+Result<double> RegularizedIncompleteBeta(double x, double a, double b,
+                                         double log_beta) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    return Status::InvalidArgument("beta parameters must be positive");
+  }
   if (!(x >= 0.0) || !(x <= 1.0)) {
     return Status::OutOfRange("incomplete beta argument x must be in [0,1]");
   }
   if (x == 0.0) return 0.0;
   if (x == 1.0) return 1.0;
 
-  // Front factor x^a (1-x)^b / (a B(a,b)), evaluated in log space.
-  const double log_front =
-      a * std::log(x) + b * std::log1p(-x) - std::log(a) - LogBeta(a, b);
-  const double front = std::exp(log_front);
-
   double result;
   if (x < (a + 1.0) / (a + b + 2.0)) {
-    result = front * internal::BetaContinuedFraction(x, a, b);
+    // Front factor x^a (1-x)^b / (a B(a,b)), evaluated in log space.
+    const double log_front =
+        a * std::log(x) + b * std::log1p(-x) - std::log(a) - log_beta;
+    result = std::exp(log_front) * internal::BetaContinuedFraction(x, a, b);
   } else {
-    // Symmetry: the mirrored fraction converges faster here. Note the front
-    // factor for the mirrored call uses (b, a) at 1-x, which differs from
-    // `front` only through the 1/a vs 1/b term.
+    // Symmetry: the mirrored fraction converges faster here. The mirrored
+    // front factor uses (b, a) at 1-x, which differs from the direct one
+    // only through the 1/a vs 1/b term (LogBeta is symmetric).
     const double log_front_mirror = b * std::log1p(-x) + a * std::log(x) -
-                                    std::log(b) - LogBeta(b, a);
+                                    std::log(b) - log_beta;
     result = 1.0 - std::exp(log_front_mirror) *
                        internal::BetaContinuedFraction(1.0 - x, b, a);
   }
@@ -95,6 +101,14 @@ Result<double> InverseRegularizedIncompleteBeta(double p, double a, double b) {
   if (!(a > 0.0) || !(b > 0.0)) {
     return Status::InvalidArgument("beta parameters must be positive");
   }
+  return InverseRegularizedIncompleteBeta(p, a, b, LogBeta(a, b));
+}
+
+Result<double> InverseRegularizedIncompleteBeta(double p, double a, double b,
+                                                double log_beta) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    return Status::InvalidArgument("beta parameters must be positive");
+  }
   if (!(p >= 0.0) || !(p <= 1.0)) {
     return Status::OutOfRange("probability must be in [0,1]");
   }
@@ -104,12 +118,11 @@ Result<double> InverseRegularizedIncompleteBeta(double p, double a, double b) {
   // (e.g. 1e-18 for sub-uniform shapes) that needs *relative* precision,
   // which the mirrored upper-tail representation 1 - x cannot hold.
   if (p > 0.5) {
-    KGACC_ASSIGN_OR_RETURN(const double y,
-                           InverseRegularizedIncompleteBeta(1.0 - p, b, a));
+    KGACC_ASSIGN_OR_RETURN(
+        const double y,
+        InverseRegularizedIncompleteBeta(1.0 - p, b, a, log_beta));
     return 1.0 - y;
   }
-
-  const double log_beta = LogBeta(a, b);
 
   // Initial guess. Near the lower tail the leading term of the series gives
   // I_x(a, b) ~ x^a / (a B(a, b)), inverted in closed form; otherwise start
@@ -137,7 +150,7 @@ Result<double> InverseRegularizedIncompleteBeta(double p, double a, double b) {
   double err = 0.0;
   for (int iter = 0; iter < 300; ++iter) {
     KGACC_ASSIGN_OR_RETURN(const double cdf,
-                           RegularizedIncompleteBeta(x, a, b));
+                           RegularizedIncompleteBeta(x, a, b, log_beta));
     err = cdf - p;
     if (err > 0.0) {
       hi = x;

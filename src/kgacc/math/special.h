@@ -22,12 +22,26 @@ double LogBeta(double a, double b);
 /// fast-converging regime. Absolute accuracy is ~1e-14 over the full domain.
 Result<double> RegularizedIncompleteBeta(double x, double a, double b);
 
+/// Overload taking the precomputed `log_beta = LogBeta(a, b)`. Evaluating
+/// the front factor costs three lgamma calls per invocation otherwise —
+/// pure overhead for callers like `BetaDistribution`, which fix (a, b) once
+/// and evaluate the CDF hundreds of times per HPD solve. Bit-identical to
+/// the two-parameter overload (LogBeta is symmetric down to the last ulp,
+/// so even the mirrored branch reuses the value).
+Result<double> RegularizedIncompleteBeta(double x, double a, double b,
+                                         double log_beta);
+
 /// Inverse of the regularized incomplete beta function: the unique x in
 /// [0, 1] with I_x(a, b) = p. Requires a, b > 0 and p in [0, 1].
 ///
 /// Newton iteration on the CDF with a maintained bisection bracket; falls
 /// back to pure bisection whenever a Newton step leaves the bracket.
 Result<double> InverseRegularizedIncompleteBeta(double p, double a, double b);
+
+/// Overload taking the precomputed `log_beta = LogBeta(a, b)`; every Newton
+/// iteration evaluates the CDF and the log-PDF, both of which reuse it.
+Result<double> InverseRegularizedIncompleteBeta(double p, double a, double b,
+                                                double log_beta);
 
 namespace internal {
 

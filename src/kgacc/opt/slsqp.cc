@@ -10,8 +10,15 @@ namespace kgacc {
 
 namespace internal {
 
-bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, int n,
-                       std::vector<double>* x) {
+namespace {
+
+/// Gaussian elimination with partial pivoting, consuming `a` and `b` in
+/// place. The solvers below rebuild the KKT system every round anyway, so
+/// destroying it here saves the two copies the value-parameter public
+/// wrapper pays.
+bool SolveLinearSystemDestructive(std::vector<double>& a,
+                                  std::vector<double>& b, int n,
+                                  std::vector<double>* x) {
   KGACC_DCHECK(static_cast<int>(a.size()) == n * n);
   KGACC_DCHECK(static_cast<int>(b.size()) == n);
   for (int col = 0; col < n; ++col) {
@@ -47,6 +54,13 @@ bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, int n,
   return true;
 }
 
+}  // namespace
+
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, int n,
+                       std::vector<double>* x) {
+  return SolveLinearSystemDestructive(a, b, n, x);
+}
+
 }  // namespace internal
 
 namespace {
@@ -77,6 +91,18 @@ std::vector<double> NumericGradient(const VectorFn& f,
   return g;
 }
 
+/// Scratch buffers for SolveQp, reused across QP rounds and outer SQP
+/// iterations. The solver runs once per interval on the evaluation hot
+/// path; without this every 2-variable QP round paid half a dozen small
+/// heap allocations.
+struct QpWorkspace {
+  std::vector<char> pinned;
+  std::vector<int> free_idx;
+  std::vector<double> kkt;
+  std::vector<double> rhs;
+  std::vector<double> sol;
+};
+
 /// Computes the SQP search direction from the equality-constrained QP
 ///   min 0.5 d' B d + g' d   s.t.  A d = -c
 /// with box handling suited to SQP globalization: variables sitting on a
@@ -86,24 +112,27 @@ std::vector<double> NumericGradient(const VectorFn& f,
 /// test), so the line search never has to clamp and the direction stays a
 /// true tangent direction of the linearized constraints.
 ///
-/// `dl`/`du` are the step bounds lo - x / hi - x. Returns false when every
-/// KKT system encountered was singular (caller falls back to steepest
-/// descent).
+/// `dl`/`du` are the step bounds lo - x / hi - x. `d_out`/`lambda_out` are
+/// resized to n/m. Returns false when every KKT system encountered was
+/// singular (caller falls back to steepest descent).
 bool SolveQp(const std::vector<double>& bmat, const std::vector<double>& g,
              const std::vector<double>& amat, const std::vector<double>& c,
              const std::vector<double>& dl, const std::vector<double>& du,
-             int n, int m, std::vector<double>* d_out,
+             int n, int m, QpWorkspace* ws, std::vector<double>* d_out,
              std::vector<double>* lambda_out, double* alpha_cap) {
   constexpr double kAtBound = 1e-14;
-  std::vector<bool> pinned(n, false);
-  std::vector<double> d(n, 0.0);
-  std::vector<double> lambda(m, 0.0);
+  ws->pinned.assign(n, 0);
+  std::vector<double>& d = *d_out;
+  std::vector<double>& lambda = *lambda_out;
+  d.assign(n, 0.0);
+  lambda.assign(m, 0.0);
 
   for (int round = 0; round <= n; ++round) {
-    std::vector<int> free_idx;
+    ws->free_idx.clear();
     for (int i = 0; i < n; ++i) {
-      if (!pinned[i]) free_idx.push_back(i);
+      if (!ws->pinned[i]) ws->free_idx.push_back(i);
     }
+    const std::vector<int>& free_idx = ws->free_idx;
     const int nf = static_cast<int>(free_idx.size());
     const int dim = nf + m;
     std::fill(d.begin(), d.end(), 0.0);
@@ -112,14 +141,14 @@ bool SolveQp(const std::vector<double>& bmat, const std::vector<double>& g,
     if (nf == 0) {
       // Every variable is blocked by a bound: no feasible descent direction
       // from this iterate within the box.
-      *d_out = d;
-      *lambda_out = lambda;
       *alpha_cap = 1.0;
       return true;
     }
 
-    std::vector<double> kkt(dim * dim, 0.0);
-    std::vector<double> rhs(dim, 0.0);
+    ws->kkt.assign(dim * dim, 0.0);
+    ws->rhs.assign(dim, 0.0);
+    std::vector<double>& kkt = ws->kkt;
+    std::vector<double>& rhs = ws->rhs;
     for (int r = 0; r < nf; ++r) {
       const int i = free_idx[r];
       for (int s = 0; s < nf; ++s) {
@@ -136,14 +165,14 @@ bool SolveQp(const std::vector<double>& bmat, const std::vector<double>& g,
       }
       rhs[nf + k] = -c[k];
     }
-    std::vector<double> sol;
-    if (!internal::SolveLinearSystem(kkt, rhs, dim, &sol)) {
+    if (!internal::SolveLinearSystemDestructive(kkt, rhs, dim, &ws->sol)) {
       if (round == 0 || nf == n) return false;
       // Pinning made the constraint rows rank-deficient; fall back to the
       // unpinned solution direction with a conservative cap.
-      pinned.assign(n, false);
+      ws->pinned.assign(n, 0);
       continue;
     }
+    const std::vector<double>& sol = ws->sol;
     for (int r = 0; r < nf; ++r) d[free_idx[r]] = sol[r];
     for (int k = 0; k < m; ++k) lambda[k] = sol[nf + k];
 
@@ -153,7 +182,7 @@ bool SolveQp(const std::vector<double>& bmat, const std::vector<double>& g,
       const int i = free_idx[r];
       if ((dl[i] >= -kAtBound && d[i] < 0.0) ||
           (du[i] <= kAtBound && d[i] > 0.0)) {
-        pinned[i] = true;
+        ws->pinned[i] = 1;
         newly_pinned = true;
       }
     }
@@ -168,8 +197,6 @@ bool SolveQp(const std::vector<double>& bmat, const std::vector<double>& g,
         cap = std::min(cap, dl[i] / d[i]);
       }
     }
-    *d_out = d;
-    *lambda_out = lambda;
     *alpha_cap = std::max(cap, 0.0);
     return true;
   }
@@ -197,7 +224,6 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
       static_cast<int>(problem.eq_gradients.size()) != m) {
     return Status::InvalidArgument("SLSQP: constraint gradient count mismatch");
   }
-
   std::vector<double> lo(n, -kInf), hi(n, kInf);
   if (!problem.lower.empty()) lo = problem.lower;
   if (!problem.upper.empty()) hi = problem.upper;
@@ -208,10 +234,10 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
     x0[i] = std::clamp(x0[i], lo[i], hi[i]);
   }
 
-  auto eval_constraints = [&](const std::vector<double>& x) {
-    std::vector<double> c(m);
-    for (int k = 0; k < m; ++k) c[k] = problem.eq_constraints[k](x);
-    return c;
+  auto eval_constraints_into = [&](const std::vector<double>& x,
+                                   std::vector<double>* c) {
+    c->resize(m);
+    for (int k = 0; k < m; ++k) (*c)[k] = problem.eq_constraints[k](x);
   };
   auto eval_gradient = [&](const std::vector<double>& x) {
     if (problem.gradient) return problem.gradient(x);
@@ -241,7 +267,8 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
   std::vector<double> x = x0;
   double fx = problem.objective(x);
   std::vector<double> g = eval_gradient(x);
-  std::vector<double> c = eval_constraints(x);
+  std::vector<double> c;
+  eval_constraints_into(x, &c);
   std::vector<double> amat = eval_jacobian(x);
 
   // BFGS model of the Lagrangian Hessian, started at identity.
@@ -251,16 +278,22 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
   double penalty = 1.0;
   SlsqpSolve out;
 
+  // Iteration-invariant buffers, hoisted so the loop below (and the QP
+  // solves inside it) run allocation-free after the first pass.
+  QpWorkspace qp_ws;
+  std::vector<double> dl(n), du(n), d, lambda;
+  std::vector<double> x_new(n), c_new;
+  std::vector<double> s(n), y(n), bs(n);
+
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     // QP step bounds: keep x + d inside the box.
-    std::vector<double> dl(n), du(n);
     for (int i = 0; i < n; ++i) {
       dl[i] = lo[i] - x[i];
       du[i] = hi[i] - x[i];
     }
-    std::vector<double> d, lambda;
     double alpha_cap = 1.0;
-    if (!SolveQp(bmat, g, amat, c, dl, du, n, m, &d, &lambda, &alpha_cap)) {
+    if (!SolveQp(bmat, g, amat, c, dl, du, n, m, &qp_ws, &d, &lambda,
+                 &alpha_cap)) {
       // Degenerate model: take a small feasible steepest-descent step.
       d.assign(n, 0.0);
       for (int i = 0; i < n; ++i) {
@@ -286,30 +319,28 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
     for (double lk : lambda) lambda_max = std::max(lambda_max, std::fabs(lk));
     penalty = std::max(penalty, 2.0 * lambda_max + 1.0);
 
-    auto merit = [&](const std::vector<double>& xx, double f_val,
-                     const std::vector<double>& c_val) {
+    auto merit = [&](double f_val, const std::vector<double>& c_val) {
       double phi = f_val;
       for (double ci : c_val) phi += penalty * std::fabs(ci);
       return phi;
     };
-    const double phi0 = merit(x, fx, c);
+    const double phi0 = merit(fx, c);
     // Directional-derivative upper bound: g'd - penalty * ||c||_1.
     double dphi = 0.0;
     for (int i = 0; i < n; ++i) dphi += g[i] * d[i];
     for (double ci : c) dphi -= penalty * std::fabs(ci);
 
     double alpha = alpha_cap > 0.0 ? alpha_cap : 1.0;
-    std::vector<double> x_new(n);
     double f_new = fx;
-    std::vector<double> c_new = c;
+    c_new = c;
     bool accepted = false;
     for (int ls = 0; ls < 30; ++ls) {
       for (int i = 0; i < n; ++i) {
         x_new[i] = std::clamp(x[i] + alpha * d[i], lo[i], hi[i]);
       }
       f_new = problem.objective(x_new);
-      c_new = eval_constraints(x_new);
-      const double phi_new = merit(x_new, f_new, c_new);
+      eval_constraints_into(x_new, &c_new);
+      const double phi_new = merit(f_new, c_new);
       if (phi_new <= phi0 + 1e-4 * alpha * std::min(dphi, 0.0) ||
           phi_new < phi0 - 1e-16) {
         accepted = true;
@@ -332,7 +363,6 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
     // Damped BFGS update with the Lagrangian gradient difference.
     std::vector<double> g_new = eval_gradient(x_new);
     std::vector<double> a_new = eval_jacobian(x_new);
-    std::vector<double> s(n), y(n);
     for (int i = 0; i < n; ++i) s[i] = x_new[i] - x[i];
     for (int i = 0; i < n; ++i) {
       double grad_l_new = g_new[i];
@@ -344,7 +374,7 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
       y[i] = grad_l_new - grad_l_old;
     }
     double sy = 0.0, s_bs = 0.0;
-    std::vector<double> bs(n, 0.0);
+    std::fill(bs.begin(), bs.end(), 0.0);
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) bs[i] += bmat[i * n + j] * s[j];
     }
@@ -374,7 +404,7 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
     x = x_new;
     fx = f_new;
     g = std::move(g_new);
-    c = std::move(c_new);
+    std::swap(c, c_new);
     amat = std::move(a_new);
   }
 

@@ -27,14 +27,21 @@ std::vector<uint64_t> DrawSecondStage(uint64_t cluster_size, int m, Rng* rng) {
 
 void DrawSecondStageInto(uint64_t cluster_size, int m, Rng* rng,
                          std::vector<uint64_t>* out, FlatSet64* scratch) {
+  out->clear();
+  DrawSecondStageAppend(cluster_size, m, rng, out, scratch);
+}
+
+void DrawSecondStageAppend(uint64_t cluster_size, int m, Rng* rng,
+                           std::vector<uint64_t>* out, FlatSet64* scratch) {
   KGACC_DCHECK(cluster_size >= 1);
   if (m <= 0 || static_cast<uint64_t>(m) >= cluster_size) {
-    out->resize(cluster_size);
-    std::iota(out->begin(), out->end(), 0);
+    const size_t base = out->size();
+    out->resize(base + cluster_size);
+    std::iota(out->begin() + base, out->end(), 0);
     return;
   }
-  SampleWithoutReplacementInto(cluster_size, static_cast<uint64_t>(m), rng,
-                               out, scratch);
+  SampleWithoutReplacementAppend(cluster_size, static_cast<uint64_t>(m), rng,
+                                 out, scratch);
 }
 
 }  // namespace internal
@@ -52,23 +59,20 @@ std::unique_ptr<Sampler> TwcsSampler::Clone() const {
   return std::unique_ptr<Sampler>(new TwcsSampler(*this));
 }
 
-Result<SampleBatch> TwcsSampler::NextBatch(Rng* rng) {
-  SampleBatch batch;
-  batch.reserve(config_.batch_clusters);
+Status TwcsSampler::NextBatch(Rng* rng, SampleBatch* batch) {
+  batch->Clear();
+  batch->Reserve(config_.batch_clusters,
+                 static_cast<size_t>(config_.batch_clusters) *
+                     static_cast<size_t>(config_.second_stage_size));
   for (int i = 0; i < config_.batch_clusters; ++i) {
     const uint64_t cluster = alias_->Sample(rng);
-    SampledUnit unit;
-    unit.cluster = cluster;
-    unit.cluster_population = kg_.cluster_size(cluster);
-    unit.offsets.reserve(std::min<uint64_t>(
-        unit.cluster_population,
-        static_cast<uint64_t>(config_.second_stage_size)));
-    internal::DrawSecondStageInto(unit.cluster_population,
-                                  config_.second_stage_size, rng,
-                                  &unit.offsets, &scratch_);
-    batch.push_back(std::move(unit));
+    const uint64_t size = kg_.cluster_size(cluster);
+    batch->OpenUnit(cluster, size, 0);
+    internal::DrawSecondStageAppend(size, config_.second_stage_size, rng,
+                                    batch->mutable_offset_buffer(), &scratch_);
+    batch->CloseUnit();
   }
-  return batch;
+  return Status::OK();
 }
 
 WcsSampler::WcsSampler(const KgView& kg, const ClusterConfig& config)
@@ -83,20 +87,17 @@ std::unique_ptr<Sampler> WcsSampler::Clone() const {
   return std::unique_ptr<Sampler>(new WcsSampler(*this));
 }
 
-Result<SampleBatch> WcsSampler::NextBatch(Rng* rng) {
-  SampleBatch batch;
-  batch.reserve(config_.batch_clusters);
+Status WcsSampler::NextBatch(Rng* rng, SampleBatch* batch) {
+  batch->Clear();
   for (int i = 0; i < config_.batch_clusters; ++i) {
     const uint64_t cluster = alias_->Sample(rng);
-    SampledUnit unit;
-    unit.cluster = cluster;
-    unit.cluster_population = kg_.cluster_size(cluster);
+    const uint64_t size = kg_.cluster_size(cluster);
+    batch->OpenUnit(cluster, size, 0);
     // Whole-cluster annotation: the offsets are the identity range.
-    unit.offsets.resize(unit.cluster_population);
-    std::iota(unit.offsets.begin(), unit.offsets.end(), 0);
-    batch.push_back(std::move(unit));
+    batch->AppendIota(size);
+    batch->CloseUnit();
   }
-  return batch;
+  return Status::OK();
 }
 
 RcsSampler::RcsSampler(const KgView& kg, const ClusterConfig& config)
@@ -104,20 +105,17 @@ RcsSampler::RcsSampler(const KgView& kg, const ClusterConfig& config)
   KGACC_CHECK(config_.batch_clusters > 0);
 }
 
-Result<SampleBatch> RcsSampler::NextBatch(Rng* rng) {
-  SampleBatch batch;
-  batch.reserve(config_.batch_clusters);
+Status RcsSampler::NextBatch(Rng* rng, SampleBatch* batch) {
+  batch->Clear();
   for (int i = 0; i < config_.batch_clusters; ++i) {
     const uint64_t cluster = rng->UniformInt(kg_.num_clusters());
-    SampledUnit unit;
-    unit.cluster = cluster;
-    unit.cluster_population = kg_.cluster_size(cluster);
+    const uint64_t size = kg_.cluster_size(cluster);
+    batch->OpenUnit(cluster, size, 0);
     // Whole-cluster annotation: the offsets are the identity range.
-    unit.offsets.resize(unit.cluster_population);
-    std::iota(unit.offsets.begin(), unit.offsets.end(), 0);
-    batch.push_back(std::move(unit));
+    batch->AppendIota(size);
+    batch->CloseUnit();
   }
-  return batch;
+  return Status::OK();
 }
 
 }  // namespace kgacc

@@ -39,7 +39,7 @@ class TwcsSampler final : public Sampler {
   TwcsSampler(const KgView& kg, const TwcsConfig& config);
   ~TwcsSampler() override;
 
-  Result<SampleBatch> NextBatch(Rng* rng) override;
+  Status NextBatch(Rng* rng, SampleBatch* batch) override;
   void Reset() override {}
   EstimatorKind estimator() const override { return EstimatorKind::kCluster; }
   const KgView& kg() const override { return kg_; }
@@ -68,7 +68,7 @@ class WcsSampler final : public Sampler {
   WcsSampler(const KgView& kg, const ClusterConfig& config);
   ~WcsSampler() override;
 
-  Result<SampleBatch> NextBatch(Rng* rng) override;
+  Status NextBatch(Rng* rng, SampleBatch* batch) override;
   void Reset() override {}
   EstimatorKind estimator() const override { return EstimatorKind::kCluster; }
   const KgView& kg() const override { return kg_; }
@@ -93,7 +93,7 @@ class RcsSampler final : public Sampler {
  public:
   RcsSampler(const KgView& kg, const ClusterConfig& config);
 
-  Result<SampleBatch> NextBatch(Rng* rng) override;
+  Status NextBatch(Rng* rng, SampleBatch* batch) override;
   void Reset() override {}
   EstimatorKind estimator() const override { return EstimatorKind::kRcs; }
   const KgView& kg() const override { return kg_; }
@@ -122,6 +122,13 @@ std::vector<uint64_t> DrawSecondStage(uint64_t cluster_size, int m, Rng* rng);
 /// `DrawSecondStage`.
 void DrawSecondStageInto(uint64_t cluster_size, int m, Rng* rng,
                          std::vector<uint64_t>* out, FlatSet64* scratch);
+
+/// Appending variant for the flat `SampleBatch` representation: leaves the
+/// existing elements of `*out` (the batch's shared offset buffer) in place
+/// and writes the unit's draw at the tail. Identical Rng consumption and
+/// draw as the other two.
+void DrawSecondStageAppend(uint64_t cluster_size, int m, Rng* rng,
+                           std::vector<uint64_t>* out, FlatSet64* scratch);
 
 }  // namespace internal
 

@@ -2,9 +2,12 @@
 #define KGACC_SAMPLING_SAMPLE_H_
 
 #include <cstdint>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include "kgacc/kg/triple.h"
+#include "kgacc/util/check.h"
 #include "kgacc/util/flat_set.h"
 #include "kgacc/util/status.h"
 
@@ -18,18 +21,110 @@ namespace kgacc {
 /// One sampled unit: either a single SRS triple or one first-stage cluster
 /// occurrence with its second-stage offsets (TWCS/WCS). Produced by the
 /// samplers *before* annotation — offsets are chosen from structure only.
+/// Units do not own their offsets: they index a span of the enclosing
+/// `SampleBatch`'s shared offset buffer.
 struct SampledUnit {
   uint64_t cluster = 0;
   /// Cluster population size M_i (needed by cluster estimators).
   uint64_t cluster_population = 0;
+  /// Span of this unit's second-stage offsets in the batch's shared buffer
+  /// (one element for SRS units).
+  uint64_t offset_begin = 0;
+  uint32_t offset_count = 0;
   /// Stratum index for stratified designs; 0 for unstratified ones.
   uint32_t stratum = 0;
-  /// Second-stage offsets within the cluster (one element for SRS units).
-  std::vector<uint64_t> offsets;
 };
 
-/// A batch of sampled units (phase 1 of the framework).
-using SampleBatch = std::vector<SampledUnit>;
+/// A batch of sampled units (phase 1 of the framework), stored
+/// structure-of-arrays: one flat unit array plus one shared offset buffer
+/// the units carve spans out of. Drawing a batch therefore performs no
+/// per-unit heap allocation, and a batch object reused across steps (the
+/// `EvaluationSession` hot loop) reaches steady state with zero
+/// allocations per step.
+class SampleBatch {
+ public:
+  size_t size() const { return units_.size(); }
+  bool empty() const { return units_.empty(); }
+
+  /// Units in draw order.
+  const SampledUnit& unit(size_t i) const { return units_[i]; }
+  const std::vector<SampledUnit>& units() const { return units_; }
+
+  /// The unit's second-stage offsets within its cluster.
+  std::span<const uint64_t> offsets(const SampledUnit& u) const {
+    KGACC_DCHECK(u.offset_begin + u.offset_count <= offsets_.size());
+    return {offsets_.data() + u.offset_begin, u.offset_count};
+  }
+  std::span<const uint64_t> offsets(size_t i) const {
+    return offsets(units_[i]);
+  }
+
+  /// The shared offset buffer (the concatenation of every unit's span).
+  const std::vector<uint64_t>& offset_buffer() const { return offsets_; }
+
+  /// Drops all units and offsets, keeping both buffers' capacity.
+  void Clear() {
+    units_.clear();
+    offsets_.clear();
+  }
+
+  /// Pre-sizes the buffers for `units` units carrying `offsets` offsets.
+  void Reserve(size_t units, size_t offsets) {
+    units_.reserve(units);
+    offsets_.reserve(offsets);
+  }
+
+  // -- Producer API (samplers) ---------------------------------------------
+
+  /// Appends a one-triple unit (SRS-like designs).
+  void AddSingleton(uint64_t cluster, uint64_t cluster_population,
+                    uint32_t stratum, uint64_t offset) {
+    SampledUnit& u = OpenUnit(cluster, cluster_population, stratum);
+    offsets_.push_back(offset);
+    u.offset_count = 1;
+  }
+
+  /// Starts a multi-offset unit; append its offsets with `AppendOffset` /
+  /// `AppendIota` (or directly into `mutable_offset_buffer()`), then seal
+  /// the span with `CloseUnit`. Units must be produced one at a time.
+  SampledUnit& OpenUnit(uint64_t cluster, uint64_t cluster_population,
+                        uint32_t stratum) {
+    SampledUnit u;
+    u.cluster = cluster;
+    u.cluster_population = cluster_population;
+    u.stratum = stratum;
+    u.offset_begin = offsets_.size();
+    u.offset_count = 0;
+    units_.push_back(u);
+    return units_.back();
+  }
+
+  /// Appends one offset to the currently open unit.
+  void AppendOffset(uint64_t offset) { offsets_.push_back(offset); }
+
+  /// Appends the identity range 0..count-1 (whole-cluster designs).
+  void AppendIota(uint64_t count) {
+    const size_t base = offsets_.size();
+    offsets_.resize(base + count);
+    for (uint64_t i = 0; i < count; ++i) offsets_[base + i] = i;
+  }
+
+  /// Seals the open unit's span at the current end of the offset buffer.
+  void CloseUnit() {
+    SampledUnit& u = units_.back();
+    KGACC_DCHECK(offsets_.size() - u.offset_begin <=
+                 std::numeric_limits<uint32_t>::max());
+    u.offset_count = static_cast<uint32_t>(offsets_.size() - u.offset_begin);
+  }
+
+  /// Raw offset buffer for bulk producers (`SampleWithoutReplacementAppend`
+  /// writes the second-stage draw straight into the open unit's tail).
+  std::vector<uint64_t>* mutable_offset_buffer() { return &offsets_; }
+
+ private:
+  std::vector<SampledUnit> units_;
+  std::vector<uint64_t> offsets_;
+};
 
 /// A sampled unit after annotation: how many of the drawn triples were
 /// annotated correct.
@@ -49,6 +144,13 @@ class AnnotatedSample {
  public:
   /// Appends an annotated unit.
   void Add(const AnnotatedUnit& unit);
+
+  /// Restores the freshly constructed state while keeping every buffer's
+  /// capacity (the unit history and both distinct-set tables). This is what
+  /// lets a worker context recycle one sample across thousands of audits:
+  /// after the first few jobs the flat sets are sized for the workload and
+  /// later sessions never rehash.
+  void Clear();
 
   /// Number of annotated triples n_S (duplicates from with-replacement
   /// designs count, matching the estimator's sample size).

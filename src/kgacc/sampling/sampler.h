@@ -37,10 +37,12 @@ class Sampler {
  public:
   virtual ~Sampler() = default;
 
-  /// Draws the next batch of units. May return fewer units than the batch
-  /// size when a without-replacement design nears exhaustion, and an empty
-  /// batch when the population is fully consumed.
-  virtual Result<SampleBatch> NextBatch(Rng* rng) = 0;
+  /// Draws the next batch of units into `*batch` (cleared first; its
+  /// capacity is reused, so a caller that passes the same batch every step
+  /// reaches an allocation-free steady state). May produce fewer units than
+  /// the batch size when a without-replacement design nears exhaustion, and
+  /// an empty batch when the population is fully consumed.
+  virtual Status NextBatch(Rng* rng, SampleBatch* batch) = 0;
 
   /// Clears any without-replacement bookkeeping for a fresh run.
   virtual void Reset() = 0;

@@ -9,8 +9,8 @@ SrsSampler::SrsSampler(const KgView& kg, const SrsConfig& config)
   KGACC_CHECK(config_.batch_size > 0);
 }
 
-Result<SampleBatch> SrsSampler::NextBatch(Rng* rng) {
-  SampleBatch batch;
+Status SrsSampler::NextBatch(Rng* rng, SampleBatch* batch) {
+  batch->Clear();
   const uint64_t population = kg_.num_triples();
   for (int i = 0; i < config_.batch_size; ++i) {
     uint64_t index;
@@ -25,13 +25,10 @@ Result<SampleBatch> SrsSampler::NextBatch(Rng* rng) {
       index = rng->UniformInt(population);
     }
     const TripleRef ref = kg_.TripleAt(index);
-    SampledUnit unit;
-    unit.cluster = ref.cluster;
-    unit.cluster_population = kg_.cluster_size(ref.cluster);
-    unit.offsets.push_back(ref.offset);
-    batch.push_back(std::move(unit));
+    batch->AddSingleton(ref.cluster, kg_.cluster_size(ref.cluster), 0,
+                        ref.offset);
   }
-  return batch;
+  return Status::OK();
 }
 
 }  // namespace kgacc

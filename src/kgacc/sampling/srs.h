@@ -26,7 +26,7 @@ class SrsSampler final : public Sampler {
   /// Binds to `kg`; the view must outlive the sampler.
   SrsSampler(const KgView& kg, const SrsConfig& config);
 
-  Result<SampleBatch> NextBatch(Rng* rng) override;
+  Status NextBatch(Rng* rng, SampleBatch* batch) override;
   void Reset() override { drawn_.clear(); }
   EstimatorKind estimator() const override { return EstimatorKind::kSrs; }
   const KgView& kg() const override { return kg_; }

@@ -51,9 +51,9 @@ std::unique_ptr<Sampler> StratifiedSampler::Clone() const {
   return clone;
 }
 
-Result<SampleBatch> StratifiedSampler::NextBatch(Rng* rng) {
-  SampleBatch batch;
-  batch.reserve(config_.batch_size);
+Status StratifiedSampler::NextBatch(Rng* rng, SampleBatch* batch) {
+  batch->Clear();
+  batch->Reserve(config_.batch_size, config_.batch_size);
   for (size_t h = 0; h < index_->strata.size(); ++h) {
     // Proportional allocation with fractional carry-over so small strata
     // still receive their fair long-run share at small batch sizes.
@@ -67,15 +67,11 @@ Result<SampleBatch> StratifiedSampler::NextBatch(Rng* rng) {
           std::upper_bound(stratum.prefix.begin(), stratum.prefix.end(), t);
       const size_t idx = static_cast<size_t>(it - stratum.prefix.begin()) - 1;
       const uint64_t cluster = stratum.clusters[idx];
-      SampledUnit unit;
-      unit.cluster = cluster;
-      unit.cluster_population = kg_.cluster_size(cluster);
-      unit.stratum = static_cast<uint32_t>(h);
-      unit.offsets.push_back(t - stratum.prefix[idx]);
-      batch.push_back(std::move(unit));
+      batch->AddSingleton(cluster, kg_.cluster_size(cluster),
+                          static_cast<uint32_t>(h), t - stratum.prefix[idx]);
     }
   }
-  return batch;
+  return Status::OK();
 }
 
 }  // namespace kgacc

@@ -37,7 +37,7 @@ class StratifiedSampler final : public Sampler {
   /// Binds to `kg` and builds the per-stratum triple index (O(#clusters)).
   StratifiedSampler(const KgView& kg, const StratifiedConfig& config);
 
-  Result<SampleBatch> NextBatch(Rng* rng) override;
+  Status NextBatch(Rng* rng, SampleBatch* batch) override;
   /// Restores fresh-construction state (clears the fractional allocation
   /// carry-over, so a reset sampler replays the same stream as a clone).
   void Reset() override { carry_.assign(index_->strata.size(), 0.0); }

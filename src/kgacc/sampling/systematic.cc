@@ -11,10 +11,10 @@ SystematicSampler::SystematicSampler(const KgView& kg,
   KGACC_CHECK(config_.skip >= 1);
 }
 
-Result<SampleBatch> SystematicSampler::NextBatch(Rng* rng) {
+Status SystematicSampler::NextBatch(Rng* rng, SampleBatch* batch) {
   const uint64_t population = kg_.num_triples();
-  SampleBatch batch;
-  batch.reserve(config_.batch_size);
+  batch->Clear();
+  batch->Reserve(config_.batch_size, config_.batch_size);
   for (int i = 0; i < config_.batch_size; ++i) {
     if (position_ == kNotStarted) {
       position_ = rng->UniformInt(std::min(config_.skip, population));
@@ -26,13 +26,10 @@ Result<SampleBatch> SystematicSampler::NextBatch(Rng* rng) {
       }
     }
     const TripleRef ref = kg_.TripleAt(position_);
-    SampledUnit unit;
-    unit.cluster = ref.cluster;
-    unit.cluster_population = kg_.cluster_size(ref.cluster);
-    unit.offsets.push_back(ref.offset);
-    batch.push_back(std::move(unit));
+    batch->AddSingleton(ref.cluster, kg_.cluster_size(ref.cluster), 0,
+                        ref.offset);
   }
-  return batch;
+  return Status::OK();
 }
 
 }  // namespace kgacc

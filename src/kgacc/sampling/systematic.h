@@ -31,7 +31,7 @@ class SystematicSampler final : public Sampler {
  public:
   SystematicSampler(const KgView& kg, const SystematicConfig& config);
 
-  Result<SampleBatch> NextBatch(Rng* rng) override;
+  Status NextBatch(Rng* rng, SampleBatch* batch) override;
   void Reset() override { position_ = kNotStarted; }
   EstimatorKind estimator() const override { return EstimatorKind::kSrs; }
   const KgView& kg() const override { return kg_; }

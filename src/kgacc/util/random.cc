@@ -64,9 +64,15 @@ std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
 void SampleWithoutReplacementInto(uint64_t n, uint64_t k, Rng* rng,
                                   std::vector<uint64_t>* out,
                                   FlatSet64* scratch) {
-  KGACC_CHECK(k <= n);
   out->clear();
-  out->reserve(k);
+  SampleWithoutReplacementAppend(n, k, rng, out, scratch);
+}
+
+void SampleWithoutReplacementAppend(uint64_t n, uint64_t k, Rng* rng,
+                                    std::vector<uint64_t>* out,
+                                    FlatSet64* scratch) {
+  KGACC_CHECK(k <= n);
+  out->reserve(out->size() + k);
   if (k == 0) return;
   // Robert Floyd's algorithm: for j = n-k .. n-1 draw t in [0, j]; insert t
   // unless already chosen, in which case insert j. Each subset of size k is

@@ -122,6 +122,15 @@ void SampleWithoutReplacementInto(uint64_t n, uint64_t k, Rng* rng,
                                   std::vector<uint64_t>* out,
                                   FlatSet64* scratch);
 
+/// Appending variant: leaves existing elements of `*out` untouched and
+/// writes the k drawn indices at its tail (the flat `SampleBatch` offset
+/// buffer, where every unit's draw lands behind the previous one's).
+/// `*scratch` is cleared first. Identical Rng stream and draw as the other
+/// two variants.
+void SampleWithoutReplacementAppend(uint64_t n, uint64_t k, Rng* rng,
+                                    std::vector<uint64_t>* out,
+                                    FlatSet64* scratch);
+
 /// Walker/Vose alias table for O(1) sampling from a discrete distribution
 /// with fixed weights. Used for the probability-proportional-to-size first
 /// stage of TWCS, where the number of clusters can be in the millions.

@@ -127,18 +127,20 @@ SyntheticKg MakeKgPop(double accuracy, LabelModel model, double rho) {
 double RunMeanOfEstimates(Sampler& sampler, int reps, int batches) {
   OracleAnnotator annotator;
   double sum = 0.0;
+  SampleBatch batch_;
   for (int r = 0; r < reps; ++r) {
     Rng rng(1000 + r);
     sampler.Reset();
     AnnotatedSample sample;
     for (int b = 0; b < batches; ++b) {
-      const SampleBatch batch_ = *sampler.NextBatch(&rng);
-      for (const SampledUnit& unit : batch_) {
+      KGACC_CHECK(sampler.NextBatch(&rng, &batch_).ok());
+      for (size_t u = 0; u < batch_.size(); ++u) {
+        const SampledUnit& unit = batch_.unit(u);
         AnnotatedUnit annotated;
         annotated.cluster = unit.cluster;
         annotated.cluster_population = unit.cluster_population;
-        annotated.drawn = static_cast<uint32_t>(unit.offsets.size());
-        for (uint64_t o : unit.offsets) {
+        annotated.drawn = unit.offset_count;
+        for (uint64_t o : batch_.offsets(u)) {
           annotated.correct +=
               annotator.Annotate(sampler.kg(), TripleRef{unit.cluster, o},
                                  &rng)

@@ -1,5 +1,6 @@
 #include "kgacc/eval/service.h"
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -85,6 +86,41 @@ TEST(EvaluationServiceTest, ResultsAreIndependentOfThreadCount) {
       SCOPED_TRACE(jobs[i].label + " @" + std::to_string(threads));
       ASSERT_TRUE(batch.outcomes[i].status.ok());
       ExpectSameResult(baseline.outcomes[i].result, batch.outcomes[i].result);
+    }
+  }
+}
+
+TEST(EvaluationServiceTest, PinnedAndUnpinnedExecutionAgree) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{.without_replacement = true});
+  TwcsSampler twcs(kg, TwcsConfig{});
+  const auto jobs = MixedJobs(srs, twcs, annotator);
+
+  EvaluationService unpinned(EvaluationService::Options{
+      .num_threads = 2, .reuse_contexts = false});
+  const auto reference = unpinned.RunBatch(jobs);
+  for (const auto& outcome : reference.outcomes) {
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+
+  // Context reuse (warm sampler clones + recycled scratch) must be
+  // invisible in the results, at several pinning granularities. Running two
+  // batches back to back also exercises reuse of contexts *across* batches.
+  for (const int groups_per_thread : {1, 4}) {
+    EvaluationService pinned(EvaluationService::Options{
+        .num_threads = 2, .reuse_contexts = true,
+        .groups_per_thread = groups_per_thread});
+    for (int round = 0; round < 2; ++round) {
+      const auto batch = pinned.RunBatch(jobs);
+      ASSERT_EQ(batch.outcomes.size(), jobs.size());
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].label + " g" + std::to_string(groups_per_thread) +
+                     " round " + std::to_string(round));
+        ASSERT_TRUE(batch.outcomes[i].status.ok());
+        ExpectSameResult(reference.outcomes[i].result,
+                         batch.outcomes[i].result);
+      }
     }
   }
 }
@@ -238,12 +274,16 @@ TEST(SamplerCloneTest, ClonesAreIndependentAndEquivalent) {
     EXPECT_STREQ(a->name(), prototype->name());
     // Same seed, independent instances: identical batches.
     Rng rng_a(5), rng_b(5);
-    const SampleBatch batch_a = *a->NextBatch(&rng_a);
-    const SampleBatch batch_b = *b->NextBatch(&rng_b);
+    SampleBatch batch_a, batch_b;
+    ASSERT_TRUE(a->NextBatch(&rng_a, &batch_a).ok());
+    ASSERT_TRUE(b->NextBatch(&rng_b, &batch_b).ok());
     ASSERT_EQ(batch_a.size(), batch_b.size());
     for (size_t i = 0; i < batch_a.size(); ++i) {
-      EXPECT_EQ(batch_a[i].cluster, batch_b[i].cluster);
-      EXPECT_EQ(batch_a[i].offsets, batch_b[i].offsets);
+      EXPECT_EQ(batch_a.unit(i).cluster, batch_b.unit(i).cluster);
+      ASSERT_EQ(batch_a.unit(i).offset_count, batch_b.unit(i).offset_count);
+      const auto oa = batch_a.offsets(i);
+      const auto ob = batch_b.offsets(i);
+      EXPECT_TRUE(std::equal(oa.begin(), oa.end(), ob.begin()));
     }
   }
 }

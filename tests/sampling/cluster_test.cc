@@ -10,6 +10,12 @@
 namespace kgacc {
 namespace {
 
+SampleBatch Draw(Sampler& sampler, Rng* rng) {
+  SampleBatch batch;
+  EXPECT_TRUE(sampler.NextBatch(rng, &batch).ok());
+  return batch;
+}
+
 SyntheticKg MakeKg(uint64_t clusters = 300, double mean_size = 4.0) {
   SyntheticKgConfig cfg;
   cfg.num_clusters = clusters;
@@ -24,16 +30,17 @@ TEST(TwcsSamplerTest, SecondStageCapsAtM) {
   TwcsSampler sampler(kg, TwcsConfig{.batch_clusters = 50,
                                      .second_stage_size = 3});
   Rng rng(1);
-  const auto batch = *sampler.NextBatch(&rng);
+  const SampleBatch batch = Draw(sampler, &rng);
   ASSERT_EQ(batch.size(), 50u);
-  for (const SampledUnit& unit : batch) {
+  for (const SampledUnit& unit : batch.units()) {
     const uint64_t m_i = kg.cluster_size(unit.cluster);
-    EXPECT_EQ(unit.offsets.size(), std::min<uint64_t>(m_i, 3));
+    const auto offsets = batch.offsets(unit);
+    EXPECT_EQ(offsets.size(), std::min<uint64_t>(m_i, 3));
     EXPECT_EQ(unit.cluster_population, m_i);
     // Offsets are distinct and in range (second stage is SRS-WOR).
-    std::set<uint64_t> distinct(unit.offsets.begin(), unit.offsets.end());
-    EXPECT_EQ(distinct.size(), unit.offsets.size());
-    for (uint64_t o : unit.offsets) EXPECT_LT(o, m_i);
+    std::set<uint64_t> distinct(offsets.begin(), offsets.end());
+    EXPECT_EQ(distinct.size(), offsets.size());
+    for (uint64_t o : offsets) EXPECT_LT(o, m_i);
   }
 }
 
@@ -46,8 +53,8 @@ TEST(TwcsSamplerTest, FirstStageIsPps) {
   std::vector<double> hits(kg.num_clusters(), 0.0);
   const int batches = 3000;
   for (int b = 0; b < batches; ++b) {
-    const SampleBatch batch_ = *sampler.NextBatch(&rng);
-    for (const SampledUnit& unit : batch_) {
+    const SampleBatch batch_ = Draw(sampler, &rng);
+    for (const SampledUnit& unit : batch_.units()) {
       hits[unit.cluster] += 1.0;
     }
   }
@@ -77,10 +84,10 @@ TEST(TwcsSamplerTest, SingletonClustersContributeOneTriple) {
   TwcsSampler sampler(kg, TwcsConfig{.batch_clusters = 10,
                                      .second_stage_size = 3});
   Rng rng(3);
-  const SampleBatch batch_ = *sampler.NextBatch(&rng);
-  for (const SampledUnit& unit : batch_) {
-    EXPECT_EQ(unit.offsets.size(), 1u);
-    EXPECT_EQ(unit.offsets[0], 0u);
+  const SampleBatch batch_ = Draw(sampler, &rng);
+  for (const SampledUnit& unit : batch_.units()) {
+    EXPECT_EQ(unit.offset_count, 1u);
+    EXPECT_EQ(batch_.offsets(unit)[0], 0u);
   }
 }
 
@@ -88,9 +95,9 @@ TEST(WcsSamplerTest, AnnotatesWholeClusters) {
   const auto kg = MakeKg();
   WcsSampler sampler(kg, ClusterConfig{.batch_clusters = 20});
   Rng rng(4);
-  const SampleBatch batch_ = *sampler.NextBatch(&rng);
-  for (const SampledUnit& unit : batch_) {
-    EXPECT_EQ(unit.offsets.size(), kg.cluster_size(unit.cluster));
+  const SampleBatch batch_ = Draw(sampler, &rng);
+  for (const SampledUnit& unit : batch_.units()) {
+    EXPECT_EQ(unit.offset_count, kg.cluster_size(unit.cluster));
   }
   EXPECT_STREQ(sampler.name(), "WCS");
 }
@@ -102,8 +109,8 @@ TEST(RcsSamplerTest, UniformOverClusters) {
   std::vector<double> hits(kg.num_clusters(), 0.0);
   const int batches = 2000;
   for (int b = 0; b < batches; ++b) {
-    const SampleBatch batch_ = *sampler.NextBatch(&rng);
-    for (const SampledUnit& unit : batch_) {
+    const SampleBatch batch_ = Draw(sampler, &rng);
+    for (const SampledUnit& unit : batch_.units()) {
       hits[unit.cluster] += 1.0;
     }
   }

@@ -10,6 +10,12 @@
 namespace kgacc {
 namespace {
 
+SampleBatch Draw(Sampler& sampler, Rng* rng) {
+  SampleBatch batch;
+  EXPECT_TRUE(sampler.NextBatch(rng, &batch).ok());
+  return batch;
+}
+
 SyntheticKg MakeKg(double accuracy = 0.8, uint64_t clusters = 500) {
   SyntheticKgConfig cfg;
   cfg.num_clusters = clusters;
@@ -23,12 +29,12 @@ TEST(SrsSamplerTest, BatchSizeIsHonored) {
   const auto kg = MakeKg();
   SrsSampler sampler(kg, SrsConfig{.batch_size = 7});
   Rng rng(1);
-  const auto batch = *sampler.NextBatch(&rng);
+  const SampleBatch batch = Draw(sampler, &rng);
   EXPECT_EQ(batch.size(), 7u);
-  for (const SampledUnit& unit : batch) {
-    EXPECT_EQ(unit.offsets.size(), 1u);
+  for (const SampledUnit& unit : batch.units()) {
+    EXPECT_EQ(unit.offset_count, 1u);
     EXPECT_LT(unit.cluster, kg.num_clusters());
-    EXPECT_LT(unit.offsets[0], kg.cluster_size(unit.cluster));
+    EXPECT_LT(batch.offsets(unit)[0], kg.cluster_size(unit.cluster));
     EXPECT_EQ(unit.cluster_population, kg.cluster_size(unit.cluster));
   }
 }
@@ -47,9 +53,10 @@ TEST(SrsSamplerTest, WithoutReplacementNeverRepeats) {
   Rng rng(2);
   std::set<std::pair<uint64_t, uint64_t>> seen;
   for (int b = 0; b < 10; ++b) {
-    const auto batch = *sampler.NextBatch(&rng);
-    for (const SampledUnit& unit : batch) {
-      const auto key = std::make_pair(unit.cluster, unit.offsets[0]);
+    const SampleBatch batch = Draw(sampler, &rng);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto key =
+          std::make_pair(batch.unit(i).cluster, batch.offsets(i)[0]);
       EXPECT_TRUE(seen.insert(key).second) << "duplicate draw";
     }
   }
@@ -60,9 +67,9 @@ TEST(SrsSamplerTest, WithoutReplacementExhaustsPopulation) {
   SrsSampler sampler(kg,
                      SrsConfig{.batch_size = 1000, .without_replacement = true});
   Rng rng(3);
-  const auto first = *sampler.NextBatch(&rng);
+  const SampleBatch first = Draw(sampler, &rng);
   EXPECT_EQ(first.size(), kg.num_triples());
-  const auto second = *sampler.NextBatch(&rng);
+  const SampleBatch second = Draw(sampler, &rng);
   EXPECT_TRUE(second.empty());
 }
 
@@ -71,10 +78,10 @@ TEST(SrsSamplerTest, ResetForgetsDrawHistory) {
   SrsSampler sampler(kg,
                      SrsConfig{.batch_size = 1000, .without_replacement = true});
   Rng rng(4);
-  ASSERT_FALSE((*sampler.NextBatch(&rng)).empty());
-  ASSERT_TRUE((*sampler.NextBatch(&rng)).empty());
+  ASSERT_FALSE(Draw(sampler, &rng).empty());
+  ASSERT_TRUE(Draw(sampler, &rng).empty());
   sampler.Reset();
-  EXPECT_FALSE((*sampler.NextBatch(&rng)).empty());
+  EXPECT_FALSE(Draw(sampler, &rng).empty());
 }
 
 TEST(SrsSamplerTest, DrawsAreUniformOverTriples) {
@@ -85,8 +92,8 @@ TEST(SrsSamplerTest, DrawsAreUniformOverTriples) {
   std::vector<double> hits(kg.num_clusters(), 0.0);
   const int batches = 2000;
   for (int b = 0; b < batches; ++b) {
-    const SampleBatch batch_ = *sampler.NextBatch(&rng);
-    for (const SampledUnit& unit : batch_) {
+    const SampleBatch batch_ = Draw(sampler, &rng);
+    for (const SampledUnit& unit : batch_.units()) {
       hits[unit.cluster] += 1.0;
     }
   }
@@ -104,12 +111,12 @@ TEST(SrsSamplerTest, SameSeedSameDraws) {
   const auto kg = MakeKg();
   SrsSampler sampler(kg, SrsConfig{.batch_size = 20});
   Rng rng1(77), rng2(77);
-  const auto a = *sampler.NextBatch(&rng1);
-  const auto b = *sampler.NextBatch(&rng2);
+  const SampleBatch a = Draw(sampler, &rng1);
+  const SampleBatch b = Draw(sampler, &rng2);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].cluster, b[i].cluster);
-    EXPECT_EQ(a[i].offsets[0], b[i].offsets[0]);
+    EXPECT_EQ(a.unit(i).cluster, b.unit(i).cluster);
+    EXPECT_EQ(a.offsets(i)[0], b.offsets(i)[0]);
   }
 }
 

@@ -20,6 +20,12 @@ SyntheticKg MakeKg(uint64_t clusters = 1000, uint64_t seed = 13) {
   return *SyntheticKg::Create(cfg);
 }
 
+SampleBatch Draw(Sampler& sampler, Rng* rng) {
+  SampleBatch batch;
+  EXPECT_TRUE(sampler.NextBatch(rng, &batch).ok());
+  return batch;
+}
+
 TEST(StratifiedSamplerTest, WeightsSumToOne) {
   const auto kg = MakeKg();
   StratifiedSampler sampler(kg, StratifiedConfig{});
@@ -38,15 +44,15 @@ TEST(StratifiedSamplerTest, UnitsCarryTheirStratum) {
   StratifiedSampler sampler(kg, config);
   Rng rng(1);
   for (int b = 0; b < 20; ++b) {
-    const SampleBatch batch = *sampler.NextBatch(&rng);
-    for (const SampledUnit& unit : batch) {
+    const SampleBatch batch = Draw(sampler, &rng);
+    for (const SampledUnit& unit : batch.units()) {
       const uint64_t size = kg.cluster_size(unit.cluster);
       // Recover the expected stratum from the boundaries (non-empty strata
       // here cover all three buckets).
       uint32_t expected = size <= 1 ? 0 : (size <= 3 ? 1 : 2);
       EXPECT_EQ(unit.stratum, expected) << "size " << size;
-      EXPECT_EQ(unit.offsets.size(), 1u);
-      EXPECT_LT(unit.offsets[0], size);
+      EXPECT_EQ(unit.offset_count, 1u);
+      EXPECT_LT(batch.offsets(unit)[0], size);
     }
   }
 }
@@ -59,8 +65,8 @@ TEST(StratifiedSamplerTest, ProportionalAllocationLongRun) {
   std::vector<double> counts(weights.size(), 0.0);
   double total = 0.0;
   for (int b = 0; b < 2000; ++b) {
-    const SampleBatch batch = *sampler.NextBatch(&rng);
-    for (const SampledUnit& unit : batch) {
+    const SampleBatch batch = Draw(sampler, &rng);
+    for (const SampledUnit& unit : batch.units()) {
       counts[unit.stratum] += 1.0;
       total += 1.0;
     }
@@ -81,15 +87,16 @@ TEST(StratifiedSamplerTest, EstimatorIsUnbiased) {
     sampler.Reset();
     AnnotatedSample sample;
     for (int b = 0; b < 3; ++b) {
-      const SampleBatch batch = *sampler.NextBatch(&rng);
-      for (const SampledUnit& unit : batch) {
+      const SampleBatch batch = Draw(sampler, &rng);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        const SampledUnit& unit = batch.unit(i);
         AnnotatedUnit annotated;
         annotated.cluster = unit.cluster;
         annotated.cluster_population = unit.cluster_population;
         annotated.stratum = unit.stratum;
         annotated.drawn = 1;
         annotated.correct = annotator.Annotate(
-            kg, TripleRef{unit.cluster, unit.offsets[0]}, &rng) ? 1 : 0;
+            kg, TripleRef{unit.cluster, batch.offsets(i)[0]}, &rng) ? 1 : 0;
         sample.Add(annotated);
       }
     }
@@ -152,14 +159,15 @@ TEST(StratifiedSamplerTest, StratificationNeverHurtsVersusSrsVariance) {
     Rng rng(3000 + r);
     sampler.Reset();
     AnnotatedSample sample;
-    const SampleBatch batch = *sampler.NextBatch(&rng);
+    const SampleBatch batch = Draw(sampler, &rng);
     uint32_t srs_tau = 0;
-    for (const SampledUnit& unit : batch) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const SampledUnit& unit = batch.unit(i);
       AnnotatedUnit annotated;
       annotated.stratum = unit.stratum;
       annotated.drawn = 1;
       annotated.correct = annotator.Annotate(
-          kg, TripleRef{unit.cluster, unit.offsets[0]}, &rng) ? 1 : 0;
+          kg, TripleRef{unit.cluster, batch.offsets(i)[0]}, &rng) ? 1 : 0;
       srs_tau += annotated.correct;
       sample.Add(annotated);
     }

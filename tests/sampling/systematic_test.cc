@@ -18,16 +18,23 @@ SyntheticKg MakeKg(uint64_t clusters = 500) {
   return *SyntheticKg::Create(cfg);
 }
 
+SampleBatch Draw(Sampler& sampler, Rng* rng) {
+  SampleBatch batch;
+  EXPECT_TRUE(sampler.NextBatch(rng, &batch).ok());
+  return batch;
+}
+
 TEST(SystematicSamplerTest, EmitsFixedIntervalDraws) {
   const auto kg = MakeKg();
   SystematicSampler sampler(kg, SystematicConfig{.batch_size = 5, .skip = 7});
   Rng rng(1);
-  const SampleBatch batch = *sampler.NextBatch(&rng);
+  const SampleBatch batch = Draw(sampler, &rng);
   ASSERT_EQ(batch.size(), 5u);
   // Recover global indices and check the skip spacing within the pass.
   std::vector<uint64_t> globals;
-  for (const SampledUnit& unit : batch) {
-    uint64_t global = unit.offsets[0];
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const SampledUnit& unit = batch.unit(i);
+    uint64_t global = batch.offsets(i)[0];
     for (uint64_t c = 0; c < unit.cluster; ++c) global += kg.cluster_size(c);
     globals.push_back(global);
   }
@@ -41,11 +48,11 @@ TEST(SystematicSamplerTest, WrapsWithFreshPhase) {
   SystematicSampler sampler(kg,
                             SystematicConfig{.batch_size = 50, .skip = 7});
   Rng rng(2);
-  const SampleBatch batch = *sampler.NextBatch(&rng);
+  const SampleBatch batch = Draw(sampler, &rng);
   EXPECT_EQ(batch.size(), 50u);  // Wrapping keeps batches full.
-  for (const SampledUnit& unit : batch) {
+  for (const SampledUnit& unit : batch.units()) {
     EXPECT_LT(unit.cluster, kg.num_clusters());
-    EXPECT_LT(unit.offsets[0], kg.cluster_size(unit.cluster));
+    EXPECT_LT(batch.offsets(unit)[0], kg.cluster_size(unit.cluster));
   }
 }
 
@@ -57,8 +64,8 @@ TEST(SystematicSamplerTest, LongRunFrequenciesAreUniform) {
   std::vector<double> hits(kg.num_clusters(), 0.0);
   double total = 0.0;
   for (int b = 0; b < 2000; ++b) {
-    const SampleBatch batch = *sampler.NextBatch(&rng);
-    for (const SampledUnit& unit : batch) {
+    const SampleBatch batch = Draw(sampler, &rng);
+    for (const SampledUnit& unit : batch.units()) {
       hits[unit.cluster] += 1.0;
       total += 1.0;
     }
@@ -73,9 +80,9 @@ TEST(SystematicSamplerTest, ResetDrawsNewStart) {
   const auto kg = MakeKg();
   SystematicSampler sampler(kg, SystematicConfig{.batch_size = 1, .skip = 5});
   Rng rng(4);
-  const auto first = *sampler.NextBatch(&rng);
+  const SampleBatch first = Draw(sampler, &rng);
   sampler.Reset();
-  const auto second = *sampler.NextBatch(&rng);
+  const SampleBatch second = Draw(sampler, &rng);
   // Different random phases with overwhelming probability (skip = 5).
   // We only require both to be valid draws.
   EXPECT_EQ(first.size(), 1u);

@@ -70,9 +70,57 @@ TEST(FlatSet64Test, ClearKeepsCapacityAndResetsMembers) {
 TEST(FlatSet64Test, ReserveAvoidsRehash) {
   FlatSet64 set(5000);
   const size_t capacity = set.capacity();
-  for (uint64_t k = 0; k < 5000; ++k) set.insert(Mix64(k));
+  for (uint64_t k = 0; k < 5000; ++k) {
+    set.insert(Mix64(k));
+    ASSERT_FALSE(set.migrating());  // No growth, hence no migration debt.
+  }
   EXPECT_EQ(set.capacity(), capacity);
   EXPECT_EQ(set.size(), 5000u);
+}
+
+TEST(FlatSet64Test, GrowthMigratesIncrementally) {
+  // Push the set through several doublings and interrogate it *while* the
+  // retired table is still draining: membership, novelty reporting, and
+  // size must be exact at every point, and each migration debt must be
+  // fully paid before the next doubling starts.
+  FlatSet64 set;
+  bool observed_migration = false;
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    const uint64_t key = Mix64(k);
+    ASSERT_TRUE(set.insert(key));
+    ASSERT_FALSE(set.insert(key)) << "fresh key reported twice at " << k;
+    if (set.migrating()) {
+      observed_migration = true;
+      // Mid-migration probes must see keys in both tables.
+      ASSERT_TRUE(set.contains(key));
+      ASSERT_TRUE(set.contains(Mix64(1)));
+      ASSERT_FALSE(set.contains(~key));
+    }
+    ASSERT_EQ(set.size(), k);
+  }
+  EXPECT_TRUE(observed_migration);
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    ASSERT_TRUE(set.contains(Mix64(k))) << k;
+  }
+}
+
+TEST(FlatSet64Test, MigrationDebtDrainsWellBeforeNextDoubling) {
+  FlatSet64 set;
+  size_t last_capacity = 0;
+  size_t inserts_since_growth = 0;
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    set.insert(Mix64(k));
+    if (set.capacity() != last_capacity) {
+      last_capacity = set.capacity();
+      inserts_since_growth = 0;
+    } else {
+      ++inserts_since_growth;
+    }
+    if (inserts_since_growth > last_capacity / 8) {
+      ASSERT_FALSE(set.migrating())
+          << "migration outlived its budget at size " << k;
+    }
+  }
 }
 
 TEST(FlatSet64Test, MatchesUnorderedSetOnRandomKeys) {

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_step.json latency *ratios*.
+
+Compares a freshly measured BENCH_step.json against the checked-in record
+and fails when any design's 50k/1k per-step latency ratio regressed by more
+than the allowed factor (default 2x).
+
+Ratios, not absolute latencies: CI runners differ wildly in clock speed and
+noise, but the *flatness* of per-step cost as the accumulated sample grows
+is a property of the algorithm (streaming estimators, incremental rehash),
+not of the machine. A ratio that doubles means someone reintroduced an
+O(sample) term into Step().
+
+Usage:
+    check_perf_regression.py <fresh BENCH_step.json> <checked-in record>
+        [--max-regression 2.0]
+
+Exit code 0 = within bounds, 1 = regression, 2 = unusable input.
+
+Stdlib only — runs anywhere a python3 exists.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_ratios(path):
+    """Returns {design: latency_ratio_50k_over_1k} from a bench record."""
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    ratios = {}
+    for record in records:
+        if record.get("bench") == "step_latency_summary":
+            design = record.get("design")
+            ratio = record.get("latency_ratio_50k_over_1k")
+            if design is not None and isinstance(ratio, (int, float)):
+                ratios[design] = float(ratio)
+    if not ratios:
+        print(f"error: no step_latency_summary records in {path}",
+              file=sys.stderr)
+        sys.exit(2)
+    return ratios
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly measured BENCH_step.json")
+    parser.add_argument("record", help="checked-in BENCH_step.json")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="allowed factor between fresh and recorded "
+                             "50k/1k ratios (default 2.0)")
+    args = parser.parse_args()
+
+    fresh = load_ratios(args.fresh)
+    record = load_ratios(args.record)
+
+    failed = False
+    for design, fresh_ratio in sorted(fresh.items()):
+        recorded = record.get(design)
+        if recorded is None:
+            print(f"  {design:>6}: fresh {fresh_ratio:.3f}x "
+                  f"(no checked-in record, skipped)")
+            continue
+        # Floor the baseline at 1.0: a recorded ratio below 1 is measurement
+        # luck, and the gate should not demand sub-flat scaling forever.
+        budget = max(recorded, 1.0) * args.max_regression
+        verdict = "OK" if fresh_ratio <= budget else "REGRESSION"
+        print(f"  {design:>6}: fresh {fresh_ratio:.3f}x vs recorded "
+              f"{recorded:.3f}x (budget {budget:.3f}x) {verdict}")
+        if fresh_ratio > budget:
+            failed = True
+
+    if failed:
+        print("\nper-step latency ratio regressed >"
+              f"{args.max_regression}x against the checked-in record",
+              file=sys.stderr)
+        return 1
+    print("\nstep-latency ratios within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
