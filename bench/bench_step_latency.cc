@@ -16,6 +16,14 @@
 // p50/p90/p99 step latency over a measurement window, plus one summary
 // record per design with the 50k/1k p50 flatness ratio.
 //
+// Each window additionally snapshots the thread-local HPD solver counters
+// (credible.h): how many solves each path took (the 2x2 Newton KKT primary,
+// its SQP fallback, limiting closed forms) and how many incomplete-beta
+// evaluations (CDF + PDF + quantile) they spent per solve — so the Newton
+// path's eval reduction is *measured* in the checked-in record, not
+// asserted. The summary row carries the aggregate evals-per-solve, which
+// tools/check_perf_regression.py gates alongside the latency ratios.
+//
 // Knobs: KGACC_SEED, KGACC_REPS = steps per measurement window (default 60).
 
 #include <algorithm>
@@ -49,7 +57,31 @@ struct Checkpoint {
   double p99_us = 0.0;
   uint64_t measured_at_n = 0;
   int steps_timed = 0;
+  /// HPD solver counters accumulated over this window's steps.
+  HpdSolveStats hpd;
 };
+
+double EvalsPerSolve(const HpdSolveStats& stats) {
+  return stats.total_solves() == 0
+             ? 0.0
+             : static_cast<double>(stats.total_beta_evals()) /
+                   static_cast<double>(stats.total_solves());
+}
+
+double NewtonShare(const HpdSolveStats& stats) {
+  // Share of the *numeric* (non-limiting) solves the Newton path handled.
+  const uint64_t numeric = stats.newton.solves + stats.slsqp.solves +
+                           stats.slsqp_fallback.solves + stats.onedim.solves;
+  return numeric == 0 ? 0.0
+                      : static_cast<double>(stats.newton.solves) /
+                            static_cast<double>(numeric);
+}
+
+HpdSolveStats CombineStats(const std::vector<Checkpoint>& checkpoints) {
+  HpdSolveStats total;
+  for (const Checkpoint& cp : checkpoints) total += cp.hpd;
+  return total;
+}
 
 }  // namespace
 
@@ -95,11 +127,11 @@ int main() {
 
   std::printf("EvaluationSession::Step() latency vs accumulated sample size "
               "(aHPD, %d-step windows)\n", window);
-  bench::Rule(92);
-  std::printf("%6s %9s | %26s | %26s | %9s\n", "design", "n=1k p50",
+  bench::Rule(106);
+  std::printf("%6s %9s | %26s | %26s | %9s | %6s %5s\n", "design", "n=1k p50",
               "n=10k p50/p90/p99 (us)", "n=50k p50/p90/p99 (us)",
-              "50k/1k");
-  bench::Rule(92);
+              "50k/1k", "ev/slv", "newt");
+  bench::Rule(106);
 
   std::FILE* json = std::fopen("BENCH_step.json", "w");
   if (json != nullptr) std::fprintf(json, "[\n");
@@ -130,6 +162,7 @@ int main() {
       cp.measured_at_n = session.sample().num_triples();
       std::vector<double> step_us;
       step_us.reserve(window);
+      ResetThreadHpdStats();
       for (int s = 0; s < window && !session.done(); ++s) {
         const auto start = std::chrono::steady_clock::now();
         const auto outcome = session.Step();
@@ -147,6 +180,7 @@ int main() {
       cp.p50_us = QuantileUs(step_us, 0.50);
       cp.p90_us = QuantileUs(step_us, 0.90);
       cp.p99_us = QuantileUs(step_us, 0.99);
+      cp.hpd = ThreadHpdStatsSnapshot();
       measured.push_back(cp);
     }
 
@@ -154,10 +188,13 @@ int main() {
                              ? measured.back().p50_us / measured.front().p50_us
                              : 0.0;
     all_flat = all_flat && ratio <= 2.0;
-    std::printf("%6s %9.1f | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f | %8.2fx\n",
+    const HpdSolveStats design_hpd = CombineStats(measured);
+    std::printf("%6s %9.1f | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f | %8.2fx"
+                " | %6.1f %5.0f%%\n",
                 design.name, measured[0].p50_us, measured[1].p50_us,
                 measured[1].p90_us, measured[1].p99_us, measured[2].p50_us,
-                measured[2].p90_us, measured[2].p99_us, ratio);
+                measured[2].p90_us, measured[2].p99_us, ratio,
+                EvalsPerSolve(design_hpd), 100.0 * NewtonShare(design_hpd));
 
     if (json != nullptr) {
       for (const Checkpoint& cp : measured) {
@@ -165,25 +202,40 @@ int main() {
                      "%s  {\"bench\": \"step_latency\", \"design\": \"%s\", "
                      "\"checkpoint_n\": %llu, \"measured_at_n\": %llu, "
                      "\"p50_step_us\": %.3f, \"p90_step_us\": %.3f, "
-                     "\"p99_step_us\": %.3f, \"steps_timed\": %d}",
+                     "\"p99_step_us\": %.3f, \"steps_timed\": %d, "
+                     "\"hpd_solves\": %llu, \"hpd_newton_solves\": %llu, "
+                     "\"hpd_sqp_solves\": %llu, \"hpd_onedim_solves\": %llu, "
+                     "\"hpd_limiting_solves\": %llu, "
+                     "\"hpd_warm_cache_hits\": %llu, "
+                     "\"hpd_beta_evals_per_solve\": %.2f}",
                      first_record ? "" : ",\n", design.name,
                      static_cast<unsigned long long>(cp.target_n),
                      static_cast<unsigned long long>(cp.measured_at_n),
-                     cp.p50_us, cp.p90_us, cp.p99_us, cp.steps_timed);
+                     cp.p50_us, cp.p90_us, cp.p99_us, cp.steps_timed,
+                     static_cast<unsigned long long>(cp.hpd.total_solves()),
+                     static_cast<unsigned long long>(cp.hpd.newton.solves),
+                     static_cast<unsigned long long>(
+                         cp.hpd.slsqp.solves + cp.hpd.slsqp_fallback.solves),
+                     static_cast<unsigned long long>(cp.hpd.onedim.solves),
+                     static_cast<unsigned long long>(cp.hpd.limiting.solves),
+                     static_cast<unsigned long long>(cp.hpd.warm_cache_hits),
+                     EvalsPerSolve(cp.hpd));
         first_record = false;
       }
       std::fprintf(json,
                    ",\n  {\"bench\": \"step_latency_summary\", "
                    "\"design\": \"%s\", \"latency_ratio_50k_over_1k\": %.3f, "
-                   "\"flat\": %s}",
-                   design.name, ratio, ratio <= 2.0 ? "true" : "false");
+                   "\"flat\": %s, \"hpd_beta_evals_per_solve\": %.2f, "
+                   "\"hpd_newton_share\": %.3f}",
+                   design.name, ratio, ratio <= 2.0 ? "true" : "false",
+                   EvalsPerSolve(design_hpd), NewtonShare(design_hpd));
     }
   }
   if (json != nullptr) {
     std::fprintf(json, "\n]\n");
     std::fclose(json);
   }
-  bench::Rule(92);
+  bench::Rule(106);
   std::printf("per-step cost flat (50k p50 within 2x of 1k) for every "
               "design: %s\n", all_flat ? "yes" : "NO");
   std::printf("wrote BENCH_step.json\n");

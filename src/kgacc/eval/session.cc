@@ -92,7 +92,10 @@ Result<StepOutcome> EvaluationSession::Step() {
 
   // Phase 3: estimate from the accumulator — O(batch) per step where the
   // batch estimators re-walk the whole sample — and build the configured
-  // 1-alpha interval, warm-starting the HPD solvers from the previous step.
+  // 1-alpha interval. The warm state carries each prior's previous HPD
+  // solution into the next solve (seeding the 2x2 Newton KKT path, and the
+  // last SQP Hessian for its fallback), and serves unchanged (tau, n,
+  // alpha) steps straight from the cache.
   Result<AccuracyEstimate> estimate_result =
       (sampler_.estimator() == EstimatorKind::kSrs &&
        config_.finite_population_correction)

@@ -110,6 +110,11 @@ class EvaluationSession {
   /// folded in once, so phase 3 costs O(batch), not O(sample).
   const EstimatorAccumulator& accumulator() const { return accumulator_; }
 
+  /// The cross-step HPD warm carry threaded through `BuildInterval`: the
+  /// per-prior previous solutions that seed the Newton KKT solver each
+  /// step, plus the last SQP BFGS curvature for its fallback.
+  const AhpdWarmState& interval_warm() const { return interval_warm_; }
+
   /// The seed this session's stochastic path is derived from.
   uint64_t seed() const { return seed_; }
 

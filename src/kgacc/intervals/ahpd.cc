@@ -31,15 +31,14 @@ Result<AhpdChoice> ReduceCandidates(
 
 namespace {
 
-/// A carried interval seeds the SQP only when the previous solve was the
-/// standard unimodal case and the posterior has not moved out from under
-/// it (its mean still falls inside). A far-off start can park the solver
-/// at a merit-stationary point in the near-flat width valley around the
-/// optimum; the ET start remains the fallback for those jumps.
-bool CarryIsUsable(const AhpdWarmState::PriorState& state,
-                   const BetaDistribution& posterior) {
-  return state.valid && state.hpd.shape == BetaShape::kUnimodal &&
-         state.hpd.interval.Contains(posterior.Mean());
+/// A carried interval seeds the solvers whenever the previous solve was
+/// the standard unimodal case. The posterior-mean safety gate that used to
+/// guard against far-off starts (SLSQP could park merit-stationary in the
+/// near-flat width valley) is gone: the SQP now requires KKT stationarity
+/// to declare convergence, and the primary Newton path reports a basin
+/// exit instead of stalling — so the carry is usable unconditionally.
+bool CarryIsUsable(const AhpdWarmState::PriorState& state) {
+  return state.valid && state.hpd.shape == BetaShape::kUnimodal;
 }
 
 }  // namespace
@@ -51,11 +50,22 @@ Result<HpdResult> HpdIntervalWarm(const BetaDistribution& posterior,
   if (state == nullptr) return HpdInterval(posterior, alpha, options);
   if (state->valid && state->tau == tau && state->n == n &&
       state->alpha == alpha) {
-    return state->hpd;
+    NoteHpdWarmCacheHit();
+    // This call ran no solver: report zero marginal work. The interval,
+    // path, certificate, and curvature are the cached solve's.
+    HpdResult cached = state->hpd;
+    cached.solver_iterations = 0;
+    cached.cdf_evals = 0;
+    cached.pdf_evals = 0;
+    cached.quantile_evals = 0;
+    return cached;
   }
   HpdOptions local = options;
-  if (CarryIsUsable(*state, posterior)) {
+  if (CarryIsUsable(*state)) {
     local.warm_start = &state->hpd.interval;
+  }
+  if (state->has_hessian) {
+    local.warm_hessian = &state->hessian;
   }
   Result<HpdResult> result = HpdInterval(posterior, alpha, local);
   if (result.ok()) {
@@ -64,8 +74,15 @@ Result<HpdResult> HpdIntervalWarm(const BetaDistribution& posterior,
     state->n = n;
     state->alpha = alpha;
     state->hpd = *result;
+    // Keep the carried curvature across Newton-path steps (which build no
+    // BFGS model); refresh it whenever an SQP ran.
+    if (result->has_hessian) {
+      state->has_hessian = true;
+      state->hessian = result->hessian;
+    }
   } else {
     state->valid = false;
+    state->has_hessian = false;
   }
   return result;
 }

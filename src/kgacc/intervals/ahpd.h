@@ -1,6 +1,7 @@
 #ifndef KGACC_INTERVALS_AHPD_H_
 #define KGACC_INTERVALS_AHPD_H_
 
+#include <array>
 #include <vector>
 
 #include "kgacc/intervals/credible.h"
@@ -44,6 +45,12 @@ struct AhpdWarmState {
     double n = 0.0;
     double alpha = 0.0;
     HpdResult hpd;
+    /// Last BFGS Lagrangian-Hessian model produced by an SQP solve for
+    /// this prior. Seeds the *fallback* SQP of later steps (via
+    /// `HpdOptions::warm_hessian`) so it does not restart from identity;
+    /// kept across Newton-path steps, which build no BFGS model.
+    bool has_hessian = false;
+    std::array<double, 4> hessian{};
   };
   /// Parallel to the prior set; resized (and invalidated) on size change.
   std::vector<PriorState> priors;

@@ -4,11 +4,44 @@
 #include <cmath>
 
 #include "kgacc/opt/brent.h"
+#include "kgacc/opt/newton_kkt.h"
 #include "kgacc/opt/slsqp.h"
 
 namespace kgacc {
 
 namespace {
+
+/// Safeguarding box for the Newton KKT iterate. Interior unimodal optima
+/// live strictly inside (0, 1); an iterate pinned here has left the basin
+/// and is handed to the globalized SQP.
+constexpr double kNewtonBoxEps = 1e-12;
+
+thread_local HpdSolveStats t_hpd_stats;
+
+HpdPathTally& TallyFor(HpdPath path) {
+  switch (path) {
+    case HpdPath::kLimiting:
+      return t_hpd_stats.limiting;
+    case HpdPath::kNewton:
+      return t_hpd_stats.newton;
+    case HpdPath::kSlsqp:
+      return t_hpd_stats.slsqp;
+    case HpdPath::kSlsqpFallback:
+      return t_hpd_stats.slsqp_fallback;
+    case HpdPath::kOneDim:
+      return t_hpd_stats.onedim;
+  }
+  return t_hpd_stats.limiting;
+}
+
+void TallySolve(const HpdResult& result) {
+  HpdPathTally& tally = TallyFor(result.path);
+  ++tally.solves;
+  tally.iterations += static_cast<uint64_t>(result.solver_iterations);
+  tally.cdf_evals += static_cast<uint64_t>(result.cdf_evals);
+  tally.pdf_evals += static_cast<uint64_t>(result.pdf_evals);
+  tally.quantile_evals += static_cast<uint64_t>(result.quantile_evals);
+}
 
 Status ValidateAlpha(double alpha) {
   if (!(alpha > 0.0) || !(alpha < 1.0)) {
@@ -17,21 +50,75 @@ Status ValidateAlpha(double alpha) {
   return Status::OK();
 }
 
+/// The standard-case first-order system (Thm. 1): coverage on probability
+/// scale, density equality on log scale — both O(1) on the basin, so the
+/// Newton merit treats them evenly. The log form also keeps the second
+/// equation well-conditioned for extreme-peaked posteriors, where raw
+/// densities overflow the merit long before the endpoints degrade.
+/// One evaluation costs 2 CDF + 2 PDF calls (the Jacobian's density row is
+/// shared with the coverage gradient; the log-density slopes are rational).
+bool TryHpdNewton(const BetaDistribution& posterior, double alpha,
+                  const Interval& start, int max_iterations, HpdResult* out) {
+  const double a = posterior.a();
+  const double b = posterior.b();
+  const KktSystem2Fn system = [&posterior, a, b, alpha, out](
+                                  double l, double u, double* r, double* jac) {
+    out->cdf_evals += 2;
+    out->pdf_evals += 2;
+    r[0] = posterior.Cdf(u) - posterior.Cdf(l) - (1.0 - alpha);
+    r[1] = (a - 1.0) * (std::log(l) - std::log(u)) +
+           (b - 1.0) * (std::log1p(-l) - std::log1p(-u));
+    jac[0] = -posterior.Pdf(l);
+    jac[1] = posterior.Pdf(u);
+    jac[2] = (a - 1.0) / l - (b - 1.0) / (1.0 - l);
+    jac[3] = -((a - 1.0) / u - (b - 1.0) / (1.0 - u));
+  };
+
+  NewtonKkt2Options options;
+  options.max_iterations = max_iterations;
+  options.lo = kNewtonBoxEps;
+  options.hi = 1.0 - kNewtonBoxEps;
+  // Residual certificate thresholds: 1e-12 coverage mass and 1e-9 relative
+  // density mismatch bound the endpoint error well below the 1e-9 the
+  // equivalence tests demand against the SQP reference.
+  options.r0_tol = 1e-12;
+  options.r1_tol = 1e-9;
+
+  const Result<NewtonKkt2Solve> solve =
+      SolveNewtonKkt2(system, start.lower, start.upper, options);
+  if (!solve.ok() || !solve->converged) {
+    if (solve.ok()) out->solver_iterations += solve->iterations;
+    return false;
+  }
+  out->interval = Interval{solve->x0, solve->x1};
+  out->solver_iterations += solve->iterations;
+  out->path = HpdPath::kNewton;
+  out->kkt_coverage_residual = solve->r0;
+  out->kkt_density_residual = solve->r1;
+  return true;
+}
+
 /// Standard-case HPD via the SQP solver: minimize (u - l) subject to
-/// F(u) - F(l) = 1 - alpha with (l, u) in [0, 1]^2 (§4.3).
-Result<HpdResult> HpdViaSlsqp(const BetaDistribution& posterior, double alpha,
-                              const Interval& warm_start) {
+/// F(u) - F(l) = 1 - alpha with (l, u) in [0, 1]^2 (§4.3). `warm_hessian`,
+/// when given, seeds the BFGS Lagrangian model (the carried curvature of
+/// the previous solve) instead of identity.
+Status HpdViaSlsqp(const BetaDistribution& posterior, double alpha,
+                   const Interval& warm_start,
+                   const std::array<double, 4>* warm_hessian,
+                   HpdResult* out) {
   SlsqpProblem problem;
   problem.objective = [](const std::vector<double>& x) { return x[1] - x[0]; };
   problem.gradient = [](const std::vector<double>&) {
     return std::vector<double>{-1.0, 1.0};
   };
   problem.eq_constraints.push_back(
-      [&posterior, alpha](const std::vector<double>& x) {
+      [&posterior, alpha, out](const std::vector<double>& x) {
+        out->cdf_evals += 2;
         return posterior.Cdf(x[1]) - posterior.Cdf(x[0]) - (1.0 - alpha);
       });
   problem.eq_gradients.push_back(
-      [&posterior](const std::vector<double>& x) {
+      [&posterior, out](const std::vector<double>& x) {
+        out->pdf_evals += 2;
         return std::vector<double>{-posterior.Pdf(x[0]), posterior.Pdf(x[1])};
       });
   problem.lower = {0.0, 0.0};
@@ -46,67 +133,83 @@ Result<HpdResult> HpdViaSlsqp(const BetaDistribution& posterior, double alpha,
   // 1e-11 bought nothing but 2-4 extra SQP iterations (~2 CDF evaluations
   // each) per solve on the evaluation hot path.
   options.step_tol = 1e-9;
+  // KKT stationarity: a short first step from a carried warm start is not
+  // a solution certificate (the carry gate at 1e-9 width sits exactly on
+  // step_tol); demand a stationary projected Lagrangian gradient, whose
+  // natural scale here is O(1) (the objective gradient is (-1, 1)).
+  options.stationarity_tol = 1e-6;
+  std::vector<double> initial_hessian;
+  if (warm_hessian != nullptr) {
+    initial_hessian.assign(warm_hessian->begin(), warm_hessian->end());
+    options.initial_hessian = &initial_hessian;
+  }
 
   KGACC_ASSIGN_OR_RETURN(
       SlsqpSolve solve,
       MinimizeSlsqp(problem, {warm_start.lower, warm_start.upper}, options));
-  if (!solve.converged && solve.max_violation > 1e-6) {
+  if (!solve.converged &&
+      (solve.max_violation > 1e-6 || solve.kkt_residual > 1e-6)) {
     return Status::NumericError("HPD SQP failed to satisfy the coverage "
-                                "constraint");
+                                "constraint at a stationary point");
   }
-  HpdResult out;
-  out.interval = Interval{solve.x[0], solve.x[1]};
-  out.shape = BetaShape::kUnimodal;
-  out.solver_iterations = solve.iterations;
-  return out;
+  out->interval = Interval{solve.x[0], solve.x[1]};
+  out->solver_iterations += solve.iterations;
+  if (solve.hessian.size() == 4) {
+    out->has_hessian = true;
+    std::copy(solve.hessian.begin(), solve.hessian.end(),
+              out->hessian.begin());
+  }
+  return Status::OK();
 }
 
 /// Standard-case HPD via 1-D reduction: for each candidate lower bound l,
 /// the matching upper bound is u(l) = F^{-1}(F(l) + 1 - alpha); the width
 /// u(l) - l is unimodal in l for a unimodal posterior, so Brent's method
 /// finds the global minimum.
-Result<HpdResult> HpdViaOneDim(const BetaDistribution& posterior,
-                               double alpha) {
+Status HpdViaOneDim(const BetaDistribution& posterior, double alpha,
+                    HpdResult* out) {
+  ++out->quantile_evals;
   KGACC_ASSIGN_OR_RETURN(const double l_max, posterior.Quantile(alpha));
   Status failure = Status::OK();
   auto width = [&](double l) {
     const double target = posterior.Cdf(l) + (1.0 - alpha);
+    ++out->cdf_evals;
+    ++out->quantile_evals;
     Result<double> u = posterior.Quantile(std::min(target, 1.0));
     if (!u.ok()) {
-      failure = u.status();
-      return 1.0;  // Poison the search; reported below.
+      if (failure.ok()) failure = u.status();
+      // Poison value strictly wider than any feasible interval (widths on
+      // [0, 1] never exceed 1), so a failed evaluation can never be
+      // *selected* as the minimum; the failure itself is surfaced below.
+      return 2.0;
     }
     return *u - l;
   };
+  // Bracket floor: Quantile(alpha) can land arbitrarily close to 0 for
+  // posteriors concentrated near the origin, and a denormal upper bracket
+  // degenerates Brent's interval arithmetic. Flooring the bracket *up* is
+  // safe — the optimal l satisfies F(l) <= alpha, so it stays inside.
   KGACC_ASSIGN_OR_RETURN(
       ScalarSolve solve,
-      MinimizeBrent(width, 0.0, std::max(l_max, 1e-300), 1e-12));
+      MinimizeBrent(width, 0.0, std::max(l_max, 1e-12), 1e-12));
+  // Any quantile failure poisons the search; surface it instead of
+  // accepting a minimizer chosen against poisoned widths.
   KGACC_RETURN_IF_ERROR(failure);
 
-  HpdResult out;
   const double l = solve.x;
+  ++out->cdf_evals;
+  ++out->quantile_evals;
   KGACC_ASSIGN_OR_RETURN(
       const double u,
       posterior.Quantile(std::min(posterior.Cdf(l) + (1.0 - alpha), 1.0)));
-  out.interval = Interval{l, u};
-  out.shape = BetaShape::kUnimodal;
-  out.solver_iterations = solve.iterations;
-  return out;
+  out->interval = Interval{l, u};
+  out->solver_iterations += solve.iterations;
+  out->path = HpdPath::kOneDim;
+  return Status::OK();
 }
 
-}  // namespace
-
-Result<Interval> EqualTailedInterval(const BetaDistribution& posterior,
-                                     double alpha) {
-  KGACC_RETURN_IF_ERROR(ValidateAlpha(alpha));
-  KGACC_ASSIGN_OR_RETURN(const double lower, posterior.Quantile(alpha / 2.0));
-  KGACC_ASSIGN_OR_RETURN(const double upper,
-                         posterior.Quantile(1.0 - alpha / 2.0));
-  return Interval{lower, upper};
-}
-
-Result<HpdResult> HpdInterval(const BetaDistribution& posterior, double alpha,
-                              const HpdOptions& options) {
+Result<HpdResult> HpdIntervalImpl(const BetaDistribution& posterior,
+                                  double alpha, const HpdOptions& options) {
   KGACC_RETURN_IF_ERROR(ValidateAlpha(alpha));
   HpdResult out;
   out.shape = posterior.Shape();
@@ -114,12 +217,14 @@ Result<HpdResult> HpdInterval(const BetaDistribution& posterior, double alpha,
   switch (out.shape) {
     case BetaShape::kDecreasing: {
       // Limiting case (2), Eq. 11: density peaks at 0.
+      ++out.quantile_evals;
       KGACC_ASSIGN_OR_RETURN(const double u, posterior.Quantile(1.0 - alpha));
       out.interval = Interval{0.0, u};
       return out;
     }
     case BetaShape::kIncreasing: {
       // Limiting case (1), Eq. 10: density peaks at 1.
+      ++out.quantile_evals;
       KGACC_ASSIGN_OR_RETURN(const double l, posterior.Quantile(alpha));
       out.interval = Interval{l, 1.0};
       return out;
@@ -128,6 +233,7 @@ Result<HpdResult> HpdInterval(const BetaDistribution& posterior, double alpha,
       // Both endpoints are modes; the highest-density *region* is a union
       // of two disjoint pieces and no single interval is HPD. Report the ET
       // interval, which remains a valid 1-alpha CrI.
+      out.quantile_evals += 2;
       KGACC_ASSIGN_OR_RETURN(out.interval,
                              EqualTailedInterval(posterior, alpha));
       return out;
@@ -137,7 +243,8 @@ Result<HpdResult> HpdInterval(const BetaDistribution& posterior, double alpha,
   }
 
   if (options.solver == HpdSolver::kOneDim) {
-    return HpdViaOneDim(posterior, alpha);
+    KGACC_RETURN_IF_ERROR(HpdViaOneDim(posterior, alpha, &out));
+    return out;
   }
 
   Interval start;
@@ -156,6 +263,7 @@ Result<HpdResult> HpdInterval(const BetaDistribution& posterior, double alpha,
     }
   }
   if (!have_start && options.warm_start_at_et) {
+    out.quantile_evals += 2;
     KGACC_ASSIGN_OR_RETURN(start, EqualTailedInterval(posterior, alpha));
     have_start = true;
   }
@@ -164,12 +272,70 @@ Result<HpdResult> HpdInterval(const BetaDistribution& posterior, double alpha,
     const double mode = posterior.Mode();
     start = Interval{std::max(0.0, mode - 0.25), std::min(1.0, mode + 0.25)};
   }
-  Result<HpdResult> sqp = HpdViaSlsqp(posterior, alpha, start);
-  if (sqp.ok()) return sqp;
+
+  // Primary unimodal path: the dedicated 2x2 Newton. A basin exit (pinned
+  // endpoint, residual growth, singular or non-finite system) falls through
+  // to the globalized SQP, seeded identically — plus the carried Hessian.
+  bool newton_attempted = false;
+  if (options.use_newton && options.newton_max_iterations > 0) {
+    newton_attempted = true;
+    if (TryHpdNewton(posterior, alpha, start, options.newton_max_iterations,
+                     &out)) {
+      return out;
+    }
+  }
+
+  const Status sqp =
+      HpdViaSlsqp(posterior, alpha, start, options.warm_hessian, &out);
+  if (sqp.ok()) {
+    out.path = newton_attempted ? HpdPath::kSlsqpFallback : HpdPath::kSlsqp;
+    return out;
+  }
   // Extremely peaked or otherwise ill-conditioned posteriors can defeat the
   // SQP line search; the 1-D reduction is slower but unconditionally robust
   // for unimodal shapes.
-  return HpdViaOneDim(posterior, alpha);
+  KGACC_RETURN_IF_ERROR(HpdViaOneDim(posterior, alpha, &out));
+  return out;
+}
+
+}  // namespace
+
+const char* HpdPathName(HpdPath path) {
+  switch (path) {
+    case HpdPath::kLimiting:
+      return "limiting";
+    case HpdPath::kNewton:
+      return "newton";
+    case HpdPath::kSlsqp:
+      return "slsqp";
+    case HpdPath::kSlsqpFallback:
+      return "slsqp-fallback";
+    case HpdPath::kOneDim:
+      return "onedim";
+  }
+  return "unknown";
+}
+
+HpdSolveStats ThreadHpdStatsSnapshot() { return t_hpd_stats; }
+
+void ResetThreadHpdStats() { t_hpd_stats = HpdSolveStats{}; }
+
+void NoteHpdWarmCacheHit() { ++t_hpd_stats.warm_cache_hits; }
+
+Result<Interval> EqualTailedInterval(const BetaDistribution& posterior,
+                                     double alpha) {
+  KGACC_RETURN_IF_ERROR(ValidateAlpha(alpha));
+  KGACC_ASSIGN_OR_RETURN(const double lower, posterior.Quantile(alpha / 2.0));
+  KGACC_ASSIGN_OR_RETURN(const double upper,
+                         posterior.Quantile(1.0 - alpha / 2.0));
+  return Interval{lower, upper};
+}
+
+Result<HpdResult> HpdInterval(const BetaDistribution& posterior, double alpha,
+                              const HpdOptions& options) {
+  Result<HpdResult> result = HpdIntervalImpl(posterior, alpha, options);
+  if (result.ok()) TallySolve(*result);
+  return result;
 }
 
 }  // namespace kgacc

@@ -1,6 +1,9 @@
 #ifndef KGACC_INTERVALS_CREDIBLE_H_
 #define KGACC_INTERVALS_CREDIBLE_H_
 
+#include <array>
+#include <cstdint>
+
 #include "kgacc/intervals/interval.h"
 #include "kgacc/math/beta.h"
 #include "kgacc/util/status.h"
@@ -15,8 +18,11 @@ namespace kgacc {
 
 /// Which algorithm computes the standard-case (interior unimodal) HPD.
 enum class HpdSolver {
-  /// Minimize u - l s.t. F(u) - F(l) = 1 - alpha with the SLSQP-style SQP
-  /// solver, warm-started at the ET interval (§4.3; the paper's method).
+  /// The standard path: a dedicated 2x2 damped Newton on the KKT system
+  /// {F(u) - F(l) = 1 - alpha, f(l) = f(u)} (§4.3's first-order
+  /// characterization; `opt/newton_kkt.h`), falling back to the SLSQP-style
+  /// SQP when the Newton iterate leaves the basin. `HpdOptions::use_newton`
+  /// = false forces the pure SQP formulation (the paper's prescription).
   kSlsqp,
   /// Independent 1-D reduction: u(l) = F^{-1}(F(l) + 1 - alpha), Brent
   /// width minimization over l. Used for cross-validation and ablation.
@@ -26,26 +32,141 @@ enum class HpdSolver {
 /// Options for `HpdInterval`.
 struct HpdOptions {
   HpdSolver solver = HpdSolver::kSlsqp;
-  /// Warm-start the SQP at the ET interval (Alg. 1 line 20). Disabling
+  /// Warm-start the solver at the ET interval (Alg. 1 line 20). Disabling
   /// this (cold start at a central interval) is Ablation B.
   bool warm_start_at_et = true;
-  /// Externally supplied SQP start — typically the previous step's HPD
+  /// Externally supplied start — typically the previous step's HPD
   /// interval in an iterative audit, where the posterior moves only a
   /// little per batch. Takes precedence over `warm_start_at_et` when it
   /// describes a usable interval (positive width inside [0, 1]); the ET
   /// quantile solves it replaces are the bulk of the standard-case cost.
   /// Not owned; must outlive the call.
   const Interval* warm_start = nullptr;
+  /// Try the 2x2 Newton KKT solver first on the unimodal standard case
+  /// (4-6 iterations of 2 CDF + 2 PDF evaluations each versus the SQP's
+  /// ~25 constraint evaluations). False forces the SQP reference path.
+  bool use_newton = true;
+  /// Iteration cap for the Newton attempt; 0 skips straight to the SQP
+  /// (handy for exercising the fallback in tests).
+  int newton_max_iterations = 32;
+  /// Warm start for the fallback SQP's BFGS Lagrangian-Hessian model
+  /// (row-major 2x2), typically the carried `AhpdWarmState` Hessian of the
+  /// previous solve so the fallback does not restart from identity. Not
+  /// owned; must outlive the call.
+  const std::array<double, 4>* warm_hessian = nullptr;
 };
+
+/// Which code path produced an HPD interval.
+enum class HpdPath {
+  /// Monotone / U-shaped closed forms (no numeric solve).
+  kLimiting,
+  /// 2x2 Newton on the KKT system — the standard unimodal path.
+  kNewton,
+  /// SQP directly (Newton disabled or capped to 0 iterations).
+  kSlsqp,
+  /// SQP after a Newton basin exit.
+  kSlsqpFallback,
+  /// Brent 1-D reduction (explicit choice, or last-resort fallback).
+  kOneDim,
+};
+
+const char* HpdPathName(HpdPath path);
 
 /// An HPD computation result with solver diagnostics.
 struct HpdResult {
   Interval interval;
   /// Which posterior-shape branch produced the interval.
   BetaShape shape = BetaShape::kUnimodal;
-  /// Outer iterations used by the numeric solver (0 for limiting cases).
+  /// Outer iterations used by the numeric solver (0 for limiting cases);
+  /// for a fallback solve this is Newton iterations + SQP iterations.
   int solver_iterations = 0;
+  /// Solver path taken.
+  HpdPath path = HpdPath::kLimiting;
+  /// Beta-function evaluations this solve spent, across every path tried.
+  /// A quantile counts as one evaluation even though the inverse-CDF solve
+  /// internally iterates the incomplete beta several times, so these are
+  /// lower bounds on incomplete-beta work — comparable across solvers.
+  int cdf_evals = 0;
+  int pdf_evals = 0;
+  int quantile_evals = 0;
+  /// Newton convergence certificate: the residuals of the two KKT
+  /// equations (coverage, log-density equality) at the returned endpoints.
+  /// Zero for non-Newton paths.
+  double kkt_coverage_residual = 0.0;
+  double kkt_density_residual = 0.0;
+  /// Final BFGS Lagrangian-Hessian model when an SQP ran; feed it back via
+  /// `HpdOptions::warm_hessian` on the next nearby solve.
+  bool has_hessian = false;
+  std::array<double, 4> hessian{};
 };
+
+/// Per-path tallies of the thread-local HPD solve statistics.
+struct HpdPathTally {
+  uint64_t solves = 0;
+  uint64_t iterations = 0;
+  uint64_t cdf_evals = 0;
+  uint64_t pdf_evals = 0;
+  uint64_t quantile_evals = 0;
+
+  HpdPathTally& operator+=(const HpdPathTally& other) {
+    solves += other.solves;
+    iterations += other.iterations;
+    cdf_evals += other.cdf_evals;
+    pdf_evals += other.pdf_evals;
+    quantile_evals += other.quantile_evals;
+    return *this;
+  }
+};
+
+/// Aggregate HPD solver counters for the calling thread, accumulated by
+/// every successful `HpdInterval` on that thread (the warm-state cache hits
+/// of `HpdIntervalWarm` are counted separately — they run no solver).
+/// Read/reset them around a measurement region to attribute incomplete-beta
+/// work to solver paths; used by `bench_step_latency` to report per-solve
+/// evaluation counts in BENCH_step.json.
+struct HpdSolveStats {
+  HpdPathTally limiting;
+  HpdPathTally newton;
+  HpdPathTally slsqp;
+  HpdPathTally slsqp_fallback;
+  HpdPathTally onedim;
+  uint64_t warm_cache_hits = 0;
+
+  uint64_t total_solves() const {
+    return limiting.solves + newton.solves + slsqp.solves +
+           slsqp_fallback.solves + onedim.solves;
+  }
+  uint64_t total_beta_evals() const {
+    uint64_t evals = 0;
+    for (const HpdPathTally* t :
+         {&limiting, &newton, &slsqp, &slsqp_fallback, &onedim}) {
+      evals += t->cdf_evals + t->pdf_evals + t->quantile_evals;
+    }
+    return evals;
+  }
+
+  /// Merges another snapshot in (e.g. combining measurement windows);
+  /// lives next to the tallies so a new field or path cannot silently
+  /// drop out of aggregations.
+  HpdSolveStats& operator+=(const HpdSolveStats& other) {
+    limiting += other.limiting;
+    newton += other.newton;
+    slsqp += other.slsqp;
+    slsqp_fallback += other.slsqp_fallback;
+    onedim += other.onedim;
+    warm_cache_hits += other.warm_cache_hits;
+    return *this;
+  }
+};
+
+/// Snapshot of this thread's counters since the last reset.
+HpdSolveStats ThreadHpdStatsSnapshot();
+
+/// Zeroes this thread's counters.
+void ResetThreadHpdStats();
+
+/// Records a warm-state cache hit (called by `HpdIntervalWarm`).
+void NoteHpdWarmCacheHit();
 
 /// 1-alpha Equal-Tailed credible interval (Eq. 9):
 /// [qBeta(alpha/2), qBeta(1 - alpha/2)] on the posterior.
@@ -55,7 +176,8 @@ Result<Interval> EqualTailedInterval(const BetaDistribution& posterior,
 /// 1-alpha Highest Posterior Density credible interval.
 ///
 /// Dispatches on the posterior shape:
-/// * interior unimodal — numeric minimization per `options` (Thm. 1/2);
+/// * interior unimodal — 2x2 Newton KKT solve with SQP fallback, or the
+///   solver selected by `options` (Thm. 1/2);
 /// * monotone decreasing (tau = 0 under an uninformative prior) —
 ///   [0, qBeta(1 - alpha)] (Eq. 11, Corollary 1/2);
 /// * monotone increasing (tau = n) — [qBeta(alpha), 1] (Eq. 10);

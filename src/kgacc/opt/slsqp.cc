@@ -271,9 +271,45 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
   eval_constraints_into(x, &c);
   std::vector<double> amat = eval_jacobian(x);
 
-  // BFGS model of the Lagrangian Hessian, started at identity.
+  // Projected KKT stationarity ||g + A'lambda||_inf: a component blocked by
+  // an active bound whose multiplier sign is consistent (pushing outward)
+  // is stationary regardless of its raw value.
+  auto kkt_residual = [&](const std::vector<double>& grad,
+                          const std::vector<double>& jac,
+                          const std::vector<double>& mult,
+                          const std::vector<double>& at) {
+    double worst = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double ri = grad[i];
+      for (int k = 0; k < m; ++k) ri += mult[k] * jac[k * n + i];
+      const bool at_lo = std::isfinite(lo[i]) &&
+                         at[i] - lo[i] <= 1e-12 * (1.0 + std::fabs(lo[i]));
+      const bool at_hi = std::isfinite(hi[i]) &&
+                         hi[i] - at[i] <= 1e-12 * (1.0 + std::fabs(hi[i]));
+      if ((at_lo && ri > 0.0) || (at_hi && ri < 0.0)) ri = 0.0;
+      worst = std::max(worst, std::fabs(ri));
+    }
+    return worst;
+  };
+
+  // BFGS model of the Lagrangian Hessian: the caller's warm-started model
+  // when one was supplied (and well-formed), identity otherwise.
   std::vector<double> bmat(n * n, 0.0);
-  for (int i = 0; i < n; ++i) bmat[i * n + i] = 1.0;
+  bool warm_hessian = false;
+  if (options.initial_hessian != nullptr &&
+      static_cast<int>(options.initial_hessian->size()) == n * n) {
+    warm_hessian = true;
+    for (double v : *options.initial_hessian) {
+      if (!std::isfinite(v)) {
+        warm_hessian = false;
+        break;
+      }
+    }
+    if (warm_hessian) bmat = *options.initial_hessian;
+  }
+  if (!warm_hessian) {
+    for (int i = 0; i < n; ++i) bmat[i * n + i] = 1.0;
+  }
 
   double penalty = 1.0;
   SlsqpSolve out;
@@ -281,7 +317,9 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
   // Iteration-invariant buffers, hoisted so the loop below (and the QP
   // solves inside it) run allocation-free after the first pass.
   QpWorkspace qp_ws;
-  std::vector<double> dl(n), du(n), d, lambda;
+  // `lambda` starts zeroed so the stationarity report at the exits below
+  // stays well-defined even when the loop never runs (max_iterations <= 0).
+  std::vector<double> dl(n), du(n), d, lambda(m, 0.0);
   std::vector<double> x_new(n), c_new;
   std::vector<double> s(n), y(n), bs(n);
 
@@ -305,12 +343,17 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
     double step_norm = 0.0;
     for (double di : d) step_norm = std::max(step_norm, std::fabs(di));
     const double viol = max_violation(c);
-    if (step_norm < options.step_tol && viol < options.constraint_tol) {
+    const double kkt = kkt_residual(g, amat, lambda, x);
+    if (step_norm < options.step_tol && viol < options.constraint_tol &&
+        (options.stationarity_tol <= 0.0 ||
+         kkt < options.stationarity_tol)) {
       out.x = x;
       out.fx = fx;
       out.max_violation = viol;
+      out.kkt_residual = kkt;
       out.iterations = iter;
       out.converged = true;
+      out.hessian = std::move(bmat);
       return out;
     }
 
@@ -350,13 +393,19 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
     }
     if (!accepted) {
       // Line search failed: either we are at a merit-stationary point or the
-      // model is bad. Report what we have.
+      // model is bad. Report what we have; a merit-stationary iterate only
+      // counts as converged when it is feasible, near-stationary in step,
+      // AND (when enabled) KKT-stationary — short-step alone is not a
+      // certificate.
       out.x = x;
       out.fx = fx;
       out.max_violation = viol;
+      out.kkt_residual = kkt;
       out.iterations = iter;
-      out.converged = viol < options.constraint_tol &&
-                      step_norm < 1e-6;  // Loose stationarity.
+      out.converged = viol < options.constraint_tol && step_norm < 1e-6 &&
+                      (options.stationarity_tol <= 0.0 ||
+                       kkt < options.stationarity_tol);
+      out.hessian = std::move(bmat);
       return out;
     }
 
@@ -411,8 +460,30 @@ Result<SlsqpSolve> MinimizeSlsqp(const SlsqpProblem& problem,
   out.x = x;
   out.fx = fx;
   out.max_violation = max_violation(c);
+  // The loop's lambda belongs to the QP solved at the *previous* iterate;
+  // report stationarity at the final x with the least-squares multiplier
+  // estimate argmin ||g + A'lambda|| instead (solve (A A') lambda = -A g).
+  if (m > 0) {
+    std::vector<double> aat(m * m, 0.0);
+    std::vector<double> rhs(m, 0.0);
+    for (int k = 0; k < m; ++k) {
+      for (int j = 0; j < m; ++j) {
+        for (int i = 0; i < n; ++i) {
+          aat[k * m + j] += amat[k * n + i] * amat[j * n + i];
+        }
+      }
+      for (int i = 0; i < n; ++i) rhs[k] -= amat[k * n + i] * g[i];
+    }
+    std::vector<double> ls_lambda;
+    if (internal::SolveLinearSystem(std::move(aat), std::move(rhs), m,
+                                    &ls_lambda)) {
+      lambda = std::move(ls_lambda);
+    }
+  }
+  out.kkt_residual = kkt_residual(g, amat, lambda, x);
   out.iterations = options.max_iterations;
   out.converged = false;
+  out.hessian = std::move(bmat);
   return out;
 }
 

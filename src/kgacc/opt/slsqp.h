@@ -50,8 +50,24 @@ struct SlsqpOptions {
   double step_tol = 1e-11;
   /// Feasibility threshold on max |c_i(x)|.
   double constraint_tol = 1e-10;
+  /// KKT stationarity threshold on the projected Lagrangian gradient
+  /// ||g + A'lambda||_inf (components blocked by an active bound with a
+  /// correctly signed multiplier are projected out). When positive,
+  /// convergence additionally requires stationarity — a short step alone
+  /// no longer counts, which matters when a warm start lands the first
+  /// iterate within `step_tol` of itself without being a solution.
+  /// 0 disables the test (legacy short-step behavior); leave it disabled
+  /// for finite-difference gradients, whose noise floor sits near any
+  /// useful threshold.
+  double stationarity_tol = 0.0;
   /// Relative step for finite-difference derivatives.
   double fd_step = 1e-7;
+  /// Optional warm start for the BFGS model of the Lagrangian Hessian
+  /// (row-major n x n, symmetric positive definite); identity when null.
+  /// Pair with `SlsqpSolve::hessian` to carry curvature across a sequence
+  /// of slowly moving solves instead of rebuilding it from scratch each
+  /// time. Not owned; must outlive the call.
+  const std::vector<double>* initial_hessian = nullptr;
 };
 
 /// Outcome of an SLSQP solve.
@@ -59,8 +75,12 @@ struct SlsqpSolve {
   std::vector<double> x;          ///< Final iterate.
   double fx = 0.0;                ///< Objective at `x`.
   double max_violation = 0.0;     ///< max |c_i(x)| at `x`.
+  double kkt_residual = 0.0;      ///< Projected ||g + A'lambda||_inf at `x`.
   int iterations = 0;             ///< Outer iterations used.
-  bool converged = false;         ///< True if both tolerances were met.
+  bool converged = false;         ///< True if every enabled tolerance was met.
+  /// Final BFGS model of the Lagrangian Hessian (row-major n x n); feed it
+  /// to `SlsqpOptions::initial_hessian` of a nearby follow-up solve.
+  std::vector<double> hessian;
 };
 
 /// Runs the SQP iteration from `x0` (clamped into the bounds first).

@@ -190,6 +190,57 @@ TEST(EvaluationSessionTest, StepByStepMatchesSingleRun) {
   ExpectSameResult(loop, *session.Finish());
 }
 
+TEST(EvaluationSessionTest, WarmStatePlumbsAcrossSteps) {
+  // The session's AhpdWarmState must track every prior after a step, and —
+  // when the fallback SQP runs — hold the carried BFGS curvature so later
+  // fallbacks do not restart from identity.
+  const auto kg = MakeKg(0.9);
+  OracleAnnotator annotator;
+  SrsSampler sampler(kg, SrsConfig{.batch_size = 40});
+  EvaluationConfig config;
+  config.method = IntervalMethod::kAhpd;
+  config.moe_threshold = 1e-9;  // Never converges inside the test window.
+  config.max_triples = 400;
+  config.hpd.use_newton = false;  // Force SQP so a Hessian is produced.
+  EvaluationSession session(sampler, annotator, config, 321);
+  for (int i = 0; i < 4 && !session.done(); ++i) {
+    ASSERT_TRUE(session.Step().ok());
+  }
+  const AhpdWarmState& warm = session.interval_warm();
+  ASSERT_EQ(warm.priors.size(), config.priors.size());
+  for (const auto& state : warm.priors) {
+    EXPECT_TRUE(state.valid);
+    if (state.hpd.shape == BetaShape::kUnimodal) {
+      EXPECT_TRUE(state.has_hessian);
+      EXPECT_TRUE(state.hpd.path == HpdPath::kSlsqp ||
+                  state.hpd.path == HpdPath::kSlsqpFallback);
+    }
+  }
+}
+
+TEST(EvaluationSessionTest, NewtonAndSqpPathsAgreeOnTheSameAudit) {
+  // The full audit run twice — Newton-primary versus pure-SQP intervals —
+  // must stop at the same step with near-identical intervals (the solver
+  // swap is a performance change, not a statistical one).
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  EvaluationConfig newton_cfg;
+  newton_cfg.method = IntervalMethod::kAhpd;
+  EvaluationConfig sqp_cfg = newton_cfg;
+  sqp_cfg.hpd.use_newton = false;
+
+  SrsSampler s1(kg, SrsConfig{.batch_size = 50});
+  SrsSampler s2(kg, SrsConfig{.batch_size = 50});
+  const auto newton_run = RunEvaluation(s1, annotator, newton_cfg, 99);
+  const auto sqp_run = RunEvaluation(s2, annotator, sqp_cfg, 99);
+  ASSERT_TRUE(newton_run.ok());
+  ASSERT_TRUE(sqp_run.ok());
+  EXPECT_EQ(newton_run->annotated_triples, sqp_run->annotated_triples);
+  EXPECT_EQ(newton_run->winning_prior, sqp_run->winning_prior);
+  EXPECT_NEAR(newton_run->interval.lower, sqp_run->interval.lower, 1e-8);
+  EXPECT_NEAR(newton_run->interval.upper, sqp_run->interval.upper, 1e-8);
+}
+
 TEST(EvaluationSessionTest, StepAfterDoneIsANoOp) {
   const auto kg = MakeKg(0.95);
   OracleAnnotator annotator;

@@ -197,5 +197,173 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(12.0, 0.5, 0.05),   // limiting case
                       std::make_tuple(350.0, 300.0, 0.01)));
 
+TEST(HpdNewtonTest, NewtonIsThePrimaryUnimodalPath) {
+  const auto d = MakeBeta(28.0, 4.0);
+  const auto hpd = *HpdInterval(d, 0.05);
+  EXPECT_EQ(hpd.path, HpdPath::kNewton);
+  EXPECT_GT(hpd.solver_iterations, 0);
+  EXPECT_GT(hpd.cdf_evals, 0);
+  EXPECT_GT(hpd.pdf_evals, 0);
+  // Convergence certificate: the reported residuals meet the solver's
+  // advertised tolerances and independently verify on the endpoints.
+  EXPECT_LE(std::fabs(hpd.kkt_coverage_residual), 1e-12);
+  EXPECT_LE(std::fabs(hpd.kkt_density_residual), 1e-9);
+  EXPECT_NEAR(d.Cdf(hpd.interval.upper) - d.Cdf(hpd.interval.lower), 0.95,
+              1e-11);
+  EXPECT_NEAR(d.LogPdf(hpd.interval.lower), d.LogPdf(hpd.interval.upper),
+              1e-8);
+}
+
+TEST(HpdNewtonTest, UsesFewerBetaEvaluationsThanSqp) {
+  // The specialization's point: ~4-6 Newton iterations of 2 CDF + 2 PDF
+  // evaluations versus the SQP's ~20-70 constraint/gradient evaluations.
+  // Every single solve must be cheaper, and in aggregate (the hot-path
+  // mix of shapes and levels) Newton must cost under half the SQP.
+  int newton_total = 0;
+  int sqp_total = 0;
+  for (const double a : {6.5, 28.0, 170.0, 900.0, 3000.0}) {
+    for (const double alpha : {0.01, 0.05, 0.1}) {
+      const auto d = MakeBeta(a, 0.2 * a + 1.0);
+      const auto newton = *HpdInterval(d, alpha);
+      HpdOptions sqp_opts;
+      sqp_opts.use_newton = false;
+      const auto sqp = *HpdInterval(d, alpha, sqp_opts);
+      ASSERT_EQ(newton.path, HpdPath::kNewton) << a;
+      ASSERT_EQ(sqp.path, HpdPath::kSlsqp) << a;
+      const int newton_evals = newton.cdf_evals + newton.pdf_evals;
+      const int sqp_evals = sqp.cdf_evals + sqp.pdf_evals;
+      EXPECT_LT(newton_evals, sqp_evals) << "a=" << a << " alpha=" << alpha;
+      newton_total += newton_evals;
+      sqp_total += sqp_evals;
+    }
+  }
+  EXPECT_LT(2 * newton_total, sqp_total);
+}
+
+/// Cross-check grid of the Newton path against both references across
+/// near-degenerate (a or b near 1), central, skewed, and extreme-peaked
+/// posteriors, including the limiting shapes (a or b <= 1) where all
+/// paths must agree on the closed forms.
+TEST(HpdNewtonTest, GridCrossCheckAgainstSqpAndOneDim) {
+  const double shapes[] = {0.5, 1.5, 2.0, 5.0, 20.0, 80.0,
+                           300.0, 1200.0, 5000.0};
+  for (const double a : shapes) {
+    for (const double b : shapes) {
+      for (const double alpha : {0.01, 0.05, 0.1}) {
+        const auto d = MakeBeta(a, b);
+        const auto hpd = HpdInterval(d, alpha);
+        ASSERT_TRUE(hpd.ok()) << "a=" << a << " b=" << b << " alpha=" << alpha;
+        HpdOptions sqp_opts;
+        sqp_opts.use_newton = false;
+        const auto sqp = HpdInterval(d, alpha, sqp_opts);
+        ASSERT_TRUE(sqp.ok()) << "a=" << a << " b=" << b;
+        // Newton endpoints within 1e-9 of the SQP reference.
+        EXPECT_NEAR(hpd->interval.lower, sqp->interval.lower, 1e-9)
+            << "a=" << a << " b=" << b << " alpha=" << alpha;
+        EXPECT_NEAR(hpd->interval.upper, sqp->interval.upper, 1e-9)
+            << "a=" << a << " b=" << b << " alpha=" << alpha;
+        if (d.Shape() != BetaShape::kUnimodal) continue;
+        EXPECT_EQ(hpd->path, HpdPath::kNewton)
+            << "a=" << a << " b=" << b << " alpha=" << alpha;
+        // Coverage certificate.
+        EXPECT_NEAR(d.Cdf(hpd->interval.upper) - d.Cdf(hpd->interval.lower),
+                    1.0 - alpha, 1e-10)
+            << "a=" << a << " b=" << b;
+        // Agreement with the independent 1-D reduction (whose Brent
+        // minimizer is the loosest of the three).
+        HpdOptions oned_opts;
+        oned_opts.solver = HpdSolver::kOneDim;
+        const auto oned = HpdInterval(d, alpha, oned_opts);
+        ASSERT_TRUE(oned.ok()) << "a=" << a << " b=" << b;
+        EXPECT_NEAR(hpd->interval.lower, oned->interval.lower, 5e-6)
+            << "a=" << a << " b=" << b << " alpha=" << alpha;
+        EXPECT_NEAR(hpd->interval.upper, oned->interval.upper, 5e-6)
+            << "a=" << a << " b=" << b << " alpha=" << alpha;
+      }
+    }
+  }
+}
+
+TEST(HpdNewtonTest, CappedNewtonFallsBackToSqpWithSameInterval) {
+  // One Newton iteration cannot reach the residual tolerances, so the
+  // solve must take the SQP fallback — and land on the same interval.
+  const auto d = MakeBeta(96.0, 11.0);
+  HpdOptions capped;
+  capped.newton_max_iterations = 1;
+  const auto fallback = *HpdInterval(d, 0.05, capped);
+  EXPECT_EQ(fallback.path, HpdPath::kSlsqpFallback);
+  const auto primary = *HpdInterval(d, 0.05);
+  EXPECT_EQ(primary.path, HpdPath::kNewton);
+  EXPECT_NEAR(fallback.interval.lower, primary.interval.lower, 1e-9);
+  EXPECT_NEAR(fallback.interval.upper, primary.interval.upper, 1e-9);
+  // The fallback's counters include the wasted Newton attempt.
+  EXPECT_GT(fallback.cdf_evals, 0);
+}
+
+TEST(HpdNewtonTest, DisabledNewtonIsThePureSqpPath) {
+  const auto d = MakeBeta(12.0, 5.0);
+  HpdOptions opts;
+  opts.use_newton = false;
+  const auto hpd = *HpdInterval(d, 0.05, opts);
+  EXPECT_EQ(hpd.path, HpdPath::kSlsqp);
+  EXPECT_TRUE(hpd.has_hessian);
+
+  HpdOptions zero_cap;
+  zero_cap.newton_max_iterations = 0;
+  const auto capped = *HpdInterval(d, 0.05, zero_cap);
+  EXPECT_EQ(capped.path, HpdPath::kSlsqp);
+}
+
+TEST(HpdNewtonTest, ThreadStatsAttributeSolvesToPaths) {
+  ResetThreadHpdStats();
+  const auto d = MakeBeta(28.0, 4.0);
+  ASSERT_TRUE(HpdInterval(d, 0.05).ok());
+  HpdOptions sqp_opts;
+  sqp_opts.use_newton = false;
+  ASSERT_TRUE(HpdInterval(d, 0.05, sqp_opts).ok());
+  ASSERT_TRUE(HpdInterval(MakeBeta(0.5, 30.5), 0.05).ok());  // Limiting.
+  const HpdSolveStats stats = ThreadHpdStatsSnapshot();
+  EXPECT_EQ(stats.newton.solves, 1u);
+  EXPECT_EQ(stats.slsqp.solves, 1u);
+  EXPECT_EQ(stats.limiting.solves, 1u);
+  EXPECT_EQ(stats.total_solves(), 3u);
+  EXPECT_GT(stats.newton.cdf_evals, 0u);
+  EXPECT_LT(stats.newton.cdf_evals + stats.newton.pdf_evals,
+            stats.slsqp.cdf_evals + stats.slsqp.pdf_evals);
+  ResetThreadHpdStats();
+  EXPECT_EQ(ThreadHpdStatsSnapshot().total_solves(), 0u);
+}
+
+TEST(HpdOneDimTest, TinyAlphaKeepsABoundedBracket) {
+  // Regression for the denormal bracket floor: a near-degenerate lower
+  // quantile must not collapse Brent's interval arithmetic.
+  const auto d = MakeBeta(1.2, 2000.0);
+  HpdOptions oned;
+  oned.solver = HpdSolver::kOneDim;
+  const auto hpd = HpdInterval(d, 1e-6, oned);
+  ASSERT_TRUE(hpd.ok());
+  EXPECT_GT(hpd->interval.Width(), 0.0);
+  EXPECT_NEAR(d.Cdf(hpd->interval.upper) - d.Cdf(hpd->interval.lower),
+              1.0 - 1e-6, 1e-7);
+  const auto newton = HpdInterval(d, 1e-6);
+  ASSERT_TRUE(newton.ok());
+  EXPECT_NEAR(hpd->interval.upper, newton->interval.upper, 5e-5);
+}
+
+TEST(HpdOneDimTest, WidePosteriorNeverSelectsThePoisonWidth) {
+  // Near-flat posterior at small alpha: feasible widths approach 1, the
+  // regime where the old `return 1.0` failure poison was indistinguishable
+  // from a genuine candidate. The solve must return a real interval whose
+  // width beats 1 and satisfies coverage.
+  const auto d = MakeBeta(1.05, 1.1);
+  HpdOptions oned;
+  oned.solver = HpdSolver::kOneDim;
+  const auto hpd = HpdInterval(d, 0.005, oned);
+  ASSERT_TRUE(hpd.ok());
+  EXPECT_LT(hpd->interval.Width(), 1.0);
+  EXPECT_NEAR(d.Cdf(hpd->interval.upper) - d.Cdf(hpd->interval.lower), 0.995,
+              1e-6);
+}
+
 }  // namespace
 }  // namespace kgacc

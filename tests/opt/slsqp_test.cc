@@ -177,6 +177,140 @@ TEST(SlsqpTest, RejectsMalformedProblems) {
   EXPECT_FALSE(MinimizeSlsqp(empty_start, {}).ok());
 }
 
+TEST(SlsqpTest, ReturnsTheBfgsHessianForWarmStarting) {
+  // min x^2 + y^2 s.t. x + y = 1: the Lagrangian Hessian is 2I.
+  SlsqpProblem p;
+  p.objective = [](const std::vector<double>& x) {
+    return x[0] * x[0] + x[1] * x[1];
+  };
+  p.gradient = [](const std::vector<double>& x) {
+    return std::vector<double>{2.0 * x[0], 2.0 * x[1]};
+  };
+  p.eq_constraints.push_back(
+      [](const std::vector<double>& x) { return x[0] + x[1] - 1.0; });
+  p.eq_gradients.push_back(
+      [](const std::vector<double>&) { return std::vector<double>{1.0, 1.0}; });
+  const auto first = MinimizeSlsqp(p, {0.9, 0.0});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->converged);
+  ASSERT_EQ(first->hessian.size(), 4u);
+
+  // Re-solving a nearby problem from the carried model must converge to
+  // the same solution, at most as many iterations as the identity restart.
+  SlsqpOptions warm;
+  warm.initial_hessian = &first->hessian;
+  const auto warmed = MinimizeSlsqp(p, {0.45, 0.52}, warm);
+  const auto cold = MinimizeSlsqp(p, {0.45, 0.52});
+  ASSERT_TRUE(warmed.ok());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(warmed->converged);
+  EXPECT_NEAR(warmed->x[0], 0.5, 1e-8);
+  EXPECT_NEAR(warmed->x[1], 0.5, 1e-8);
+  EXPECT_LE(warmed->iterations, cold->iterations);
+}
+
+TEST(SlsqpTest, MalformedInitialHessianFallsBackToIdentity) {
+  SlsqpProblem p;
+  p.objective = [](const std::vector<double>& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  const std::vector<double> wrong_size = {1.0, 0.0, 0.0};
+  SlsqpOptions opts;
+  opts.initial_hessian = &wrong_size;
+  const auto r = MinimizeSlsqp(p, {0.0, 0.0}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(r->x[0], 1.0, 1e-6);
+  EXPECT_NEAR(r->x[1], -2.0, 1e-6);
+}
+
+TEST(SlsqpTest, ShortStepAloneIsNotConvergenceUnderStationarityTest) {
+  // A wildly over-scaled warm Hessian makes the first QP step tiny while
+  // the iterate is far from optimal. With the legacy short-step test the
+  // solver "converges" on the spot; with the KKT stationarity test enabled
+  // it must either keep working toward (0.5, 0.5) or admit non-convergence
+  // — never certify the bogus point.
+  SlsqpProblem p;
+  p.objective = [](const std::vector<double>& x) {
+    return x[0] * x[0] + x[1] * x[1];
+  };
+  p.gradient = [](const std::vector<double>& x) {
+    return std::vector<double>{2.0 * x[0], 2.0 * x[1]};
+  };
+  p.eq_constraints.push_back(
+      [](const std::vector<double>& x) { return x[0] + x[1] - 1.0; });
+  p.eq_gradients.push_back(
+      [](const std::vector<double>&) { return std::vector<double>{1.0, 1.0}; });
+  const std::vector<double> inflated = {1e8, 0.0, 0.0, 1e8};
+
+  SlsqpOptions legacy;
+  legacy.step_tol = 1e-6;
+  legacy.initial_hessian = &inflated;
+  const auto stalled = MinimizeSlsqp(p, {0.9, 0.1}, legacy);
+  ASSERT_TRUE(stalled.ok());
+  // Demonstrates the trap: short-step "convergence" at the start point.
+  EXPECT_TRUE(stalled->converged);
+  EXPECT_NEAR(stalled->x[0], 0.9, 1e-3);
+
+  SlsqpOptions strict = legacy;
+  strict.stationarity_tol = 1e-6;
+  strict.max_iterations = 500;
+  const auto checked = MinimizeSlsqp(p, {0.9, 0.1}, strict);
+  ASSERT_TRUE(checked.ok());
+  const bool reached_optimum = std::fabs(checked->x[0] - 0.5) < 1e-4 &&
+                               std::fabs(checked->x[1] - 0.5) < 1e-4;
+  EXPECT_TRUE(!checked->converged || reached_optimum)
+      << "certified a non-stationary point: x = (" << checked->x[0] << ", "
+      << checked->x[1] << ")";
+  if (checked->converged) {
+    EXPECT_LT(checked->kkt_residual, 1e-6);
+  }
+}
+
+TEST(SlsqpTest, StationarityTestAcceptsTrueSolutions) {
+  // The tightened test must not reject genuinely converged solves.
+  SlsqpProblem p;
+  p.objective = [](const std::vector<double>& x) {
+    return x[0] * x[0] + x[1] * x[1];
+  };
+  p.gradient = [](const std::vector<double>& x) {
+    return std::vector<double>{2.0 * x[0], 2.0 * x[1]};
+  };
+  p.eq_constraints.push_back(
+      [](const std::vector<double>& x) { return x[0] + x[1] - 1.0; });
+  p.eq_gradients.push_back(
+      [](const std::vector<double>&) { return std::vector<double>{1.0, 1.0}; });
+  SlsqpOptions strict;
+  strict.stationarity_tol = 1e-6;
+  const auto r = MinimizeSlsqp(p, {0.0, 0.0}, strict);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(r->x[0], 0.5, 1e-7);
+  EXPECT_LT(r->kkt_residual, 1e-6);
+}
+
+TEST(SlsqpTest, StationarityProjectsActiveBoundMultipliers) {
+  // min (x - 2)^2 on [0, 1]: the solution x = 1 has gradient -2, absorbed
+  // by the upper-bound multiplier. The projected KKT residual must treat
+  // it as stationary, so the solve converges under the strict test.
+  SlsqpProblem p;
+  p.objective = [](const std::vector<double>& x) {
+    return (x[0] - 2.0) * (x[0] - 2.0);
+  };
+  p.gradient = [](const std::vector<double>& x) {
+    return std::vector<double>{2.0 * (x[0] - 2.0)};
+  };
+  p.lower = {0.0};
+  p.upper = {1.0};
+  SlsqpOptions strict;
+  strict.stationarity_tol = 1e-6;
+  const auto r = MinimizeSlsqp(p, {0.5}, strict);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(r->x[0], 1.0, 1e-8);
+  EXPECT_LT(r->kkt_residual, 1e-6);
+}
+
 TEST(SlsqpTest, ThreeVariableConstrainedProblem) {
   // min x^2 + y^2 + z^2 s.t. x + 2y + 3z = 6 -> x = 6/14*(1,2,3).
   SlsqpProblem p;

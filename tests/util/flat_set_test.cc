@@ -1,5 +1,6 @@
 #include "kgacc/util/flat_set.h"
 
+#include <algorithm>
 #include <unordered_set>
 #include <vector>
 
@@ -123,6 +124,80 @@ TEST(FlatSet64Test, MigrationDebtDrainsWellBeforeNextDoubling) {
   }
 }
 
+TEST(FlatSet64Test, DoublingZeroesTheNewTableInChunks) {
+  // Once the table is large enough that its doubled successor exceeds one
+  // zeroing chunk, the zeroing phase must span several inserts (no single
+  // insert pays the full memset) while membership, novelty reporting, and
+  // size stay exact throughout.
+  FlatSet64 set;
+  bool observed_zeroing = false;
+  size_t longest_zeroing_run = 0;
+  size_t current_run = 0;
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    const uint64_t key = Mix64(k);
+    ASSERT_TRUE(set.insert(key));
+    ASSERT_FALSE(set.insert(key)) << "fresh key reported twice at " << k;
+    if (set.zeroing()) {
+      observed_zeroing = true;
+      ++current_run;
+      // Mid-zeroing the staged table holds no members; probes must be
+      // served by the active (and possibly retired) tables alone.
+      ASSERT_TRUE(set.contains(key));
+      ASSERT_TRUE(set.contains(Mix64(1)));
+      ASSERT_FALSE(set.contains(~key));
+    } else {
+      longest_zeroing_run = std::max(longest_zeroing_run, current_run);
+      current_run = 0;
+    }
+    ASSERT_EQ(set.size(), k);
+  }
+  EXPECT_TRUE(observed_zeroing);
+  // 100k keys grow the table to 128Ki+ buckets; zeroing its 256Ki-bucket
+  // successor at 512 buckets per insert must have spanned hundreds of
+  // inserts — the amortization this test exists to pin down.
+  EXPECT_GE(longest_zeroing_run, 100u);
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    ASSERT_TRUE(set.contains(Mix64(k))) << k;
+  }
+}
+
+TEST(FlatSet64Test, ClearDiscardsInFlightZeroingAndKeepsCapacity) {
+  FlatSet64 set;
+  uint64_t k = 1;
+  // Drive until a zeroing phase is in flight.
+  while (!set.zeroing() && k < (1u << 21)) set.insert(Mix64(k++));
+  ASSERT_TRUE(set.zeroing());
+  const size_t capacity = set.capacity();
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.capacity(), capacity);
+  EXPECT_FALSE(set.zeroing());
+  EXPECT_FALSE(set.migrating());
+  for (uint64_t j = 1; j <= 1000; ++j) {
+    EXPECT_FALSE(set.contains(Mix64(j)));
+    EXPECT_TRUE(set.insert(Mix64(j)));
+  }
+}
+
+TEST(FlatSet64Test, CopyMidZeroingIsIndependentAndExact) {
+  FlatSet64 a;
+  uint64_t k = 1;
+  while (!a.zeroing() && k < (1u << 21)) a.insert(Mix64(k++));
+  ASSERT_TRUE(a.zeroing());
+  const size_t members = a.size();
+  FlatSet64 b = a;
+  EXPECT_EQ(b.size(), members);
+  for (uint64_t j = 1; j < k; ++j) {
+    ASSERT_TRUE(b.contains(Mix64(j))) << j;
+  }
+  b.insert(Mix64(k));
+  EXPECT_EQ(a.size(), members);
+  EXPECT_FALSE(a.contains(Mix64(k)));
+  // The copy finishes its own growth independently.
+  for (uint64_t j = k; j < k + 50000; ++j) b.insert(Mix64(j));
+  EXPECT_EQ(b.size(), members + 50000);
+}
+
 TEST(FlatSet64Test, MatchesUnorderedSetOnRandomKeys) {
   // Random stream with deliberate duplicates (small key range) plus a few
   // adversarial patterns: zero, consecutive runs, and high-bit keys.
@@ -155,6 +230,25 @@ TEST(FlatSet64Test, MatchesUnorderedSetOnRandomKeys) {
     const uint64_t key = probe.Next();
     EXPECT_EQ(flat.contains(key), reference.count(key) > 0);
   }
+}
+
+TEST(FlatSet64Test, MovedFromSetIsEmptyAndReusable) {
+  FlatSet64 a;
+  for (uint64_t k = 0; k < 1000; ++k) a.insert(Mix64(k));
+  FlatSet64 b = std::move(a);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_TRUE(b.contains(Mix64(7)));
+  // The moved-from set must be a valid empty set, not a null-table husk.
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.capacity(), 0u);
+  EXPECT_FALSE(a.contains(Mix64(7)));
+  a.clear();  // Must not dereference the surrendered storage.
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(a.insert(Mix64(k)));
+  EXPECT_EQ(a.size(), 100u);
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.insert(42));
 }
 
 TEST(FlatSet64Test, CopyIsIndependent) {

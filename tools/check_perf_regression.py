@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_step.json latency *ratios*.
+"""Perf-regression gate over BENCH_step.json machine-independent metrics.
 
 Compares a freshly measured BENCH_step.json against the checked-in record
-and fails when any design's 50k/1k per-step latency ratio regressed by more
-than the allowed factor (default 2x).
+and fails when either of two algorithmic properties regressed by more than
+the allowed factor (default 2x):
 
-Ratios, not absolute latencies: CI runners differ wildly in clock speed and
-noise, but the *flatness* of per-step cost as the accumulated sample grows
-is a property of the algorithm (streaming estimators, incremental rehash),
-not of the machine. A ratio that doubles means someone reintroduced an
-O(sample) term into Step().
+* the 50k/1k per-step latency *ratio* per design — flatness of the per-step
+  cost as the accumulated sample grows (streaming estimators, incremental
+  rehash). A ratio that doubles means someone reintroduced an O(sample)
+  term into Step().
+* the HPD incomplete-beta *evaluations per solve* per design — the solver
+  efficiency of the interval layer (2x2 Newton KKT primary path, warm
+  starts). A jump means solves fell back off the Newton path or the warm
+  carry broke.
+
+Ratios and counts, not absolute latencies: CI runners differ wildly in
+clock speed and noise, but both metrics are properties of the algorithm,
+not of the machine.
 
 Usage:
     check_perf_regression.py <fresh BENCH_step.json> <checked-in record>
@@ -25,26 +32,61 @@ import json
 import sys
 
 
-def load_ratios(path):
-    """Returns {design: latency_ratio_50k_over_1k} from a bench record."""
+def load_summaries(path):
+    """Returns {design: summary-record} from a bench record."""
     try:
         with open(path) as f:
             records = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    ratios = {}
+    summaries = {}
     for record in records:
         if record.get("bench") == "step_latency_summary":
             design = record.get("design")
-            ratio = record.get("latency_ratio_50k_over_1k")
-            if design is not None and isinstance(ratio, (int, float)):
-                ratios[design] = float(ratio)
-    if not ratios:
+            if design is not None:
+                summaries[design] = record
+    if not summaries:
         print(f"error: no step_latency_summary records in {path}",
               file=sys.stderr)
         sys.exit(2)
-    return ratios
+    return summaries
+
+
+def check_metric(fresh, record, key, label, max_regression, floor):
+    """Prints one comparison line per design; returns True on regression.
+
+    Exits 2 when any fresh design lacks the metric: the fresh record comes
+    from the current bench binary, which emits every metric for every
+    design, so a hole means the instrumentation the gate guards broke — a
+    blocking gate must fail loudly, not pass vacuously. (A *checked-in*
+    record without the metric is still skipped per design, so new metrics
+    can land before the record is refreshed.)
+    """
+    missing = [d for d, s in sorted(fresh.items())
+               if not isinstance(s.get(key), (int, float))]
+    if missing:
+        print(f"error: fresh record lacks '{key}' for "
+              f"{', '.join(missing)} (instrumentation missing?)",
+              file=sys.stderr)
+        sys.exit(2)
+    failed = False
+    for design, summary in sorted(fresh.items()):
+        value = summary[key]
+        recorded = record.get(design, {}).get(key)
+        if not isinstance(recorded, (int, float)):
+            print(f"  {design:>6} {label}: fresh {value:.3f} "
+                  f"(no checked-in record, skipped)")
+            continue
+        # Floor the baseline: a tiny recorded value is measurement luck (or
+        # a cache-heavy window), and the gate should not demand it forever.
+        budget = max(recorded, floor) * max_regression
+        verdict = "OK" if value <= budget else "REGRESSION"
+        print(f"  {design:>6} {label}: fresh {value:.3f} vs recorded "
+              f"{recorded:.3f} (budget {budget:.3f}) {verdict}")
+        if value > budget:
+            failed = True
+    return failed
 
 
 def main():
@@ -53,34 +95,34 @@ def main():
     parser.add_argument("record", help="checked-in BENCH_step.json")
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="allowed factor between fresh and recorded "
-                             "50k/1k ratios (default 2.0)")
+                             "metrics (default 2.0)")
     args = parser.parse_args()
 
-    fresh = load_ratios(args.fresh)
-    record = load_ratios(args.record)
+    fresh = load_summaries(args.fresh)
+    record = load_summaries(args.record)
 
-    failed = False
-    for design, fresh_ratio in sorted(fresh.items()):
-        recorded = record.get(design)
-        if recorded is None:
-            print(f"  {design:>6}: fresh {fresh_ratio:.3f}x "
-                  f"(no checked-in record, skipped)")
-            continue
-        # Floor the baseline at 1.0: a recorded ratio below 1 is measurement
-        # luck, and the gate should not demand sub-flat scaling forever.
-        budget = max(recorded, 1.0) * args.max_regression
-        verdict = "OK" if fresh_ratio <= budget else "REGRESSION"
-        print(f"  {design:>6}: fresh {fresh_ratio:.3f}x vs recorded "
-              f"{recorded:.3f}x (budget {budget:.3f}x) {verdict}")
-        if fresh_ratio > budget:
-            failed = True
+    # Every design in the checked-in record must appear in the fresh run:
+    # a design silently dropping out of the bench would otherwise skip its
+    # comparisons entirely and pass vacuously. (Fresh-only designs are
+    # fine — they are new, and get gated once the record is refreshed.)
+    lost = sorted(set(record) - set(fresh))
+    if lost:
+        print(f"error: fresh record is missing designs recorded in "
+              f"{args.record}: {', '.join(lost)}", file=sys.stderr)
+        sys.exit(2)
+
+    failed = check_metric(fresh, record, "latency_ratio_50k_over_1k",
+                          "50k/1k ratio", args.max_regression, floor=1.0)
+    failed |= check_metric(fresh, record, "hpd_beta_evals_per_solve",
+                           "beta evals/solve", args.max_regression,
+                           floor=4.0)
 
     if failed:
-        print("\nper-step latency ratio regressed >"
+        print("\nstep-latency ratio or HPD evals-per-solve regressed >"
               f"{args.max_regression}x against the checked-in record",
               file=sys.stderr)
         return 1
-    print("\nstep-latency ratios within budget")
+    print("\nstep-latency ratios and HPD evals-per-solve within budget")
     return 0
 
 
