@@ -49,15 +49,21 @@ int main() {
 
   std::printf("EvaluationService throughput (NELL-like KG, "
               "Wald/Wilson/CP/aHPD x SRS/TWCS, pinned worker contexts)\n");
-  bench::Rule(78);
-  std::printf("%6s %8s %12s %12s %14s %12s\n", "jobs", "threads", "wall(s)",
-              "audits/s", "triples/s", "allocs/audit");
-  bench::Rule(78);
+  bench::Rule(92);
+  std::printf("%6s %8s %12s %12s %14s %12s %12s\n", "jobs", "threads",
+              "wall(s)", "audits/s", "triples/s", "allocs/audit",
+              "evals/solve");
+  bench::Rule(92);
 
   std::FILE* json = std::fopen("BENCH_service.json", "w");
   if (json != nullptr) std::fprintf(json, "[\n");
   bool first_record = true;
   bool deterministic = true;
+  // Cross-worker HPD solver counters summed over every sweep cell: the
+  // service-level evals-per-solve record the perf gate checks, so solver
+  // efficiency is guarded under parallel load too, not just in the
+  // single-threaded step bench.
+  HpdSolveStats sweep_hpd;
 
   for (const int jobs_n : job_sweep) {
     // A representative mixed workload: methods x designs x split seeds.
@@ -90,10 +96,16 @@ int main() {
           stats.jobs > 0 ? static_cast<double>(allocs) /
                                static_cast<double>(stats.jobs)
                          : 0.0;
-      std::printf("%6d %8d %12.3f %12.1f %14.0f %12.1f\n", jobs_n,
+      sweep_hpd += stats.hpd;
+      const double evals_per_solve =
+          stats.hpd.total_solves() > 0
+              ? static_cast<double>(stats.hpd.total_beta_evals()) /
+                    static_cast<double>(stats.hpd.total_solves())
+              : 0.0;
+      std::printf("%6d %8d %12.3f %12.1f %14.0f %12.1f %12.1f\n", jobs_n,
                   stats.num_threads, stats.wall_seconds,
                   stats.audits_per_second, stats.triples_per_second,
-                  allocs_per_audit);
+                  allocs_per_audit, evals_per_solve);
       if (json != nullptr) {
         std::fprintf(json,
                      "%s  {\"bench\": \"service_throughput\", \"jobs\": %d, "
@@ -101,21 +113,49 @@ int main() {
                      "\"audits_per_second\": %.2f, "
                      "\"triples_per_second\": %.2f, "
                      "\"annotated_triples\": %llu, "
-                     "\"allocations_per_audit\": %.2f, \"failed\": %zu}",
+                     "\"allocations_per_audit\": %.2f, \"failed\": %zu, "
+                     "\"hpd_solves\": %llu, \"hpd_newton_solves\": %llu, "
+                     "\"hpd_warm_cache_hits\": %llu, "
+                     "\"hpd_beta_evals_per_solve\": %.2f}",
                      first_record ? "" : ",\n", jobs_n, stats.num_threads,
                      stats.wall_seconds, stats.audits_per_second,
                      stats.triples_per_second,
                      static_cast<unsigned long long>(stats.annotated_triples),
-                     allocs_per_audit, stats.failed);
+                     allocs_per_audit, stats.failed,
+                     static_cast<unsigned long long>(stats.hpd.total_solves()),
+                     static_cast<unsigned long long>(stats.hpd.newton.solves),
+                     static_cast<unsigned long long>(
+                         stats.hpd.warm_cache_hits),
+                     evals_per_solve);
         first_record = false;
       }
     }
   }
   if (json != nullptr) {
+    // The machine-independent summary record the perf gate compares: beta
+    // evaluations per HPD solve aggregated over the whole sweep (every
+    // thread count and batch size), plus the Newton share.
+    const double sweep_evals_per_solve =
+        sweep_hpd.total_solves() > 0
+            ? static_cast<double>(sweep_hpd.total_beta_evals()) /
+                  static_cast<double>(sweep_hpd.total_solves())
+            : 0.0;
+    const double newton_share =
+        sweep_hpd.total_solves() > 0
+            ? static_cast<double>(sweep_hpd.newton.solves) /
+                  static_cast<double>(sweep_hpd.total_solves())
+            : 0.0;
+    std::fprintf(json,
+                 ",\n  {\"bench\": \"service_hpd_summary\", "
+                 "\"hpd_solves\": %llu, \"hpd_beta_evals_per_solve\": %.2f, "
+                 "\"hpd_newton_share\": %.3f, \"hpd_warm_cache_hits\": %llu}",
+                 static_cast<unsigned long long>(sweep_hpd.total_solves()),
+                 sweep_evals_per_solve, newton_share,
+                 static_cast<unsigned long long>(sweep_hpd.warm_cache_hits));
     std::fprintf(json, "\n]\n");
     std::fclose(json);
   }
-  bench::Rule(78);
+  bench::Rule(92);
   std::printf("deterministic across thread counts: %s\n",
               deterministic ? "yes" : "NO — BUG");
   std::printf("wrote BENCH_service.json\n");

@@ -34,6 +34,9 @@ struct EvaluationService::WorkerContext {
   /// Reused batch buffers and annotated-sample storage; survives across
   /// batches so the distinct-set tables stay sized for the workload.
   SessionScratch scratch;
+  /// Clones this context ever minted (summed into
+  /// `sampler_clones_created`); only its own task touches it.
+  uint64_t clones_created = 0;
 
   /// Returns this context's clone for `prototype`. The clone may carry
   /// state from the previous job; EvaluationSession's constructor Reset()s
@@ -47,13 +50,21 @@ struct EvaluationService::WorkerContext {
     }
     std::unique_ptr<Sampler> clone = prototype->Clone();
     if (clone == nullptr) return nullptr;
+    ++clones_created;
     samplers.push_back(CachedSampler{prototype, std::move(clone)});
     return samplers.back().clone.get();
   }
 
-  /// Drops the cached clones (they reference the prototypes' populations,
-  /// which are only guaranteed to live for the duration of one RunBatch).
-  void ReleaseSamplers() { samplers.clear(); }
+  /// Drops the cached clones whose prototype is not in `keep`: unregistered
+  /// prototypes' populations are only guaranteed to live for the duration
+  /// of one RunBatch, while registered ones carry a caller lifetime promise
+  /// and their clones amortize across batches.
+  void ReleaseSamplers(const std::vector<const Sampler*>& keep) {
+    std::erase_if(samplers, [&keep](const CachedSampler& entry) {
+      return std::find(keep.begin(), keep.end(), entry.prototype) ==
+             keep.end();
+    });
+  }
 };
 
 EvaluationService::EvaluationService() : EvaluationService(Options{}) {}
@@ -64,6 +75,42 @@ EvaluationService::EvaluationService(const Options& options)
 }
 
 EvaluationService::~EvaluationService() = default;
+
+void EvaluationService::RegisterPrototype(const Sampler* prototype) {
+  if (prototype == nullptr) return;
+  if (std::find(registered_prototypes_.begin(), registered_prototypes_.end(),
+                prototype) != registered_prototypes_.end()) {
+    return;
+  }
+  registered_prototypes_.push_back(prototype);
+}
+
+void EvaluationService::UnregisterPrototype(const Sampler* prototype) {
+  std::erase(registered_prototypes_, prototype);
+  // Drop the now-unpromised clones immediately: the caller may destroy the
+  // prototype's population right after this call.
+  for (const std::unique_ptr<WorkerContext>& context : contexts_) {
+    std::erase_if(context->samplers,
+                  [prototype](const WorkerContext::CachedSampler& entry) {
+                    return entry.prototype == prototype;
+                  });
+  }
+}
+
+void EvaluationService::ClearPrototypes() {
+  registered_prototypes_.clear();
+  for (const std::unique_ptr<WorkerContext>& context : contexts_) {
+    context->samplers.clear();
+  }
+}
+
+uint64_t EvaluationService::sampler_clones_created() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<WorkerContext>& context : contexts_) {
+    total += context->clones_created;
+  }
+  return total;
+}
 
 uint64_t EvaluationService::DeriveJobSeed(uint64_t base_seed,
                                           uint64_t job_index) {
@@ -101,7 +148,17 @@ void EvaluationService::RunJob(const EvaluationJob& job,
   }
   EvaluationSession session(*sampler, *job.annotator, job.config, job.seed,
                             context != nullptr ? &context->scratch : nullptr);
-  Result<EvaluationResult> result = session.Run();
+  Result<EvaluationResult> result = [&]() -> Result<EvaluationResult> {
+    if (!job.on_step) return session.Run();
+    // Hooked jobs step explicitly so the hook observes every iteration
+    // (checkpointing, progress). A hook failure aborts this job only.
+    while (!session.done()) {
+      KGACC_ASSIGN_OR_RETURN(const StepOutcome outcome, session.Step());
+      (void)outcome;
+      KGACC_RETURN_IF_ERROR(job.on_step(session));
+    }
+    return session.Finish();
+  }();
   if (result.ok()) {
     out->result = std::move(result).value();
   } else {
@@ -115,6 +172,11 @@ EvaluationBatchResult EvaluationService::RunBatch(
   batch.outcomes.resize(jobs.size());
 
   const auto start = std::chrono::steady_clock::now();
+  // One HPD-counter slot per pool task: tasks run one at a time per worker
+  // thread, so resetting the thread-local counters at task start and
+  // snapshotting at task end yields exact per-task deltas, summed into the
+  // batch stats below regardless of how tasks landed on threads.
+  std::vector<HpdSolveStats> task_hpd;
   if (options_.reuse_contexts && !jobs.empty()) {
     // Deterministic pinning: job i belongs to group i % G. Each group is
     // one pool task that walks its jobs in submission order on one warm
@@ -126,16 +188,22 @@ EvaluationBatchResult EvaluationService::RunBatch(
     while (contexts_.size() < groups) {
       contexts_.push_back(std::make_unique<WorkerContext>());
     }
+    task_hpd.resize(groups);
     ParallelFor(pool_, groups, [&](size_t g) {
+      ResetThreadHpdStats();
       WorkerContext& context = *contexts_[g];
       for (size_t i = g; i < jobs.size(); i += groups) {
         RunJob(jobs[i], &context, &batch.outcomes[i]);
       }
-      context.ReleaseSamplers();
+      context.ReleaseSamplers(registered_prototypes_);
+      task_hpd[g] = ThreadHpdStatsSnapshot();
     });
   } else {
+    task_hpd.resize(jobs.size());
     ParallelFor(pool_, jobs.size(), [&](size_t i) {
+      ResetThreadHpdStats();
       RunJob(jobs[i], nullptr, &batch.outcomes[i]);
+      task_hpd[i] = ThreadHpdStatsSnapshot();
     });
   }
   const std::chrono::duration<double> elapsed =
@@ -145,6 +213,7 @@ EvaluationBatchResult EvaluationService::RunBatch(
   stats.num_threads = pool_.num_threads();
   stats.jobs = jobs.size();
   stats.wall_seconds = elapsed.count();
+  for (const HpdSolveStats& task : task_hpd) stats.hpd += task;
   for (const EvaluationJobOutcome& out : batch.outcomes) {
     if (!out.status.ok()) {
       ++stats.failed;

@@ -2,12 +2,14 @@
 #define KGACC_EVAL_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "kgacc/eval/evaluator.h"
 #include "kgacc/eval/session.h"
+#include "kgacc/intervals/credible.h"
 #include "kgacc/sampling/sampler.h"
 #include "kgacc/util/status.h"
 #include "kgacc/util/thread_pool.h"
@@ -58,6 +60,13 @@ struct EvaluationJob {
   /// Free-form tag copied verbatim to the job's outcome (dataset name,
   /// method name, ...).
   std::string label;
+  /// Optional per-step hook, invoked after every successful `Step()` of
+  /// this job's session — the durable-audit integration point: bind a
+  /// `CheckpointManager::OnStep` here and the job snapshots itself into
+  /// the annotation WAL as it progresses. A non-OK return aborts the job
+  /// with that status (fail the audit rather than outrun its log). Runs on
+  /// the worker thread; per-job state only, unless externally synchronized.
+  std::function<Status(const EvaluationSession&)> on_step;
 };
 
 /// Outcome of one job: a result or the error that stopped it. Job failures
@@ -84,6 +93,13 @@ struct ServiceBatchStats {
   /// Successful audits and annotated triples per wall-clock second.
   double audits_per_second = 0.0;
   double triples_per_second = 0.0;
+  /// HPD solver counters aggregated across every worker thread of the
+  /// batch (per-path solve/eval tallies plus warm-cache hits). The
+  /// thread-local `ThreadHpdStatsSnapshot` counters are captured around
+  /// each pinning-group task and summed, so solver efficiency
+  /// (beta evals per solve, Newton share) is observable — and gateable —
+  /// under parallel load, not just in the single-threaded step bench.
+  HpdSolveStats hpd;
 };
 
 /// Ordered per-job outcomes plus the batch throughput stats.
@@ -129,6 +145,27 @@ class EvaluationService {
 
   int num_threads() const { return pool_.num_threads(); }
 
+  /// Registers a long-lived sampler prototype: worker contexts keep their
+  /// cached clones for it across `RunBatch` calls instead of dropping them
+  /// at batch end, so a stream of batches over the same population pays
+  /// each context's clone once ever. The caller guarantees the prototype
+  /// (and its population) outlives the registration — that lifetime
+  /// promise is exactly what registration asserts. Must not be called
+  /// while a batch is running (the service is not reentrant).
+  void RegisterPrototype(const Sampler* prototype);
+
+  /// Ends the lifetime promise: drops the registration and every cached
+  /// clone of `prototype` from all contexts.
+  void UnregisterPrototype(const Sampler* prototype);
+
+  /// Unregisters everything (bulk generation bump between workloads).
+  void ClearPrototypes();
+
+  /// Sampler clones created by worker contexts so far (service lifetime).
+  /// Registration is observable here: repeated batches over a registered
+  /// prototype stop minting new clones. Call between batches only.
+  uint64_t sampler_clones_created() const;
+
   /// Splits `base_seed` into the `job_index`-th independent seed stream
   /// (SplitMix64 over the pair), so one user-facing seed can fan out into
   /// any number of decorrelated per-job RNGs.
@@ -147,6 +184,9 @@ class EvaluationService {
   /// One context per pinning group, grown on demand and reused across
   /// batches (warm scratch capacity).
   std::vector<std::unique_ptr<WorkerContext>> contexts_;
+  /// Prototypes whose clone caches survive across batches. Read-only while
+  /// a batch runs; mutated only between batches.
+  std::vector<const Sampler*> registered_prototypes_;
 };
 
 }  // namespace kgacc

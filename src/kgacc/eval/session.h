@@ -33,6 +33,9 @@
 
 namespace kgacc {
 
+class ByteWriter;
+class ByteReader;
+
 /// Validates the stop-rule parameters shared by `RunEvaluation` and
 /// `EvaluationSession`: positive MoE budget, alpha in (0,1), and a minimum
 /// sample that does not exceed the annotation cap (a configuration that
@@ -120,6 +123,21 @@ class EvaluationSession {
 
   /// Batches drawn so far.
   int iterations() const { return result_.iterations; }
+
+  /// Serializes the complete resumable state — RNG stream position, sampler
+  /// bookkeeping, streaming estimator, annotated sample (totals, distinct
+  /// sets, retained history), HPD warm carry, and the partial result — as
+  /// one snapshot payload (the checkpoint frames `CheckpointManager` writes
+  /// into the annotation WAL). All doubles travel bit-exact: a restored
+  /// session replays the identical stochastic and floating-point path, so
+  /// resuming mid-audit reproduces the uninterrupted report byte for byte.
+  void SaveState(ByteWriter* w) const;
+
+  /// Restores a snapshot into a session constructed over the *same* design,
+  /// population, configuration, and seed (a fingerprint is verified; a
+  /// mismatched snapshot is rejected, not half-applied). The sampler is
+  /// Reset() and its serialized bookkeeping reloaded.
+  Status LoadState(ByteReader* r);
 
  private:
   /// Builds the snapshot for the current state.

@@ -3,7 +3,82 @@
 #include <future>
 #include <utility>
 
+#include "kgacc/util/codec.h"
+
 namespace kgacc {
+
+namespace {
+
+void SaveHpdResult(const HpdResult& hpd, ByteWriter* w) {
+  w->PutDouble(hpd.interval.lower);
+  w->PutDouble(hpd.interval.upper);
+  w->PutU8(static_cast<uint8_t>(hpd.shape));
+  w->PutZigzag(hpd.solver_iterations);
+  w->PutU8(static_cast<uint8_t>(hpd.path));
+  w->PutZigzag(hpd.cdf_evals);
+  w->PutZigzag(hpd.pdf_evals);
+  w->PutZigzag(hpd.quantile_evals);
+  w->PutDouble(hpd.kkt_coverage_residual);
+  w->PutDouble(hpd.kkt_density_residual);
+  w->PutBool(hpd.has_hessian);
+  for (const double h : hpd.hessian) w->PutDouble(h);
+}
+
+Status LoadHpdResult(ByteReader* r, HpdResult* hpd) {
+  KGACC_ASSIGN_OR_RETURN(hpd->interval.lower, r->Double());
+  KGACC_ASSIGN_OR_RETURN(hpd->interval.upper, r->Double());
+  KGACC_ASSIGN_OR_RETURN(const uint8_t shape, r->U8());
+  hpd->shape = static_cast<BetaShape>(shape);
+  KGACC_ASSIGN_OR_RETURN(const int64_t iterations, r->Zigzag());
+  hpd->solver_iterations = static_cast<int>(iterations);
+  KGACC_ASSIGN_OR_RETURN(const uint8_t path, r->U8());
+  hpd->path = static_cast<HpdPath>(path);
+  KGACC_ASSIGN_OR_RETURN(const int64_t cdf, r->Zigzag());
+  KGACC_ASSIGN_OR_RETURN(const int64_t pdf, r->Zigzag());
+  KGACC_ASSIGN_OR_RETURN(const int64_t quantile, r->Zigzag());
+  hpd->cdf_evals = static_cast<int>(cdf);
+  hpd->pdf_evals = static_cast<int>(pdf);
+  hpd->quantile_evals = static_cast<int>(quantile);
+  KGACC_ASSIGN_OR_RETURN(hpd->kkt_coverage_residual, r->Double());
+  KGACC_ASSIGN_OR_RETURN(hpd->kkt_density_residual, r->Double());
+  KGACC_ASSIGN_OR_RETURN(hpd->has_hessian, r->Bool());
+  for (double& h : hpd->hessian) {
+    KGACC_ASSIGN_OR_RETURN(h, r->Double());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SaveAhpdWarmState(const AhpdWarmState& state, ByteWriter* w) {
+  w->PutVarint(state.priors.size());
+  for (const AhpdWarmState::PriorState& prior : state.priors) {
+    w->PutBool(prior.valid);
+    w->PutDouble(prior.tau);
+    w->PutDouble(prior.n);
+    w->PutDouble(prior.alpha);
+    SaveHpdResult(prior.hpd, w);
+    w->PutBool(prior.has_hessian);
+    for (const double h : prior.hessian) w->PutDouble(h);
+  }
+}
+
+Status LoadAhpdWarmState(ByteReader* r, AhpdWarmState* state) {
+  KGACC_ASSIGN_OR_RETURN(const uint64_t count, r->Varint());
+  state->priors.assign(count, AhpdWarmState::PriorState{});
+  for (AhpdWarmState::PriorState& prior : state->priors) {
+    KGACC_ASSIGN_OR_RETURN(prior.valid, r->Bool());
+    KGACC_ASSIGN_OR_RETURN(prior.tau, r->Double());
+    KGACC_ASSIGN_OR_RETURN(prior.n, r->Double());
+    KGACC_ASSIGN_OR_RETURN(prior.alpha, r->Double());
+    KGACC_RETURN_IF_ERROR(LoadHpdResult(r, &prior.hpd));
+    KGACC_ASSIGN_OR_RETURN(prior.has_hessian, r->Bool());
+    for (double& h : prior.hessian) {
+      KGACC_ASSIGN_OR_RETURN(h, r->Double());
+    }
+  }
+  return Status::OK();
+}
 
 namespace {
 

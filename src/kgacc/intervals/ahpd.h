@@ -17,6 +17,9 @@
 
 namespace kgacc {
 
+class ByteWriter;
+class ByteReader;
+
 /// Outcome of one aHPD selection round.
 struct AhpdChoice {
   /// The winning (shortest) 1-alpha HPD interval.
@@ -63,6 +66,14 @@ struct AhpdWarmState {
     }
   }
 };
+
+/// Serializes / restores the warm carry for checkpoint/resume: every
+/// per-prior solution — inputs, interval, shape, path, the Newton residual
+/// certificate, and the carried BFGS Hessian — with bit-exact doubles, so a
+/// resumed audit's next `BuildInterval` sees the identical cache (including
+/// the unchanged-(tau, n, alpha) skip) as the uninterrupted run.
+void SaveAhpdWarmState(const AhpdWarmState& state, ByteWriter* w);
+Status LoadAhpdWarmState(ByteReader* r, AhpdWarmState* state);
 
 /// One prior's HPD with warm-start carry: returns the cached solution when
 /// `state` matches `(tau, n, alpha)` exactly, otherwise solves — seeding

@@ -61,8 +61,12 @@ bool TryHpdNewton(const BetaDistribution& posterior, double alpha,
                   const Interval& start, int max_iterations, HpdResult* out) {
   const double a = posterior.a();
   const double b = posterior.b();
-  const KktSystem2Fn system = [&posterior, a, b, alpha, out](
-                                  double l, double u, double* r, double* jac) {
+  // Plain lambda, not a KktSystem2Fn: the solver is templated over the
+  // callable, so the system inlines and the solve allocates nothing — the
+  // per-solve type-erasure allocation was the last heap traffic on the
+  // warm kHpd step path.
+  const auto system = [&posterior, a, b, alpha, out](
+                          double l, double u, double* r, double* jac) {
     out->cdf_evals += 2;
     out->pdf_evals += 2;
     r[0] = posterior.Cdf(u) - posterior.Cdf(l) - (1.0 - alpha);

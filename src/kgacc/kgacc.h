@@ -52,12 +52,16 @@
 #include "kgacc/sampling/srs.h"
 #include "kgacc/sampling/stratified.h"
 #include "kgacc/sampling/systematic.h"
+#include "kgacc/store/annotation_store.h"
+#include "kgacc/store/checkpoint.h"
+#include "kgacc/store/wal.h"
 #include "kgacc/stats/bootstrap.h"
 #include "kgacc/stats/descriptive.h"
 #include "kgacc/stats/mann_whitney.h"
 #include "kgacc/stats/replication.h"
 #include "kgacc/stats/ttest.h"
 #include "kgacc/util/arg_parser.h"
+#include "kgacc/util/codec.h"
 #include "kgacc/util/flat_set.h"
 #include "kgacc/util/random.h"
 #include "kgacc/util/thread_pool.h"

@@ -1,27 +1,6 @@
 #include "kgacc/opt/newton_kkt.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace kgacc {
-
-namespace {
-
-/// Residual-norm merit. The two equations should be scaled comparably by
-/// the caller (the HPD system uses a probability-scale coverage residual
-/// and a log-density-scale equality residual, both O(1) on the basin).
-double Merit(const double r[2]) { return r[0] * r[0] + r[1] * r[1]; }
-
-bool Finite2(const double r[2]) {
-  return std::isfinite(r[0]) && std::isfinite(r[1]);
-}
-
-bool Finite4(const double j[4]) {
-  return std::isfinite(j[0]) && std::isfinite(j[1]) && std::isfinite(j[2]) &&
-         std::isfinite(j[3]);
-}
-
-}  // namespace
 
 const char* NewtonKktStopName(NewtonKktStop reason) {
   switch (reason) {
@@ -47,143 +26,7 @@ Result<NewtonKkt2Solve> SolveNewtonKkt2(const KktSystem2Fn& system, double x0,
   if (!system) {
     return Status::InvalidArgument("NewtonKkt2: system callback is required");
   }
-  if (!(options.lo < options.hi)) {
-    return Status::InvalidArgument("NewtonKkt2: empty safeguarding box");
-  }
-  NewtonKkt2Solve out;
-  out.x0 = std::clamp(x0, options.lo, options.hi);
-  out.x1 = std::clamp(x1, options.lo, options.hi);
-  if (!(out.x0 < out.x1)) {
-    return Status::InvalidArgument(
-        "NewtonKkt2: start does not satisfy x0 < x1 inside the box");
-  }
-
-  double r[2];
-  double jac[4];
-  system(out.x0, out.x1, r, jac);
-  ++out.system_evals;
-  double merit = Merit(r);
-  int growth_iterations = 0;
-
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    out.iterations = iter;
-    out.r0 = r[0];
-    out.r1 = r[1];
-    if (!Finite2(r) || !Finite4(jac) || !std::isfinite(merit)) {
-      out.reason = NewtonKktStop::kNonFinite;
-      return out;
-    }
-    if (std::fabs(r[0]) <= options.r0_tol &&
-        std::fabs(r[1]) <= options.r1_tol) {
-      out.converged = true;
-      out.reason = NewtonKktStop::kConverged;
-      return out;
-    }
-
-    // Newton step: J d = -r, solved in closed form.
-    const double det = jac[0] * jac[3] - jac[1] * jac[2];
-    const double scale =
-        std::max({std::fabs(jac[0]) * std::fabs(jac[3]),
-                  std::fabs(jac[1]) * std::fabs(jac[2]), 1e-300});
-    if (std::fabs(det) <= 1e-14 * scale) {
-      out.reason = NewtonKktStop::kSingularJacobian;
-      return out;
-    }
-    const double d0 = (-r[0] * jac[3] + r[1] * jac[1]) / det;
-    const double d1 = (-r[1] * jac[0] + r[0] * jac[2]) / det;
-    if (!std::isfinite(d0) || !std::isfinite(d1)) {
-      out.reason = NewtonKktStop::kNonFinite;
-      return out;
-    }
-
-    // Damped acceptance: halve the step until the residual norm drops.
-    // Trials are clamped into the box and must keep x0 < x1.
-    double t = 1.0;
-    bool accepted = false;
-    double best_x0 = out.x0, best_x1 = out.x1;
-    double trial_r[2];
-    double trial_jac[4];
-    bool clamped = false;
-    for (int bt = 0; bt <= options.max_backtracks; ++bt, t *= 0.5) {
-      const double raw0 = out.x0 + t * d0;
-      const double raw1 = out.x1 + t * d1;
-      const double c0 = std::clamp(raw0, options.lo, options.hi);
-      const double c1 = std::clamp(raw1, options.lo, options.hi);
-      if (!(c0 < c1)) continue;  // Endpoints crossed; shorten further.
-      system(c0, c1, trial_r, trial_jac);
-      ++out.system_evals;
-      const double trial_merit = Merit(trial_r);
-      if (std::isfinite(trial_merit) && trial_merit < merit) {
-        best_x0 = c0;
-        best_x1 = c1;
-        clamped = (c0 != raw0) || (c1 != raw1);
-        std::copy(trial_r, trial_r + 2, r);
-        std::copy(trial_jac, trial_jac + 4, jac);
-        merit = trial_merit;
-        accepted = true;
-        break;
-      }
-    }
-    if (!accepted) {
-      if (++growth_iterations >= options.max_growth_iterations) {
-        out.reason = NewtonKktStop::kResidualGrowth;
-        return out;
-      }
-      // Retry from the same iterate with a perturbed (bisected) step: take
-      // the smallest backtracked trial even though it grew, so the next
-      // iteration sees a fresh Jacobian. Without movement the next round
-      // would recompute the identical step, so this is the last chance
-      // before kResidualGrowth fires above.
-      const double tiny = std::ldexp(1.0, -options.max_backtracks);
-      const double c0 =
-          std::clamp(out.x0 + tiny * d0, options.lo, options.hi);
-      const double c1 =
-          std::clamp(out.x1 + tiny * d1, options.lo, options.hi);
-      if (!(c0 < c1)) {
-        out.reason = NewtonKktStop::kResidualGrowth;
-        return out;
-      }
-      system(c0, c1, r, jac);
-      ++out.system_evals;
-      merit = Merit(r);
-      out.x0 = c0;
-      out.x1 = c1;
-      continue;
-    }
-    growth_iterations = 0;
-    out.x0 = best_x0;
-    out.x1 = best_x1;
-    out.r0 = r[0];
-    out.r1 = r[1];
-    // Re-test convergence on the accepted step: the final allowed
-    // iteration (and a tolerant step that brushed the box) must not be
-    // thrown away just because the loop is about to exit.
-    if (std::fabs(r[0]) <= options.r0_tol &&
-        std::fabs(r[1]) <= options.r1_tol) {
-      out.converged = true;
-      out.reason = NewtonKktStop::kConverged;
-      return out;
-    }
-    // A step that ended on the box wall means the interior solution is not
-    // reachable along this path; let the globalized fallback handle it.
-    if (clamped &&
-        (out.x0 <= options.lo || out.x1 >= options.hi)) {
-      out.reason = NewtonKktStop::kPinnedAtBox;
-      return out;
-    }
-  }
-  out.r0 = r[0];
-  out.r1 = r[1];
-  // A growth-path (perturbed) step taken on the last iteration skips the
-  // in-loop test; give its residuals the same final chance.
-  if (Finite2(r) && std::fabs(r[0]) <= options.r0_tol &&
-      std::fabs(r[1]) <= options.r1_tol) {
-    out.converged = true;
-    out.reason = NewtonKktStop::kConverged;
-  } else {
-    out.reason = NewtonKktStop::kMaxIterations;
-  }
-  return out;
+  return internal::SolveNewtonKkt2Impl(system, x0, x1, options);
 }
 
 }  // namespace kgacc

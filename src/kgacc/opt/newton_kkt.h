@@ -1,6 +1,9 @@
 #ifndef KGACC_OPT_NEWTON_KKT_H_
 #define KGACC_OPT_NEWTON_KKT_H_
 
+#include <algorithm>
+#include <cmath>
+#include <concepts>
 #include <functional>
 
 #include "kgacc/util/status.h"
@@ -18,6 +21,13 @@
 /// ~25 coverage-constraint evaluations per solve. The solver itself is
 /// problem-agnostic: callers supply the residual/Jacobian evaluation.
 ///
+/// The solver is a template over that callable, so the hot path passes a
+/// lambda directly and the iteration inlines with zero heap allocations —
+/// this is what extends the evaluation session's steady-state
+/// zero-allocation contract into the interval layer (a `std::function`
+/// here cost one type-erasure allocation per HPD solve). A `KktSystem2Fn`
+/// overload remains for callers that want runtime polymorphism.
+///
 /// It is a *basin* method, not a globalized one: when the iteration leaves
 /// the basin (non-finite step, repeated residual growth, an endpoint
 /// pinned at the box) it reports the reason instead of grinding, and the
@@ -26,7 +36,8 @@
 namespace kgacc {
 
 /// Evaluates the system at (x0, x1): writes the two residuals into `r` and
-/// the row-major 2x2 Jacobian dR_i/dx_j into `jac`.
+/// the row-major 2x2 Jacobian dR_i/dx_j into `jac`. Type-erased form; the
+/// template entry point accepts any callable with this signature.
 using KktSystem2Fn =
     std::function<void(double x0, double x1, double* r, double* jac)>;
 
@@ -82,10 +93,190 @@ struct NewtonKkt2Solve {
   NewtonKktStop reason = NewtonKktStop::kMaxIterations;
 };
 
+namespace internal {
+
+/// Residual-norm merit. The two equations should be scaled comparably by
+/// the caller (the HPD system uses a probability-scale coverage residual
+/// and a log-density-scale equality residual, both O(1) on the basin).
+inline double NewtonKktMerit(const double r[2]) {
+  return r[0] * r[0] + r[1] * r[1];
+}
+
+inline bool NewtonKktFinite2(const double r[2]) {
+  return std::isfinite(r[0]) && std::isfinite(r[1]);
+}
+
+inline bool NewtonKktFinite4(const double j[4]) {
+  return std::isfinite(j[0]) && std::isfinite(j[1]) && std::isfinite(j[2]) &&
+         std::isfinite(j[3]);
+}
+
+/// The damped Newton iteration, generic over the system callable. Direct
+/// calls go through the public entry points below.
+template <typename SystemFn>
+Result<NewtonKkt2Solve> SolveNewtonKkt2Impl(const SystemFn& system, double x0,
+                                            double x1,
+                                            const NewtonKkt2Options& options) {
+  if (!(options.lo < options.hi)) {
+    return Status::InvalidArgument("NewtonKkt2: empty safeguarding box");
+  }
+  NewtonKkt2Solve out;
+  out.x0 = std::clamp(x0, options.lo, options.hi);
+  out.x1 = std::clamp(x1, options.lo, options.hi);
+  if (!(out.x0 < out.x1)) {
+    return Status::InvalidArgument(
+        "NewtonKkt2: start does not satisfy x0 < x1 inside the box");
+  }
+
+  double r[2];
+  double jac[4];
+  system(out.x0, out.x1, r, jac);
+  ++out.system_evals;
+  double merit = NewtonKktMerit(r);
+  int growth_iterations = 0;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    out.iterations = iter;
+    out.r0 = r[0];
+    out.r1 = r[1];
+    if (!NewtonKktFinite2(r) || !NewtonKktFinite4(jac) ||
+        !std::isfinite(merit)) {
+      out.reason = NewtonKktStop::kNonFinite;
+      return out;
+    }
+    if (std::fabs(r[0]) <= options.r0_tol &&
+        std::fabs(r[1]) <= options.r1_tol) {
+      out.converged = true;
+      out.reason = NewtonKktStop::kConverged;
+      return out;
+    }
+
+    // Newton step: J d = -r, solved in closed form.
+    const double det = jac[0] * jac[3] - jac[1] * jac[2];
+    const double scale =
+        std::max({std::fabs(jac[0]) * std::fabs(jac[3]),
+                  std::fabs(jac[1]) * std::fabs(jac[2]), 1e-300});
+    if (std::fabs(det) <= 1e-14 * scale) {
+      out.reason = NewtonKktStop::kSingularJacobian;
+      return out;
+    }
+    const double d0 = (-r[0] * jac[3] + r[1] * jac[1]) / det;
+    const double d1 = (-r[1] * jac[0] + r[0] * jac[2]) / det;
+    if (!std::isfinite(d0) || !std::isfinite(d1)) {
+      out.reason = NewtonKktStop::kNonFinite;
+      return out;
+    }
+
+    // Damped acceptance: halve the step until the residual norm drops.
+    // Trials are clamped into the box and must keep x0 < x1.
+    double t = 1.0;
+    bool accepted = false;
+    double best_x0 = out.x0, best_x1 = out.x1;
+    double trial_r[2];
+    double trial_jac[4];
+    bool clamped = false;
+    for (int bt = 0; bt <= options.max_backtracks; ++bt, t *= 0.5) {
+      const double raw0 = out.x0 + t * d0;
+      const double raw1 = out.x1 + t * d1;
+      const double c0 = std::clamp(raw0, options.lo, options.hi);
+      const double c1 = std::clamp(raw1, options.lo, options.hi);
+      if (!(c0 < c1)) continue;  // Endpoints crossed; shorten further.
+      system(c0, c1, trial_r, trial_jac);
+      ++out.system_evals;
+      const double trial_merit = NewtonKktMerit(trial_r);
+      if (std::isfinite(trial_merit) && trial_merit < merit) {
+        best_x0 = c0;
+        best_x1 = c1;
+        clamped = (c0 != raw0) || (c1 != raw1);
+        std::copy(trial_r, trial_r + 2, r);
+        std::copy(trial_jac, trial_jac + 4, jac);
+        merit = trial_merit;
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) {
+      if (++growth_iterations >= options.max_growth_iterations) {
+        out.reason = NewtonKktStop::kResidualGrowth;
+        return out;
+      }
+      // Retry from the same iterate with a perturbed (bisected) step: take
+      // the smallest backtracked trial even though it grew, so the next
+      // iteration sees a fresh Jacobian. Without movement the next round
+      // would recompute the identical step, so this is the last chance
+      // before kResidualGrowth fires above.
+      const double tiny = std::ldexp(1.0, -options.max_backtracks);
+      const double c0 =
+          std::clamp(out.x0 + tiny * d0, options.lo, options.hi);
+      const double c1 =
+          std::clamp(out.x1 + tiny * d1, options.lo, options.hi);
+      if (!(c0 < c1)) {
+        out.reason = NewtonKktStop::kResidualGrowth;
+        return out;
+      }
+      system(c0, c1, r, jac);
+      ++out.system_evals;
+      merit = NewtonKktMerit(r);
+      out.x0 = c0;
+      out.x1 = c1;
+      continue;
+    }
+    growth_iterations = 0;
+    out.x0 = best_x0;
+    out.x1 = best_x1;
+    out.r0 = r[0];
+    out.r1 = r[1];
+    // Re-test convergence on the accepted step: the final allowed
+    // iteration (and a tolerant step that brushed the box) must not be
+    // thrown away just because the loop is about to exit.
+    if (std::fabs(r[0]) <= options.r0_tol &&
+        std::fabs(r[1]) <= options.r1_tol) {
+      out.converged = true;
+      out.reason = NewtonKktStop::kConverged;
+      return out;
+    }
+    // A step that ended on the box wall means the interior solution is not
+    // reachable along this path; let the globalized fallback handle it.
+    if (clamped &&
+        (out.x0 <= options.lo || out.x1 >= options.hi)) {
+      out.reason = NewtonKktStop::kPinnedAtBox;
+      return out;
+    }
+  }
+  out.r0 = r[0];
+  out.r1 = r[1];
+  // A growth-path (perturbed) step taken on the last iteration skips the
+  // in-loop test; give its residuals the same final chance.
+  if (NewtonKktFinite2(r) && std::fabs(r[0]) <= options.r0_tol &&
+      std::fabs(r[1]) <= options.r1_tol) {
+    out.converged = true;
+    out.reason = NewtonKktStop::kConverged;
+  } else {
+    out.reason = NewtonKktStop::kMaxIterations;
+  }
+  return out;
+}
+
+}  // namespace internal
+
 /// Runs the damped Newton iteration from (x0, x1), clamped into the box
 /// first. Returns an error only for malformed input (no system, empty box,
 /// x0 >= x1 after clamping); leaving the basin is reported through
 /// `NewtonKkt2Solve::reason`, not as an error.
+///
+/// Generic entry point: `system` is any callable `void(double x0, double
+/// x1, double* r, double* jac)`, invoked directly (no type erasure, no
+/// allocation). Exact-signature `KktSystem2Fn` arguments resolve to the
+/// non-template overload below instead, which adds a null check.
+template <typename SystemFn>
+  requires std::invocable<const SystemFn&, double, double, double*, double*>
+Result<NewtonKkt2Solve> SolveNewtonKkt2(const SystemFn& system, double x0,
+                                        double x1,
+                                        const NewtonKkt2Options& options = {}) {
+  return internal::SolveNewtonKkt2Impl(system, x0, x1, options);
+}
+
+/// Type-erased overload (rejects an empty `std::function`).
 Result<NewtonKkt2Solve> SolveNewtonKkt2(const KktSystem2Fn& system, double x0,
                                         double x1,
                                         const NewtonKkt2Options& options = {});

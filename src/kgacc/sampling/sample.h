@@ -18,6 +18,9 @@
 
 namespace kgacc {
 
+class ByteWriter;
+class ByteReader;
+
 /// One sampled unit: either a single SRS triple or one first-stage cluster
 /// occurrence with its second-stage offsets (TWCS/WCS). Produced by the
 /// samplers *before* annotation — offsets are chosen from structure only.
@@ -189,6 +192,12 @@ class AnnotatedSample {
   bool MarkAnnotated(const TripleRef& ref);
 
   bool empty() const { return num_units_ == 0; }
+
+  /// Serializes totals, the retained unit history (when enabled), and the
+  /// members of both distinct sets. Restore rebuilds the sets by
+  /// re-insertion — membership is the state; the table layout is not.
+  void SaveState(ByteWriter* w) const;
+  Status LoadState(ByteReader* r);
 
  private:
   static uint64_t TripleKey(const TripleRef& ref);

@@ -16,6 +16,9 @@
 
 namespace kgacc {
 
+class ByteWriter;
+class ByteReader;
+
 /// Which unbiased estimator matches the units a sampler emits.
 enum class EstimatorKind {
   /// Sample proportion (Eq. 2) on per-triple units.
@@ -60,6 +63,19 @@ class Sampler {
   /// nullptr otherwise.
   virtual const std::vector<double>* stratum_weights() const {
     return nullptr;
+  }
+
+  /// Serializes the design's mutable across-batch state (without-
+  /// replacement bookkeeping, sweep positions, allocation carries) for
+  /// checkpoint/resume. The default is empty: most designs draw each batch
+  /// purely from the Rng stream and population structure, so a Reset()
+  /// sampler plus a restored Rng already replays identically. Stateful
+  /// designs (SRS-WOR, systematic, stratified) override both methods;
+  /// `LoadState` is always called on a freshly Reset() sampler.
+  virtual void SaveState(ByteWriter* w) const { (void)w; }
+  virtual Status LoadState(ByteReader* r) {
+    (void)r;
+    return Status::OK();
   }
 
   /// Creates an independent sampler of the same design bound to the same

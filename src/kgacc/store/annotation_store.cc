@@ -1,0 +1,163 @@
+#include "kgacc/store/annotation_store.h"
+
+#include <algorithm>
+
+#include "kgacc/util/codec.h"
+
+namespace kgacc {
+
+namespace {
+
+/// WAL frame types owned by the annotation store.
+constexpr uint8_t kAnnotationFrame = 1;
+constexpr uint8_t kCheckpointFrame = 2;
+
+}  // namespace
+
+uint64_t AnnotationStore::Key(uint64_t cluster, uint64_t offset) {
+  // Same packing invariant as AnnotatedSample::TripleKey: offsets stay
+  // below 2^24 and clusters below 2^40 in every supported population.
+  KGACC_DCHECK(offset < (uint64_t{1} << 24));
+  KGACC_DCHECK(cluster < (uint64_t{1} << 40));
+  return (cluster << 24) | offset;
+}
+
+Status AnnotationStore::Replay(uint8_t type,
+                               std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  switch (type) {
+    case kAnnotationFrame: {
+      KGACC_ASSIGN_OR_RETURN(const uint64_t audit_id, reader.Varint());
+      KGACC_ASSIGN_OR_RETURN(const uint64_t seq, reader.Varint());
+      KGACC_ASSIGN_OR_RETURN(const uint64_t cluster, reader.Varint());
+      KGACC_ASSIGN_OR_RETURN(const uint64_t offset, reader.Varint());
+      KGACC_ASSIGN_OR_RETURN(const bool label, reader.Bool());
+      (void)audit_id;
+      const uint64_t key = Key(cluster, offset);
+      if (labeled_.insert(key) && label) correct_.insert(key);
+      next_seq_ = std::max(next_seq_, seq + 1);
+      ++stats_.records_replayed;
+      return Status::OK();
+    }
+    case kCheckpointFrame: {
+      KGACC_ASSIGN_OR_RETURN(const uint64_t audit_id, reader.Varint());
+      KGACC_ASSIGN_OR_RETURN(const std::span<const uint8_t> snapshot,
+                             reader.LengthPrefixed());
+      std::vector<uint8_t> copy(snapshot.begin(), snapshot.end());
+      for (auto& [id, bytes] : checkpoints_) {
+        if (id == audit_id) {
+          bytes = std::move(copy);
+          ++stats_.checkpoints_replayed;
+          return Status::OK();
+        }
+      }
+      checkpoints_.emplace_back(audit_id, std::move(copy));
+      ++stats_.checkpoints_replayed;
+      return Status::OK();
+    }
+    default:
+      return Status::IoError("annotation store: unknown WAL frame type " +
+                             std::to_string(int(type)));
+  }
+}
+
+Result<std::unique_ptr<AnnotationStore>> AnnotationStore::Open(
+    const std::string& path, const Options& options) {
+  std::unique_ptr<AnnotationStore> store(new AnnotationStore(options));
+  KGACC_ASSIGN_OR_RETURN(
+      store->log_,
+      WriteAheadLog::Open(
+          path,
+          [&store](uint8_t type, std::span<const uint8_t> payload) {
+            return store->Replay(type, payload);
+          },
+          &store->stats_.recovery));
+  return store;
+}
+
+std::optional<bool> AnnotationStore::Lookup(uint64_t cluster,
+                                            uint64_t offset) const {
+  const uint64_t key = Key(cluster, offset);
+  if (!labeled_.contains(key)) return std::nullopt;
+  return correct_.contains(key);
+}
+
+Status AnnotationStore::Append(uint64_t audit_id, uint64_t cluster,
+                               uint64_t offset, bool label) {
+  const uint64_t key = Key(cluster, offset);
+  if (labeled_.contains(key)) {
+    if (correct_.contains(key) == label) return Status::OK();  // Idempotent.
+    return Status::FailedPrecondition(
+        "annotation store: conflicting label for an already-stored triple "
+        "(stored judgments are immutable)");
+  }
+  ByteWriter record;
+  record.PutVarint(audit_id);
+  record.PutVarint(next_seq_);
+  record.PutVarint(cluster);
+  record.PutVarint(offset);
+  record.PutBool(label);
+  // Log first, index second: the WAL is the source of truth, and an append
+  // failure must leave the index claiming nothing the log cannot replay.
+  KGACC_RETURN_IF_ERROR(log_->Append(kAnnotationFrame, record.span()));
+  ++next_seq_;
+  labeled_.insert(key);
+  if (label) correct_.insert(key);
+  return Status::OK();
+}
+
+Status AnnotationStore::AppendCheckpoint(uint64_t audit_id,
+                                         std::span<const uint8_t> snapshot) {
+  ByteWriter record;
+  record.PutVarint(audit_id);
+  record.PutLengthPrefixed(snapshot);
+  KGACC_RETURN_IF_ERROR(log_->Append(kCheckpointFrame, record.span()));
+  if (options_.sync_checkpoints) KGACC_RETURN_IF_ERROR(log_->Sync());
+  std::vector<uint8_t> copy(snapshot.begin(), snapshot.end());
+  for (auto& [id, bytes] : checkpoints_) {
+    if (id == audit_id) {
+      bytes = std::move(copy);
+      return Status::OK();
+    }
+  }
+  checkpoints_.emplace_back(audit_id, std::move(copy));
+  return Status::OK();
+}
+
+const std::vector<uint8_t>* AnnotationStore::LatestCheckpoint(
+    uint64_t audit_id) const {
+  for (const auto& [id, bytes] : checkpoints_) {
+    if (id == audit_id) return &bytes;
+  }
+  return nullptr;
+}
+
+bool StoredAnnotator::Annotate(const KgView& kg, const TripleRef& ref,
+                               Rng* rng) {
+  const std::optional<bool> stored = store_->Lookup(ref.cluster, ref.offset);
+  if (stored.has_value()) {
+    ++store_hits_;
+    return *stored;
+  }
+  const bool label = inner_->Annotate(kg, ref, rng);
+  ++oracle_calls_;
+  const Status append = store_->Append(audit_id_, ref.cluster, ref.offset,
+                                       label);
+  if (!append.ok() && status_.ok()) status_ = append;
+  return label;
+}
+
+uint32_t StoredAnnotator::AnnotateUnit(const KgView& kg, uint64_t cluster,
+                                       std::span<const uint64_t> offsets,
+                                       Rng* rng) {
+  // Per-triple loop (the base-class contract): each offset is individually
+  // a store hit or an inner judgment — a unit can be half-stored when a
+  // previous audit drew an overlapping second stage.
+  uint32_t correct = 0;
+  for (const uint64_t offset : offsets) {
+    correct += Annotate(kg, TripleRef{cluster, offset}, rng) ? 1 : 0;
+  }
+  return correct;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,168 @@
+#ifndef KGACC_STORE_ANNOTATION_STORE_H_
+#define KGACC_STORE_ANNOTATION_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kgacc/eval/annotator.h"
+#include "kgacc/store/wal.h"
+#include "kgacc/util/flat_set.h"
+#include "kgacc/util/status.h"
+
+/// \file annotation_store.h
+/// Durable annotation storage. Human labels are the expensive resource of
+/// the whole framework — they arrive over days and cost real money — yet
+/// the in-memory evaluation state forfeits them on any restart. The
+/// `AnnotationStore` writes every judgment to a write-ahead log as a
+/// `(triple, label, audit_id, seq)` record *before* the evaluation loop
+/// consumes it, and keeps a `FlatSet64`-backed index over the labeled
+/// triples, so:
+///
+/// * a crashed audit resumes without re-paying a single judgment — the
+///   resumed steps replay their labels from the store;
+/// * a *second* audit over the same KG (different design, alpha, or seed)
+///   reuses every overlapping label: already-labeled triples cost zero
+///   oracle/human calls (`StoredAnnotator` hit counters assert this).
+///
+/// Session snapshots interleave with the annotation records in the same
+/// log (`AppendCheckpoint`), giving one self-contained durable artifact per
+/// audit store — the classic log-structured WAL + snapshot design.
+
+namespace kgacc {
+
+/// Replayed-store accounting from `AnnotationStore::Open`.
+struct AnnotationStoreStats {
+  /// Annotation records replayed from the log.
+  uint64_t records_replayed = 0;
+  /// Checkpoint frames replayed (all audits).
+  uint64_t checkpoints_replayed = 0;
+  /// WAL-level recovery accounting (torn-tail truncation).
+  WalRecoveryInfo recovery;
+};
+
+/// A durable, shareable label store over one WAL file. Single-threaded by
+/// design: one audit session appends at a time (concurrent audits over the
+/// same KG should share a store between runs, not within one — the
+/// in-memory index is not synchronized).
+class AnnotationStore {
+ public:
+  struct Options {
+    /// fsync checkpoint frames (annotation records are always flushed to
+    /// the OS per append; media durability for snapshots is opt-in).
+    bool sync_checkpoints = false;
+  };
+
+  /// Opens (creating if absent) the store at `path`, replaying the log into
+  /// the in-memory index and retaining the latest checkpoint per audit id.
+  /// Torn or corrupt tails are truncated per WAL semantics; a frame of
+  /// unknown type is rejected (the store owns its log exclusively).
+  static Result<std::unique_ptr<AnnotationStore>> Open(
+      const std::string& path, const Options& options);
+  static Result<std::unique_ptr<AnnotationStore>> Open(
+      const std::string& path) {
+    return Open(path, Options{});
+  }
+
+  /// The stored label for a triple, or nullopt when it was never annotated.
+  std::optional<bool> Lookup(uint64_t cluster, uint64_t offset) const;
+
+  /// Durably records one judgment. Idempotent on the index (a re-appended
+  /// triple keeps its first label; the framework never re-judges a stored
+  /// triple, so a conflicting append indicates a caller bug and is
+  /// rejected).
+  Status Append(uint64_t audit_id, uint64_t cluster, uint64_t offset,
+                bool label);
+
+  /// Interleaves a session snapshot into the log, replacing this audit's
+  /// previous checkpoint as the resume point.
+  Status AppendCheckpoint(uint64_t audit_id,
+                          std::span<const uint8_t> snapshot);
+
+  /// The latest replayed-or-appended checkpoint for `audit_id`; nullptr
+  /// when the audit never checkpointed (fresh start).
+  const std::vector<uint8_t>* LatestCheckpoint(uint64_t audit_id) const;
+
+  /// Distinct triples with a stored label.
+  uint64_t num_labeled() const { return labeled_.size(); }
+  /// Next record sequence number (monotone across reopens).
+  uint64_t next_seq() const { return next_seq_; }
+  const AnnotationStoreStats& stats() const { return stats_; }
+  const std::string& path() const { return log_->path(); }
+
+  Status Flush() { return log_->Flush(); }
+  Status Sync() { return log_->Sync(); }
+
+ private:
+  explicit AnnotationStore(const Options& options) : options_(options) {}
+
+  static uint64_t Key(uint64_t cluster, uint64_t offset);
+
+  Status Replay(uint8_t type, std::span<const uint8_t> payload);
+
+  Options options_;
+  std::unique_ptr<WriteAheadLog> log_;
+  /// Membership = "this triple has a stored label"; `correct_` holds the
+  /// subset labeled correct — together a boolean map without per-entry
+  /// boxes, probed once per annotation on the hot path.
+  FlatSet64 labeled_;
+  FlatSet64 correct_;
+  /// Latest checkpoint per audit id (a handful of audits per store; linear
+  /// scan beats a map).
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> checkpoints_;
+  uint64_t next_seq_ = 0;
+  AnnotationStoreStats stats_;
+};
+
+/// Annotator decorator that consults the store before paying the inner
+/// oracle/human: stored triples are answered from the index (zero inner
+/// calls — the saved judgments are exactly what the store exists to avoid
+/// re-buying); misses are delegated and durably appended before being
+/// returned. Wrap the production annotator with it and pass the result to
+/// the session/service as usual.
+///
+/// Stream caveat: a hit consumes no Rng, so with *stochastic* simulation
+/// annotators (Noisy, MajorityVote) a store-backed run follows a different
+/// random path than a bare one — semantically right (a human does not
+/// re-judge a triple), but not bitwise comparable. The deterministic
+/// annotators (Oracle, Interactive/human) are unaffected, and those are the
+/// resume-exactness cases the checkpoint tests assert.
+class StoredAnnotator final : public Annotator {
+ public:
+  /// All three must outlive the annotator.
+  StoredAnnotator(Annotator* inner, AnnotationStore* store, uint64_t audit_id)
+      : inner_(inner), store_(store), audit_id_(audit_id) {}
+
+  bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override;
+  uint32_t AnnotateUnit(const KgView& kg, uint64_t cluster,
+                        std::span<const uint64_t> offsets, Rng* rng) override;
+  int JudgmentsPerTriple() const override {
+    return inner_->JudgmentsPerTriple();
+  }
+
+  /// Triples answered from the store (no inner call).
+  uint64_t store_hits() const { return store_hits_; }
+  /// Triples delegated to the inner annotator (and appended).
+  uint64_t oracle_calls() const { return oracle_calls_; }
+
+  /// First store-append failure, sticky (the `Annotator` interface cannot
+  /// surface a Status per judgment; durable drivers check this after the
+  /// run — a non-OK value means the reported labels outran the log).
+  const Status& status() const { return status_; }
+
+ private:
+  Annotator* inner_;
+  AnnotationStore* store_;
+  uint64_t audit_id_;
+  uint64_t store_hits_ = 0;
+  uint64_t oracle_calls_ = 0;
+  Status status_;
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_STORE_ANNOTATION_STORE_H_

@@ -1,0 +1,65 @@
+#include "kgacc/store/checkpoint.h"
+
+#include <algorithm>
+
+#include "kgacc/util/codec.h"
+
+namespace kgacc {
+
+CheckpointManager::CheckpointManager(AnnotationStore* store, uint64_t audit_id,
+                                     const CheckpointOptions& options)
+    : store_(store), audit_id_(audit_id), options_(options) {
+  options_.every_steps = std::max<uint64_t>(options_.every_steps, 1);
+}
+
+Status CheckpointManager::OnStep(const EvaluationSession& session) {
+  const uint64_t steps = static_cast<uint64_t>(session.iterations());
+  if (steps == 0 || steps % options_.every_steps != 0) return Status::OK();
+  return Checkpoint(session);
+}
+
+Status CheckpointManager::Checkpoint(const EvaluationSession& session) {
+  ByteWriter snapshot;
+  session.SaveState(&snapshot);
+  KGACC_RETURN_IF_ERROR(store_->AppendCheckpoint(audit_id_, snapshot.span()));
+  ++checkpoints_written_;
+  return Status::OK();
+}
+
+bool CheckpointManager::CanResume() const {
+  return store_->LatestCheckpoint(audit_id_) != nullptr;
+}
+
+Status CheckpointManager::Resume(EvaluationSession* session) const {
+  const std::vector<uint8_t>* snapshot = store_->LatestCheckpoint(audit_id_);
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition(
+        "no checkpoint stored for this audit id");
+  }
+  ByteReader reader({snapshot->data(), snapshot->size()});
+  return session->LoadState(&reader);
+}
+
+Result<EvaluationResult> RunDurableAudit(EvaluationSession& session,
+                                         CheckpointManager& manager,
+                                         const StoredAnnotator* annotator) {
+  if (manager.CanResume() && session.iterations() == 0 && !session.done()) {
+    KGACC_RETURN_IF_ERROR(manager.Resume(&session));
+  }
+  while (!session.done()) {
+    KGACC_ASSIGN_OR_RETURN(const StepOutcome outcome, session.Step());
+    (void)outcome;
+    // Fail before checkpointing a step whose labels never reached the log:
+    // a snapshot must not certify state the WAL cannot replay.
+    if (annotator != nullptr) {
+      KGACC_RETURN_IF_ERROR(annotator->status());
+    }
+    KGACC_RETURN_IF_ERROR(manager.OnStep(session));
+  }
+  if (annotator != nullptr) {
+    KGACC_RETURN_IF_ERROR(annotator->status());
+  }
+  return session.Finish();
+}
+
+}  // namespace kgacc

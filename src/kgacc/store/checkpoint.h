@@ -1,0 +1,81 @@
+#ifndef KGACC_STORE_CHECKPOINT_H_
+#define KGACC_STORE_CHECKPOINT_H_
+
+#include <cstdint>
+
+#include "kgacc/eval/session.h"
+#include "kgacc/store/annotation_store.h"
+#include "kgacc/util/status.h"
+
+/// \file checkpoint.h
+/// Durable audits: `CheckpointManager` interleaves periodic
+/// `EvaluationSession` snapshots with the annotation WAL, and restores the
+/// latest one on recovery. The division of labor with the store:
+///
+/// * every judgment is in the WAL the moment it is made (never lost);
+/// * snapshots bound the *recompute* after a crash — the session resumes
+///   from the last checkpoint and re-executes the few steps since, whose
+///   labels replay from the store at zero oracle cost, landing on the
+///   byte-identical report the uninterrupted run would have produced.
+///
+/// Snapshot cadence is therefore a pure compute/log-size trade: even
+/// `every_steps = 1` only appends a few-KB frame per batch, and a cadence
+/// of N merely re-runs at most N-1 cheap, already-labeled steps on resume.
+
+namespace kgacc {
+
+/// Snapshot cadence and durability for one audit's checkpoints.
+struct CheckpointOptions {
+  /// Snapshot after every N-th completed step (>= 1).
+  uint64_t every_steps = 1;
+};
+
+/// Drives checkpointing for one (session, store, audit_id) binding. The
+/// session and store must outlive the manager.
+class CheckpointManager {
+ public:
+  CheckpointManager(AnnotationStore* store, uint64_t audit_id,
+                    const CheckpointOptions& options = {});
+
+  /// Step hook: snapshots the session when its step count hits the cadence.
+  /// Call after every successful `Step()` (or install via
+  /// `EvaluationJob::on_step`).
+  Status OnStep(const EvaluationSession& session);
+
+  /// Unconditionally snapshots the session now.
+  Status Checkpoint(const EvaluationSession& session);
+
+  /// True when the store holds a checkpoint for this audit id.
+  bool CanResume() const;
+
+  /// Restores the stored checkpoint into `session` (constructed over the
+  /// same design, configuration, and seed — the snapshot fingerprint is
+  /// verified). FailedPrecondition when there is nothing to resume from.
+  Status Resume(EvaluationSession* session) const;
+
+  uint64_t audit_id() const { return audit_id_; }
+  uint64_t checkpoints_written() const { return checkpoints_written_; }
+
+ private:
+  AnnotationStore* store_;
+  uint64_t audit_id_;
+  CheckpointOptions options_;
+  uint64_t checkpoints_written_ = 0;
+};
+
+/// Drives a session to completion under checkpoint protection: resumes from
+/// the store when a checkpoint exists (unless the session already stepped),
+/// then steps with `manager.OnStep` after every batch and finalizes. The
+/// one-call durable equivalent of `EvaluationSession::Run`.
+///
+/// Pass the session's `StoredAnnotator` so its sticky append status is
+/// checked every step: a judgment the WAL refused (I/O failure, label
+/// conflict) fails the audit instead of letting the report silently outrun
+/// its log. Omit it only when the annotator is not store-backed.
+Result<EvaluationResult> RunDurableAudit(
+    EvaluationSession& session, CheckpointManager& manager,
+    const StoredAnnotator* annotator = nullptr);
+
+}  // namespace kgacc
+
+#endif  // KGACC_STORE_CHECKPOINT_H_

@@ -1,0 +1,185 @@
+#include "kgacc/store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "kgacc/util/codec.h"
+
+namespace kgacc {
+
+namespace {
+
+/// File magic: identifies the format and its version in the first 8 bytes.
+constexpr char kMagic[8] = {'k', 'g', 'a', 'c', 'W', 'A', 'L', '1'};
+
+/// Upper bound on one frame's payload. Snapshots of audit sessions are
+/// kilobytes; anything near this limit in a length prefix is corruption,
+/// not data, and must not drive a giant allocation during recovery.
+constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 30;
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// Scans `data` (past the magic) frame by frame. Returns the byte offset
+/// one past the last intact frame; everything after is a torn/corrupt tail.
+/// Replays intact frames through `replay`; a callback error is surfaced
+/// through `callback_status` and stops the scan.
+size_t ScanFrames(std::span<const uint8_t> data, size_t start,
+                  const WriteAheadLog::ReplayFn& replay,
+                  uint64_t* frames_replayed, Status* callback_status) {
+  size_t valid_end = start;
+  while (valid_end < data.size()) {
+    ByteReader reader(data.subspan(valid_end));
+    const size_t frame_start_remaining = reader.remaining();
+    const Result<uint8_t> type = reader.U8();
+    if (!type.ok()) break;
+    const Result<uint64_t> len = reader.Varint();
+    if (!len.ok() || *len > kMaxPayloadBytes) break;
+    const Result<std::span<const uint8_t>> payload = reader.Bytes(*len);
+    if (!payload.ok()) break;
+    const Result<uint32_t> stored_crc = reader.Fixed32();
+    if (!stored_crc.ok()) break;
+    // The checksum covers everything before it: type, length, payload.
+    const size_t covered = frame_start_remaining - reader.remaining() - 4;
+    const uint32_t computed =
+        Crc32c(data.data() + valid_end, covered);
+    if (computed != *stored_crc) break;
+    if (replay) {
+      const Status status = replay(*type, *payload);
+      if (!status.ok()) {
+        *callback_status = status;
+        return valid_end;
+      }
+    }
+    ++*frames_replayed;
+    valid_end += covered + 4;
+  }
+  return valid_end;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, const ReplayFn& replay, WalRecoveryInfo* info) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return IoError("cannot open WAL", path);
+
+  // Read the whole file: audit logs are small (annotation records plus
+  // periodic snapshots), and whole-file recovery keeps the scan simple and
+  // the torn-tail decision exact.
+  std::vector<uint8_t> data;
+  {
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return IoError("cannot stat WAL", path);
+    }
+    data.resize(static_cast<size_t>(st.st_size));
+    size_t read_so_far = 0;
+    while (read_so_far < data.size()) {
+      const ssize_t n = ::pread(fd, data.data() + read_so_far,
+                                data.size() - read_so_far,
+                                static_cast<off_t>(read_so_far));
+      if (n < 0) {
+        ::close(fd);
+        return IoError("cannot read WAL", path);
+      }
+      if (n == 0) break;  // Raced truncation; treat the shortfall as tail.
+      read_so_far += static_cast<size_t>(n);
+    }
+    data.resize(read_so_far);
+  }
+
+  WalRecoveryInfo recovery;
+  size_t valid_end = 0;
+  if (data.empty()) {
+    // Fresh log: stamp the magic.
+    if (::pwrite(fd, kMagic, sizeof(kMagic), 0) !=
+        static_cast<ssize_t>(sizeof(kMagic))) {
+      ::close(fd);
+      return IoError("cannot initialize WAL", path);
+    }
+    valid_end = sizeof(kMagic);
+  } else if (data.size() < sizeof(kMagic) ||
+             std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    ::close(fd);
+    return Status::IoError("'" + path +
+                           "' is not a kgacc WAL (bad or truncated magic)");
+  } else {
+    Status callback_status;
+    valid_end = ScanFrames({data.data(), data.size()}, sizeof(kMagic), replay,
+                           &recovery.frames_replayed, &callback_status);
+    if (!callback_status.ok()) {
+      ::close(fd);
+      return callback_status;
+    }
+    if (valid_end < data.size()) {
+      recovery.truncated_tail = true;
+      recovery.bytes_discarded = data.size() - valid_end;
+      if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+        ::close(fd);
+        return IoError("cannot truncate torn WAL tail", path);
+      }
+    }
+  }
+  recovery.bytes_kept = valid_end;
+  if (info != nullptr) *info = recovery;
+
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return IoError("cannot seek WAL", path);
+  }
+  std::FILE* file = ::fdopen(fd, "r+b");
+  if (file == nullptr) {
+    ::close(fd);
+    return IoError("cannot buffer WAL", path);
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return IoError("cannot seek WAL", path);
+  }
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, file));
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WriteAheadLog::Append(uint8_t type, std::span<const uint8_t> payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("WAL frame payload exceeds 1 GiB");
+  }
+  // Assemble the whole frame first so a partial write can only tear the
+  // file at a frame boundary the CRC scan detects, never interleave.
+  ByteWriter frame;
+  frame.PutU8(type);
+  frame.PutVarint(payload.size());
+  frame.PutBytes(payload.data(), payload.size());
+  frame.PutFixed32(Crc32c(frame.bytes().data(), frame.size()));
+  if (std::fwrite(frame.bytes().data(), 1, frame.size(), file_) !=
+      frame.size()) {
+    return IoError("short write to WAL", path_);
+  }
+  ++frames_appended_;
+  return Flush();
+}
+
+Status WriteAheadLog::Flush() {
+  if (std::fflush(file_) != 0) return IoError("cannot flush WAL", path_);
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  KGACC_RETURN_IF_ERROR(Flush());
+  if (::fsync(::fileno(file_)) != 0) return IoError("cannot fsync WAL", path_);
+  return Status::OK();
+}
+
+}  // namespace kgacc

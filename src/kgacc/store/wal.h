@@ -1,0 +1,89 @@
+#ifndef KGACC_STORE_WAL_H_
+#define KGACC_STORE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "kgacc/util/status.h"
+
+/// \file wal.h
+/// Append-only write-ahead log of typed, CRC-framed records — the durable
+/// substrate of the annotation store (the `SimpleKvStore`-style WAL +
+/// snapshot pattern). One file holds a magic header followed by frames:
+///
+///   [type u8][payload_len varint][payload bytes][crc32c fixed32]
+///
+/// where the checksum covers the type byte, the length prefix, and the
+/// payload, so a flipped bit anywhere in a frame is detected. Appends are
+/// flushed frame by frame; a crash can therefore tear at most the frame
+/// being written. `Open` replays every valid frame through a caller
+/// callback, then *physically truncates* a torn or corrupt tail so the next
+/// append starts at a clean frame boundary — everything before the first
+/// bad byte is kept, everything after is discarded (standard WAL recovery:
+/// a corrupt frame severs the chain, later frames are unreachable).
+
+namespace kgacc {
+
+/// What `WriteAheadLog::Open` found and did during recovery.
+struct WalRecoveryInfo {
+  /// Valid frames replayed to the callback.
+  uint64_t frames_replayed = 0;
+  /// Bytes of valid log kept (header + intact frames).
+  uint64_t bytes_kept = 0;
+  /// Torn/corrupt tail bytes discarded (0 for a clean log).
+  uint64_t bytes_discarded = 0;
+  /// True when a torn or corrupt tail was truncated away.
+  bool truncated_tail = false;
+};
+
+/// An append-only typed-record log bound to one file. Not thread-safe: one
+/// writer at a time (the evaluation session driving an audit), matching the
+/// single-owner discipline of the store layer.
+class WriteAheadLog {
+ public:
+  /// Replay callback: one call per valid frame, in log order. The payload
+  /// span is only valid for the duration of the call. A non-OK return
+  /// aborts the open (the log file is left untouched).
+  using ReplayFn =
+      std::function<Status(uint8_t type, std::span<const uint8_t> payload)>;
+
+  /// Opens (creating if absent) the log at `path`, replays every intact
+  /// frame through `replay`, truncates any torn/corrupt tail, and positions
+  /// for appending. `info`, when given, receives the recovery accounting.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, const ReplayFn& replay,
+      WalRecoveryInfo* info = nullptr);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one frame and flushes it to the operating system (a crash of
+  /// this process can no longer lose it; media durability needs `Sync`).
+  Status Append(uint8_t type, std::span<const uint8_t> payload);
+
+  /// Flushes the stdio buffer to the OS.
+  Status Flush();
+
+  /// Flush + fsync: the frame survives power loss, not just a process kill.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+  uint64_t frames_appended() const { return frames_appended_; }
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t frames_appended_ = 0;
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_STORE_WAL_H_

@@ -1,0 +1,38 @@
+#include "kgacc/util/codec.h"
+
+#include <array>
+
+namespace kgacc {
+
+namespace {
+
+/// Byte-at-a-time CRC32C table for the reflected Castagnoli polynomial.
+/// Built once at first use; 1 KB, shared process-wide.
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const std::array<uint32_t, 256>& table = Crc32cTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,180 @@
+#ifndef KGACC_UTIL_CODEC_H_
+#define KGACC_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kgacc/util/status.h"
+
+/// \file codec.h
+/// Binary serialization primitives for the durable-store layer: LEB128
+/// varints, zigzag signed encoding, fixed-width little-endian words, and
+/// CRC32C (Castagnoli) checksums. `ByteWriter` appends to a growable
+/// buffer; `ByteReader` consumes a read-only span with bounds checking —
+/// every read returns a `Result`, so a truncated or malformed record
+/// surfaces as a status instead of undefined behavior.
+///
+/// Doubles travel as their IEEE-754 bit pattern (fixed 64-bit words), so a
+/// round trip is bit-exact — the property the checkpoint/resume machinery
+/// rests on: a restored session must replay the identical floating-point
+/// path, not one that agrees to a few ulps.
+
+namespace kgacc {
+
+/// CRC32C (Castagnoli polynomial, reflected 0x82F63B78) over `n` bytes,
+/// chainable through `seed` (pass a previous call's return value to extend
+/// the checksum across fragments). The WAL frames every record with it.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+/// Append-only serialization buffer.
+class ByteWriter {
+ public:
+  void Clear() { buf_.clear(); }
+  bool empty() const { return buf_.empty(); }
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::span<const uint8_t> span() const { return {buf_.data(), buf_.size()}; }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutBool(bool v) { buf_.push_back(v ? 1 : 0); }
+
+  /// Fixed-width little-endian words.
+  void PutFixed32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void PutFixed64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+
+  /// IEEE-754 bit pattern as a fixed 64-bit word (bit-exact round trip).
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed64(bits);
+  }
+
+  /// Unsigned LEB128 (7 bits per byte, high bit = continuation).
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(uint8_t(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(uint8_t(v));
+  }
+
+  /// Zigzag-mapped signed varint (small magnitudes stay small either sign).
+  void PutZigzag(int64_t v) {
+    PutVarint((uint64_t(v) << 1) ^ uint64_t(v >> 63));
+  }
+
+  void PutBytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  /// Varint length prefix followed by the raw bytes.
+  void PutLengthPrefixed(std::span<const uint8_t> data) {
+    PutVarint(data.size());
+    PutBytes(data.data(), data.size());
+  }
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    PutBytes(s.data(), s.size());
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked consumer over a serialized byte span. The span is not
+/// owned; it must outlive the reader (and any span returned by `Bytes`).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> U8() {
+    if (remaining() < 1) return Truncated("u8");
+    return data_[pos_++];
+  }
+  Result<bool> Bool() {
+    KGACC_ASSIGN_OR_RETURN(const uint8_t v, U8());
+    return v != 0;
+  }
+  Result<uint32_t> Fixed32() {
+    if (remaining() < 4) return Truncated("fixed32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> Fixed64() {
+    if (remaining() < 8) return Truncated("fixed64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  Result<double> Double() {
+    KGACC_ASSIGN_OR_RETURN(const uint64_t bits, Fixed64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<uint64_t> Varint() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) return Truncated("varint");
+      const uint8_t byte = data_[pos_++];
+      v |= uint64_t(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        // Reject non-canonical overlong encodings of the final group.
+        if (shift == 63 && byte > 1) {
+          return Status::OutOfRange("codec: varint overflows 64 bits");
+        }
+        return v;
+      }
+    }
+    return Status::OutOfRange("codec: varint longer than 10 bytes");
+  }
+  Result<int64_t> Zigzag() {
+    KGACC_ASSIGN_OR_RETURN(const uint64_t v, Varint());
+    return int64_t(v >> 1) ^ -int64_t(v & 1);
+  }
+  /// A view of the next `n` raw bytes (no copy).
+  Result<std::span<const uint8_t>> Bytes(size_t n) {
+    if (remaining() < n) return Truncated("bytes");
+    const std::span<const uint8_t> out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  Result<std::span<const uint8_t>> LengthPrefixed() {
+    KGACC_ASSIGN_OR_RETURN(const uint64_t n, Varint());
+    if (n > remaining()) return Truncated("length-prefixed bytes");
+    return Bytes(size_t(n));
+  }
+  Result<std::string> String() {
+    KGACC_ASSIGN_OR_RETURN(const std::span<const uint8_t> raw,
+                           LengthPrefixed());
+    return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+  }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::OutOfRange(std::string("codec: truncated input reading ") +
+                              what);
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace kgacc
+
+#endif  // KGACC_UTIL_CODEC_H_

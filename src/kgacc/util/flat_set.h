@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "kgacc/util/codec.h"
 #include "kgacc/util/random.h"
 
 /// \file flat_set.h
@@ -112,6 +113,26 @@ class FlatSet64 {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Visits every member exactly once, in unspecified order (table order,
+  /// which depends on the insertion history). Members still waiting in a
+  /// retired mid-migration table are visited too — a key lives in exactly
+  /// one of the two tables, and unmigrated keys sit at stored buckets the
+  /// migration cursor has not reached yet. Used by the snapshot layer,
+  /// which re-inserts the keys on restore (membership, not layout, is the
+  /// serialized state).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_zero_) fn(uint64_t{0});
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (slots_[i] != 0) fn(slots_[i]);
+    }
+    if (pending_ > 0) {
+      for (size_t j = cursor_; j < old_cap_; ++j) {
+        if (old_[j] != 0) fn(old_[j]);
+      }
+    }
+  }
 
   /// Removes every member; keeps the current capacity. This is a deliberate
   /// bulk operation (one memset of the active table) — it runs between
@@ -332,6 +353,30 @@ class FlatSet64 {
   size_t size_ = 0;  // Members, including the zero key.
   bool has_zero_ = false;
 };
+
+/// Serializes the set's *membership* (count + raw keys); the table layout
+/// is not part of the state — `LoadFlatSet64` rebuilds it by re-insertion.
+/// Shared by every snapshotting owner of a FlatSet64 (distinct-triple
+/// tracking, SRS without-replacement bookkeeping, ...).
+inline void SaveFlatSet64(const FlatSet64& set, ByteWriter* w) {
+  w->PutVarint(set.size());
+  set.ForEach([w](uint64_t key) { w->PutFixed64(key); });
+}
+
+inline Status LoadFlatSet64(ByteReader* r, FlatSet64* set) {
+  KGACC_ASSIGN_OR_RETURN(const uint64_t count, r->Varint());
+  set->clear();
+  set->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    KGACC_ASSIGN_OR_RETURN(const uint64_t key, r->Fixed64());
+    set->insert(key);
+  }
+  if (set->size() != count) {
+    return Status::InvalidArgument(
+        "flat-set snapshot held duplicate keys (corrupt payload)");
+  }
+  return Status::OK();
+}
 
 }  // namespace kgacc
 

@@ -1,6 +1,7 @@
 #include "kgacc/eval/service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <vector>
 
@@ -286,6 +287,125 @@ TEST(SamplerCloneTest, ClonesAreIndependentAndEquivalent) {
       EXPECT_TRUE(std::equal(oa.begin(), oa.end(), ob.begin()));
     }
   }
+}
+
+TEST(EvaluationServiceTest, HpdStatsAggregateAcrossWorkers) {
+  // The per-thread HPD counters must fold into the batch stats — and,
+  // being pure algorithm properties, agree exactly across thread counts
+  // and with a pinned-vs-unpinned cross-check.
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  TwcsSampler twcs(kg, TwcsConfig{});
+  const auto jobs = MixedJobs(srs, twcs, annotator);
+
+  EvaluationService one(EvaluationService::Options{.num_threads = 1});
+  const auto baseline = one.RunBatch(jobs);
+  // The mixed workload includes aHPD jobs, so solves must be visible.
+  EXPECT_GT(baseline.stats.hpd.total_solves(), 0u);
+  EXPECT_GT(baseline.stats.hpd.total_beta_evals(), 0u);
+
+  EvaluationService four(EvaluationService::Options{.num_threads = 4});
+  const auto parallel = four.RunBatch(jobs);
+  EXPECT_EQ(parallel.stats.hpd.total_solves(),
+            baseline.stats.hpd.total_solves());
+  EXPECT_EQ(parallel.stats.hpd.total_beta_evals(),
+            baseline.stats.hpd.total_beta_evals());
+  EXPECT_EQ(parallel.stats.hpd.warm_cache_hits,
+            baseline.stats.hpd.warm_cache_hits);
+  EXPECT_EQ(parallel.stats.hpd.newton.solves,
+            baseline.stats.hpd.newton.solves);
+
+  EvaluationService unpinned(EvaluationService::Options{
+      .num_threads = 4, .reuse_contexts = false});
+  const auto fresh = unpinned.RunBatch(jobs);
+  EXPECT_EQ(fresh.stats.hpd.total_solves(),
+            baseline.stats.hpd.total_solves());
+  EXPECT_EQ(fresh.stats.hpd.total_beta_evals(),
+            baseline.stats.hpd.total_beta_evals());
+}
+
+TEST(EvaluationServiceTest, RegisteredPrototypesKeepClonesAcrossBatches) {
+  const auto kg = MakeKg(0.85, 500);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  // One worker, one group: exactly one context ever clones.
+  EvaluationService service(EvaluationService::Options{
+      .num_threads = 1, .groups_per_thread = 1});
+  std::vector<EvaluationJob> jobs(4);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].sampler = &srs;
+    jobs[i].annotator = &annotator;
+    jobs[i].seed = EvaluationService::DeriveJobSeed(9, i);
+  }
+
+  // Unregistered: the clone cache is dropped at the end of every batch,
+  // so each batch mints a fresh clone.
+  service.RunBatch(jobs);
+  EXPECT_EQ(service.sampler_clones_created(), 1u);
+  service.RunBatch(jobs);
+  EXPECT_EQ(service.sampler_clones_created(), 2u);
+
+  // Registered: the clone survives, later batches mint nothing.
+  service.RegisterPrototype(&srs);
+  service.RunBatch(jobs);
+  EXPECT_EQ(service.sampler_clones_created(), 3u);
+  service.RunBatch(jobs);
+  service.RunBatch(jobs);
+  EXPECT_EQ(service.sampler_clones_created(), 3u);
+
+  // Results are unaffected by cache reuse (sessions Reset their sampler).
+  const auto with_cache = service.RunBatch(jobs);
+  service.UnregisterPrototype(&srs);
+  const auto without_cache = service.RunBatch(jobs);
+  ASSERT_EQ(with_cache.outcomes.size(), without_cache.outcomes.size());
+  for (size_t i = 0; i < with_cache.outcomes.size(); ++i) {
+    ASSERT_TRUE(with_cache.outcomes[i].status.ok());
+    ASSERT_TRUE(without_cache.outcomes[i].status.ok());
+    ExpectSameResult(with_cache.outcomes[i].result,
+                     without_cache.outcomes[i].result);
+  }
+  // Unregistering dropped the cached clone: the next batch re-clones.
+  const uint64_t after_unregister = service.sampler_clones_created();
+  service.RunBatch(jobs);
+  EXPECT_EQ(service.sampler_clones_created(), after_unregister + 1);
+}
+
+TEST(EvaluationServiceTest, OnStepHookObservesEveryIterationAndCanAbort) {
+  const auto kg = MakeKg(0.85, 500);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  EvaluationService service(EvaluationService::Options{.num_threads = 2});
+
+  std::atomic<int> observed{0};
+  EvaluationJob counting;
+  counting.sampler = &srs;
+  counting.annotator = &annotator;
+  counting.seed = 4;
+  counting.on_step = [&observed](const EvaluationSession& session) {
+    ++observed;
+    EXPECT_GT(session.iterations(), 0);
+    return Status::OK();
+  };
+  EvaluationJob aborting = counting;
+  aborting.on_step = [](const EvaluationSession& session) {
+    return session.iterations() >= 2
+               ? Status::IoError("checkpoint sink full")
+               : Status::OK();
+  };
+  const auto batch = service.RunBatch({counting, aborting});
+  ASSERT_EQ(batch.outcomes.size(), 2u);
+  ASSERT_TRUE(batch.outcomes[0].status.ok());
+  EXPECT_EQ(observed.load(), batch.outcomes[0].result.iterations);
+  // The hooked job's result matches the unhooked reference bit for bit.
+  EvaluationJob plain = counting;
+  plain.on_step = nullptr;
+  const auto reference = service.RunBatch({plain});
+  ASSERT_TRUE(reference.outcomes[0].status.ok());
+  ExpectSameResult(batch.outcomes[0].result, reference.outcomes[0].result);
+  // The aborting hook fails its own job only, with its own status.
+  EXPECT_EQ(batch.outcomes[1].status.code(), StatusCode::kIoError);
+  EXPECT_EQ(batch.stats.failed, 1u);
 }
 
 }  // namespace

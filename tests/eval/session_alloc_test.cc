@@ -88,6 +88,30 @@ TEST(SessionAllocationTest, TwcsSteadyStateStepsAllocateNothing) {
       << "steady-state TWCS steps performed heap allocations";
 }
 
+TEST(SessionAllocationTest, HpdSteadyStateStepsAllocateNothing) {
+  // The zero-allocation contract now reaches past kWald into the interval
+  // layer: a warm kHpd step runs the 2x2 Newton KKT solver through its
+  // templated (non-type-erased) entry point, so the whole
+  // draw-annotate-estimate-interval cycle is silent. This is what the
+  // SolveNewtonKkt2 callable templating bought.
+  const auto kg = SmallKg();
+  OracleAnnotator annotator;
+  SrsSampler sampler(kg, SrsConfig{.batch_size = 50});
+  EvaluationConfig config = NeverConvergingConfig();
+  config.method = IntervalMethod::kHpd;
+  SessionScratch scratch;
+  EvaluationSession session(sampler, annotator, config, 23, &scratch);
+  WarmUp(session, kg);
+
+  const uint64_t before = alloc_counter::Current();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(session.Step().ok());
+  }
+  const uint64_t after = alloc_counter::Current();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state kHpd steps performed heap allocations";
+}
+
 TEST(SessionAllocationTest, ScratchReuseAcrossSessionsAllocatesNothing) {
   // A worker context running many jobs on one scratch: after the first few
   // sessions every buffer is warm, so constructing and running a whole new

@@ -3,6 +3,10 @@
 #include <cmath>
 #include <limits>
 
+// This binary's (sole) allocation-counting TU: the templated solver entry
+// point promises allocation-free solves for inlineable callables.
+#include "kgacc/util/alloc_counter.h"
+
 #include <gtest/gtest.h>
 
 namespace kgacc {
@@ -152,6 +156,53 @@ TEST(NewtonKkt2Test, RejectsMalformedInput) {
 
   // Start collapses after clamping: x0 >= x1.
   EXPECT_FALSE(SolveNewtonKkt2(QuadraticSystem(), 0.9, 0.1).ok());
+}
+
+TEST(NewtonKkt2Test, TemplatedSolveWithLambdaAllocatesNothing) {
+  // Passing a lambda hits the templated entry point: no std::function is
+  // constructed, so a solve performs zero heap allocations — the property
+  // that lets the interval layer join the session's zero-allocation
+  // steady-state contract. (A KktSystem2Fn argument still works and still
+  // type-erases; that path is covered by the tests above.)
+  const auto lambda_system = [](double x0, double x1, double* r,
+                                double* jac) {
+    r[0] = x1 - x0 - 0.5;
+    r[1] = x1 * x1 + x0 * x0 - 0.5;
+    jac[0] = -1.0;
+    jac[1] = 1.0;
+    jac[2] = 2.0 * x0;
+    jac[3] = 2.0 * x1;
+  };
+  // Warm-up solve outside the measured window.
+  ASSERT_TRUE(SolveNewtonKkt2(lambda_system, 0.1, 0.9).ok());
+  const uint64_t before = alloc_counter::Current();
+  for (int i = 0; i < 10; ++i) {
+    const auto solve = SolveNewtonKkt2(lambda_system, 0.1, 0.9);
+    ASSERT_TRUE(solve.ok());
+    ASSERT_TRUE(solve->converged);
+  }
+  EXPECT_EQ(alloc_counter::Current() - before, 0u)
+      << "templated Newton KKT solves allocated";
+}
+
+TEST(NewtonKkt2Test, TemplateAndTypeErasedPathsAgreeExactly) {
+  const auto lambda_system = [](double x0, double x1, double* r,
+                                double* jac) {
+    r[0] = x1 - x0 - 0.5;
+    r[1] = x1 * x1 + x0 * x0 - 0.5;
+    jac[0] = -1.0;
+    jac[1] = 1.0;
+    jac[2] = 2.0 * x0;
+    jac[3] = 2.0 * x1;
+  };
+  const auto direct = SolveNewtonKkt2(lambda_system, 0.1, 0.9);
+  const auto erased = SolveNewtonKkt2(KktSystem2Fn(lambda_system), 0.1, 0.9);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(erased.ok());
+  EXPECT_EQ(direct->x0, erased->x0);
+  EXPECT_EQ(direct->x1, erased->x1);
+  EXPECT_EQ(direct->iterations, erased->iterations);
+  EXPECT_EQ(direct->system_evals, erased->system_evals);
 }
 
 TEST(NewtonKkt2Test, StopNamesAreStable) {

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_step.json machine-independent metrics.
+"""Perf-regression gate over machine-independent bench metrics.
 
 Compares a freshly measured BENCH_step.json against the checked-in record
 and fails when either of two algorithmic properties regressed by more than
@@ -14,12 +14,21 @@ the allowed factor (default 2x):
   starts). A jump means solves fell back off the Newton path or the warm
   carry broke.
 
+With --service-fresh/--service-record it additionally gates the
+`service_hpd_summary` record of BENCH_service.json — the same
+evals-per-solve property, but aggregated across every worker thread of the
+parallel EvaluationService sweep. The step bench is single-threaded; a
+warm-carry or solver-path regression that only manifests under worker
+pinning (e.g. shared state resets between jobs) is only visible here.
+
 Ratios and counts, not absolute latencies: CI runners differ wildly in
-clock speed and noise, but both metrics are properties of the algorithm,
-not of the machine.
+clock speed and noise, but every gated metric is a property of the
+algorithm, not of the machine.
 
 Usage:
     check_perf_regression.py <fresh BENCH_step.json> <checked-in record>
+        [--service-fresh BENCH_service.json]
+        [--service-record BENCH_service.json]
         [--max-regression 2.0]
 
 Exit code 0 = within bounds, 1 = regression, 2 = unusable input.
@@ -89,10 +98,53 @@ def check_metric(fresh, record, key, label, max_regression, floor):
     return failed
 
 
+def load_service_summary(path):
+    """Returns the service_hpd_summary record from BENCH_service.json."""
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for record in records:
+        if record.get("bench") == "service_hpd_summary":
+            return record
+    return None
+
+
+def check_service(fresh_path, record_path, max_regression):
+    """Gates the service-level evals/solve; returns True on regression."""
+    fresh = load_service_summary(fresh_path)
+    if fresh is None or not isinstance(
+            fresh.get("hpd_beta_evals_per_solve"), (int, float)):
+        # The fresh record comes from the current bench binary: a missing
+        # summary means the aggregation broke, and a blocking gate must not
+        # pass vacuously.
+        print(f"error: no usable service_hpd_summary in {fresh_path} "
+              "(BatchResult HPD aggregation missing?)", file=sys.stderr)
+        sys.exit(2)
+    value = fresh["hpd_beta_evals_per_solve"]
+    recorded_rec = load_service_summary(record_path)
+    recorded = (recorded_rec or {}).get("hpd_beta_evals_per_solve")
+    if not isinstance(recorded, (int, float)):
+        print(f"  service beta evals/solve: fresh {value:.3f} "
+              "(no checked-in record, skipped)")
+        return False
+    budget = max(recorded, 4.0) * max_regression
+    verdict = "OK" if value <= budget else "REGRESSION"
+    print(f"  service beta evals/solve: fresh {value:.3f} vs recorded "
+          f"{recorded:.3f} (budget {budget:.3f}) {verdict}")
+    return value > budget
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly measured BENCH_step.json")
     parser.add_argument("record", help="checked-in BENCH_step.json")
+    parser.add_argument("--service-fresh",
+                        help="freshly measured BENCH_service.json")
+    parser.add_argument("--service-record",
+                        help="checked-in BENCH_service.json")
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="allowed factor between fresh and recorded "
                              "metrics (default 2.0)")
@@ -116,6 +168,9 @@ def main():
     failed |= check_metric(fresh, record, "hpd_beta_evals_per_solve",
                            "beta evals/solve", args.max_regression,
                            floor=4.0)
+    if args.service_fresh and args.service_record:
+        failed |= check_service(args.service_fresh, args.service_record,
+                                args.max_regression)
 
     if failed:
         print("\nstep-latency ratio or HPD evals-per-solve regressed >"

@@ -12,12 +12,24 @@
 // the same audit task in one parallel pass: one EvaluationService job per
 // method (cloned samplers, shared population), reports in list order.
 //
+// With `--store=PATH` the audit becomes durable: every judgment is written
+// to a write-ahead annotation log before the evaluation loop consumes it,
+// and the session checkpoints itself into the same log (every
+// `--checkpoint-every` steps). A killed audit restarted with `--resume`
+// continues from the last checkpoint — the steps since replay their labels
+// from the store at zero oracle/human cost — and lands on the report the
+// uninterrupted run would have produced, byte for byte. A later audit of
+// the same KG pointed at the same store reuses every overlapping label.
+//
 // Examples:
 //   kgacc_audit --kg=facts.tsv
 //   kgacc_audit --kg=facts.tsv --design=twcs --method=ahpd --alpha=0.01
 //   kgacc_audit --kg=facts.tsv --methods=ahpd,wilson,cp --threads=4
 //   kgacc_audit --kg=facts.tsv --annotator=human --json
+//   kgacc_audit --kg=facts.tsv --store=audit.wal            # durable
+//   kgacc_audit --kg=facts.tsv --store=audit.wal --resume   # after a crash
 
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -33,7 +45,8 @@ using namespace kgacc;
 ArgParser BuildParser() {
   ArgParser parser;
   parser.AddFlag("kg", "path to the labeled TSV knowledge graph (required)")
-      .AddFlag("design", "sampling design: srs|twcs|ssrs|sys (default srs)")
+      .AddFlag("design",
+               "sampling design: srs|twcs|wcs|rcs|ssrs|sys (default srs)")
       .AddFlag("method",
                "interval method: ahpd|hpd|et|wilson|wald|cp (default ahpd)")
       .AddFlag("methods",
@@ -55,6 +68,18 @@ ArgParser BuildParser() {
       .AddFlag("plan",
                "forecast the audit instead of running it (needs --mu-guess)")
       .AddFlag("mu-guess", "anticipated accuracy for --plan (default 0.8)")
+      .AddFlag("store",
+               "write-ahead annotation store path; labels are durable and "
+               "reused across audits of this KG")
+      .AddFlag("resume",
+               "resume from the store's last checkpoint for this audit id")
+      .AddFlag("audit-id",
+               "audit identity inside the store (default: the seed)")
+      .AddFlag("checkpoint-every",
+               "session snapshot cadence in steps (default 1)")
+      .AddFlag("crash-after-steps",
+               "SIGKILL the process after N steps of this run (crash-"
+               "recovery testing)")
       .AddFlag("help", "show this help");
   return parser;
 }
@@ -219,6 +244,10 @@ int RunMain(int argc, char** argv) {
   } else if (design == "twcs") {
     sampler = std::make_unique<TwcsSampler>(
         *kg, TwcsConfig{.second_stage_size = static_cast<int>(*m)});
+  } else if (design == "wcs") {
+    sampler = std::make_unique<WcsSampler>(*kg, ClusterConfig{});
+  } else if (design == "rcs") {
+    sampler = std::make_unique<RcsSampler>(*kg, ClusterConfig{});
   } else if (design == "ssrs") {
     sampler = std::make_unique<StratifiedSampler>(*kg, StratifiedConfig{});
   } else if (design == "sys") {
@@ -246,6 +275,13 @@ int RunMain(int argc, char** argv) {
   if (parsed->Has("methods")) {
     // Multi-method comparison: one EvaluationService job per method, all
     // executed in a single parallel pass over cloned samplers.
+    if (parsed->Has("store")) {
+      std::fprintf(stderr, "--store is single-audit (the annotation store "
+                   "is not shared between concurrent jobs); drop --methods "
+                   "or run the methods sequentially against the same "
+                   "store\n");
+      return 2;
+    }
     if (annotator_name != "oracle") {
       std::fprintf(stderr, "--methods requires --annotator=oracle (human "
                    "judgments cannot fan out in parallel)\n");
@@ -309,6 +345,101 @@ int RunMain(int argc, char** argv) {
                   batch.stats.triples_per_second);
     }
     return all_converged ? 0 : 3;
+  }
+
+  if (parsed->Has("store")) {
+    // Durable audit: labels flow through the write-ahead annotation store
+    // and the session checkpoints itself into the same log.
+    const auto audit_id = parsed->GetInt("audit-id", *seed);
+    const auto every = parsed->GetInt("checkpoint-every", 1);
+    const auto crash_after = parsed->GetInt("crash-after-steps", 0);
+    const auto resume = parsed->GetBool("resume", false);
+    for (const Status& s : {audit_id.status(), every.status(),
+                            crash_after.status(), resume.status()}) {
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 2;
+      }
+    }
+    auto store = AnnotationStore::Open(parsed->GetString("store"));
+    if (!store.ok()) {
+      std::fprintf(stderr, "cannot open annotation store: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    if ((*store)->stats().recovery.truncated_tail) {
+      std::fprintf(stderr,
+                   "[store] discarded %llu torn/corrupt tail bytes; "
+                   "recovered to the last consistent frame\n",
+                   static_cast<unsigned long long>(
+                       (*store)->stats().recovery.bytes_discarded));
+    }
+    StoredAnnotator stored(annotator.get(), store->get(),
+                           static_cast<uint64_t>(*audit_id));
+    EvaluationSession session(*sampler, stored, config,
+                              static_cast<uint64_t>(*seed));
+    CheckpointManager manager(
+        store->get(), static_cast<uint64_t>(*audit_id),
+        CheckpointOptions{.every_steps = static_cast<uint64_t>(*every)});
+    if (*resume && manager.CanResume()) {
+      const Status restored = manager.Resume(&session);
+      if (!restored.ok()) {
+        std::fprintf(stderr, "cannot resume: %s\n",
+                     restored.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "[store] resumed at step %d (%llu labels on "
+                   "file)\n", session.iterations(),
+                   static_cast<unsigned long long>((*store)->num_labeled()));
+    }
+    uint64_t steps_this_run = 0;
+    while (!session.done()) {
+      const auto outcome = session.Step();
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "evaluation failed: %s\n",
+                     outcome.status().ToString().c_str());
+        return 1;
+      }
+      ++steps_this_run;
+      // Crash injection for recovery testing: die *between* the step and
+      // its checkpoint — the hard case, where the tail step's labels are
+      // already on file but its snapshot is not.
+      if (*crash_after > 0 &&
+          steps_this_run >= static_cast<uint64_t>(*crash_after)) {
+        std::raise(SIGKILL);
+      }
+      const Status checkpointed = manager.OnStep(session);
+      if (!checkpointed.ok()) {
+        std::fprintf(stderr, "checkpoint failed: %s\n",
+                     checkpointed.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!stored.status().ok()) {
+      std::fprintf(stderr, "annotation store append failed: %s\n",
+                   stored.status().ToString().c_str());
+      return 1;
+    }
+    const auto result = session.Finish();
+    if (!result.ok()) {
+      std::fprintf(stderr, "evaluation failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (*json) {
+      std::printf("%s\n", RenderJsonReport(context, config, *result).c_str());
+    } else {
+      std::printf("%s", RenderTextReport(context, config, *result).c_str());
+      std::printf("[store] %s: %llu labels on file, %llu served from store, "
+                  "%llu new oracle judgments, %llu checkpoints this run\n",
+                  (*store)->path().c_str(),
+                  static_cast<unsigned long long>((*store)->num_labeled()),
+                  static_cast<unsigned long long>(stored.store_hits()),
+                  static_cast<unsigned long long>(stored.oracle_calls()),
+                  static_cast<unsigned long long>(
+                      manager.checkpoints_written()));
+    }
+    return result->converged ? 0 : 3;
   }
 
   const auto result = RunEvaluation(*sampler, *annotator, config,
