@@ -36,6 +36,10 @@ bool NoisyAnnotator::Annotate(const KgView& kg, const TripleRef& ref,
   return rng->Bernoulli(error_rate_) ? !truth : truth;
 }
 
+void NoisyAnnotator::BurnRngDraws(Rng* rng) {
+  (void)rng->Bernoulli(error_rate_);
+}
+
 MajorityVoteAnnotator::MajorityVoteAnnotator(int num_annotators,
                                              double per_annotator_error_rate)
     : num_annotators_(num_annotators), worker_(per_annotator_error_rate) {
@@ -49,6 +53,10 @@ bool MajorityVoteAnnotator::Annotate(const KgView& kg, const TripleRef& ref,
     votes_correct += worker_.Annotate(kg, ref, rng) ? 1 : 0;
   }
   return votes_correct * 2 > num_annotators_;
+}
+
+void MajorityVoteAnnotator::BurnRngDraws(Rng* rng) {
+  for (int i = 0; i < num_annotators_; ++i) worker_.BurnRngDraws(rng);
 }
 
 InteractiveAnnotator::InteractiveAnnotator(std::istream* in,

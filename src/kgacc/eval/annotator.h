@@ -46,6 +46,15 @@ class Annotator {
   /// annotator, k for a k-way majority vote). Reported by the cost model
   /// extensions.
   virtual int JudgmentsPerTriple() const { return 1; }
+
+  /// Consumes exactly the Rng draws one `Annotate` call would, judging
+  /// nothing. `StoredAnnotator`'s opt-in `burn_rng_on_hits` calls this on
+  /// store hits so a store-backed run of a *stochastic* simulation
+  /// annotator follows a bitwise-identical random path to a bare run. The
+  /// default is correct for every annotator that never touches the Rng
+  /// (Oracle, Interactive); stochastic annotators must override it in
+  /// lockstep with `Annotate`.
+  virtual void BurnRngDraws(Rng* rng) { (void)rng; }
 };
 
 /// Reads the ground-truth label — a perfect annotator.
@@ -65,6 +74,8 @@ class NoisyAnnotator final : public Annotator {
   explicit NoisyAnnotator(double error_rate);
 
   bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override;
+  /// One Bernoulli (one raw word), matching Annotate's single error flip.
+  void BurnRngDraws(Rng* rng) override;
 
   double error_rate() const { return error_rate_; }
 
@@ -81,6 +92,8 @@ class MajorityVoteAnnotator final : public Annotator {
 
   bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override;
   int JudgmentsPerTriple() const override { return num_annotators_; }
+  /// One draw per voter — Annotate always polls the full panel.
+  void BurnRngDraws(Rng* rng) override;
 
  private:
   int num_annotators_;

@@ -72,6 +72,7 @@ EvaluationService::EvaluationService() : EvaluationService(Options{}) {}
 EvaluationService::EvaluationService(const Options& options)
     : options_(options), pool_(ResolveThreads(options.num_threads)) {
   options_.groups_per_thread = std::max(options_.groups_per_thread, 1);
+  options_.min_jobs_per_group = std::max(options_.min_jobs_per_group, 1);
 }
 
 EvaluationService::~EvaluationService() = default;
@@ -166,54 +167,108 @@ void EvaluationService::RunJob(const EvaluationJob& job,
   }
 }
 
+namespace {
+
+/// Per-group output slot for everything one group task writes beyond the
+/// job outcomes, padded to a cache line so two workers finishing adjacent
+/// groups never ping-pong a line between their stores (the false-sharing
+/// fix for the batch-stats accumulators; the per-worker HPD counters are
+/// already thread_local and the pool's shard counters carry their own
+/// padding).
+struct alignas(64) GroupSlot {
+  HpdSolveStats hpd;
+  double run_seconds = 0.0;
+};
+
+}  // namespace
+
 EvaluationBatchResult EvaluationService::RunBatch(
     const std::vector<EvaluationJob>& jobs) {
   EvaluationBatchResult batch;
   batch.outcomes.resize(jobs.size());
+  ServiceBatchStats& stats = batch.stats;
+  if (!spawn_charged_) {
+    // The pool is persistent across batches; spin-up is paid exactly once,
+    // at construction, and charged to the first batch's split so short
+    // cells cannot hide it inside throughput.
+    stats.spawn_seconds = pool_.spawn_seconds();
+    spawn_charged_ = true;
+  }
 
   const auto start = std::chrono::steady_clock::now();
-  // One HPD-counter slot per pool task: tasks run one at a time per worker
-  // thread, so resetting the thread-local counters at task start and
-  // snapshotting at task end yields exact per-task deltas, summed into the
-  // batch stats below regardless of how tasks landed on threads.
-  std::vector<HpdSolveStats> task_hpd;
+  // One slot per pool task: a task runs start-to-finish on one thread, so
+  // resetting the thread-local HPD counters at task start and snapshotting
+  // at task end yields exact per-task deltas, summed into the batch stats
+  // below regardless of which worker the task landed on.
+  std::vector<GroupSlot> slots;
+  const uint64_t stolen_before = pool_.stolen_tasks();
   if (options_.reuse_contexts && !jobs.empty()) {
-    // Deterministic pinning: job i belongs to group i % G. Each group is
-    // one pool task that walks its jobs in submission order on one warm
-    // context; with G > workers, a thread finishing early pulls the next
-    // whole group off the queue (stealing across pinning groups only).
-    const size_t groups = std::min(
-        jobs.size(), static_cast<size_t>(pool_.num_threads()) *
-                         static_cast<size_t>(options_.groups_per_thread));
+    // Deterministic pinning: job i belongs to group i % G, where G caps at
+    // threads x groups_per_thread and floors at min_jobs_per_group jobs
+    // per group. Each group is one whole task handed to its home worker's
+    // ring (group g -> worker g % threads); a worker finishing its ring
+    // early steals a complete group from a neighbour — stealing never
+    // splits a group, so every group's jobs run sequentially on a single
+    // thread against one warm context.
+    const size_t max_groups = static_cast<size_t>(pool_.num_threads()) *
+                              static_cast<size_t>(options_.groups_per_thread);
+    const size_t floored_groups = std::max<size_t>(
+        jobs.size() / static_cast<size_t>(options_.min_jobs_per_group), 1);
+    const size_t groups = std::min({jobs.size(), max_groups, floored_groups});
     while (contexts_.size() < groups) {
       contexts_.push_back(std::make_unique<WorkerContext>());
     }
-    task_hpd.resize(groups);
-    ParallelFor(pool_, groups, [&](size_t g) {
-      ResetThreadHpdStats();
-      WorkerContext& context = *contexts_[g];
-      for (size_t i = g; i < jobs.size(); i += groups) {
-        RunJob(jobs[i], &context, &batch.outcomes[i]);
-      }
-      context.ReleaseSamplers(registered_prototypes_);
-      task_hpd[g] = ThreadHpdStatsSnapshot();
-    });
+    slots.resize(groups);
+    const int num_threads = pool_.num_threads();
+    for (size_t g = 0; g < groups; ++g) {
+      pool_.SubmitTo(static_cast<int>(g % num_threads), [&, g] {
+        const auto task_start = std::chrono::steady_clock::now();
+        ResetThreadHpdStats();
+        WorkerContext& context = *contexts_[g];
+        for (size_t i = g; i < jobs.size(); i += groups) {
+          RunJob(jobs[i], &context, &batch.outcomes[i]);
+        }
+        context.ReleaseSamplers(registered_prototypes_);
+        GroupSlot& slot = slots[g];
+        slot.hpd = ThreadHpdStatsSnapshot();
+        slot.run_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - task_start)
+                               .count();
+      });
+    }
+    const auto submitted = std::chrono::steady_clock::now();
+    pool_.Wait();
+    const auto finished = std::chrono::steady_clock::now();
+    stats.submit_seconds =
+        std::chrono::duration<double>(submitted - start).count();
+    stats.barrier_seconds =
+        std::chrono::duration<double>(finished - submitted).count();
   } else {
-    task_hpd.resize(jobs.size());
+    slots.resize(jobs.size());
     ParallelFor(pool_, jobs.size(), [&](size_t i) {
+      const auto task_start = std::chrono::steady_clock::now();
       ResetThreadHpdStats();
       RunJob(jobs[i], nullptr, &batch.outcomes[i]);
-      task_hpd[i] = ThreadHpdStatsSnapshot();
+      GroupSlot& slot = slots[i];
+      slot.hpd = ThreadHpdStatsSnapshot();
+      slot.run_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - task_start)
+                             .count();
     });
   }
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
 
-  ServiceBatchStats& stats = batch.stats;
   stats.num_threads = pool_.num_threads();
   stats.jobs = jobs.size();
+  stats.groups = slots.size();
+  stats.stolen_groups =
+      static_cast<size_t>(pool_.stolen_tasks() - stolen_before);
   stats.wall_seconds = elapsed.count();
-  for (const HpdSolveStats& task : task_hpd) stats.hpd += task;
+  for (const GroupSlot& slot : slots) {
+    stats.hpd += slot.hpd;
+    stats.run_seconds += slot.run_seconds;
+  }
   for (const EvaluationJobOutcome& out : batch.outcomes) {
     if (!out.status.ok()) {
       ++stats.failed;

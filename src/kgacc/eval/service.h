@@ -22,14 +22,18 @@
 /// scenario in the experiment harness is one such batch; the service turns
 /// it into a single parallel pass.
 ///
-/// Execution model: jobs are pinned deterministically to *execution
-/// contexts* (`job_index % groups`), each context owning a cache of cloned
-/// samplers keyed by job prototype plus reusable session scratch (batch
-/// buffers and annotated-sample storage). A replication run submitting
-/// thousands of same-design jobs therefore pays the sampler clone and the
-/// distinct-set table growth once per context, not once per job; contexts
-/// outnumber workers so idle threads steal whole pinning groups from the
-/// queue. `Options::reuse_contexts = false` selects the legacy
+/// Execution model: shard-per-core. Jobs are pinned deterministically to
+/// *execution contexts* (`job_index % groups`), each context owning a cache
+/// of cloned samplers keyed by job prototype plus reusable session scratch
+/// (batch buffers and annotated-sample storage). At submit time every group
+/// is handed — whole — to its home worker's private job ring
+/// (`group % num_threads` via `ThreadPool::SubmitTo`), so the steady state
+/// runs with no shared mutable state: each worker drains its own ring and
+/// writes job outcomes to disjoint slots. Work-stealing exists only at the
+/// group granularity — a worker that runs dry takes a complete group off a
+/// neighbour's ring, never individual jobs — which keeps per-context
+/// caches hot and a single-group batch on a single thread for its whole
+/// life. `Options::reuse_contexts = false` selects the legacy
 /// fresh-state-per-job path (same results, used as a cross-check).
 ///
 /// Determinism: each job's stochastic path is fully determined by its own
@@ -93,6 +97,26 @@ struct ServiceBatchStats {
   /// Successful audits and annotated triples per wall-clock second.
   double audits_per_second = 0.0;
   double triples_per_second = 0.0;
+  /// Timing split of the batch, the diagnosis the thread-scaling work
+  /// started from (short cells were dominated by everything *but* run):
+  /// * `spawn_seconds` — worker spin-up attributed to this batch. Non-zero
+  ///   only for the first batch after construction; the pool is persistent,
+  ///   so every later batch reports 0 here.
+  /// * `submit_seconds` — main-thread time handing whole groups to their
+  ///   home workers' rings.
+  /// * `run_seconds` — group task execution time summed across workers
+  ///   (aggregate CPU, so > wall_seconds when scaling works).
+  /// * `barrier_seconds` — main-thread time blocked between the last
+  ///   handoff and batch completion.
+  double spawn_seconds = 0.0;
+  double submit_seconds = 0.0;
+  double run_seconds = 0.0;
+  double barrier_seconds = 0.0;
+  /// Pinning groups the batch was split into (1 task per group), and how
+  /// many of them ran on a worker other than their home shard. Zero stolen
+  /// groups is the balanced steady state.
+  size_t groups = 0;
+  size_t stolen_groups = 0;
   /// HPD solver counters aggregated across every worker thread of the
   /// batch (per-path solve/eval tallies plus warm-cache hits). The
   /// thread-local `ThreadHpdStatsSnapshot` counters are captured around
@@ -126,6 +150,14 @@ class EvaluationService {
     /// finer-grained stealing when job durations are uneven, at the price
     /// of colder per-context caches.
     int groups_per_thread = 4;
+    /// Minimum jobs per pinning group (>= 1). Small batches used to shred
+    /// into `threads x groups_per_thread` near-empty groups — at 32 jobs on
+    /// 4 threads that is 16 two-job tasks, all cold contexts and queue
+    /// traffic (the measured thread-degradation cliff). The floor caps the
+    /// group count at `jobs / min_jobs_per_group`, so a small batch becomes
+    /// a few substantial whole-group handoffs instead. Group membership
+    /// never affects results, only locality.
+    int min_jobs_per_group = 8;
   };
 
   /// Default: one worker per hardware thread.
@@ -181,6 +213,9 @@ class EvaluationService {
 
   Options options_;
   ThreadPool pool_;
+  /// Whether a batch already reported the pool's one-time spawn cost in
+  /// its stats (the pool itself is persistent across RunBatch calls).
+  bool spawn_charged_ = false;
   /// One context per pinning group, grown on demand and reused across
   /// batches (warm scratch capacity).
   std::vector<std::unique_ptr<WorkerContext>> contexts_;

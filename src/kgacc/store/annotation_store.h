@@ -125,17 +125,32 @@ class AnnotationStore {
 /// returned. Wrap the production annotator with it and pass the result to
 /// the session/service as usual.
 ///
-/// Stream caveat: a hit consumes no Rng, so with *stochastic* simulation
-/// annotators (Noisy, MajorityVote) a store-backed run follows a different
-/// random path than a bare one — semantically right (a human does not
-/// re-judge a triple), but not bitwise comparable. The deterministic
-/// annotators (Oracle, Interactive/human) are unaffected, and those are the
-/// resume-exactness cases the checkpoint tests assert.
+/// Stream caveat: by default a hit consumes no Rng, so with *stochastic*
+/// simulation annotators (Noisy, MajorityVote) a store-backed run follows a
+/// different random path than a bare one — semantically right (a human does
+/// not re-judge a triple), but not bitwise comparable. Opt in to
+/// `burn_rng_on_hits` for bitwise store/no-store comparability: every hit
+/// then consumes the inner annotator's equivalent draws
+/// (`Annotator::BurnRngDraws`), so the downstream stream is exactly what a
+/// bare run would have seen. The deterministic annotators (Oracle,
+/// Interactive/human) never touch the Rng and need no burning; those are
+/// the resume-exactness cases the checkpoint tests assert.
 class StoredAnnotator final : public Annotator {
  public:
-  /// All three must outlive the annotator.
+  struct Options {
+    /// Consume the inner annotator's Rng draws on store hits (see above).
+    bool burn_rng_on_hits = false;
+  };
+
+  /// All three pointers must outlive the annotator.
+  StoredAnnotator(Annotator* inner, AnnotationStore* store, uint64_t audit_id,
+                  const Options& options)
+      : inner_(inner),
+        store_(store),
+        audit_id_(audit_id),
+        options_(options) {}
   StoredAnnotator(Annotator* inner, AnnotationStore* store, uint64_t audit_id)
-      : inner_(inner), store_(store), audit_id_(audit_id) {}
+      : StoredAnnotator(inner, store, audit_id, Options{}) {}
 
   bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override;
   uint32_t AnnotateUnit(const KgView& kg, uint64_t cluster,
@@ -158,6 +173,7 @@ class StoredAnnotator final : public Annotator {
   Annotator* inner_;
   AnnotationStore* store_;
   uint64_t audit_id_;
+  Options options_;
   uint64_t store_hits_ = 0;
   uint64_t oracle_calls_ = 0;
   Status status_;

@@ -1,38 +1,191 @@
 #include "kgacc/util/thread_pool.h"
 
+#include <chrono>
+#include <utility>
+
 #include "kgacc/util/check.h"
 
 namespace kgacc {
 
+namespace {
+
+/// Which pool (if any) the calling thread belongs to, and its worker index
+/// there. Lets tasks ask "am I on my home shard?" without any shared state.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local int t_worker = -1;
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void TaskRing::PushBack(std::function<void()> task) {
+  if (count_ == slots_.size()) {
+    // Full (or never allocated): rebuild at double capacity with the live
+    // window rotated to the front.
+    std::vector<std::function<void()>> grown(
+        NextPowerOfTwo(std::max<size_t>(slots_.size() * 2, 8)));
+    for (size_t i = 0; i < count_; ++i) {
+      grown[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+    }
+    slots_ = std::move(grown);
+    head_ = 0;
+  }
+  slots_[(head_ + count_) & (slots_.size() - 1)] = std::move(task);
+  ++count_;
+}
+
+std::function<void()> TaskRing::PopFront() {
+  KGACC_CHECK(count_ > 0);
+  std::function<void()> task = std::move(slots_[head_]);
+  head_ = (head_ + 1) & (slots_.size() - 1);
+  --count_;
+  return task;
+}
+
+std::function<void()> TaskRing::PopBack() {
+  KGACC_CHECK(count_ > 0);
+  --count_;
+  return std::move(slots_[(head_ + count_) & (slots_.size() - 1)]);
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   KGACC_CHECK(num_threads >= 1);
+  shards_ = std::make_unique<Shard[]>(num_threads);
   workers_.reserve(num_threads);
+  const auto spawn_start = std::chrono::steady_clock::now();
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  spawn_seconds_ = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - spawn_start)
+                       .count();
 }
 
 ThreadPool::~ThreadPool() {
+  shutting_down_.store(true);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    shutting_down_ = true;
+    // Taking the sleep lock orders the flag store against any worker that
+    // is between its dry-run check and actually blocking.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
   }
-  task_available_.notify_all();
+  work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::NotifyIfSleepers() {
+  if (sleepers_.load(std::memory_order_relaxed) == 0) return;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    KGACC_CHECK(!shutting_down_);
-    queue_.push_back(std::move(task));
+    // Lock-unlock before notifying: a worker that already saw an empty
+    // pool holds sleep_mu_ until it is actually blocked, so acquiring it
+    // here guarantees the notify cannot fall into that gap.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
   }
-  task_available_.notify_one();
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SubmitTo(static_cast<int>(next_home_.fetch_add(1, std::memory_order_relaxed) %
+                            workers_.size()),
+           std::move(task));
+}
+
+void ThreadPool::SubmitTo(int worker, std::function<void()> task) {
+  KGACC_CHECK(!shutting_down_.load());
+  KGACC_CHECK(worker >= 0 && worker < num_threads());
+  // unfinished_ rises before the task is visible so a worker can never
+  // finish it (and decrement) first; queued_ rises after the push so a
+  // woken worker always finds the task it was woken for.
+  unfinished_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(shards_[worker].mu);
+    shards_[worker].ring.PushBack(std::move(task));
+  }
+  queued_.fetch_add(1);
+  NotifyIfSleepers();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [this] { return unfinished_.load() == 0; });
+}
+
+int ThreadPool::current_worker_index() const {
+  return t_pool == this ? t_worker : -1;
+}
+
+uint64_t ThreadPool::stolen_tasks() const {
+  uint64_t total = 0;
+  for (int i = 0; i < num_threads(); ++i) {
+    total += shards_[i].stolen.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t ThreadPool::executed_tasks() const {
+  uint64_t total = 0;
+  for (int i = 0; i < num_threads(); ++i) {
+    total += shards_[i].executed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+bool ThreadPool::TryRunOne(int self) {
+  const int n = num_threads();
+  std::function<void()> task;
+  bool stolen = false;
+  {
+    // Own ring first: the only lock touched in the balanced steady state,
+    // and contended only while a thief is mid-steal on this shard.
+    Shard& home = shards_[self];
+    std::lock_guard<std::mutex> lock(home.mu);
+    if (!home.ring.empty()) task = home.ring.PopFront();
+  }
+  if (!task) {
+    // Dry: scan the other shards and steal one whole task off a victim's
+    // tail. Starting at self + 1 spreads concurrent thieves apart.
+    for (int i = 1; i < n && !task; ++i) {
+      Shard& victim = shards_[(self + i) % n];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.ring.empty()) {
+        task = victim.ring.PopBack();
+        stolen = true;
+      }
+    }
+  }
+  if (!task) return false;
+  queued_.fetch_sub(1);
+  task();
+  Shard& self_shard = shards_[self];
+  self_shard.executed.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) self_shard.stolen.fetch_add(1, std::memory_order_relaxed);
+  if (unfinished_.fetch_sub(1) == 1) {
+    // Same lock-before-notify discipline as NotifyIfSleepers, against a
+    // Wait() caller between its predicate check and blocking.
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+    }
+    done_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  t_pool = this;
+  t_worker = self;
+  for (;;) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleepers_.fetch_add(1);
+    work_cv_.wait(lock, [this] {
+      return shutting_down_.load() || queued_.load() > 0;
+    });
+    sleepers_.fetch_sub(1);
+    if (shutting_down_.load() && queued_.load() == 0) return;
+  }
 }
 
 void ParallelFor(ThreadPool& pool, size_t n,
@@ -50,30 +203,6 @@ void ParallelFor(ThreadPool& pool, size_t n,
   }
   std::unique_lock<std::mutex> lock(mu);
   done.wait(lock, [&] { return remaining == 0; });
-}
-
-void ThreadPool::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
-    }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
-    }
-  }
 }
 
 }  // namespace kgacc

@@ -1,9 +1,10 @@
 #ifndef KGACC_UTIL_THREAD_POOL_H_
 #define KGACC_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -13,28 +14,68 @@
 #include <vector>
 
 /// \file thread_pool.h
-/// A small fixed-size worker pool. The paper notes that aHPD's per-prior
-/// posterior updates and interval constructions (Alg. 1 lines 14-21) are
-/// embarrassingly parallel; `AhpdSelectParallel` dispatches one task per
-/// prior through this pool so wall-clock cost stays flat as the prior set
-/// grows. `EvaluationService` fans whole evaluation jobs out through the
-/// same pool via `SubmitWithResult` / `ParallelFor`.
+/// A fixed-size worker pool with one job ring per worker (shard-per-core).
+/// The paper's framework is embarrassingly parallel at the audit level, so
+/// the pool's job is to stay out of the way: `SubmitTo` hands a task to a
+/// specific worker's private ring (one uncontended per-shard lock), the
+/// owner drains its ring FIFO, and only a worker that runs dry takes the
+/// slow path of stealing whole tasks from another shard's tail. In the
+/// steady state of a balanced batch there is no shared mutable state
+/// between workers at all — the global counters below are touched once per
+/// task, not once per audit.
+///
+/// `AhpdSelectParallel` dispatches one task per prior through this pool so
+/// wall-clock cost stays flat as the prior set grows; `EvaluationService`
+/// routes whole pinning groups to their home workers via `SubmitTo`.
 
 namespace kgacc {
 
-/// Fixed-size thread pool with a FIFO task queue. Tasks must not throw.
+/// Grow-on-demand FIFO ring of tasks — the per-worker queue unit. Backed by
+/// a power-of-two slot array addressed modulo capacity; `PushBack`/
+/// `PopFront` are the owner's FIFO protocol and `PopBack` is the thief's
+/// end, so stealing never reorders the owner's upcoming work. Not
+/// internally synchronized: the owning shard's mutex serializes access.
+class TaskRing {
+ public:
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Appends a task, growing (doubling) when full. Growth is rare and
+  /// amortized; submissions are per pinning group, not per audit.
+  void PushBack(std::function<void()> task);
+
+  /// Removes and returns the oldest task. Ring must be non-empty.
+  std::function<void()> PopFront();
+
+  /// Removes and returns the newest task (steal end). Must be non-empty.
+  std::function<void()> PopBack();
+
+ private:
+  /// Power-of-two slot array; live tasks occupy [head_, head_ + count_).
+  std::vector<std::function<void()>> slots_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+/// Fixed-size sharded thread pool. Tasks must not throw.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (>= 1).
+  /// Spawns `num_threads` workers (>= 1), one job ring each.
   explicit ThreadPool(int num_threads);
-  /// Drains outstanding tasks, then joins the workers.
+  /// Drains every ring (outstanding tasks still run), then joins.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker.
+  /// Enqueues a task on some worker's ring (round-robin home assignment).
   void Submit(std::function<void()> task);
+
+  /// Enqueues a task on `worker`'s ring — the shard-per-core handoff. The
+  /// home worker runs it unless it is still busy when another worker runs
+  /// dry, in which case the whole task is stolen (never split).
+  void SubmitTo(int worker, std::function<void()> task);
 
   /// Enqueues a value-returning task and hands back a future for its
   /// result. The task must not throw (pool invariant); use `Result<T>`
@@ -53,16 +94,63 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
- private:
-  void WorkerLoop();
+  /// Index of the pool worker the calling thread is, or -1 when the caller
+  /// is not one of this pool's workers.
+  int current_worker_index() const;
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  /// Wall-clock cost of spawning the workers (paid once, at construction).
+  /// A persistent pool amortizes this across every batch it ever runs; the
+  /// `EvaluationService` batch stats surface it so short benchmark cells
+  /// cannot silently charge spin-up to throughput.
+  double spawn_seconds() const { return spawn_seconds_; }
+
+  /// Tasks executed by a worker other than their submitted home shard
+  /// (cumulative). Zero in a perfectly balanced steady state; a high rate
+  /// means home assignment is fighting the workload's skew.
+  uint64_t stolen_tasks() const;
+
+  /// Tasks executed in total (cumulative, all workers).
+  uint64_t executed_tasks() const;
+
+ private:
+  /// Per-worker queue + counters, padded to a cache line so one worker's
+  /// bookkeeping writes never invalidate a neighbour's line (the
+  /// false-sharing fix: these are the only per-worker fields written on
+  /// the task path).
+  struct alignas(64) Shard {
+    std::mutex mu;
+    TaskRing ring;
+    /// Tasks this worker executed / executed-but-stolen-from-elsewhere.
+    /// Written (relaxed) by the owning worker only; the aggregate
+    /// accessors read them lockless — monotone counters, staleness is
+    /// benign. The alignas keeps one worker's increments off its
+    /// neighbours' cache lines.
+    std::atomic<uint64_t> executed{0};
+    std::atomic<uint64_t> stolen{0};
+  };
+
+  /// Pops own ring or steals; runs at most one task. False = pool is dry.
+  bool TryRunOne(int self);
+  void WorkerLoop(int self);
+  void NotifyIfSleepers();
+
+  std::unique_ptr<Shard[]> shards_;
   std::vector<std::thread> workers_;
-  int in_flight_ = 0;
-  bool shutting_down_ = false;
+  /// Tasks sitting in rings (not yet popped). The sleep predicate.
+  std::atomic<size_t> queued_{0};
+  /// Tasks submitted but not yet finished executing. The Wait predicate.
+  std::atomic<size_t> unfinished_{0};
+  /// Round-robin cursor for home assignment of plain Submit calls.
+  std::atomic<uint64_t> next_home_{0};
+  /// Workers currently blocked on work_cv_; lets submitters skip the
+  /// notify syscall entirely while everyone is busy.
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> shutting_down_{false};
+  std::mutex sleep_mu_;
+  std::condition_variable work_cv_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  double spawn_seconds_ = 0.0;
 };
 
 /// Runs `fn(0), ..., fn(n - 1)` on the pool and blocks until all calls have

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "kgacc/kg/synthetic.h"
@@ -369,6 +371,142 @@ TEST(EvaluationServiceTest, RegisteredPrototypesKeepClonesAcrossBatches) {
   const uint64_t after_unregister = service.sampler_clones_created();
   service.RunBatch(jobs);
   EXPECT_EQ(service.sampler_clones_created(), after_unregister + 1);
+}
+
+TEST(EvaluationServiceTest, StressByteIdenticalAcrossThreadsGroupingAndReuse) {
+  // The determinism contract, hammered: the same batch through every
+  // execution shape — thread counts {1, 2, 4, hardware}, context reuse on
+  // and off, and group-size extremes — must be byte-identical to the
+  // single-threaded fresh-state reference.
+  const auto kg = MakeKg(0.85);
+  NoisyAnnotator annotator(0.1);  // Stochastic: Rng misuse would show here.
+  SrsSampler srs(kg, SrsConfig{.without_replacement = true});
+  TwcsSampler twcs(kg, TwcsConfig{});
+  std::vector<EvaluationJob> jobs;
+  for (const IntervalMethod method :
+       {IntervalMethod::kWilson, IntervalMethod::kAhpd}) {
+    for (const Sampler* sampler : std::vector<const Sampler*>{&srs, &twcs}) {
+      for (uint64_t i = 0; i < 4; ++i) {
+        EvaluationJob job;
+        job.sampler = sampler;
+        job.annotator = &annotator;
+        job.config.method = method;
+        job.seed = EvaluationService::DeriveJobSeed(7, jobs.size());
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  EvaluationService reference_service(EvaluationService::Options{
+      .num_threads = 1, .reuse_contexts = false});
+  const auto reference = reference_service.RunBatch(jobs);
+  for (const auto& outcome : reference.outcomes) {
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+
+  std::set<int> thread_counts{1, 2, 4};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) thread_counts.insert(static_cast<int>(hw));
+  for (const int threads : thread_counts) {
+    for (const bool reuse : {true, false}) {
+      // min_jobs_per_group = 1 removes the grouping floor, maximizing the
+      // number of groups (and so steal pressure) for the reuse path.
+      for (const int min_per_group : {1, 8}) {
+        EvaluationService service(EvaluationService::Options{
+            .num_threads = threads, .reuse_contexts = reuse,
+            .min_jobs_per_group = min_per_group});
+        const auto batch = service.RunBatch(jobs);
+        ASSERT_EQ(batch.outcomes.size(), jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+          SCOPED_TRACE("job " + std::to_string(i) + " @" +
+                       std::to_string(threads) + "t reuse=" +
+                       std::to_string(reuse) + " min=" +
+                       std::to_string(min_per_group));
+          ASSERT_TRUE(batch.outcomes[i].status.ok());
+          ExpectSameResult(reference.outcomes[i].result,
+                           batch.outcomes[i].result);
+        }
+      }
+    }
+  }
+}
+
+/// Wraps the oracle and records which threads its Annotate ever ran on.
+class ThreadRecordingAnnotator final : public Annotator {
+ public:
+  bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      threads_.insert(std::this_thread::get_id());
+    }
+    return inner_.Annotate(kg, ref, rng);
+  }
+
+  size_t distinct_threads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return threads_.size();
+  }
+
+ private:
+  OracleAnnotator inner_;
+  mutable std::mutex mu_;
+  std::set<std::thread::id> threads_;
+};
+
+TEST(EvaluationServiceTest, SingleGroupBatchNeverMigratesMidBatch) {
+  // Whole-group handoff: with the min_jobs_per_group floor collapsing a
+  // small batch into one group, that group is one pool task — every job in
+  // it must run on a single thread, no mid-batch migration, regardless of
+  // how many workers sit idle.
+  const auto kg = MakeKg(0.85, 500);
+  ThreadRecordingAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  std::vector<EvaluationJob> jobs(4);  // 4 jobs < min_jobs_per_group = 8.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].sampler = &srs;
+    jobs[i].annotator = &annotator;
+    jobs[i].seed = EvaluationService::DeriveJobSeed(11, i);
+  }
+  EvaluationService service(EvaluationService::Options{.num_threads = 4});
+  const auto batch = service.RunBatch(jobs);
+  for (const auto& outcome : batch.outcomes) {
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+  EXPECT_EQ(batch.stats.groups, 1u);
+  EXPECT_EQ(annotator.distinct_threads(), 1u);
+}
+
+TEST(EvaluationServiceTest, BatchStatsReportTheTimingSplit) {
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  TwcsSampler twcs(kg, TwcsConfig{});
+  const auto jobs = MixedJobs(srs, twcs, annotator);
+
+  EvaluationService service(EvaluationService::Options{.num_threads = 2});
+  const auto first = service.RunBatch(jobs);
+  // Spawn is paid at construction and charged to the first batch only; the
+  // persistent pool makes every later batch report zero there.
+  EXPECT_GT(first.stats.spawn_seconds, 0.0);
+  EXPECT_GT(first.stats.groups, 0u);
+  EXPECT_LE(first.stats.stolen_groups, first.stats.groups);
+  EXPECT_GE(first.stats.submit_seconds, 0.0);
+  EXPECT_GE(first.stats.barrier_seconds, 0.0);
+  EXPECT_GT(first.stats.run_seconds, 0.0);
+
+  const auto second = service.RunBatch(jobs);
+  EXPECT_EQ(second.stats.spawn_seconds, 0.0);
+  EXPECT_GT(second.stats.run_seconds, 0.0);
+
+  // The unpinned path runs one task per job and reports that as the group
+  // count; handoff phases do not exist there and stay zero.
+  EvaluationService unpinned(EvaluationService::Options{
+      .num_threads = 2, .reuse_contexts = false});
+  const auto fresh = unpinned.RunBatch(jobs);
+  EXPECT_EQ(fresh.stats.groups, jobs.size());
+  EXPECT_EQ(fresh.stats.submit_seconds, 0.0);
+  EXPECT_EQ(fresh.stats.barrier_seconds, 0.0);
+  EXPECT_GT(fresh.stats.run_seconds, 0.0);
 }
 
 TEST(EvaluationServiceTest, OnStepHookObservesEveryIterationAndCanAbort) {

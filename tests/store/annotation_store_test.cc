@@ -224,5 +224,90 @@ TEST(AnnotationStoreTest, SecondAuditOverSameKgPaysZeroOracleCalls) {
   std::remove(path.c_str());
 }
 
+TEST(AnnotationStoreTest, BurnRngDrawsConsumesExactlyWhatAnnotateWould) {
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = 20;
+  cfg.mean_cluster_size = 3.0;
+  cfg.accuracy = 0.8;
+  cfg.seed = 5;
+  const auto kg = *SyntheticKg::Create(cfg);
+  NoisyAnnotator noisy(0.2);
+  MajorityVoteAnnotator vote(3, 0.2);
+  OracleAnnotator oracle;
+  for (Annotator* annotator :
+       std::vector<Annotator*>{&noisy, &vote, &oracle}) {
+    // Annotate on one stream, BurnRngDraws on a same-seeded twin: both must
+    // leave their Rng in the identical state — the parity the store-hit
+    // burning rests on.
+    Rng judged(99), burned(99);
+    annotator->Annotate(kg, TripleRef{0, 0}, &judged);
+    annotator->BurnRngDraws(&burned);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(judged.Next(), burned.Next());
+  }
+}
+
+TEST(AnnotationStoreTest, BurningHitsKeepsStoreBackedRunsBitwiseEqual) {
+  // A session feeds one Rng to both its sampler and its annotator, so with
+  // a stochastic annotator a silent store hit shifts every later draw —
+  // including which triples get sampled next. With burn_rng_on_hits the
+  // all-hits rerun must follow the bare run bit for bit.
+  const std::string path = TempPath("burn_rng");
+  std::remove(path.c_str());
+  SyntheticKgConfig cfg;
+  cfg.num_clusters = 400;
+  cfg.mean_cluster_size = 3.0;
+  cfg.accuracy = 0.85;
+  cfg.seed = 13;
+  const auto kg = *SyntheticKg::Create(cfg);
+  EvaluationConfig config;
+  const uint64_t seed = 4321;
+
+  NoisyAnnotator bare(0.15);
+  EvaluationResult bare_result;
+  {
+    SrsSampler sampler(kg, SrsConfig{.without_replacement = true});
+    EvaluationSession session(sampler, bare, config, seed);
+    const auto result = session.Run();
+    ASSERT_TRUE(result.ok());
+    bare_result = *result;
+  }
+
+  auto store = AnnotationStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  {
+    // Populate: all misses delegate to the inner annotator on the live Rng,
+    // so the populating run already matches the bare run exactly.
+    NoisyAnnotator inner(0.15);
+    StoredAnnotator populating(&inner, store->get(), 1);
+    SrsSampler sampler(kg, SrsConfig{.without_replacement = true});
+    EvaluationSession session(sampler, populating, config, seed);
+    const auto result = session.Run();
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(populating.status().ok());
+    EXPECT_EQ(populating.store_hits(), 0u);
+    EXPECT_EQ(result->mu, bare_result.mu);
+    EXPECT_EQ(result->annotated_triples, bare_result.annotated_triples);
+  }
+  {
+    // Rerun against the populated store with burning on: pure hits, zero
+    // inner calls, and a bitwise-identical audit.
+    NoisyAnnotator inner(0.15);
+    StoredAnnotator burning(&inner, store->get(), 2,
+                            StoredAnnotator::Options{.burn_rng_on_hits = true});
+    SrsSampler sampler(kg, SrsConfig{.without_replacement = true});
+    EvaluationSession session(sampler, burning, config, seed);
+    const auto result = session.Run();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(burning.oracle_calls(), 0u);
+    EXPECT_EQ(burning.store_hits(), result->annotated_triples);
+    EXPECT_EQ(result->mu, bare_result.mu);
+    EXPECT_EQ(result->annotated_triples, bare_result.annotated_triples);
+    EXPECT_EQ(result->interval.lower, bare_result.interval.lower);
+    EXPECT_EQ(result->interval.upper, bare_result.interval.upper);
+    EXPECT_EQ(result->iterations, bare_result.iterations);
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace kgacc

@@ -1,14 +1,61 @@
 #include "kgacc/util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 namespace kgacc {
 namespace {
+
+TEST(TaskRingTest, FifoOrderThroughGrowth) {
+  TaskRing ring;
+  std::vector<int> order;
+  // Push past several doublings so the rotated-rebuild path runs.
+  for (int i = 0; i < 100; ++i) {
+    ring.PushBack([&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(ring.size(), 100u);
+  while (!ring.empty()) ring.PopFront()();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TaskRingTest, PopBackTakesNewestPopFrontTakesOldest) {
+  TaskRing ring;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    ring.PushBack([&order, i] { order.push_back(i); });
+  }
+  ring.PopBack()();   // 3: the steal end.
+  ring.PopFront()();  // 0: the owner end.
+  ring.PopBack()();   // 2
+  ring.PopFront()();  // 1
+  EXPECT_EQ(order, (std::vector<int>{3, 0, 2, 1}));
+}
+
+TEST(TaskRingTest, WrapAroundKeepsOrder) {
+  TaskRing ring;
+  std::vector<int> order;
+  // Interleave pushes and pops so head_ walks around the slot array and
+  // the live window straddles the wrap point repeatedly.
+  int next = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ring.PushBack([&order, v = next] { order.push_back(v); });
+      ++next;
+    }
+    ring.PopFront()();
+    ring.PopFront()();
+  }
+  while (!ring.empty()) ring.PopFront()();
+  ASSERT_EQ(order.size(), static_cast<size_t>(next));
+  for (int i = 0; i < next; ++i) EXPECT_EQ(order[i], i);
+}
 
 TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   ThreadPool pool(4);
@@ -103,6 +150,167 @@ TEST(ParallelForTest, SafeAlongsideUnrelatedTasks) {
   EXPECT_EQ(covered.load(), 30);  // Did not wait on a wrong signal.
   pool.Wait();
   EXPECT_EQ(background.load(), 50);
+}
+
+/// Parks every worker of a pool inside one spinning task each, so a test
+/// can stage ring contents deterministically (nothing runs or gets stolen
+/// while parked) and then let chosen workers go. Construction returns once
+/// all workers are inside. Call `ReleaseAll()` and `pool.Wait()` before
+/// letting this object go out of scope.
+class ParkedWorkers {
+ public:
+  explicit ParkedWorkers(ThreadPool& pool) : release_(pool.num_threads()) {
+    const int n = pool.num_threads();
+    for (int w = 0; w < n; ++w) {
+      // Steals may shuffle which worker runs which park task; each task
+      // asks the pool who is actually running it. n spinning tasks across
+      // n workers always ends with exactly one per worker.
+      pool.SubmitTo(w, [this, &pool] {
+        const int self = pool.current_worker_index();
+        started_.fetch_add(1);
+        while (!release_[self].load()) std::this_thread::yield();
+      });
+    }
+    while (started_.load() < n) std::this_thread::yield();
+  }
+
+  void Release(int worker) { release_[worker].store(true); }
+  void ReleaseAll() {
+    for (auto& flag : release_) flag.store(true);
+  }
+
+ private:
+  std::vector<std::atomic<bool>> release_;
+  std::atomic<int> started_{0};
+};
+
+TEST(ThreadPoolTest, SubmitToRunsTasksOfOneWorkerInOrder) {
+  ThreadPool pool(3);
+  ParkedWorkers parked(pool);
+  // Staged while everyone is parked: 50 tasks on worker 0's ring. Only
+  // worker 0 gets released, so it alone drains them — and must do so FIFO.
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.SubmitTo(0, [&order, &done, i] {
+      order.push_back(i);
+      done.fetch_add(1);
+    });
+  }
+  parked.Release(0);
+  while (done.load() < 50) std::this_thread::yield();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+  parked.ReleaseAll();
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, IdleWorkersStealWholeTasksFromABusyShard) {
+  ThreadPool pool(4);
+  ParkedWorkers parked(pool);
+  // 64 tasks staged on worker 0's ring; worker 0 stays parked while the
+  // other three get released, so completion is only possible by stealing
+  // whole tasks off shard 0.
+  const uint64_t stolen_before = pool.stolen_tasks();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.SubmitTo(0, [&ran] { ran.fetch_add(1); });
+  }
+  parked.Release(1);
+  parked.Release(2);
+  parked.Release(3);
+  while (ran.load() < 64) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_GE(pool.stolen_tasks() - stolen_before, 64u);
+  parked.ReleaseAll();
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitToAndStealRunsEverythingExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kPerWorker = 500;
+  std::vector<std::atomic<int>> hits(4 * kPerWorker);
+  // Hammer all four rings from four external submitter threads while the
+  // workers pop and steal concurrently — every task must run exactly once.
+  std::vector<std::thread> submitters;
+  for (int w = 0; w < 4; ++w) {
+    submitters.emplace_back([&pool, &hits, w] {
+      for (int i = 0; i < kPerWorker; ++i) {
+        const int slot = w * kPerWorker + i;
+        pool.SubmitTo(w, [&hits, slot] { hits[slot].fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.Wait();
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+  EXPECT_EQ(pool.executed_tasks(), hits.size());
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIndexIdentifiesHomeAndOffPoolThreads) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.current_worker_index(), -1);  // Not a pool thread.
+  {
+    // Two spinning probes across two workers necessarily end up one per
+    // worker; each asks the pool who it is. Both indices must come back
+    // valid and distinct — i.e. each in-range index exactly once.
+    std::vector<std::atomic<int>> seen(2);
+    for (auto& s : seen) s.store(0);
+    std::atomic<int> started{0};
+    std::atomic<bool> release{false};
+    for (int w = 0; w < 2; ++w) {
+      pool.SubmitTo(w, [&pool, &seen, &started, &release] {
+        const int self = pool.current_worker_index();
+        EXPECT_GE(self, 0);
+        EXPECT_LT(self, 2);
+        if (self >= 0 && self < 2) seen[self].fetch_add(1);
+        started.fetch_add(1);
+        while (!release.load()) std::this_thread::yield();
+      });
+    }
+    while (started.load() < 2) std::this_thread::yield();
+    EXPECT_EQ(seen[0].load(), 1);
+    EXPECT_EQ(seen[1].load(), 1);
+    release.store(true);
+    pool.Wait();
+  }
+  // A second pool's workers are strangers to the first.
+  ThreadPool other(1);
+  auto cross = other.SubmitWithResult(
+      [&pool] { return pool.current_worker_index(); });
+  EXPECT_EQ(cross.get(), -1);
+}
+
+TEST(ThreadPoolTest, SpawnSecondsIsMeasuredOnce) {
+  ThreadPool pool(2);
+  const double spawn = pool.spawn_seconds();
+  EXPECT_GE(spawn, 0.0);
+  pool.Submit([] {});
+  pool.Wait();
+  EXPECT_EQ(pool.spawn_seconds(), spawn);  // Construction-time only.
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsNonEmptyRingsOfParkedWorkers) {
+  // Rings still holding tasks at destruction time must be drained — even
+  // rings whose home worker spends the whole test parked on another task.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    std::atomic<bool> release{false};
+    pool.SubmitTo(0, [&release, &ran] {
+      while (!release.load()) std::this_thread::yield();
+      ran.fetch_add(1);
+    });
+    for (int i = 0; i < 30; ++i) {
+      pool.SubmitTo(0, [&ran] { ran.fetch_add(1); });
+    }
+    release.store(true);
+    // No Wait(): the destructor must drain shard 0's ring (its owner or
+    // thieves, either way) before joining.
+  }
+  EXPECT_EQ(ran.load(), 31);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {

@@ -21,6 +21,18 @@ parallel EvaluationService sweep. The step bench is single-threaded; a
 warm-carry or solver-path regression that only manifests under worker
 pinning (e.g. shared state resets between jobs) is only visible here.
 
+--service-fresh also arms the *thread-scaling* gate: the
+`service_thread_scaling` record carries the 4-thread / 1-thread audits/s
+ratio of the largest (>= 100 ms) sweep cell, and the gate fails when it
+falls below --min-scaling (default 2.0) — the service must actually use
+the hardware, not just stay deterministic on it. The ratio is absolute
+(not relative to the checked-in record) because it is a property the
+service owes on any adequate machine; on hosts with fewer than 4 hardware
+threads the ratio measures the OS scheduler instead of the service, so
+the gate reports and skips there (the record's own hardware_threads field
+decides). A missing record is still a hard error: the instrumentation a
+blocking gate rests on must not vanish silently.
+
 Ratios and counts, not absolute latencies: CI runners differ wildly in
 clock speed and noise, but every gated metric is a property of the
 algorithm, not of the machine.
@@ -98,8 +110,8 @@ def check_metric(fresh, record, key, label, max_regression, floor):
     return failed
 
 
-def load_service_summary(path):
-    """Returns the service_hpd_summary record from BENCH_service.json."""
+def load_service_record(path, bench):
+    """Returns the named summary record from BENCH_service.json."""
     try:
         with open(path) as f:
             records = json.load(f)
@@ -107,9 +119,42 @@ def load_service_summary(path):
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
     for record in records:
-        if record.get("bench") == "service_hpd_summary":
+        if record.get("bench") == bench:
             return record
     return None
+
+
+def load_service_summary(path):
+    """Returns the service_hpd_summary record from BENCH_service.json."""
+    return load_service_record(path, "service_hpd_summary")
+
+
+def check_thread_scaling(fresh_path, min_scaling):
+    """Gates the 4t/1t audits/s ratio; returns True on failure.
+
+    Absolute threshold, not record-relative: multi-core speedup is a
+    property the service owes outright. Skips (with a printed reason) when
+    the measuring host had fewer than 4 hardware threads — there the ratio
+    reflects the OS scheduler, not the service.
+    """
+    record = load_service_record(fresh_path, "service_thread_scaling")
+    if record is None or not isinstance(
+            record.get("threads_scaling_ratio"), (int, float)):
+        print(f"error: no usable service_thread_scaling record in "
+              f"{fresh_path} (bench summary missing?)", file=sys.stderr)
+        sys.exit(2)
+    ratio = record["threads_scaling_ratio"]
+    hardware = record.get("hardware_threads")
+    jobs = record.get("jobs")
+    if not isinstance(hardware, int) or hardware < 4:
+        print(f"  threads scaling ratio: {ratio:.3f} on {jobs} jobs "
+              f"(host has {hardware} hardware threads < 4, gate skipped)")
+        return False
+    verdict = "OK" if ratio >= min_scaling else "REGRESSION"
+    print(f"  threads scaling ratio (4t/1t, {jobs} jobs): {ratio:.3f} "
+          f"(minimum {min_scaling:.1f}, {hardware} hardware threads) "
+          f"{verdict}")
+    return ratio < min_scaling
 
 
 def check_service(fresh_path, record_path, max_regression):
@@ -148,6 +193,10 @@ def main():
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="allowed factor between fresh and recorded "
                              "metrics (default 2.0)")
+    parser.add_argument("--min-scaling", type=float, default=2.0,
+                        help="minimum 4-thread/1-thread audits/s ratio on "
+                             "the largest service cell (default 2.0; "
+                             "enforced only on >= 4-hardware-thread hosts)")
     args = parser.parse_args()
 
     fresh = load_summaries(args.fresh)
@@ -171,13 +220,15 @@ def main():
     if args.service_fresh and args.service_record:
         failed |= check_service(args.service_fresh, args.service_record,
                                 args.max_regression)
+    if args.service_fresh:
+        failed |= check_thread_scaling(args.service_fresh, args.min_scaling)
 
     if failed:
-        print("\nstep-latency ratio or HPD evals-per-solve regressed >"
-              f"{args.max_regression}x against the checked-in record",
-              file=sys.stderr)
+        print("\nstep-latency ratio, HPD evals-per-solve, or thread-scaling "
+              "ratio out of bounds (see lines above)", file=sys.stderr)
         return 1
-    print("\nstep-latency ratios and HPD evals-per-solve within budget")
+    print("\nstep-latency ratios, HPD evals-per-solve, and thread scaling "
+          "within budget")
     return 0
 
 
