@@ -140,6 +140,12 @@ int main() {
       uint64_t stolen_groups = 0;
       size_t groups = 0;
       size_t failed = 0;
+      // Robustness counters summed over the cell's runs — all zero under
+      // the bench's healthy unarmed default, so the JSON doubles as a
+      // regression record that plain batches never degrade or retry.
+      size_t degraded_jobs = 0;
+      uint64_t total_retries = 0;
+      size_t deadline_hits = 0;
       uint64_t annotated_triples = 0;
       HpdSolveStats cell_hpd;
       const uint64_t allocs_before = alloc_counter::Current();
@@ -161,6 +167,9 @@ int main() {
         run_seconds += stats.run_seconds;
         barrier_seconds += stats.barrier_seconds;
         stolen_groups += stats.stolen_groups;
+        degraded_jobs += stats.degraded_jobs;
+        total_retries += stats.total_retries;
+        deadline_hits += stats.deadline_hits;
         cell_hpd += stats.hpd;
         if (run_wall_seconds.size() >= 512) break;  // Pathology guard.
       }
@@ -209,6 +218,8 @@ int main() {
             "\"groups\": %zu, \"stolen_groups\": %llu, "
             "\"spawn_seconds\": %.6f, \"submit_seconds\": %.6f, "
             "\"run_seconds\": %.6f, \"barrier_seconds\": %.6f, "
+            "\"degraded_jobs\": %zu, \"total_retries\": %llu, "
+            "\"deadline_hits\": %zu, "
             "\"hpd_solves\": %llu, \"hpd_newton_solves\": %llu, "
             "\"hpd_warm_cache_hits\": %llu, "
             "\"hpd_beta_evals_per_solve\": %.2f}",
@@ -217,7 +228,8 @@ int main() {
             static_cast<unsigned long long>(annotated_triples),
             allocs_per_audit, failed, groups,
             static_cast<unsigned long long>(stolen_groups), spawn_seconds,
-            mean_submit, mean_run, mean_barrier,
+            mean_submit, mean_run, mean_barrier, degraded_jobs,
+            static_cast<unsigned long long>(total_retries), deadline_hits,
             static_cast<unsigned long long>(cell_hpd.total_solves()),
             static_cast<unsigned long long>(cell_hpd.newton.solves),
             static_cast<unsigned long long>(cell_hpd.warm_cache_hits),

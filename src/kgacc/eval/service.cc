@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "kgacc/util/failpoint.h"
 #include "kgacc/util/random.h"
 
 namespace kgacc {
@@ -147,23 +148,63 @@ void EvaluationService::RunJob(const EvaluationJob& job,
         " sampler does not support Clone(); jobs need per-job isolation");
     return;
   }
-  EvaluationSession session(*sampler, *job.annotator, job.config, job.seed,
-                            context != nullptr ? &context->scratch : nullptr);
+  // The whole job body runs behind a catch-all: an annotator or hook that
+  // throws must cost its own job an Internal outcome, never the process
+  // (the pool's workers are shared by the entire batch).
   Result<EvaluationResult> result = [&]() -> Result<EvaluationResult> {
-    if (!job.on_step) return session.Run();
-    // Hooked jobs step explicitly so the hook observes every iteration
-    // (checkpointing, progress). A hook failure aborts this job only.
-    while (!session.done()) {
-      KGACC_ASSIGN_OR_RETURN(const StepOutcome outcome, session.Step());
-      (void)outcome;
-      KGACC_RETURN_IF_ERROR(job.on_step(session));
+    try {
+      EvaluationSession session(*sampler, *job.annotator, job.config, job.seed,
+                                context != nullptr ? &context->scratch
+                                                   : nullptr);
+      const bool budgeted = job.max_steps > 0 || job.deadline_seconds > 0.0;
+      if (!job.on_step && !budgeted) return session.Run();
+      // Hooked or budgeted jobs step explicitly so every iteration is
+      // observed (checkpointing, progress, budget checks). A hook failure
+      // aborts this job only.
+      const auto job_start = std::chrono::steady_clock::now();
+      uint64_t steps = 0;
+      while (!session.done()) {
+        if (FailpointHit("service.step")) {
+          return Status::Internal(
+              "injected step failure (failpoint service.step)");
+        }
+        KGACC_ASSIGN_OR_RETURN(const StepOutcome outcome, session.Step());
+        (void)outcome;
+        ++steps;
+        if (job.on_step) KGACC_RETURN_IF_ERROR(job.on_step(session));
+        if (job.max_steps > 0 && steps >= job.max_steps && !session.done()) {
+          out->deadline_exceeded = true;
+          return Status::DeadlineExceeded(
+              "job cancelled: step budget of " +
+              std::to_string(job.max_steps) + " exhausted");
+        }
+        if (job.deadline_seconds > 0.0 && !session.done()) {
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - job_start;
+          if (elapsed.count() > job.deadline_seconds) {
+            out->deadline_exceeded = true;
+            return Status::DeadlineExceeded(
+                "job cancelled: wall-clock deadline of " +
+                std::to_string(job.deadline_seconds) + "s exceeded");
+          }
+        }
+      }
+      return session.Finish();
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("job threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("job threw a non-standard exception");
     }
-    return session.Finish();
   }();
   if (result.ok()) {
     out->result = std::move(result).value();
   } else {
     out->status = result.status();
+  }
+  if (job.robustness) {
+    const JobRobustness robustness = job.robustness();
+    out->degraded = robustness.degraded;
+    out->retries = robustness.retries;
   }
 }
 
@@ -270,6 +311,9 @@ EvaluationBatchResult EvaluationService::RunBatch(
     stats.run_seconds += slot.run_seconds;
   }
   for (const EvaluationJobOutcome& out : batch.outcomes) {
+    if (out.degraded) ++stats.degraded_jobs;
+    stats.total_retries += out.retries;
+    if (out.deadline_exceeded) ++stats.deadline_hits;
     if (!out.status.ok()) {
       ++stats.failed;
       continue;

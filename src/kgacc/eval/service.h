@@ -44,6 +44,16 @@
 
 namespace kgacc {
 
+/// Robustness telemetry one job's durable machinery reports back to the
+/// service (collected via `EvaluationJob::robustness` after the job ran).
+struct JobRobustness {
+  /// The job finished in degraded mode (store writes were abandoned; see
+  /// `StoredAnnotator`/`CheckpointManager` degradation semantics).
+  bool degraded = false;
+  /// Store-write retries the job's backoff loops performed.
+  uint64_t retries = 0;
+};
+
 /// One audit to execute.
 struct EvaluationJob {
   /// Sampler prototype bound to the job's population. The service clones
@@ -71,6 +81,21 @@ struct EvaluationJob {
   /// with that status (fail the audit rather than outrun its log). Runs on
   /// the worker thread; per-job state only, unless externally synchronized.
   std::function<Status(const EvaluationSession&)> on_step;
+  /// Hard step budget (0 = unlimited): the job is cancelled with
+  /// DeadlineExceeded once its session has run this many steps without
+  /// converging — the backstop against a mis-specified design spinning a
+  /// worker forever.
+  uint64_t max_steps = 0;
+  /// Wall-clock budget in seconds (0 = none), measured from the job's
+  /// start and checked on every step boundary; a job past its deadline is
+  /// cancelled with DeadlineExceeded. Step-granular by design: the check
+  /// costs one clock read and never interrupts a step mid-flight.
+  double deadline_seconds = 0.0;
+  /// Optional robustness collector, called once on the worker thread after
+  /// the job's session finished (success or failure). Bind it to the job's
+  /// `StoredAnnotator`/`CheckpointManager` so degradation and retry counts
+  /// surface in the outcome; leave empty for plain in-memory jobs.
+  std::function<JobRobustness()> robustness;
 };
 
 /// Outcome of one job: a result or the error that stopped it. Job failures
@@ -81,6 +106,14 @@ struct EvaluationJobOutcome {
   EvaluationResult result;
   std::string label;
   uint64_t seed = 0;
+  /// The job completed but its durable layer degraded (labels or
+  /// checkpoints stopped persisting); `status` is still OK.
+  bool degraded = false;
+  /// Store-write retries performed by the job (see `JobRobustness`).
+  uint64_t retries = 0;
+  /// The job was cancelled at its step or wall-clock budget (`status` is
+  /// then DeadlineExceeded).
+  bool deadline_exceeded = false;
 };
 
 /// Aggregate throughput accounting for one RunBatch call.
@@ -124,6 +157,13 @@ struct ServiceBatchStats {
   /// (beta evals per solve, Newton share) is observable — and gateable —
   /// under parallel load, not just in the single-threaded step bench.
   HpdSolveStats hpd;
+  /// Robustness aggregates across the batch — all three are zero in the
+  /// healthy, unarmed default (the invariant the throughput bench records):
+  /// jobs that finished degraded, store-write retries summed over all jobs,
+  /// and jobs cancelled at a step/wall-clock budget.
+  size_t degraded_jobs = 0;
+  uint64_t total_retries = 0;
+  size_t deadline_hits = 0;
 };
 
 /// Ordered per-job outcomes plus the batch throughput stats.

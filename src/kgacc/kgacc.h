@@ -61,7 +61,9 @@
 #include "kgacc/stats/replication.h"
 #include "kgacc/stats/ttest.h"
 #include "kgacc/util/arg_parser.h"
+#include "kgacc/util/backoff.h"
 #include "kgacc/util/codec.h"
+#include "kgacc/util/failpoint.h"
 #include "kgacc/util/flat_set.h"
 #include "kgacc/util/random.h"
 #include "kgacc/util/thread_pool.h"

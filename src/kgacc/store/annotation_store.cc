@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kgacc/util/codec.h"
+#include "kgacc/util/failpoint.h"
 
 namespace kgacc {
 
@@ -91,6 +92,12 @@ Status AnnotationStore::Append(uint64_t audit_id, uint64_t cluster,
         "annotation store: conflicting label for an already-stored triple "
         "(stored judgments are immutable)");
   }
+  // Transient-injection site: fires *before* the WAL write, so unlike a
+  // real sticky WAL failure the store heals when the policy does.
+  if (FailpointHit("store.append")) {
+    return Status::IoError(
+        "injected annotation append failure (failpoint store.append)");
+  }
   ByteWriter record;
   record.PutVarint(audit_id);
   record.PutVarint(next_seq_);
@@ -108,6 +115,10 @@ Status AnnotationStore::Append(uint64_t audit_id, uint64_t cluster,
 
 Status AnnotationStore::AppendCheckpoint(uint64_t audit_id,
                                          std::span<const uint8_t> snapshot) {
+  if (FailpointHit("store.checkpoint")) {
+    return Status::IoError(
+        "injected checkpoint append failure (failpoint store.checkpoint)");
+  }
   ByteWriter record;
   record.PutVarint(audit_id);
   record.PutLengthPrefixed(snapshot);
@@ -144,10 +155,32 @@ bool StoredAnnotator::Annotate(const KgView& kg, const TripleRef& ref,
   }
   const bool label = inner_->Annotate(kg, ref, rng);
   ++oracle_calls_;
-  const Status append = store_->Append(audit_id_, ref.cluster, ref.offset,
-                                       label);
-  if (!append.ok() && status_.ok()) status_ = append;
+  PersistLabel(ref, label);
   return label;
+}
+
+void StoredAnnotator::PersistLabel(const TripleRef& ref, bool label) {
+  if (degraded_) {
+    // Read-only mode: the label was still served to the evaluation, it
+    // just is not durable. A resumed run re-judges it identically.
+    ++labels_dropped_;
+    return;
+  }
+  if (!status_.ok()) return;  // Fail-fast already tripped; stop appending.
+  const Status append = RetryWithBackoff(
+      options_.backoff,
+      [&] { return store_->Append(audit_id_, ref.cluster, ref.offset, label); },
+      &retries_);
+  if (append.ok()) return;
+  if (IsTransientError(append) &&
+      options_.write_error_mode == WriteErrorMode::kDegrade) {
+    degraded_ = true;
+    degraded_cause_ = append;
+    ++labels_dropped_;
+    return;
+  }
+  // Fail-fast mode, or a permanent error (conflicting label) in any mode.
+  status_ = append;
 }
 
 uint32_t StoredAnnotator::AnnotateUnit(const KgView& kg, uint64_t cluster,

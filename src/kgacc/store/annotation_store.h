@@ -11,6 +11,7 @@
 
 #include "kgacc/eval/annotator.h"
 #include "kgacc/store/wal.h"
+#include "kgacc/util/backoff.h"
 #include "kgacc/util/flat_set.h"
 #include "kgacc/util/status.h"
 
@@ -32,6 +33,12 @@
 /// Session snapshots interleave with the annotation records in the same
 /// log (`AppendCheckpoint`), giving one self-contained durable artifact per
 /// audit store — the classic log-structured WAL + snapshot design.
+///
+/// Fault-injection sites (chaos tests): `store.append` fails an annotation
+/// append and `store.checkpoint` a checkpoint append, both *before* the WAL
+/// write — unlike a sticky WAL-level failure these heal when the armed
+/// policy heals, which is what the retry/degradation machinery in
+/// `StoredAnnotator` and `CheckpointManager` is built to absorb.
 
 namespace kgacc {
 
@@ -135,11 +142,39 @@ class AnnotationStore {
 /// bare run would have seen. The deterministic annotators (Oracle,
 /// Interactive/human) never touch the Rng and need no burning; those are
 /// the resume-exactness cases the checkpoint tests assert.
+///
+/// Failure semantics: a transient append failure (I/O error) is retried
+/// with bounded seeded backoff. When the budget is exhausted the behavior
+/// is governed by `Options::write_error_mode`:
+///
+/// * `kDegrade` (default): the annotator enters *degraded read-only mode* —
+///   stored labels keep serving from the index, new judgments still
+///   delegate to the inner annotator but are no longer appended
+///   (`labels_dropped` counts them), and the audit continues. `status()`
+///   stays OK; `degraded()` / `degraded_cause()` report the downgrade so
+///   drivers can surface it in the outcome.
+/// * `kFailFast`: the first exhausted failure sticks in `status()` and the
+///   durable driver aborts the audit.
+///
+/// Permanent errors (a conflicting label → FailedPrecondition) are caller
+/// bugs: never retried, always sticky in `status()` regardless of mode.
 class StoredAnnotator final : public Annotator {
  public:
+  /// What to do when an append's retry budget is exhausted.
+  enum class WriteErrorMode {
+    /// Continue in degraded read-only mode (see the class comment).
+    kDegrade,
+    /// Sticky-fail `status()`; durable drivers abort.
+    kFailFast,
+  };
+
   struct Options {
     /// Consume the inner annotator's Rng draws on store hits (see above).
     bool burn_rng_on_hits = false;
+    /// Exhausted-retry policy for store writes.
+    WriteErrorMode write_error_mode = WriteErrorMode::kDegrade;
+    /// Retry schedule for transient append failures.
+    BackoffPolicy backoff;
   };
 
   /// All three pointers must outlive the annotator.
@@ -166,10 +201,23 @@ class StoredAnnotator final : public Annotator {
 
   /// First store-append failure, sticky (the `Annotator` interface cannot
   /// surface a Status per judgment; durable drivers check this after the
-  /// run — a non-OK value means the reported labels outran the log).
+  /// run — a non-OK value means the reported labels outran the log). Stays
+  /// OK in degrade mode; check `degraded()` too.
   const Status& status() const { return status_; }
 
+  /// True once the annotator dropped into degraded read-only mode.
+  bool degraded() const { return degraded_; }
+  /// The exhausted error that triggered degradation (OK when healthy).
+  const Status& degraded_cause() const { return degraded_cause_; }
+  /// Append retries performed across all judgments.
+  uint64_t retries() const { return retries_; }
+  /// Judgments delegated but not persisted because the store was degraded.
+  uint64_t labels_dropped() const { return labels_dropped_; }
+
  private:
+  /// Persists one miss's label, applying retry/degradation policy.
+  void PersistLabel(const TripleRef& ref, bool label);
+
   Annotator* inner_;
   AnnotationStore* store_;
   uint64_t audit_id_;
@@ -177,6 +225,10 @@ class StoredAnnotator final : public Annotator {
   uint64_t store_hits_ = 0;
   uint64_t oracle_calls_ = 0;
   Status status_;
+  bool degraded_ = false;
+  Status degraded_cause_;
+  uint64_t retries_ = 0;
+  uint64_t labels_dropped_ = 0;
 };
 
 }  // namespace kgacc

@@ -19,11 +19,24 @@ Status CheckpointManager::OnStep(const EvaluationSession& session) {
 }
 
 Status CheckpointManager::Checkpoint(const EvaluationSession& session) {
+  if (degraded_) return Status::OK();  // Snapshotting was abandoned.
   ByteWriter snapshot;
   session.SaveState(&snapshot);
-  KGACC_RETURN_IF_ERROR(store_->AppendCheckpoint(audit_id_, snapshot.span()));
-  ++checkpoints_written_;
-  return Status::OK();
+  const Status appended = RetryWithBackoff(
+      options_.backoff,
+      [&] { return store_->AppendCheckpoint(audit_id_, snapshot.span()); },
+      &retries_);
+  if (appended.ok()) {
+    ++checkpoints_written_;
+    return Status::OK();
+  }
+  if (IsTransientError(appended) &&
+      options_.on_error == CheckpointOptions::OnError::kDegrade) {
+    degraded_ = true;
+    degraded_cause_ = appended;
+    return Status::OK();
+  }
+  return appended;
 }
 
 bool CheckpointManager::CanResume() const {

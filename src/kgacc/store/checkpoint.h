@@ -26,8 +26,23 @@ namespace kgacc {
 
 /// Snapshot cadence and durability for one audit's checkpoints.
 struct CheckpointOptions {
+  /// What to do when a snapshot append exhausts its retry budget.
+  enum class OnError {
+    /// Stop checkpointing, keep auditing: every judgment is still in the
+    /// WAL, so the only loss is resume granularity — recovery recomputes
+    /// from the last good snapshot at zero oracle cost. `degraded()`
+    /// reports the downgrade.
+    kDegrade,
+    /// Surface the error from `OnStep`/`Checkpoint`; durable drivers abort.
+    kFail,
+  };
+
   /// Snapshot after every N-th completed step (>= 1).
   uint64_t every_steps = 1;
+  /// Exhausted-retry policy for snapshot appends.
+  OnError on_error = OnError::kDegrade;
+  /// Retry schedule for transient snapshot-append failures.
+  BackoffPolicy backoff;
 };
 
 /// Drives checkpointing for one (session, store, audit_id) binding. The
@@ -56,11 +71,22 @@ class CheckpointManager {
   uint64_t audit_id() const { return audit_id_; }
   uint64_t checkpoints_written() const { return checkpoints_written_; }
 
+  /// True once snapshotting was abandoned after an exhausted retry budget
+  /// (OnError::kDegrade only). The audit keeps running without it.
+  bool degraded() const { return degraded_; }
+  /// The exhausted error that stopped checkpointing (OK while healthy).
+  const Status& degraded_cause() const { return degraded_cause_; }
+  /// Snapshot-append retries performed over the manager's lifetime.
+  uint64_t retries() const { return retries_; }
+
  private:
   AnnotationStore* store_;
   uint64_t audit_id_;
   CheckpointOptions options_;
   uint64_t checkpoints_written_ = 0;
+  bool degraded_ = false;
+  Status degraded_cause_;
+  uint64_t retries_ = 0;
 };
 
 /// Drives a session to completion under checkpoint protection: resumes from

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "kgacc/util/codec.h"
+#include "kgacc/util/failpoint.h"
 
 namespace kgacc {
 
@@ -24,6 +25,26 @@ constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 30;
 
 Status IoError(const std::string& what, const std::string& path) {
   return Status::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// Fsyncs the directory containing `path`, making a just-created file's
+/// directory entry (or a just-truncated file's metadata) durable. Creating
+/// or resizing a file only becomes crash-safe once its parent directory is
+/// synced too.
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return IoError("cannot open WAL parent dir", dir);
+  if (::fsync(dfd) != 0) {
+    const Status status = IoError("cannot fsync WAL parent dir", dir);
+    ::close(dfd);
+    return status;
+  }
+  ::close(dfd);
+  return Status::OK();
 }
 
 /// Scans `data` (past the magic) frame by frame. Returns the byte offset
@@ -99,11 +120,21 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   WalRecoveryInfo recovery;
   size_t valid_end = 0;
   if (data.empty()) {
-    // Fresh log: stamp the magic.
+    // Fresh log: stamp the magic, then make the file itself and its
+    // directory entry durable before handing out a writable log.
     if (::pwrite(fd, kMagic, sizeof(kMagic), 0) !=
         static_cast<ssize_t>(sizeof(kMagic))) {
       ::close(fd);
       return IoError("cannot initialize WAL", path);
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return IoError("cannot fsync new WAL", path);
+    }
+    const Status dir_status = FsyncParentDir(path);
+    if (!dir_status.ok()) {
+      ::close(fd);
+      return dir_status;
     }
     valid_end = sizeof(kMagic);
   } else if (data.size() < sizeof(kMagic) ||
@@ -125,6 +156,18 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
       if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
         ::close(fd);
         return IoError("cannot truncate torn WAL tail", path);
+      }
+      // The truncation must be durable before new frames land after it: a
+      // crash that resurrects the torn tail under fresh appends would
+      // interleave garbage mid-log.
+      if (::fsync(fd) != 0) {
+        ::close(fd);
+        return IoError("cannot fsync truncated WAL", path);
+      }
+      const Status dir_status = FsyncParentDir(path);
+      if (!dir_status.ok()) {
+        ::close(fd);
+        return dir_status;
       }
     }
   }
@@ -152,9 +195,19 @@ WriteAheadLog::~WriteAheadLog() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+Status WriteAheadLog::MarkSticky(Status status) {
+  if (sticky_.ok()) sticky_ = status;
+  return status;
+}
+
 Status WriteAheadLog::Append(uint8_t type, std::span<const uint8_t> payload) {
+  if (!sticky_.ok()) return sticky_;
   if (payload.size() > kMaxPayloadBytes) {
     return Status::InvalidArgument("WAL frame payload exceeds 1 GiB");
+  }
+  if (FailpointHit("wal.append")) {
+    return MarkSticky(
+        Status::IoError("injected WAL append failure (failpoint wal.append)"));
   }
   // Assemble the whole frame first so a partial write can only tear the
   // file at a frame boundary the CRC scan detects, never interleave.
@@ -163,22 +216,43 @@ Status WriteAheadLog::Append(uint8_t type, std::span<const uint8_t> payload) {
   frame.PutVarint(payload.size());
   frame.PutBytes(payload.data(), payload.size());
   frame.PutFixed32(Crc32c(frame.bytes().data(), frame.size()));
+  if (FailpointHit("wal.append.torn")) {
+    // Write a genuine partial frame so recovery exercises the torn-tail
+    // truncation path, then sticky-fail like a real mid-write crash.
+    const size_t torn = frame.size() / 2;
+    std::fwrite(frame.bytes().data(), 1, torn, file_);
+    std::fflush(file_);
+    return MarkSticky(Status::IoError(
+        "injected torn WAL append (failpoint wal.append.torn)"));
+  }
   if (std::fwrite(frame.bytes().data(), 1, frame.size(), file_) !=
       frame.size()) {
-    return IoError("short write to WAL", path_);
+    return MarkSticky(IoError("short write to WAL", path_));
   }
+  const Status flushed = Flush();
+  if (!flushed.ok()) return flushed;  // Flush already marked the log sticky.
   ++frames_appended_;
-  return Flush();
+  return Status::OK();
 }
 
 Status WriteAheadLog::Flush() {
-  if (std::fflush(file_) != 0) return IoError("cannot flush WAL", path_);
+  if (!sticky_.ok()) return sticky_;
+  if (std::fflush(file_) != 0) {
+    return MarkSticky(IoError("cannot flush WAL", path_));
+  }
   return Status::OK();
 }
 
 Status WriteAheadLog::Sync() {
+  if (!sticky_.ok()) return sticky_;
   KGACC_RETURN_IF_ERROR(Flush());
-  if (::fsync(::fileno(file_)) != 0) return IoError("cannot fsync WAL", path_);
+  if (FailpointHit("wal.sync")) {
+    return MarkSticky(
+        Status::IoError("injected WAL fsync failure (failpoint wal.sync)"));
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return MarkSticky(IoError("cannot fsync WAL", path_));
+  }
   return Status::OK();
 }
 

@@ -25,6 +25,15 @@
 /// append starts at a clean frame boundary — everything before the first
 /// bad byte is kept, everything after is discarded (standard WAL recovery:
 /// a corrupt frame severs the chain, later frames are unreachable).
+///
+/// Failure semantics: any write, flush, or fsync failure puts the log in a
+/// *sticky error state* — every later `Append`/`Flush`/`Sync` returns the
+/// original error without touching the file. A WAL whose write path failed
+/// once cannot be trusted to hold a frame boundary, so it refuses to append
+/// rather than risk interleaving good frames after a torn one; callers
+/// reopen (which truncates any torn tail) to recover. Fault-injection sites
+/// for the chaos tests: `wal.append` (fail before writing), `wal.append.torn`
+/// (write a partial frame, then fail), `wal.sync` (fail the fsync).
 
 namespace kgacc {
 
@@ -64,6 +73,8 @@ class WriteAheadLog {
 
   /// Appends one frame and flushes it to the operating system (a crash of
   /// this process can no longer lose it; media durability needs `Sync`).
+  /// After any failure the log is sticky-failed and every later call
+  /// returns the original error.
   Status Append(uint8_t type, std::span<const uint8_t> payload);
 
   /// Flushes the stdio buffer to the OS.
@@ -72,6 +83,9 @@ class WriteAheadLog {
   /// Flush + fsync: the frame survives power loss, not just a process kill.
   Status Sync();
 
+  /// The error that sticky-failed this log; OK while the log is healthy.
+  const Status& sticky_error() const { return sticky_; }
+
   const std::string& path() const { return path_; }
   uint64_t frames_appended() const { return frames_appended_; }
 
@@ -79,9 +93,13 @@ class WriteAheadLog {
   WriteAheadLog(std::string path, std::FILE* file)
       : path_(std::move(path)), file_(file) {}
 
+  /// Records the first write-path failure and returns it.
+  Status MarkSticky(Status status);
+
   std::string path_;
   std::FILE* file_ = nullptr;
   uint64_t frames_appended_ = 0;
+  Status sticky_;
 };
 
 }  // namespace kgacc

@@ -1,0 +1,59 @@
+#include "kgacc/util/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace kgacc {
+
+ExponentialBackoff::ExponentialBackoff(const BackoffPolicy& policy)
+    : policy_(policy), rng_(policy.seed) {
+  policy_.max_attempts = std::max(policy_.max_attempts, 1);
+  policy_.initial_delay_ms = std::max(policy_.initial_delay_ms, 0.0);
+  policy_.multiplier = std::max(policy_.multiplier, 1.0);
+  policy_.max_delay_ms = std::max(policy_.max_delay_ms,
+                                  policy_.initial_delay_ms);
+  policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  next_nominal_ms_ = policy_.initial_delay_ms;
+}
+
+double ExponentialBackoff::NextDelayMs() {
+  const double nominal = std::min(next_nominal_ms_, policy_.max_delay_ms);
+  next_nominal_ms_ = std::min(next_nominal_ms_ * policy_.multiplier,
+                              policy_.max_delay_ms);
+  ++delays_issued_;
+  // Uniform factor in [1 - jitter, 1 + jitter]; one draw per delay keeps
+  // the schedule a pure function of (seed, delay index).
+  const double factor =
+      1.0 + policy_.jitter * (2.0 * rng_.Uniform() - 1.0);
+  return nominal * factor;
+}
+
+void ExponentialBackoff::Reset() {
+  rng_.Reseed(policy_.seed);
+  next_nominal_ms_ = policy_.initial_delay_ms;
+  delays_issued_ = 0;
+}
+
+Status RetryWithBackoff(const BackoffPolicy& policy,
+                        const std::function<Status()>& op,
+                        uint64_t* retries) {
+  ExponentialBackoff backoff(policy);
+  const int attempts = std::max(policy.max_attempts, 1);
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const double delay_ms = backoff.NextDelayMs();
+      if (delay_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+      if (retries != nullptr) ++*retries;
+    }
+    last = op();
+    if (last.ok() || !IsTransientError(last)) return last;
+  }
+  return last;
+}
+
+}  // namespace kgacc

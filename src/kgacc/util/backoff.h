@@ -1,0 +1,84 @@
+#ifndef KGACC_UTIL_BACKOFF_H_
+#define KGACC_UTIL_BACKOFF_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "kgacc/util/random.h"
+#include "kgacc/util/status.h"
+
+/// \file backoff.h
+/// Bounded, *seeded* exponential backoff with jitter — the retry discipline
+/// of the durability layer (`StoredAnnotator`, `CheckpointManager`). Seeded
+/// jitter keeps retried runs reproducible: the whole delay schedule is a
+/// pure function of the policy, so a chaos test that injects transient
+/// store errors replays the identical retry pattern every time.
+///
+/// Only I/O errors are treated as transient (`IsTransientError`): a
+/// FailedPrecondition (label conflict, sticky-WAL refusal) or
+/// InvalidArgument is a caller bug or a permanent state and retrying it
+/// would just burn the budget.
+
+namespace kgacc {
+
+/// Retry budget and delay curve. Delays grow `initial_delay_ms *
+/// multiplier^k`, capped at `max_delay_ms`, each scaled by a uniform jitter
+/// factor in [1 - jitter, 1 + jitter] drawn from a private Rng seeded with
+/// `seed`.
+struct BackoffPolicy {
+  /// Total attempts including the first (>= 1); `max_attempts - 1` retries.
+  int max_attempts = 4;
+  double initial_delay_ms = 1.0;
+  double multiplier = 2.0;
+  double max_delay_ms = 100.0;
+  /// Jitter fraction in [0, 1): 0.5 means each delay lands in [50%, 150%]
+  /// of its nominal value.
+  double jitter = 0.5;
+  /// Seed of the jitter stream (deterministic schedules).
+  uint64_t seed = 0xb0ff;
+};
+
+/// Transient = worth retrying. I/O errors only; everything else is either
+/// a caller bug (InvalidArgument, FailedPrecondition) or a state no retry
+/// can repair.
+inline bool IsTransientError(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+/// The delay sequence of one retry loop. Stateless callers use
+/// `RetryWithBackoff`; this class is exposed for tests and for call sites
+/// that need to interleave the delays with their own logic.
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(const BackoffPolicy& policy);
+
+  /// Jittered delay (milliseconds) before the next retry; advances the
+  /// sequence.
+  double NextDelayMs();
+
+  /// Restarts the sequence (delay curve and jitter stream).
+  void Reset();
+
+  /// Delays handed out since construction/Reset.
+  int delays_issued() const { return delays_issued_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  double next_nominal_ms_ = 0.0;
+  int delays_issued_ = 0;
+};
+
+/// Runs `op` up to `policy.max_attempts` times, sleeping a jittered
+/// exponential delay between attempts. Retries only while `op` keeps
+/// returning a transient error (`IsTransientError`); the first OK or
+/// permanent status is returned as-is, and an exhausted budget returns the
+/// last transient error. `*retries`, when given, is *incremented* by the
+/// number of retries performed (callers aggregate across many operations).
+Status RetryWithBackoff(const BackoffPolicy& policy,
+                        const std::function<Status()>& op,
+                        uint64_t* retries = nullptr);
+
+}  // namespace kgacc
+
+#endif  // KGACC_UTIL_BACKOFF_H_

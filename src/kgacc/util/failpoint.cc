@@ -1,0 +1,270 @@
+#include "kgacc/util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "kgacc/util/random.h"
+
+namespace kgacc {
+
+namespace failpoint_internal {
+std::atomic<uint32_t> g_armed_count{0};
+}  // namespace failpoint_internal
+
+namespace {
+
+enum class PolicyKind { kOff, kTimes, kEvery, kProb, kSleep };
+
+/// One armed point: policy parameters plus counters. The `prob` policy
+/// carries its own Rng so schedules replay deterministically and never
+/// perturb any evaluation-path random stream.
+struct Point {
+  PolicyKind kind = PolicyKind::kOff;
+  uint64_t n = 0;           // times:N / every:N
+  double p = 0.0;           // prob:P
+  double sleep_ms = 0.0;    // sleep:MS
+  Rng rng{0};               // prob only
+  FailpointStats stats;
+  bool armed = false;
+};
+
+struct Registry {
+  mutable std::mutex mu;
+  std::map<std::string, Point> points;
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry();  // Leaked: lives for the process.
+  return *r;
+}
+
+/// Splits `s` on `sep`, dropping empty pieces.
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+Status ParseCount(const std::string& token, const std::string& policy,
+                  uint64_t* out) {
+  // strtoull silently wraps a leading '-' to a huge value; reject signs.
+  if (!token.empty() && (token[0] == '-' || token[0] == '+')) {
+    return Status::InvalidArgument("failpoint policy '" + policy +
+                                   "' needs a positive integer, got '" +
+                                   token + "'");
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0' || v == 0) {
+    return Status::InvalidArgument("failpoint policy '" + policy +
+                                   "' needs a positive integer, got '" +
+                                   token + "'");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseNumber(const std::string& token, const std::string& policy,
+                   double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument("failpoint policy '" + policy +
+                                   "' needs a number, got '" + token + "'");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+/// Parses one policy string into `*out` (counters untouched). The name is
+/// only used to derive the default `prob` seed.
+Status ParsePolicy(const std::string& name, const std::string& policy,
+                   Point* out) {
+  const std::vector<std::string> tokens = Split(policy, ':');
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty failpoint policy for '" + name +
+                                   "'");
+  }
+  const std::string& kind = tokens[0];
+  if (kind == "off" && tokens.size() == 1) {
+    out->kind = PolicyKind::kOff;
+    out->armed = false;
+    return Status::OK();
+  }
+  if (kind == "once" && tokens.size() == 1) {
+    out->kind = PolicyKind::kTimes;
+    out->n = 1;
+  } else if (kind == "times" && tokens.size() == 2) {
+    out->kind = PolicyKind::kTimes;
+    KGACC_RETURN_IF_ERROR(ParseCount(tokens[1], policy, &out->n));
+  } else if (kind == "every" && tokens.size() == 2) {
+    out->kind = PolicyKind::kEvery;
+    KGACC_RETURN_IF_ERROR(ParseCount(tokens[1], policy, &out->n));
+  } else if (kind == "prob" &&
+             (tokens.size() == 2 ||
+              (tokens.size() == 4 && tokens[2] == "seed"))) {
+    out->kind = PolicyKind::kProb;
+    KGACC_RETURN_IF_ERROR(ParseNumber(tokens[1], policy, &out->p));
+    if (out->p < 0.0 || out->p > 1.0) {
+      return Status::InvalidArgument("failpoint probability must be in "
+                                     "[0, 1], got '" + tokens[1] + "'");
+    }
+    uint64_t seed = 0;
+    if (tokens.size() == 4) {
+      KGACC_RETURN_IF_ERROR(ParseCount(tokens[3], policy, &seed));
+    } else {
+      // Default seed: a stable hash of the point name, so two prob points
+      // armed without explicit seeds still draw decorrelated streams.
+      seed = 0xfa11;
+      for (const char c : name) seed = Mix64(seed ^ uint64_t(uint8_t(c)));
+    }
+    out->rng.Reseed(seed);
+  } else if (kind == "sleep" && tokens.size() == 2) {
+    out->kind = PolicyKind::kSleep;
+    KGACC_RETURN_IF_ERROR(ParseNumber(tokens[1], policy, &out->sleep_ms));
+    if (out->sleep_ms < 0.0) {
+      return Status::InvalidArgument("failpoint sleep must be >= 0 ms, got '" +
+                                     tokens[1] + "'");
+    }
+  } else {
+    return Status::InvalidArgument("unknown failpoint policy '" + policy +
+                                   "' for '" + name +
+                                   "' (expected off|once|times:N|every:N|"
+                                   "prob:P[:seed:S]|sleep:MS)");
+  }
+  out->armed = true;
+  return Status::OK();
+}
+
+/// Recomputes the fast-path armed counter after any registry mutation.
+/// Called with the registry lock held.
+void RefreshArmedCount(const Registry& registry) {
+  uint32_t armed = 0;
+  for (const auto& [name, point] : registry.points) {
+    if (point.armed) ++armed;
+  }
+  failpoint_internal::g_armed_count.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace failpoint_internal {
+
+bool EvaluateSlow(const char* name) {
+  Registry& registry = TheRegistry();
+  double sleep_ms = 0.0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    const auto it = registry.points.find(name);
+    if (it == registry.points.end() || !it->second.armed) return false;
+    Point& point = it->second;
+    ++point.stats.evaluations;
+    switch (point.kind) {
+      case PolicyKind::kOff:
+        break;
+      case PolicyKind::kTimes:
+        // Fire on the first N evaluations, then stay healed (the count
+        // keeps ticking so tests can see the point was still consulted).
+        fire = point.stats.evaluations <= point.n;
+        break;
+      case PolicyKind::kEvery:
+        fire = point.stats.evaluations % point.n == 0;
+        break;
+      case PolicyKind::kProb:
+        fire = point.rng.Uniform() < point.p;
+        break;
+      case PolicyKind::kSleep:
+        sleep_ms = point.sleep_ms;
+        break;
+    }
+    if (fire) ++point.stats.failures;
+  }
+  // Sleep outside the lock: injected latency must stall the *site*, not
+  // every other failpoint evaluation in the process.
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        sleep_ms));
+  }
+  return fire;
+}
+
+}  // namespace failpoint_internal
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* instance = new FailpointRegistry();
+  return *instance;
+}
+
+Status FailpointRegistry::Arm(const std::string& spec) {
+  // Parse everything first so a malformed tail cannot leave a half-armed
+  // schedule behind.
+  std::vector<std::pair<std::string, Point>> parsed;
+  for (const std::string& entry : Split(spec, ';')) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+      return Status::InvalidArgument("failpoint spec entry '" + entry +
+                                     "' is not name=policy");
+    }
+    const std::string name = entry.substr(0, eq);
+    Point point;
+    KGACC_RETURN_IF_ERROR(ParsePolicy(name, entry.substr(eq + 1), &point));
+    parsed.emplace_back(name, std::move(point));
+  }
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, point] : parsed) {
+    registry.points[name] = std::move(point);
+  }
+  RefreshArmedCount(registry);
+  return Status::OK();
+}
+
+Status FailpointRegistry::ArmOne(const std::string& name,
+                                 const std::string& policy) {
+  return Arm(name + "=" + policy);
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(name);
+  if (it != registry.points.end()) it->second.armed = false;
+  RefreshArmedCount(registry);
+}
+
+void FailpointRegistry::DisarmAll() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+  RefreshArmedCount(registry);
+}
+
+FailpointStats FailpointRegistry::Stats(const std::string& name) const {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(name);
+  return it == registry.points.end() ? FailpointStats{} : it->second.stats;
+}
+
+std::vector<std::string> FailpointRegistry::ArmedNames() const {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  for (const auto& [name, point] : registry.points) {
+    if (point.armed) names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted.
+}
+
+}  // namespace kgacc

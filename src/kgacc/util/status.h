@@ -24,6 +24,7 @@ enum class StatusCode {
   kNumericError,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

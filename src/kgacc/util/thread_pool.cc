@@ -133,6 +133,14 @@ uint64_t ThreadPool::executed_tasks() const {
   return total;
 }
 
+uint64_t ThreadPool::task_exceptions() const {
+  uint64_t total = 0;
+  for (int i = 0; i < num_threads(); ++i) {
+    total += shards_[i].exceptions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 bool ThreadPool::TryRunOne(int self) {
   const int n = num_threads();
   std::function<void()> task;
@@ -158,8 +166,17 @@ bool ThreadPool::TryRunOne(int self) {
   }
   if (!task) return false;
   queued_.fetch_sub(1);
-  task();
   Shard& self_shard = shards_[self];
+  try {
+    task();
+  } catch (...) {
+    // A task that slips an exception past its own guards must not take the
+    // worker (and via std::terminate the process) down with it: swallow,
+    // count, and keep the completion accounting exact so Wait() still
+    // returns. Callers that care wrap their work in Result/Status; the
+    // counter is the tripwire for ones that forgot.
+    self_shard.exceptions.fetch_add(1, std::memory_order_relaxed);
+  }
   self_shard.executed.fetch_add(1, std::memory_order_relaxed);
   if (stolen) self_shard.stolen.fetch_add(1, std::memory_order_relaxed);
   if (unfinished_.fetch_sub(1) == 1) {

@@ -58,7 +58,9 @@ class TaskRing {
   size_t count_ = 0;
 };
 
-/// Fixed-size sharded thread pool. Tasks must not throw.
+/// Fixed-size sharded thread pool. Tasks should not throw — fallible work
+/// belongs in Status/Result — but a task that does is contained at the
+/// worker boundary and counted (`task_exceptions`), never std::terminate.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1), one job ring each.
@@ -112,6 +114,12 @@ class ThreadPool {
   /// Tasks executed in total (cumulative, all workers).
   uint64_t executed_tasks() const;
 
+  /// Tasks that threw (cumulative, all workers). The worker boundary
+  /// catches everything — a throwing task is counted here and the pool
+  /// carries on, instead of std::terminate tearing the process down.
+  /// Non-zero means some task violated the tasks-must-not-throw contract.
+  uint64_t task_exceptions() const;
+
  private:
   /// Per-worker queue + counters, padded to a cache line so one worker's
   /// bookkeeping writes never invalidate a neighbour's line (the
@@ -127,6 +135,9 @@ class ThreadPool {
     /// neighbours' cache lines.
     std::atomic<uint64_t> executed{0};
     std::atomic<uint64_t> stolen{0};
+    /// Tasks that escaped with an exception (caught at the worker
+    /// boundary; see `task_exceptions`).
+    std::atomic<uint64_t> exceptions{0};
   };
 
   /// Pops own ring or steals; runs at most one task. False = pool is dry.

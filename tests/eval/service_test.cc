@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -544,6 +545,151 @@ TEST(EvaluationServiceTest, OnStepHookObservesEveryIterationAndCanAbort) {
   // The aborting hook fails its own job only, with its own status.
   EXPECT_EQ(batch.outcomes[1].status.code(), StatusCode::kIoError);
   EXPECT_EQ(batch.stats.failed, 1u);
+}
+
+/// Throws from inside the evaluation loop after a few judgments — the
+/// misbehaving-user-annotator case the worker boundary must contain.
+class ThrowingAnnotator final : public Annotator {
+ public:
+  explicit ThrowingAnnotator(int throw_after) : throw_after_(throw_after) {}
+  bool Annotate(const KgView& kg, const TripleRef& ref, Rng* rng) override {
+    if (++calls_ > throw_after_) {
+      throw std::runtime_error("annotator backend lost connection");
+    }
+    return oracle_.Annotate(kg, ref, rng);
+  }
+
+ private:
+  OracleAnnotator oracle_;
+  int throw_after_;
+  int calls_ = 0;
+};
+
+TEST(EvaluationServiceTest, ThrowingAnnotatorFailsItsJobNotTheProcess) {
+  const auto kg = MakeKg(0.85, 500);
+  OracleAnnotator healthy;
+  ThrowingAnnotator throwing(5);
+  SrsSampler srs(kg, SrsConfig{});
+  EvaluationService service(EvaluationService::Options{.num_threads = 2});
+
+  EvaluationJob good;
+  good.sampler = &srs;
+  good.annotator = &healthy;
+  good.seed = 11;
+  EvaluationJob bad = good;
+  bad.annotator = &throwing;
+  const auto batch = service.RunBatch({good, bad});
+  ASSERT_EQ(batch.outcomes.size(), 2u);
+  // The healthy job is untouched; the throwing one reports kInternal with
+  // the exception text instead of std::terminate taking the process down.
+  EXPECT_TRUE(batch.outcomes[0].status.ok());
+  EXPECT_EQ(batch.outcomes[1].status.code(), StatusCode::kInternal);
+  EXPECT_NE(batch.outcomes[1].status.message().find("lost connection"),
+            std::string::npos);
+  EXPECT_EQ(batch.stats.failed, 1u);
+  // The pool survives for the next batch.
+  const auto again = service.RunBatch({good});
+  EXPECT_TRUE(again.outcomes[0].status.ok());
+}
+
+TEST(EvaluationServiceTest, StepBudgetCancelsWithDeadlineExceeded) {
+  const auto kg = MakeKg(0.85, 500);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  EvaluationService service(EvaluationService::Options{.num_threads = 2});
+
+  EvaluationJob job;
+  job.sampler = &srs;
+  job.annotator = &annotator;
+  job.seed = 5;
+  job.config.moe_threshold = 0.001;  // Far more steps than the budget.
+  job.max_steps = 2;
+  const auto batch = service.RunBatch({job});
+  ASSERT_EQ(batch.outcomes.size(), 1u);
+  EXPECT_EQ(batch.outcomes[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(batch.outcomes[0].deadline_exceeded);
+  EXPECT_EQ(batch.stats.deadline_hits, 1u);
+  EXPECT_EQ(batch.stats.failed, 1u);
+}
+
+TEST(EvaluationServiceTest, WallClockDeadlineCancelsWithDeadlineExceeded) {
+  const auto kg = MakeKg(0.85, 500);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  EvaluationService service(EvaluationService::Options{.num_threads = 1});
+
+  EvaluationJob job;
+  job.sampler = &srs;
+  job.annotator = &annotator;
+  job.seed = 6;
+  job.config.moe_threshold = 0.001;
+  job.deadline_seconds = 1e-9;  // Any real step overruns this.
+  const auto batch = service.RunBatch({job});
+  ASSERT_EQ(batch.outcomes.size(), 1u);
+  EXPECT_EQ(batch.outcomes[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(batch.outcomes[0].deadline_exceeded);
+  EXPECT_EQ(batch.stats.deadline_hits, 1u);
+}
+
+TEST(EvaluationServiceTest, BudgetsGenerousEnoughDoNotPerturbResults) {
+  // A budgeted job that never hits its budget must land on the exact bytes
+  // of the unbudgeted run (the budgeted path steps explicitly).
+  const auto kg = MakeKg(0.85, 500);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  EvaluationService service(EvaluationService::Options{.num_threads = 2});
+
+  EvaluationJob plain;
+  plain.sampler = &srs;
+  plain.annotator = &annotator;
+  plain.seed = 7;
+  EvaluationJob budgeted = plain;
+  budgeted.max_steps = 1u << 20;
+  budgeted.deadline_seconds = 3600.0;
+  const auto batch = service.RunBatch({plain, budgeted});
+  ASSERT_TRUE(batch.outcomes[0].status.ok());
+  ASSERT_TRUE(batch.outcomes[1].status.ok());
+  ExpectSameResult(batch.outcomes[0].result, batch.outcomes[1].result);
+  EXPECT_FALSE(batch.outcomes[1].deadline_exceeded);
+}
+
+TEST(EvaluationServiceTest, RobustnessCollectorFlowsIntoOutcomeAndStats) {
+  const auto kg = MakeKg(0.85, 500);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  EvaluationService service(EvaluationService::Options{.num_threads = 2});
+
+  EvaluationJob clean;
+  clean.sampler = &srs;
+  clean.annotator = &annotator;
+  clean.seed = 8;
+  EvaluationJob shaky = clean;
+  shaky.robustness = [] { return JobRobustness{true, 7}; };
+  const auto batch = service.RunBatch({clean, shaky});
+  ASSERT_EQ(batch.outcomes.size(), 2u);
+  EXPECT_FALSE(batch.outcomes[0].degraded);
+  EXPECT_EQ(batch.outcomes[0].retries, 0u);
+  EXPECT_TRUE(batch.outcomes[1].degraded);
+  EXPECT_EQ(batch.outcomes[1].retries, 7u);
+  EXPECT_EQ(batch.stats.degraded_jobs, 1u);
+  EXPECT_EQ(batch.stats.total_retries, 7u);
+  EXPECT_EQ(batch.stats.deadline_hits, 0u);
+}
+
+TEST(EvaluationServiceTest, UnarmedDefaultReportsZeroRobustnessCounters) {
+  const auto kg = MakeKg(0.85, 500);
+  OracleAnnotator annotator;
+  SrsSampler srs(kg, SrsConfig{});
+  EvaluationService service(EvaluationService::Options{.num_threads = 2});
+  const auto batch = service.RunBatch(MixedJobs(srs, srs, annotator));
+  EXPECT_EQ(batch.stats.degraded_jobs, 0u);
+  EXPECT_EQ(batch.stats.total_retries, 0u);
+  EXPECT_EQ(batch.stats.deadline_hits, 0u);
+  for (const EvaluationJobOutcome& out : batch.outcomes) {
+    EXPECT_FALSE(out.degraded);
+    EXPECT_EQ(out.retries, 0u);
+    EXPECT_FALSE(out.deadline_exceeded);
+  }
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "kgacc/util/codec.h"
+#include "kgacc/util/failpoint.h"
 
 #include <gtest/gtest.h>
 
@@ -183,6 +184,107 @@ TEST(WalTest, NotAWalFileIsRejected) {
   Dump(path, {'h', 'e', 'l', 'l', 'o', ' ', 'w', 'o', 'r', 'l', 'd'});
   auto log = WriteAheadLog::Open(path, nullptr);
   EXPECT_FALSE(log.ok());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ZeroLengthLogOpensClean) {
+  const std::string path = TempPath("zerolen");
+  Dump(path, {});  // An empty file: created, never written.
+  std::vector<Frame> replayed;
+  WalRecoveryInfo info;
+  auto log = WriteAheadLog::Open(path, Collect(&replayed), &info);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(replayed.empty());
+  EXPECT_FALSE(info.truncated_tail);
+  // The open stamped the magic, so the log round-trips like any fresh one.
+  ASSERT_TRUE((*log)->Append(1, Payload({42})).ok());
+  log = WriteAheadLog::Open(path, Collect(&replayed), &info);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].payload, Payload({42}));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, UnopenablePathIsADescriptiveIoError) {
+  // A directory cannot be a log file; a missing parent cannot hold one.
+  // (Permission-bit tests do not work here — CI runs as root.)
+  for (const std::string path :
+       {testing::TempDir(),
+        TempPath("no_such_dir") + "/sub/dir/log.wal"}) {
+    auto log = WriteAheadLog::Open(path, nullptr);
+    ASSERT_FALSE(log.ok());
+    EXPECT_EQ(log.status().code(), StatusCode::kIoError);
+    // The message names the path and carries the OS reason.
+    EXPECT_NE(log.status().message().find(path), std::string::npos)
+        << log.status().ToString();
+    EXPECT_NE(log.status().message().find(": "), std::string::npos);
+  }
+}
+
+TEST(WalTest, FailedSyncStickyRejectsAllLaterAppends) {
+  const std::string path = TempPath("stickysync");
+  std::remove(path.c_str());
+  ScopedFailpoints armed("wal.sync=once");
+  ASSERT_TRUE(armed.status().ok());
+  auto log = WriteAheadLog::Open(path, nullptr);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(1, Payload({1})).ok());
+  const Status failed = (*log)->Sync();
+  ASSERT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_EQ((*log)->sticky_error().code(), StatusCode::kIoError);
+  // Every later operation returns the original error, file untouched: a
+  // log whose write path failed once must not interleave frames after it.
+  const std::vector<uint8_t> before = Slurp(path);
+  EXPECT_EQ((*log)->Append(2, Payload({2})).ToString(), failed.ToString());
+  EXPECT_EQ((*log)->Sync().ToString(), failed.ToString());
+  EXPECT_EQ((*log)->Flush().ToString(), failed.ToString());
+  EXPECT_EQ(Slurp(path), before);
+  EXPECT_EQ((*log)->frames_appended(), 1u);
+  // Reopening recovers: the failure was injected, the bytes are intact.
+  std::vector<Frame> replayed;
+  auto reopened = WriteAheadLog::Open(path, Collect(&replayed));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(replayed.size(), 1u);
+  EXPECT_TRUE((*reopened)->sticky_error().ok());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, InjectedAppendFailureIsStickyAndWritesNothing) {
+  const std::string path = TempPath("stickyappend");
+  std::remove(path.c_str());
+  ScopedFailpoints armed("wal.append=once");
+  ASSERT_TRUE(armed.status().ok());
+  auto log = WriteAheadLog::Open(path, nullptr);
+  ASSERT_TRUE(log.ok());
+  const std::vector<uint8_t> before = Slurp(path);
+  const Status failed = (*log)->Append(1, Payload({1}));
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_EQ(Slurp(path), before);  // Failed before writing a byte.
+  EXPECT_EQ((*log)->Append(1, Payload({1})).ToString(), failed.ToString());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, InjectedTornAppendIsRecoveredByReopen) {
+  const std::string path = TempPath("injtorn");
+  std::remove(path.c_str());
+  {
+    ScopedFailpoints armed("wal.append.torn=times:1");
+    ASSERT_TRUE(armed.status().ok());
+    auto log = WriteAheadLog::Open(path, nullptr);
+    ASSERT_TRUE(log.ok());
+    ASSERT_EQ((*log)->Append(1, Payload({5, 6, 7})).code(),
+              StatusCode::kIoError);
+  }
+  // The file holds a genuine partial frame; recovery truncates it and the
+  // log is appendable again.
+  std::vector<Frame> replayed;
+  WalRecoveryInfo info;
+  auto log = WriteAheadLog::Open(path, Collect(&replayed), &info);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(replayed.empty());
+  EXPECT_TRUE(info.truncated_tail);
+  EXPECT_GT(info.bytes_discarded, 0u);
+  ASSERT_TRUE((*log)->Append(2, Payload({8})).ok());
   std::remove(path.c_str());
 }
 

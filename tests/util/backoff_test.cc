@@ -1,0 +1,123 @@
+// Backoff semantics: the delay curve grows exponentially under a cap, the
+// jitter stream is deterministic given its seed, and RetryWithBackoff
+// retries transient errors only, within the attempt budget.
+
+#include "kgacc/util/backoff.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+BackoffPolicy FastPolicy() {
+  // Near-zero delays: these tests exercise logic, not wall clocks.
+  BackoffPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_delay_ms = 0.001;
+  policy.max_delay_ms = 0.01;
+  return policy;
+}
+
+TEST(BackoffTest, DelaysGrowExponentiallyUnderTheCap) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 1.0;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 10.0;
+  policy.jitter = 0.0;  // Nominal curve only.
+  ExponentialBackoff backoff(policy);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 4.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 8.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 10.0);  // Capped.
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 10.0);
+  EXPECT_EQ(backoff.delays_issued(), 6);
+}
+
+TEST(BackoffTest, JitterStaysInBandAndIsSeedDeterministic) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 1.0;
+  policy.multiplier = 1.0;  // Constant nominal, so the band is fixed.
+  policy.jitter = 0.5;
+  policy.seed = 99;
+  std::vector<double> first, second;
+  ExponentialBackoff a(policy);
+  for (int i = 0; i < 32; ++i) first.push_back(a.NextDelayMs());
+  ExponentialBackoff b(policy);
+  for (int i = 0; i < 32; ++i) second.push_back(b.NextDelayMs());
+  EXPECT_EQ(first, second);
+  for (const double delay : first) {
+    EXPECT_GE(delay, 0.5);
+    EXPECT_LE(delay, 1.5);
+  }
+  // Reset replays the same schedule.
+  a.Reset();
+  EXPECT_DOUBLE_EQ(a.NextDelayMs(), first[0]);
+}
+
+TEST(BackoffTest, RetrySucceedsAfterTransientFailures) {
+  int calls = 0;
+  uint64_t retries = 0;
+  const Status status = RetryWithBackoff(
+      FastPolicy(),
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::IoError("transient") : Status::OK();
+      },
+      &retries);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(BackoffTest, RetryStopsAtTheAttemptBudget) {
+  int calls = 0;
+  uint64_t retries = 0;
+  const Status status = RetryWithBackoff(
+      FastPolicy(),
+      [&] {
+        ++calls;
+        return Status::IoError("always transient");
+      },
+      &retries);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 4);    // max_attempts.
+  EXPECT_EQ(retries, 3u); // max_attempts - 1.
+}
+
+TEST(BackoffTest, PermanentErrorsAreNeverRetried) {
+  int calls = 0;
+  uint64_t retries = 0;
+  const Status status = RetryWithBackoff(
+      FastPolicy(),
+      [&] {
+        ++calls;
+        return Status::FailedPrecondition("caller bug");
+      },
+      &retries);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(BackoffTest, FirstSuccessReturnsImmediately) {
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(FastPolicy(), [&] { ++calls; return Status::OK(); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(BackoffTest, TransientPredicateIsIoErrorOnly) {
+  EXPECT_TRUE(IsTransientError(Status::IoError("disk hiccup")));
+  EXPECT_FALSE(IsTransientError(Status::OK()));
+  EXPECT_FALSE(IsTransientError(Status::FailedPrecondition("conflict")));
+  EXPECT_FALSE(IsTransientError(Status::InvalidArgument("bad arg")));
+  EXPECT_FALSE(IsTransientError(Status::Internal("bug")));
+  EXPECT_FALSE(IsTransientError(Status::DeadlineExceeded("late")));
+}
+
+}  // namespace
+}  // namespace kgacc

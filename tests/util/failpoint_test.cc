@@ -1,0 +1,147 @@
+// Failpoint subsystem semantics: spec parsing is transactional, every
+// policy fires on its documented schedule, schedules are deterministic
+// (seeded), and an unarmed process pays one atomic load per site.
+
+#include "kgacc/util/failpoint.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+class FailpointTest : public testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedPointNeverFires) {
+  EXPECT_FALSE(FailpointHit("test.nothing"));
+  EXPECT_FALSE(FailpointHit("test.nothing"));
+  const FailpointStats stats =
+      FailpointRegistry::Instance().Stats("test.nothing");
+  EXPECT_EQ(stats.evaluations, 0u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnceThenHeals) {
+  ASSERT_TRUE(FailpointRegistry::Instance().ArmOne("test.once", "once").ok());
+  EXPECT_TRUE(FailpointHit("test.once"));
+  EXPECT_FALSE(FailpointHit("test.once"));
+  EXPECT_FALSE(FailpointHit("test.once"));
+  const FailpointStats stats = FailpointRegistry::Instance().Stats("test.once");
+  EXPECT_EQ(stats.evaluations, 3u);
+  EXPECT_EQ(stats.failures, 1u);
+}
+
+TEST_F(FailpointTest, TimesFiresOnTheFirstNEvaluations) {
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().ArmOne("test.times", "times:3").ok());
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += FailpointHit("test.times") ? 1 : 0;
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FailpointTest, EveryFiresOnEveryNth) {
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().ArmOne("test.every", "every:3").ok());
+  std::vector<bool> hits;
+  for (int i = 0; i < 9; ++i) hits.push_back(FailpointHit("test.every"));
+  const std::vector<bool> expected = {false, false, true, false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(hits, expected);
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicGivenTheSeed) {
+  auto run_schedule = [] {
+    ScopedFailpoints armed("test.prob=prob:0.5:seed:1234");
+    EXPECT_TRUE(armed.status().ok());
+    std::vector<bool> hits;
+    for (int i = 0; i < 64; ++i) hits.push_back(FailpointHit("test.prob"));
+    return hits;
+  };
+  const std::vector<bool> first = run_schedule();
+  const std::vector<bool> second = run_schedule();
+  EXPECT_EQ(first, second);
+  // p = 0.5 over 64 draws: both outcomes must occur (the chance of a
+  // constant schedule is 2^-63).
+  int fired = 0;
+  for (const bool hit : first) fired += hit ? 1 : 0;
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+}
+
+TEST_F(FailpointTest, ProbZeroNeverFiresProbOneAlwaysFires) {
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("test.p0=prob:0;test.p1=prob:1")
+                  .ok());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(FailpointHit("test.p0"));
+    EXPECT_TRUE(FailpointHit("test.p1"));
+  }
+}
+
+TEST_F(FailpointTest, SleepInjectsLatencyButNeverFails) {
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().ArmOne("test.sleep", "sleep:1").ok());
+  EXPECT_FALSE(FailpointHit("test.sleep"));
+  const FailpointStats stats =
+      FailpointRegistry::Instance().Stats("test.sleep");
+  EXPECT_EQ(stats.evaluations, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST_F(FailpointTest, MultiPointSpecArmsEveryEntry) {
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("a.one=once;b.two=every:2;c.three=sleep:0")
+                  .ok());
+  const std::vector<std::string> armed =
+      FailpointRegistry::Instance().ArmedNames();
+  EXPECT_EQ(armed, (std::vector<std::string>{"a.one", "b.two", "c.three"}));
+}
+
+TEST_F(FailpointTest, MalformedSpecIsRejectedTransactionally) {
+  // The valid head must not arm when the tail is garbage.
+  const Status bad =
+      FailpointRegistry::Instance().Arm("good.point=once;bad.point=banana:7");
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(FailpointRegistry::Instance().ArmedNames().empty());
+  EXPECT_FALSE(FailpointHit("good.point"));
+
+  for (const char* spec :
+       {"noequals", "=policy", "name=", "p=prob:1.5", "p=prob:0.5:seed:x",
+        "p=times:0", "p=every:-1", "p=sleep:-2", "p=off:3"}) {
+    EXPECT_EQ(FailpointRegistry::Instance().Arm(spec).code(),
+              StatusCode::kInvalidArgument)
+        << "spec not rejected: " << spec;
+  }
+}
+
+TEST_F(FailpointTest, OffAndDisarmStopTheSchedule) {
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().ArmOne("test.off", "every:1").ok());
+  EXPECT_TRUE(FailpointHit("test.off"));
+  ASSERT_TRUE(FailpointRegistry::Instance().ArmOne("test.off", "off").ok());
+  EXPECT_FALSE(FailpointHit("test.off"));
+
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().ArmOne("test.dis", "every:1").ok());
+  EXPECT_TRUE(FailpointHit("test.dis"));
+  FailpointRegistry::Instance().Disarm("test.dis");
+  EXPECT_FALSE(FailpointHit("test.dis"));
+}
+
+TEST_F(FailpointTest, ScopedFailpointsDisarmOnExit) {
+  {
+    ScopedFailpoints armed("test.scoped=every:1");
+    ASSERT_TRUE(armed.status().ok());
+    EXPECT_TRUE(FailpointHit("test.scoped"));
+  }
+  EXPECT_FALSE(FailpointHit("test.scoped"));
+  EXPECT_TRUE(FailpointRegistry::Instance().ArmedNames().empty());
+}
+
+}  // namespace
+}  // namespace kgacc

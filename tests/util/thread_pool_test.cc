@@ -4,6 +4,7 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -323,6 +324,26 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
     // No Wait(): the destructor must still run everything.
   }
   EXPECT_EQ(counter.load(), 40);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsContainedCountedAndPoolSurvives) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&ran, i] {
+      if (i % 2 == 0) throw std::runtime_error("task bug");
+      ran.fetch_add(1);
+    });
+  }
+  // Wait() must return even though half the tasks threw (completion
+  // accounting survives the catch), and the workers keep serving.
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(pool.task_exceptions(), 4u);
+  EXPECT_EQ(pool.executed_tasks(), 8u);
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 5);
 }
 
 }  // namespace

@@ -21,6 +21,13 @@
 // uninterrupted run would have produced, byte for byte. A later audit of
 // the same KG pointed at the same store reuses every overlapping label.
 //
+// `--failpoints=SPEC` (or the KGACC_FAILPOINTS environment variable) arms
+// deterministic fault injection for chaos testing; see failpoint.h for the
+// grammar (`wal.sync=once;store.append=prob:0.25:seed:7`). Transient store
+// failures are retried with bounded backoff; an exhausted budget degrades
+// the audit to read-only persistence (`--store-errors=degrade`, the
+// default) or aborts it (`--store-errors=fail`).
+//
 // Examples:
 //   kgacc_audit --kg=facts.tsv
 //   kgacc_audit --kg=facts.tsv --design=twcs --method=ahpd --alpha=0.01
@@ -28,9 +35,12 @@
 //   kgacc_audit --kg=facts.tsv --annotator=human --json
 //   kgacc_audit --kg=facts.tsv --store=audit.wal            # durable
 //   kgacc_audit --kg=facts.tsv --store=audit.wal --resume   # after a crash
+//   kgacc_audit --kg=facts.tsv --store=audit.wal \
+//       --failpoints=store.append=every:5                   # chaos
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 
@@ -80,6 +90,13 @@ ArgParser BuildParser() {
       .AddFlag("crash-after-steps",
                "SIGKILL the process after N steps of this run (crash-"
                "recovery testing)")
+      .AddFlag("failpoints",
+               "fault-injection spec, name=policy;... with policy off|once|"
+               "times:N|every:N|prob:P[:seed:S]|sleep:MS (also read from "
+               "KGACC_FAILPOINTS)")
+      .AddFlag("store-errors",
+               "exhausted store-write retries: degrade (read-only "
+               "persistence, audit continues) or fail (default degrade)")
       .AddFlag("help", "show this help");
   return parser;
 }
@@ -147,6 +164,25 @@ int RunMain(int argc, char** argv) {
     std::printf("%s", parser.HelpText().c_str());
     return 0;
   }
+
+  // Fault injection arms before anything touches the store, so even the
+  // opening replay runs under the schedule. The flag wins over the
+  // environment (a CI matrix sets the env; a shell overrides per run).
+  std::string failpoints = parsed->GetString("failpoints");
+  if (failpoints.empty()) {
+    const char* env = std::getenv("KGACC_FAILPOINTS");
+    if (env != nullptr) failpoints = env;
+  }
+  if (!failpoints.empty()) {
+    const Status armed = FailpointRegistry::Instance().Arm(failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "bad --failpoints: %s\n",
+                   armed.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "[failpoints] armed: %s\n", failpoints.c_str());
+  }
+
   const std::string kg_path = parsed->GetString("kg");
   if (kg_path.empty()) {
     std::fprintf(stderr, "--kg is required\n%s", parser.HelpText().c_str());
@@ -361,7 +397,13 @@ int RunMain(int argc, char** argv) {
         return 2;
       }
     }
-    auto store = AnnotationStore::Open(parsed->GetString("store"));
+    // The CLI opts into fsynced checkpoint frames: a tool whose whole job
+    // is surviving kill -9 should not leave its resume points in the page
+    // cache. (Annotation records are flushed per append either way.)
+    AnnotationStore::Options store_open_options;
+    store_open_options.sync_checkpoints = true;
+    auto store =
+        AnnotationStore::Open(parsed->GetString("store"), store_open_options);
     if (!store.ok()) {
       std::fprintf(stderr, "cannot open annotation store: %s\n",
                    store.status().ToString().c_str());
@@ -374,13 +416,28 @@ int RunMain(int argc, char** argv) {
                    static_cast<unsigned long long>(
                        (*store)->stats().recovery.bytes_discarded));
     }
+    const std::string store_errors =
+        parsed->GetString("store-errors", "degrade");
+    if (store_errors != "degrade" && store_errors != "fail") {
+      std::fprintf(stderr, "--store-errors must be degrade or fail, got "
+                   "'%s'\n", store_errors.c_str());
+      return 2;
+    }
+    StoredAnnotator::Options stored_options;
+    stored_options.write_error_mode =
+        store_errors == "fail" ? StoredAnnotator::WriteErrorMode::kFailFast
+                               : StoredAnnotator::WriteErrorMode::kDegrade;
     StoredAnnotator stored(annotator.get(), store->get(),
-                           static_cast<uint64_t>(*audit_id));
+                           static_cast<uint64_t>(*audit_id), stored_options);
     EvaluationSession session(*sampler, stored, config,
                               static_cast<uint64_t>(*seed));
-    CheckpointManager manager(
-        store->get(), static_cast<uint64_t>(*audit_id),
-        CheckpointOptions{.every_steps = static_cast<uint64_t>(*every)});
+    CheckpointOptions manager_options;
+    manager_options.every_steps = static_cast<uint64_t>(*every);
+    manager_options.on_error = store_errors == "fail"
+                                   ? CheckpointOptions::OnError::kFail
+                                   : CheckpointOptions::OnError::kDegrade;
+    CheckpointManager manager(store->get(), static_cast<uint64_t>(*audit_id),
+                              manager_options);
     if (*resume && manager.CanResume()) {
       const Status restored = manager.Resume(&session);
       if (!restored.ok()) {
@@ -426,18 +483,37 @@ int RunMain(int argc, char** argv) {
                    result.status().ToString().c_str());
       return 1;
     }
+    if (stored.degraded()) {
+      std::fprintf(stderr,
+                   "[store] DEGRADED: persistence stopped after retries "
+                   "(%s); %llu labels served but not stored — a resumed run "
+                   "re-judges them\n",
+                   stored.degraded_cause().ToString().c_str(),
+                   static_cast<unsigned long long>(stored.labels_dropped()));
+    }
+    if (manager.degraded()) {
+      std::fprintf(stderr,
+                   "[store] DEGRADED: checkpointing stopped after retries "
+                   "(%s); recovery recomputes from the last good snapshot\n",
+                   manager.degraded_cause().ToString().c_str());
+    }
     if (*json) {
       std::printf("%s\n", RenderJsonReport(context, config, *result).c_str());
     } else {
       std::printf("%s", RenderTextReport(context, config, *result).c_str());
       std::printf("[store] %s: %llu labels on file, %llu served from store, "
-                  "%llu new oracle judgments, %llu checkpoints this run\n",
+                  "%llu new oracle judgments, %llu checkpoints this run, "
+                  "%llu write retries%s\n",
                   (*store)->path().c_str(),
                   static_cast<unsigned long long>((*store)->num_labeled()),
                   static_cast<unsigned long long>(stored.store_hits()),
                   static_cast<unsigned long long>(stored.oracle_calls()),
                   static_cast<unsigned long long>(
-                      manager.checkpoints_written()));
+                      manager.checkpoints_written()),
+                  static_cast<unsigned long long>(stored.retries() +
+                                                  manager.retries()),
+                  stored.degraded() || manager.degraded() ? ", DEGRADED"
+                                                          : "");
     }
     return result->converged ? 0 : 3;
   }
