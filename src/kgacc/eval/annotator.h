@@ -47,6 +47,16 @@ class Annotator {
   /// extensions.
   virtual int JudgmentsPerTriple() const { return 1; }
 
+  /// True when the annotator's durable layer downgraded to read-only
+  /// operation (judgments still served, no longer persisted). Plain
+  /// annotators have no durable layer and are never degraded; decorators
+  /// like `StoredAnnotator` override this so sessions can surface the
+  /// downgrade uniformly in `EvaluationResult` / rendered reports.
+  virtual bool degraded() const { return false; }
+
+  /// Human-readable cause of the degradation; empty when healthy.
+  virtual std::string degradation_note() const { return {}; }
+
   /// Consumes exactly the Rng draws one `Annotate` call would, judging
   /// nothing. `StoredAnnotator`'s opt-in `burn_rng_on_hits` calls this on
   /// store hits so a store-backed run of a *stochastic* simulation

@@ -123,6 +123,13 @@ struct EvaluationResult {
   bool converged = false;
   /// Why the run ended (kConverged iff `converged`).
   StopReason stop_reason = StopReason::kConverged;
+  /// The annotator reported a degraded durable layer (labels judged after
+  /// the downgrade were served but no longer persisted). The estimate is
+  /// still exact; only durability was lost. Resumed and networked runs
+  /// surface this uniformly in the rendered report.
+  bool degraded = false;
+  /// Human-readable cause of the degradation (empty when healthy).
+  std::string degradation_note;
   /// Convergence trace (only when record_trace).
   std::vector<TracePoint> trace;
 };

@@ -81,6 +81,13 @@ std::string RenderTextReport(const ReportContext& context,
   if (result.deff != 1.0) {
     out += "  design effect: " + Num(result.deff, "%.3f") + "\n";
   }
+  if (result.degraded) {
+    out += "  DEGRADED: durable layer went read-only";
+    if (!result.degradation_note.empty()) {
+      out += " (" + result.degradation_note + ")";
+    }
+    out += "; labels after the downgrade were not persisted\n";
+  }
   return out;
 }
 
@@ -113,6 +120,13 @@ std::string RenderJsonReport(const ReportContext& context,
       result.winning_prior < config.priors.size()) {
     out += ",\"winning_prior\":\"" +
            Escaped(config.priors[result.winning_prior].name) + "\"";
+  }
+  // Unconditional so byte-identical diffs between healthy runs (the CI
+  // crash-recovery gate) keep holding; the note only appears degraded.
+  out += ",\"degraded\":" + std::string(result.degraded ? "true" : "false");
+  if (result.degraded) {
+    out += ",\"degradation_note\":\"" + Escaped(result.degradation_note) +
+           "\"";
   }
   out += "}";
   return out;

@@ -155,6 +155,11 @@ Result<EvaluationResult> EvaluationSession::Finish() {
   out.distinct_entities = sample_->num_distinct_entities();
   out.cost_seconds = AnnotationCostSeconds(cost_model_, *sample_);
   out.cost_hours = out.cost_seconds / 3600.0;
+  // Surface a degraded durable layer (e.g. a StoredAnnotator that stopped
+  // persisting labels) so every driver — local, resumed, networked — reports
+  // it uniformly.
+  out.degraded = annotator_.degraded();
+  out.degradation_note = annotator_.degradation_note();
   return out;
 }
 

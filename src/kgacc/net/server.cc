@@ -1,0 +1,980 @@
+#include "kgacc/net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "kgacc/sampling/cluster.h"
+#include "kgacc/sampling/srs.h"
+#include "kgacc/sampling/stratified.h"
+#include "kgacc/sampling/systematic.h"
+#include "kgacc/util/failpoint.h"
+
+namespace kgacc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Result<IntervalMethod> ParseMethodName(const std::string& name) {
+  if (name == "ahpd") return IntervalMethod::kAhpd;
+  if (name == "hpd") return IntervalMethod::kHpd;
+  if (name == "et") return IntervalMethod::kEqualTailed;
+  if (name == "wilson") return IntervalMethod::kWilson;
+  if (name == "wald") return IntervalMethod::kWald;
+  if (name == "cp") return IntervalMethod::kClopperPearson;
+  return Status::InvalidArgument("unknown interval method: " + name);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Sampler>> MakeSamplerForDesign(
+    const KnowledgeGraph& kg, const std::string& design, int twcs_m) {
+  if (design == "srs") {
+    return std::unique_ptr<Sampler>(
+        std::make_unique<SrsSampler>(kg, SrsConfig{}));
+  }
+  if (design == "twcs") {
+    return std::unique_ptr<Sampler>(std::make_unique<TwcsSampler>(
+        kg, TwcsConfig{.second_stage_size = twcs_m}));
+  }
+  if (design == "wcs") {
+    return std::unique_ptr<Sampler>(
+        std::make_unique<WcsSampler>(kg, ClusterConfig{}));
+  }
+  if (design == "rcs") {
+    return std::unique_ptr<Sampler>(
+        std::make_unique<RcsSampler>(kg, ClusterConfig{}));
+  }
+  if (design == "ssrs") {
+    return std::unique_ptr<Sampler>(
+        std::make_unique<StratifiedSampler>(kg, StratifiedConfig{}));
+  }
+  if (design == "sys") {
+    return std::unique_ptr<Sampler>(
+        std::make_unique<SystematicSampler>(kg, SystematicConfig{}));
+  }
+  return Status::InvalidArgument("unknown sampling design: " + design);
+}
+
+/// One TCP peer. Owned and touched exclusively by the poll thread.
+struct AuditDaemon::Connection {
+  OwnedFd fd;
+  /// Generation stamp: events from workers target (fd, gen), so a recycled
+  /// descriptor never receives a dead connection's frames.
+  uint64_t gen = 0;
+  FrameAssembler assembler;
+  /// Bytes queued for the peer; [outbox_off, size) is still unsent.
+  std::vector<uint8_t> outbox;
+  size_t outbox_off = 0;
+  bool hello_done = false;
+  /// Flush the outbox, then close cleanly (used for courtesy replies on
+  /// connections the daemon is rejecting or draining).
+  bool close_after_flush = false;
+  Clock::time_point last_activity = Clock::now();
+  /// StepBatch frames admitted but not yet completed by a worker.
+  size_t inflight_batches = 0;
+  /// Audit ids attached to this connection.
+  std::vector<uint64_t> audits;
+
+  explicit Connection(OwnedFd sock, uint64_t generation)
+      : fd(std::move(sock)), gen(generation) {}
+};
+
+/// One audit session: the durable unit that outlives connections. The poll
+/// thread owns the registry and all metadata; while `busy` is set, the
+/// evaluation members (session/annotator/ckpt/store) belong to the worker
+/// running the batch and the poll thread must not touch them.
+struct AuditDaemon::Session {
+  uint64_t audit_id = 0;
+  std::string kg_name;
+  std::string design_name;
+  std::unique_ptr<AnnotationStore> store;
+  std::unique_ptr<Sampler> sampler;
+  OracleAnnotator inner;
+  std::unique_ptr<StoredAnnotator> annotator;
+  std::unique_ptr<EvaluationSession> session;
+  std::unique_ptr<CheckpointManager> ckpt;
+  EvaluationConfig config;
+  /// Step budget (0 = unlimited) and wall-clock deadline from open/adopt.
+  uint64_t max_steps = 0;
+  double deadline_seconds = 0.0;
+  Clock::time_point opened_at = Clock::now();
+  /// Owning connection (-1 = detached, awaiting re-adoption).
+  int conn_fd = -1;
+  uint64_t conn_gen = 0;
+  int home_worker = 0;
+  /// A batch is executing on the pool (poll thread sets before SubmitTo,
+  /// clears on the batch_done event).
+  bool busy = false;
+  /// Batches admitted while busy, dispatched FIFO on batch completion.
+  std::deque<uint64_t> pending;
+  /// Written by the worker while busy; read by the poll thread after.
+  bool failed = false;
+  bool finished = false;
+  bool degraded_notified = false;
+  /// Steps completed, atomically mirrored for the poll thread (AuditOpened
+  /// on re-adoption reads it while a batch may be running).
+  std::atomic<uint64_t> steps_done{0};
+};
+
+AuditDaemon::AuditDaemon(const Options& options) : options_(options) {}
+
+AuditDaemon::~AuditDaemon() {
+  if (started_.load(std::memory_order_acquire)) Stop();
+}
+
+void AuditDaemon::RegisterKg(const std::string& name,
+                             const KnowledgeGraph* kg) {
+  kgs_[name] = kg;
+}
+
+Status AuditDaemon::Start() {
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("daemon already started");
+  }
+  if (options_.store_dir.empty()) {
+    return Status::InvalidArgument("AuditDaemon requires a store_dir");
+  }
+  if (mkdir(options_.store_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir(" + options_.store_dir +
+                           "): " + std::strerror(errno));
+  }
+  KGACC_ASSIGN_OR_RETURN(OwnedFd listener, ListenTcp(options_.port));
+  KGACC_ASSIGN_OR_RETURN(port_, LocalPort(listener.get()));
+  listener_ = std::move(listener);
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_ = OwnedFd(pipe_fds[0]);
+  wake_write_ = OwnedFd(pipe_fds[1]);
+  KGACC_RETURN_IF_ERROR(SetNonBlocking(wake_read_.get()));
+  KGACC_RETURN_IF_ERROR(SetNonBlocking(wake_write_.get()));
+  int workers = options_.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (workers <= 0) workers = 1;
+  pool_ = std::make_unique<ThreadPool>(workers);
+  started_.store(true, std::memory_order_release);
+  poll_thread_ = std::thread(&AuditDaemon::PollLoop, this);
+  return Status::OK();
+}
+
+void AuditDaemon::RequestDrain() {
+  draining_.store(true, std::memory_order_release);
+  WakePoll();
+}
+
+void AuditDaemon::Wait() {
+  if (poll_thread_.joinable()) poll_thread_.join();
+}
+
+void AuditDaemon::Stop() {
+  RequestDrain();
+  Wait();
+  pool_.reset();
+}
+
+void AuditDaemon::WakePoll() {
+  if (!wake_write_.valid()) return;
+  const uint8_t byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  (void)!write(wake_write_.get(), &byte, 1);
+}
+
+void AuditDaemon::QueueFrame(Connection& conn, std::vector<uint8_t> frame) {
+  if (conn.outbox.empty()) {
+    conn.outbox = std::move(frame);
+  } else {
+    conn.outbox.insert(conn.outbox.end(), frame.begin(), frame.end());
+  }
+}
+
+void AuditDaemon::QueueError(Connection& conn, StatusCode code,
+                             uint64_t audit_id, bool fatal_to_session,
+                             bool fatal_to_connection,
+                             const std::string& message) {
+  ErrorMsg err;
+  err.code = static_cast<uint8_t>(code);
+  err.audit_id = audit_id;
+  err.fatal_to_session = fatal_to_session;
+  err.fatal_to_connection = fatal_to_connection;
+  err.message = message;
+  QueueFrame(conn, FrameOf(MessageType::kError, EncodeError, err));
+  if (fatal_to_connection) conn.close_after_flush = true;
+}
+
+void AuditDaemon::QueueBusy(Connection& conn, const std::string& reason) {
+  stats_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
+  BusyMsg busy;
+  busy.reason = reason;
+  QueueFrame(conn, FrameOf(MessageType::kBusy, EncodeBusy, busy));
+}
+
+bool AuditDaemon::FlushOutbox(Connection& conn) {
+  if (conn.outbox_off >= conn.outbox.size()) return true;
+  if (FailpointHit("net.write")) {
+    stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  while (conn.outbox_off < conn.outbox.size()) {
+    const ssize_t n =
+        send(conn.fd.get(), conn.outbox.data() + conn.outbox_off,
+             conn.outbox.size() - conn.outbox_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // POLLOUT
+      return false;
+    }
+    conn.outbox_off += static_cast<size_t>(n);
+  }
+  conn.outbox.clear();
+  conn.outbox_off = 0;
+  return true;
+}
+
+void AuditDaemon::DetachSession(Session& session) {
+  session.conn_fd = -1;
+  session.conn_gen = 0;
+  session.pending.clear();
+  if (!session.busy && !session.finished && !session.failed) {
+    // Bound the reconnect replay: a detached session re-adopts from its
+    // freshest possible snapshot. Best effort — every label is already in
+    // the WAL regardless.
+    (void)session.ckpt->Checkpoint(*session.session);
+  }
+}
+
+void AuditDaemon::CloseConnection(int fd, const Status& cause) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (!cause.ok()) {
+    stats_.connections_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (uint64_t audit_id : it->second->audits) {
+    auto sit = sessions_.find(audit_id);
+    if (sit != sessions_.end() && sit->second->conn_fd == fd) {
+      DetachSession(*sit->second);
+    }
+  }
+  conns_.erase(it);
+}
+
+void AuditDaemon::DoAccept() {
+  while (true) {
+    auto accepted = AcceptTcp(listener_.get());
+    if (!accepted.ok()) return;  // transient; the loop retries next wake
+    if (!accepted->valid()) return;
+    if (FailpointHit("net.accept")) {
+      // Injected accept fault: the peer sees an immediate close and
+      // retries with backoff — never a hang, never a daemon crash.
+      stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    if (conns_.size() >= options_.max_connections || draining()) {
+      // Courtesy push-back for a connection the daemon will not serve:
+      // a Busy frame (best effort into the socket buffer), then close.
+      stats_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
+      BusyMsg busy;
+      busy.reason = draining() ? "daemon is draining" : "connection limit";
+      const std::vector<uint8_t> frame =
+          FrameOf(MessageType::kBusy, EncodeBusy, busy);
+      (void)!send(accepted->get(), frame.data(), frame.size(), MSG_NOSIGNAL);
+      continue;
+    }
+    const int fd = accepted->get();
+    conns_.emplace(fd, std::make_unique<Connection>(std::move(*accepted),
+                                                    next_conn_gen_++));
+  }
+}
+
+bool AuditDaemon::ServiceReadable(Connection& conn) {
+  uint8_t buf[4096];
+  while (true) {
+    ssize_t n = recv(conn.fd.get(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(conn.fd.get(),
+                      Status::IoError(std::string("recv: ") +
+                                      std::strerror(errno)));
+      return false;
+    }
+    if (n == 0) {
+      // Clean close by the peer; its sessions checkpoint and detach.
+      CloseConnection(conn.fd.get(), Status::OK());
+      return false;
+    }
+    conn.last_activity = Clock::now();
+    if (FailpointHit("net.read.torn")) {
+      // Injected torn read: flip one bit mid-chunk. The frame CRC turns
+      // this into a descriptive connection failure downstream.
+      stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      buf[static_cast<size_t>(n) / 2] ^= 0x40;
+    }
+    conn.assembler.Feed({buf, static_cast<size_t>(n)});
+    while (true) {
+      NetFrame frame;
+      const auto next = conn.assembler.Next(&frame);
+      if (!next.ok()) {
+        // Corrupt stream: tell the peer why (best effort — its read side
+        // usually still works), then fail the connection, not the daemon.
+        ErrorMsg err;
+        err.code = static_cast<uint8_t>(next.status().code());
+        err.fatal_to_connection = true;
+        err.message = next.status().message();
+        const std::vector<uint8_t> bytes =
+            FrameOf(MessageType::kError, EncodeError, err);
+        (void)!send(conn.fd.get(), bytes.data(), bytes.size(), MSG_NOSIGNAL);
+        CloseConnection(conn.fd.get(), next.status());
+        return false;
+      }
+      if (!*next) break;
+      if (!HandleFrame(conn, frame)) return false;
+    }
+    if (static_cast<size_t>(n) < sizeof(buf)) break;
+  }
+  return true;
+}
+
+bool AuditDaemon::HandleFrame(Connection& conn, const NetFrame& frame) {
+  const auto type = static_cast<MessageType>(frame.type);
+  const std::span<const uint8_t> payload(frame.payload.data(),
+                                         frame.payload.size());
+  if (!conn.hello_done && type != MessageType::kHello) {
+    const Status cause = Status::FailedPrecondition(
+        std::string("protocol violation: expected Hello, got ") +
+        MessageTypeName(frame.type));
+    QueueError(conn, cause.code(), 0, false, true, cause.message());
+    return true;  // close_after_flush delivers the error, then closes
+  }
+  switch (type) {
+    case MessageType::kHello: {
+      const auto msg = DecodeHello(payload);
+      if (!msg.ok()) {
+        QueueError(conn, msg.status().code(), 0, false, true,
+                   msg.status().message());
+        return true;
+      }
+      if (msg->magic != kNetMagic || msg->version != kNetVersion) {
+        QueueError(conn, StatusCode::kInvalidArgument, 0, false, true,
+                   "protocol mismatch: peer speaks magic " +
+                       std::to_string(msg->magic) + " v" +
+                       std::to_string(msg->version));
+        return true;
+      }
+      conn.hello_done = true;
+      HelloAckMsg ack;
+      ack.draining = draining();
+      ack.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+      ack.idle_timeout_ms = options_.idle_timeout_ms;
+      QueueFrame(conn, FrameOf(MessageType::kHelloAck, EncodeHelloAck, ack));
+      return true;
+    }
+    case MessageType::kOpenAudit: {
+      const auto msg = DecodeOpenAudit(payload);
+      if (!msg.ok()) {
+        QueueError(conn, msg.status().code(), 0, false, true,
+                   msg.status().message());
+        return true;
+      }
+      HandleOpenAudit(conn, *msg);
+      return true;
+    }
+    case MessageType::kStepBatch: {
+      const auto msg = DecodeStepBatch(payload);
+      if (!msg.ok()) {
+        QueueError(conn, msg.status().code(), 0, false, true,
+                   msg.status().message());
+        return true;
+      }
+      HandleStepBatch(conn, *msg);
+      return true;
+    }
+    case MessageType::kCloseAudit: {
+      const auto msg = DecodeCloseAudit(payload);
+      if (!msg.ok()) {
+        QueueError(conn, msg.status().code(), 0, false, true,
+                   msg.status().message());
+        return true;
+      }
+      auto sit = sessions_.find(msg->audit_id);
+      if (sit != sessions_.end() &&
+          sit->second->conn_fd == conn.fd.get()) {
+        DetachSession(*sit->second);
+        std::erase(conn.audits, msg->audit_id);
+      }
+      return true;
+    }
+    case MessageType::kHeartbeat: {
+      const auto msg = DecodeHeartbeat(payload);
+      if (!msg.ok()) {
+        QueueError(conn, msg.status().code(), 0, false, true,
+                   msg.status().message());
+        return true;
+      }
+      if (FailpointHit("net.heartbeat.drop")) {
+        // Injected dead-air: the ack vanishes; the client's miss counter
+        // and the idle reaper are the detectors under test.
+        stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+        stats_.heartbeat_acks_dropped.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      stats_.heartbeats_acked.fetch_add(1, std::memory_order_relaxed);
+      QueueFrame(conn, FrameOf(MessageType::kHeartbeatAck, EncodeHeartbeatAck,
+                               *msg));
+      return true;
+    }
+    default: {
+      QueueError(conn, StatusCode::kInvalidArgument, 0, false, true,
+                 std::string("unexpected frame from client: ") +
+                     MessageTypeName(frame.type));
+      return true;
+    }
+  }
+}
+
+void AuditDaemon::HandleOpenAudit(Connection& conn, const OpenAuditMsg& msg) {
+  if (draining()) {
+    QueueBusy(conn, "daemon is draining; reconnect after restart");
+    return;
+  }
+  auto sit = sessions_.find(msg.audit_id);
+  if (sit != sessions_.end()) {
+    Session& session = *sit->second;
+    if (session.conn_fd >= 0 && session.conn_fd != conn.fd.get() &&
+        conns_.count(session.conn_fd) != 0) {
+      QueueError(conn, StatusCode::kFailedPrecondition, msg.audit_id, false,
+                 false,
+                 "audit " + std::to_string(msg.audit_id) +
+                     " is attached to another live connection");
+      return;
+    }
+    // Re-adoption: the session survived its connection. Budgets restart
+    // from the adopt point; the evaluation state continues untouched.
+    session.conn_fd = conn.fd.get();
+    session.conn_gen = conn.gen;
+    if (!session.busy) {
+      session.max_steps =
+          msg.max_steps != 0 ? msg.max_steps : options_.default_max_steps;
+      session.deadline_seconds = msg.deadline_seconds;
+      session.opened_at = Clock::now();
+    }
+    if (std::find(conn.audits.begin(), conn.audits.end(), msg.audit_id) ==
+        conn.audits.end()) {
+      conn.audits.push_back(msg.audit_id);
+    }
+    stats_.sessions_resumed.fetch_add(1, std::memory_order_relaxed);
+    AuditOpenedMsg opened;
+    opened.audit_id = msg.audit_id;
+    opened.resumed = true;
+    opened.start_step = session.steps_done.load(std::memory_order_relaxed);
+    opened.labels_on_file = session.store->num_labeled();
+    opened.design_name = session.design_name;
+    opened.dataset_name = session.kg_name;
+    QueueFrame(conn,
+               FrameOf(MessageType::kAuditOpened, EncodeAuditOpened, opened));
+    return;
+  }
+
+  if (sessions_.size() >= options_.max_sessions) {
+    QueueBusy(conn, "session limit (" +
+                        std::to_string(options_.max_sessions) + ") reached");
+    return;
+  }
+  const auto kg_it = kgs_.find(msg.kg_name);
+  if (kg_it == kgs_.end()) {
+    QueueError(conn, StatusCode::kNotFound, msg.audit_id, true, false,
+               "no registered knowledge graph named '" + msg.kg_name + "'");
+    return;
+  }
+  const auto method = ParseMethodName(msg.method);
+  if (!method.ok()) {
+    QueueError(conn, method.status().code(), msg.audit_id, true, false,
+               method.status().message());
+    return;
+  }
+  auto sampler = MakeSamplerForDesign(*kg_it->second, msg.design,
+                                      static_cast<int>(msg.twcs_m));
+  if (!sampler.ok()) {
+    QueueError(conn, sampler.status().code(), msg.audit_id, true, false,
+               sampler.status().message());
+    return;
+  }
+
+  auto session = std::make_unique<Session>();
+  session->audit_id = msg.audit_id;
+  session->kg_name = msg.kg_name;
+  session->sampler = std::move(*sampler);
+  session->design_name = session->sampler->name();
+  session->config.method = *method;
+  session->config.alpha = msg.alpha;
+  session->config.moe_threshold = msg.epsilon;
+
+  AnnotationStore::Options store_options;
+  store_options.sync_checkpoints = options_.sync_checkpoints;
+  const std::string store_path =
+      options_.store_dir + "/audit_" + std::to_string(msg.audit_id) + ".wal";
+  auto store = AnnotationStore::Open(store_path, store_options);
+  if (!store.ok()) {
+    QueueError(conn, store.status().code(), msg.audit_id, true, false,
+               "cannot open annotation store: " + store.status().message());
+    return;
+  }
+  session->store = std::move(*store);
+  session->annotator = std::make_unique<StoredAnnotator>(
+      &session->inner, session->store.get(), msg.audit_id,
+      StoredAnnotator::Options{});
+  session->session = std::make_unique<EvaluationSession>(
+      *session->sampler, *session->annotator, session->config, msg.seed);
+  CheckpointOptions ckpt_options;
+  ckpt_options.every_steps =
+      std::max<uint64_t>(msg.checkpoint_every, options_.checkpoint_every);
+  session->ckpt = std::make_unique<CheckpointManager>(
+      session->store.get(), msg.audit_id, ckpt_options);
+
+  bool resumed = false;
+  if (msg.resume && session->ckpt->CanResume()) {
+    const Status restored = session->ckpt->Resume(session->session.get());
+    if (!restored.ok()) {
+      QueueError(conn, restored.code(), msg.audit_id, true, false,
+                 "cannot resume audit " + std::to_string(msg.audit_id) +
+                     ": " + restored.message());
+      return;
+    }
+    resumed = true;
+    session->steps_done.store(
+        static_cast<uint64_t>(session->session->iterations()),
+        std::memory_order_relaxed);
+    stats_.sessions_resumed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  session->max_steps =
+      msg.max_steps != 0 ? msg.max_steps : options_.default_max_steps;
+  session->deadline_seconds = msg.deadline_seconds;
+  session->opened_at = Clock::now();
+  session->conn_fd = conn.fd.get();
+  session->conn_gen = conn.gen;
+  session->home_worker = static_cast<int>(
+      msg.audit_id % static_cast<uint64_t>(pool_->num_threads()));
+  conn.audits.push_back(msg.audit_id);
+  stats_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+
+  AuditOpenedMsg opened;
+  opened.audit_id = msg.audit_id;
+  opened.resumed = resumed;
+  opened.start_step = session->steps_done.load(std::memory_order_relaxed);
+  opened.labels_on_file = session->store->num_labeled();
+  opened.design_name = session->design_name;
+  opened.dataset_name = session->kg_name;
+  sessions_.emplace(msg.audit_id, std::move(session));
+  QueueFrame(conn,
+             FrameOf(MessageType::kAuditOpened, EncodeAuditOpened, opened));
+}
+
+void AuditDaemon::HandleStepBatch(Connection& conn, const StepBatchMsg& msg) {
+  auto sit = sessions_.find(msg.audit_id);
+  if (sit == sessions_.end() || sit->second->conn_fd != conn.fd.get()) {
+    QueueError(conn, StatusCode::kFailedPrecondition, msg.audit_id, true,
+               false,
+               "audit " + std::to_string(msg.audit_id) +
+                   " is not open on this connection");
+    return;
+  }
+  if (draining()) {
+    QueueBusy(conn, "daemon is draining; reconnect after restart");
+    return;
+  }
+  if (msg.steps == 0) return;
+  if (conn.inflight_batches >= options_.max_inflight_batches_per_conn) {
+    QueueBusy(conn, "in-flight batch limit (" +
+                        std::to_string(
+                            options_.max_inflight_batches_per_conn) +
+                        ") reached");
+    return;
+  }
+  Session& session = *sit->second;
+  ++conn.inflight_batches;
+  if (session.busy) {
+    session.pending.push_back(msg.steps);
+    return;
+  }
+  session.busy = true;
+  Session* sp = &session;
+  const uint64_t steps = msg.steps;
+  const int fd = session.conn_fd;
+  const uint64_t gen = session.conn_gen;
+  pool_->SubmitTo(session.home_worker,
+                  [this, sp, steps, fd, gen] { RunBatch(sp, steps, fd, gen); });
+}
+
+std::vector<uint8_t> AuditDaemon::BuildReportFrame(
+    Session& session, const EvaluationResult& result) {
+  AuditReportMsg report;
+  report.audit_id = session.audit_id;
+  report.design_name = session.design_name;
+  report.dataset_name = session.kg_name;
+  report.result = result;
+  report.store_hits = session.annotator->store_hits();
+  report.oracle_calls = session.annotator->oracle_calls();
+  report.checkpoints_written = session.ckpt->checkpoints_written();
+  report.store_retries = session.annotator->retries() +
+                         session.ckpt->retries();
+  report.degraded =
+      session.annotator->degraded() || session.ckpt->degraded();
+  if (session.annotator->degraded()) {
+    report.degradation_note = session.annotator->degradation_note();
+  } else if (session.ckpt->degraded()) {
+    report.degradation_note = session.ckpt->degraded_cause().ToString();
+  }
+  return FrameOf(MessageType::kAuditReport, EncodeAuditReport, report);
+}
+
+void AuditDaemon::RunBatch(Session* session, uint64_t steps, int conn_fd,
+                           uint64_t conn_gen) {
+  Event ev;
+  ev.conn_fd = conn_fd;
+  ev.conn_gen = conn_gen;
+  ev.audit_id = session->audit_id;
+  auto fail_session = [&](StatusCode code, const std::string& message,
+                          bool count_failed) {
+    ErrorMsg err;
+    err.code = static_cast<uint8_t>(code);
+    err.audit_id = session->audit_id;
+    err.fatal_to_session = true;
+    err.message = message;
+    const std::vector<uint8_t> frame =
+        FrameOf(MessageType::kError, EncodeError, err);
+    ev.frames.insert(ev.frames.end(), frame.begin(), frame.end());
+    ev.session_failed = true;
+    session->failed = true;
+    if (count_failed) {
+      stats_.sessions_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  for (uint64_t i = 0; i < steps; ++i) {
+    if (session->failed || session->finished) break;
+    if (session->max_steps != 0 &&
+        session->steps_done.load(std::memory_order_relaxed) >=
+            session->max_steps) {
+      stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      fail_session(StatusCode::kDeadlineExceeded,
+                   "session step budget (" +
+                       std::to_string(session->max_steps) +
+                       " steps) exhausted; reopen with a larger budget to "
+                       "continue from the checkpoint",
+                   /*count_failed=*/false);
+      break;
+    }
+    if (session->deadline_seconds > 0.0 &&
+        SecondsSince(session->opened_at) > session->deadline_seconds) {
+      stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      fail_session(StatusCode::kDeadlineExceeded,
+                   "session wall-clock deadline (" +
+                       std::to_string(session->deadline_seconds) +
+                       "s) exceeded; reopen to continue from the checkpoint",
+                   /*count_failed=*/false);
+      break;
+    }
+
+    const auto outcome = session->session->Step();
+    if (!outcome.ok()) {
+      std::string message = "evaluation step failed: " +
+                            outcome.status().ToString();
+      if (!session->store->wal_error().ok()) {
+        message += " (annotation WAL sticky-failed: " +
+                   session->store->wal_error().ToString() + ")";
+      }
+      fail_session(outcome.status().code(), message, /*count_failed=*/true);
+      break;
+    }
+    session->steps_done.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t total =
+        stats_.steps_executed.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Chaos hook: die between the step and its checkpoint — the hard
+    // recovery case, where the tail step's labels are durable but its
+    // snapshot is not. Recovery replays them from the store for free.
+    if (options_.crash_after_steps != 0 &&
+        total >= options_.crash_after_steps) {
+      std::raise(SIGKILL);
+    }
+    if (!session->annotator->status().ok()) {
+      fail_session(session->annotator->status().code(),
+                   "annotation store append failed: " +
+                       session->annotator->status().ToString(),
+                   /*count_failed=*/true);
+      break;
+    }
+    const Status checkpointed = session->ckpt->OnStep(*session->session);
+    if (!checkpointed.ok()) {
+      std::string message =
+          "checkpoint failed: " + checkpointed.ToString();
+      if (!session->store->wal_error().ok()) {
+        message += " (annotation WAL sticky-failed: " +
+                   session->store->wal_error().ToString() + ")";
+      }
+      fail_session(checkpointed.code(), message, /*count_failed=*/true);
+      break;
+    }
+
+    const bool degraded =
+        session->annotator->degraded() || session->ckpt->degraded();
+    if (degraded && !session->degraded_notified) {
+      session->degraded_notified = true;
+      stats_.sessions_degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // The per-step interval push. Finish() mid-run snapshots the partial
+    // result — the only place the asymmetric HPD bounds live.
+    const auto partial = session->session->Finish();
+    IntervalUpdateMsg update;
+    update.audit_id = session->audit_id;
+    update.step = session->steps_done.load(std::memory_order_relaxed);
+    update.annotated_triples = outcome->annotated_triples;
+    update.mu = outcome->mu;
+    if (partial.ok()) {
+      update.lower = partial->interval.lower;
+      update.upper = partial->interval.upper;
+      update.moe = partial->interval.Moe();
+    } else {
+      update.moe = outcome->moe;
+    }
+    update.done = outcome->done;
+    update.stop_reason = static_cast<uint8_t>(outcome->stop_reason);
+    update.degraded = degraded;
+    const std::vector<uint8_t> frame =
+        FrameOf(MessageType::kIntervalUpdate, EncodeIntervalUpdate, update);
+    ev.frames.insert(ev.frames.end(), frame.begin(), frame.end());
+
+    if (outcome->done) {
+      const auto result = session->session->Finish();
+      if (!result.ok()) {
+        fail_session(result.status().code(),
+                     "finalization failed: " + result.status().ToString(),
+                     /*count_failed=*/true);
+        break;
+      }
+      // Final snapshot: a reopened finished audit restores directly to
+      // done and regenerates this identical report.
+      (void)session->ckpt->Checkpoint(*session->session);
+      (void)session->store->Flush();
+      const std::vector<uint8_t> report_frame =
+          BuildReportFrame(*session, *result);
+      ev.frames.insert(ev.frames.end(), report_frame.begin(),
+                       report_frame.end());
+      ev.session_finished = true;
+      session->finished = true;
+      break;
+    }
+  }
+
+  ev.batch_done = true;
+  {
+    std::lock_guard<std::mutex> lock(events_mu_);
+    events_.push_back(std::move(ev));
+  }
+  WakePoll();
+}
+
+void AuditDaemon::DrainEvents() {
+  std::deque<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(events_mu_);
+    events.swap(events_);
+  }
+  for (Event& ev : events) {
+    Connection* conn = nullptr;
+    auto cit = conns_.find(ev.conn_fd);
+    if (cit != conns_.end() && cit->second->gen == ev.conn_gen) {
+      conn = cit->second.get();
+    }
+    if (conn != nullptr && !ev.frames.empty()) {
+      QueueFrame(*conn, std::move(ev.frames));
+    }
+    if (!ev.batch_done) continue;
+    if (conn != nullptr && conn->inflight_batches > 0) {
+      --conn->inflight_batches;
+    }
+    auto sit = sessions_.find(ev.audit_id);
+    if (sit == sessions_.end()) continue;
+    Session& session = *sit->second;
+    session.busy = false;
+    if (ev.session_finished || ev.session_failed) {
+      // The session leaves the registry; its store (flushed WAL +
+      // checkpoints) remains the durable artifact a reopen resumes from.
+      if (ev.session_failed && !session.finished) {
+        (void)session.ckpt->Checkpoint(*session.session);
+      }
+      if (conn != nullptr) std::erase(conn->audits, ev.audit_id);
+      sessions_.erase(sit);
+      continue;
+    }
+    if (session.conn_fd < 0) {
+      // Detached mid-batch: checkpoint now that the worker is done.
+      (void)session.ckpt->Checkpoint(*session.session);
+      continue;
+    }
+    if (!session.pending.empty()) {
+      const uint64_t steps = session.pending.front();
+      session.pending.pop_front();
+      session.busy = true;
+      Session* sp = &session;
+      const int fd = session.conn_fd;
+      const uint64_t gen = session.conn_gen;
+      pool_->SubmitTo(session.home_worker, [this, sp, steps, fd, gen] {
+        RunBatch(sp, steps, fd, gen);
+      });
+    }
+  }
+}
+
+void AuditDaemon::ReapIdle() {
+  std::vector<int> stale;
+  for (const auto& [fd, conn] : conns_) {
+    const double idle_ms =
+        SecondsSince(conn->last_activity) * 1000.0;
+    if (idle_ms > static_cast<double>(options_.idle_timeout_ms)) {
+      stale.push_back(fd);
+    }
+  }
+  for (int fd : stale) {
+    stats_.idle_reaped.fetch_add(1, std::memory_order_relaxed);
+    // A reaped peer is not a protocol failure: sessions checkpoint and
+    // detach, and the client resumes on reconnect.
+    CloseConnection(fd, Status::OK());
+  }
+}
+
+void AuditDaemon::DoDrain() {
+  // Stop admitting: the listener closes (new connects are refused by the
+  // kernel), live clients get a Drain notice, pending batches are shed.
+  listener_.Reset();
+  DrainMsg notice;
+  notice.message = "daemon draining; sessions checkpointed, reconnect to "
+                   "resume";
+  for (auto& [fd, conn] : conns_) {
+    QueueFrame(*conn, FrameOf(MessageType::kDrain, EncodeDrain, notice));
+    conn->close_after_flush = true;
+  }
+  for (auto& [id, session] : sessions_) session->pending.clear();
+}
+
+void AuditDaemon::PollLoop() {
+  bool drain_started = false;
+  while (true) {
+    if (draining() && !drain_started) {
+      drain_started = true;
+      DoDrain();
+    }
+    if (drain_started) {
+      bool any_busy = false;
+      for (const auto& [id, session] : sessions_) {
+        if (session->busy) any_busy = true;
+      }
+      bool events_pending;
+      {
+        std::lock_guard<std::mutex> lock(events_mu_);
+        events_pending = !events_.empty();
+      }
+      if (!any_busy && !events_pending) break;
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    if (listener_.valid()) fds.push_back({listener_.get(), POLLIN, 0});
+    std::vector<int> conn_fds;
+    for (const auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (conn->outbox_off < conn->outbox.size()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+      conn_fds.push_back(fd);
+    }
+    const int timeout_ms = drain_started ? 10 : 100;
+    const int ready = poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;  // poll itself failed; bail out
+
+    // Drain the wake pipe (level-triggered; one read clears any backlog).
+    uint8_t scratch[256];
+    while (read(wake_read_.get(), scratch, sizeof(scratch)) > 0) {
+    }
+
+    DrainEvents();
+
+    size_t index = 1;
+    if (listener_.valid()) {
+      if ((fds[index].revents & POLLIN) != 0) DoAccept();
+      ++index;
+    }
+    for (size_t i = 0; i < conn_fds.size(); ++i) {
+      const int fd = conn_fds[i];
+      const short revents = fds[index + i].revents;
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed by an earlier handler
+      Connection& conn = *it->second;
+      if ((revents & (POLLERR | POLLHUP)) != 0) {
+        CloseConnection(fd, Status::OK());
+        continue;
+      }
+      if ((revents & POLLIN) != 0 && !ServiceReadable(conn)) continue;
+      if (!FlushOutbox(conn)) {
+        CloseConnection(fd, Status::IoError("connection write failed"));
+        continue;
+      }
+      if (conn.close_after_flush &&
+          conn.outbox_off >= conn.outbox.size()) {
+        CloseConnection(fd, Status::OK());
+      }
+    }
+    if (!drain_started) ReapIdle();
+  }
+
+  // Drain epilogue: every live session checkpoints and flushes before the
+  // process exits — nothing a restart cannot resume.
+  for (auto& [id, session] : sessions_) {
+    if (!session->finished && !session->failed) {
+      (void)session->ckpt->Checkpoint(*session->session);
+    }
+    (void)session->store->Flush();
+    (void)session->store->Sync();
+  }
+  for (auto& [fd, conn] : conns_) {
+    (void)FlushOutbox(*conn);
+  }
+  conns_.clear();
+  sessions_.clear();
+}
+
+std::string AuditDaemon::StatsLine() const {
+  auto v = [](const std::atomic<uint64_t>& a) {
+    return std::to_string(a.load(std::memory_order_relaxed));
+  };
+  return "accepted=" + v(stats_.connections_accepted) +
+         " conn_failed=" + v(stats_.connections_failed) +
+         " idle_reaped=" + v(stats_.idle_reaped) +
+         " busy=" + v(stats_.busy_rejections) +
+         " deadline=" + v(stats_.deadline_exceeded) +
+         " opened=" + v(stats_.sessions_opened) +
+         " resumed=" + v(stats_.sessions_resumed) +
+         " failed=" + v(stats_.sessions_failed) +
+         " degraded=" + v(stats_.sessions_degraded) +
+         " steps=" + v(stats_.steps_executed) +
+         " hb_acked=" + v(stats_.heartbeats_acked) +
+         " hb_dropped=" + v(stats_.heartbeat_acks_dropped) +
+         " faults=" + v(stats_.faults_injected);
+}
+
+}  // namespace kgacc

@@ -1,0 +1,233 @@
+#ifndef KGACC_NET_SERVER_H_
+#define KGACC_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kgacc/eval/session.h"
+#include "kgacc/kg/knowledge_graph.h"
+#include "kgacc/net/frame.h"
+#include "kgacc/net/protocol.h"
+#include "kgacc/net/socket.h"
+#include "kgacc/store/annotation_store.h"
+#include "kgacc/store/checkpoint.h"
+#include "kgacc/util/thread_pool.h"
+
+/// \file server.h
+/// `AuditDaemon` — the crash-tolerant networked audit service behind the
+/// `kgaccd` tool. One poll()-loop thread owns every socket; audit steps
+/// execute on a `ThreadPool` sharded by audit id (`SubmitTo(audit_id %
+/// workers)`, the shard-per-core discipline of `EvaluationService`);
+/// workers hand encoded reply frames back to the poll thread through an
+/// event queue + self-pipe, so sockets are never touched off-thread.
+///
+/// Robustness model, in one paragraph: the *session* (audit id + durable
+/// `AnnotationStore` file) is the unit that survives; the *connection* is
+/// the unit that fails. A torn frame, dead peer, idle timeout, or client
+/// crash costs exactly one connection — the session checkpoints and waits
+/// to be re-adopted by a reconnect (`OpenAudit{resume}` with the same audit
+/// id). A daemon SIGKILL costs every connection but no labels: stores
+/// replay on restart and sessions resume from their last checkpoint to the
+/// byte-identical report. Overload is an explicit `Busy` frame (admission
+/// control), never a silent hang; budget and wall-clock exhaustion are
+/// explicit `Error` frames (`kDeadlineExceeded`); a degraded store demotes
+/// the session to read-only persistence and tells the client; a sticky WAL
+/// failure kills the session, never the daemon.
+///
+/// Fault-injection sites (`util/failpoint`): `net.accept` drops a freshly
+/// accepted connection, `net.read.torn` flips one bit in a received chunk
+/// (the frame CRC catches it downstream), `net.write` fails a connection
+/// flush, `net.heartbeat.drop` suppresses one HeartbeatAck. All four map
+/// injected faults to client-visible statuses and robustness counters.
+
+namespace kgacc {
+
+/// The audit daemon. Construct, `RegisterKg` the populations it may audit,
+/// `Start()`, and eventually `Stop()` (or deliver SIGTERM to `kgaccd`,
+/// which calls `RequestDrain`).
+class AuditDaemon {
+ public:
+  struct Options {
+    /// Listen port (0 = ephemeral; read back with `port()`).
+    uint16_t port = 0;
+    /// Directory for per-audit annotation stores (`audit_<id>.wal`).
+    std::string store_dir;
+    /// Step-execution workers (0 = hardware concurrency).
+    int workers = 0;
+    /// Admission control: live (unfinished) sessions the daemon holds.
+    size_t max_sessions = 64;
+    /// Admission control: unacknowledged StepBatch frames per connection.
+    size_t max_inflight_batches_per_conn = 4;
+    /// Admission control: simultaneous connections.
+    size_t max_connections = 64;
+    /// Liveness advertisement to clients (HelloAck).
+    uint64_t heartbeat_interval_ms = 5000;
+    /// Connections silent this long are reaped (their sessions checkpoint
+    /// and detach; nothing is lost).
+    uint64_t idle_timeout_ms = 30000;
+    /// Step budget applied when OpenAudit asks for none (0 = unlimited).
+    uint64_t default_max_steps = 0;
+    /// Largest frame accepted from a peer.
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// fsync checkpoint frames (the daemon's whole point is surviving
+    /// kill -9, so default on).
+    bool sync_checkpoints = true;
+    /// Session snapshot cadence floor; OpenAudit may ask for coarser.
+    uint64_t checkpoint_every = 1;
+    /// Chaos: SIGKILL the process after this many total steps, *between* a
+    /// step and its checkpoint — the hard recovery case (0 = never).
+    uint64_t crash_after_steps = 0;
+  };
+
+  /// Monotone robustness counters, readable concurrently with operation.
+  struct Stats {
+    std::atomic<uint64_t> connections_accepted{0};
+    /// Connections failed for cause (torn frame, protocol error, net.write).
+    std::atomic<uint64_t> connections_failed{0};
+    /// Connections reaped by the idle timeout.
+    std::atomic<uint64_t> idle_reaped{0};
+    /// Admission-control rejections (Busy frames sent).
+    std::atomic<uint64_t> busy_rejections{0};
+    /// Sessions stopped by a wall-clock deadline or step budget.
+    std::atomic<uint64_t> deadline_exceeded{0};
+    std::atomic<uint64_t> sessions_opened{0};
+    /// Sessions restored from a durable checkpoint (or re-adopted live).
+    std::atomic<uint64_t> sessions_resumed{0};
+    /// Sessions failed by a sticky store/evaluation error.
+    std::atomic<uint64_t> sessions_failed{0};
+    /// Sessions that dropped to degraded read-only persistence.
+    std::atomic<uint64_t> sessions_degraded{0};
+    std::atomic<uint64_t> steps_executed{0};
+    std::atomic<uint64_t> heartbeats_acked{0};
+    /// HeartbeatAcks suppressed by the net.heartbeat.drop failpoint.
+    std::atomic<uint64_t> heartbeat_acks_dropped{0};
+    /// net.* failpoint activations observed.
+    std::atomic<uint64_t> faults_injected{0};
+  };
+
+  explicit AuditDaemon(const Options& options);
+  ~AuditDaemon();
+
+  AuditDaemon(const AuditDaemon&) = delete;
+  AuditDaemon& operator=(const AuditDaemon&) = delete;
+
+  /// Registers a population under a client-addressable name. All
+  /// registrations must happen before `Start()`; `kg` must outlive the
+  /// daemon.
+  void RegisterKg(const std::string& name, const KnowledgeGraph* kg);
+
+  /// Binds the listener, spawns the worker pool and the poll thread.
+  Status Start();
+
+  /// Initiates graceful drain: stop admitting, notify clients, checkpoint
+  /// every live session, flush stores, exit the poll loop. Callable from a
+  /// signal handler path (sets a flag and writes the wake pipe).
+  void RequestDrain();
+
+  /// Blocks until the poll loop has exited (i.e. drain completed).
+  void Wait();
+
+  /// RequestDrain + Wait.
+  void Stop();
+
+  /// The bound listen port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Renders the robustness counters as one log line.
+  std::string StatsLine() const;
+
+ private:
+  struct Connection;
+  struct Session;
+
+  /// A worker-to-poll-thread handoff: frames to queue on a connection
+  /// and/or session lifecycle transitions to apply.
+  struct Event {
+    int conn_fd = -1;
+    uint64_t conn_gen = 0;
+    uint64_t audit_id = 0;
+    /// Encoded frames to append to the connection's outbox.
+    std::vector<uint8_t> frames;
+    /// The batch the worker was running completed (dispatch next).
+    bool batch_done = false;
+    /// The session sticky-failed (evict after flushing frames).
+    bool session_failed = false;
+    /// The session finished (report already in `frames`).
+    bool session_finished = false;
+  };
+
+  void PollLoop();
+  void DoAccept();
+  /// Reads whatever the socket has, feeds the assembler, dispatches every
+  /// complete frame. Returns false when the connection must be closed.
+  bool ServiceReadable(Connection& conn);
+  bool HandleFrame(Connection& conn, const NetFrame& frame);
+  void HandleOpenAudit(Connection& conn, const OpenAuditMsg& msg);
+  void HandleStepBatch(Connection& conn, const StepBatchMsg& msg);
+  /// Runs one batch of steps on a pool worker; posts events back. The
+  /// session pointer stays valid for the batch's duration: sessions are
+  /// only evicted by the poll thread after the batch_done event.
+  void RunBatch(Session* session, uint64_t steps, int conn_fd,
+                uint64_t conn_gen);
+  /// Flushes as much outbox as the socket accepts. False = failed.
+  bool FlushOutbox(Connection& conn);
+  void QueueFrame(Connection& conn, std::vector<uint8_t> frame);
+  void QueueError(Connection& conn, StatusCode code, uint64_t audit_id,
+                  bool fatal_to_session, bool fatal_to_connection,
+                  const std::string& message);
+  void QueueBusy(Connection& conn, const std::string& reason);
+  /// Closes a connection, detaching (and checkpointing) its sessions.
+  void CloseConnection(int fd, const Status& cause);
+  /// Detaches one session from its connection; checkpoints unless busy.
+  void DetachSession(Session& session);
+  void DrainEvents();
+  void ReapIdle();
+  void WakePoll();
+  void DoDrain();
+  /// Builds the final AuditReport frame for a finished session.
+  std::vector<uint8_t> BuildReportFrame(Session& session,
+                                        const EvaluationResult& result);
+
+  Options options_;
+  Stats stats_;
+  std::map<std::string, const KnowledgeGraph*> kgs_;
+
+  OwnedFd listener_;
+  uint16_t port_ = 0;
+  OwnedFd wake_read_;
+  OwnedFd wake_write_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread poll_thread_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+
+  /// Poll-thread-owned state (workers never touch it).
+  std::map<int, std::unique_ptr<Connection>> conns_;
+  std::map<uint64_t, std::unique_ptr<Session>> sessions_;
+  uint64_t next_conn_gen_ = 1;
+
+  /// Worker -> poll thread event queue.
+  std::mutex events_mu_;
+  std::deque<Event> events_;
+};
+
+/// Builds the sampler for a protocol design string ("srs", "twcs", ...) —
+/// the same vocabulary the `kgacc_audit` CLI accepts.
+Result<std::unique_ptr<Sampler>> MakeSamplerForDesign(
+    const KnowledgeGraph& kg, const std::string& design, int twcs_m);
+
+}  // namespace kgacc
+
+#endif  // KGACC_NET_SERVER_H_

@@ -104,6 +104,12 @@ class AnnotationStore {
   Status Flush() { return log_->Flush(); }
   Status Sync() { return log_->Sync(); }
 
+  /// The WAL's sticky error — non-OK once the underlying log fails
+  /// permanently (every subsequent append will fail). Long-lived drivers
+  /// (the audit daemon) distinguish this from transient degradation: a
+  /// sticky WAL fails the session, never the process.
+  const Status& wal_error() const { return log_->sticky_error(); }
+
  private:
   explicit AnnotationStore(const Options& options) : options_(options) {}
 
@@ -206,7 +212,12 @@ class StoredAnnotator final : public Annotator {
   const Status& status() const { return status_; }
 
   /// True once the annotator dropped into degraded read-only mode.
-  bool degraded() const { return degraded_; }
+  bool degraded() const override { return degraded_; }
+  /// The degradation cause as the uniform `Annotator` surface, so sessions
+  /// and reports describe the downgrade without knowing about stores.
+  std::string degradation_note() const override {
+    return degraded_ ? degraded_cause_.ToString() : std::string();
+  }
   /// The exhausted error that triggered degradation (OK when healthy).
   const Status& degraded_cause() const { return degraded_cause_; }
   /// Append retries performed across all judgments.

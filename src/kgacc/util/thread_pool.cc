@@ -72,19 +72,35 @@ ThreadPool::~ThreadPool() {
     // is between its dry-run check and actually blocking.
     std::lock_guard<std::mutex> lock(sleep_mu_);
   }
-  work_cv_.notify_all();
+  for (int i = 0; i < num_threads(); ++i) shards_[i].cv.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::NotifyIfSleepers() {
+void ThreadPool::NotifyIfSleepers(int home) {
   if (sleepers_.load(std::memory_order_relaxed) == 0) return;
+  Shard* target = nullptr;
   {
-    // Lock-unlock before notifying: a worker that already saw an empty
-    // pool holds sleep_mu_ until it is actually blocked, so acquiring it
-    // here guarantees the notify cannot fall into that gap.
+    // Choosing the target under sleep_mu_ closes the lost-wakeup gap: a
+    // worker that already saw an empty pool holds sleep_mu_ until it is
+    // actually blocked, so either we see its asleep flag here (and notify
+    // its condvar), or it has not set the flag yet — in which case its
+    // wait predicate will see the queued_ increment that preceded this
+    // call and it never blocks at all. Finding no sleeper despite the
+    // lockless sleepers_ hint means every worker is awake and will drain
+    // the rings before parking; skipping the notify is then safe.
     std::lock_guard<std::mutex> lock(sleep_mu_);
+    const int n = num_threads();
+    for (int i = 0; i < n; ++i) {
+      Shard& candidate = shards_[(home + i) % n];
+      if (candidate.asleep) {
+        target = &candidate;
+        break;
+      }
+    }
   }
-  work_cv_.notify_one();
+  // Only the shard's owner ever waits on its condvar, so this wakes
+  // exactly the chosen worker — the home worker when it was asleep.
+  if (target != nullptr) target->cv.notify_one();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -105,7 +121,7 @@ void ThreadPool::SubmitTo(int worker, std::function<void()> task) {
     shards_[worker].ring.PushBack(std::move(task));
   }
   queued_.fetch_add(1);
-  NotifyIfSleepers();
+  NotifyIfSleepers(worker);
 }
 
 void ThreadPool::Wait() {
@@ -193,13 +209,16 @@ bool ThreadPool::TryRunOne(int self) {
 void ThreadPool::WorkerLoop(int self) {
   t_pool = this;
   t_worker = self;
+  Shard& shard = shards_[self];
   for (;;) {
     if (TryRunOne(self)) continue;
     std::unique_lock<std::mutex> lock(sleep_mu_);
+    shard.asleep = true;
     sleepers_.fetch_add(1);
-    work_cv_.wait(lock, [this] {
+    shard.cv.wait(lock, [this] {
       return shutting_down_.load() || queued_.load() > 0;
     });
+    shard.asleep = false;
     sleepers_.fetch_sub(1);
     if (shutting_down_.load() && queued_.load() == 0) return;
   }

@@ -120,6 +120,12 @@ class ThreadPool {
   /// Non-zero means some task violated the tasks-must-not-throw contract.
   uint64_t task_exceptions() const;
 
+  /// Workers currently parked on their shard condvar (instantaneous;
+  /// test/diagnostic use).
+  int sleeping_workers() const {
+    return sleepers_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Per-worker queue + counters, padded to a cache line so one worker's
   /// bookkeeping writes never invalidate a neighbour's line (the
@@ -128,6 +134,18 @@ class ThreadPool {
   struct alignas(64) Shard {
     std::mutex mu;
     TaskRing ring;
+    /// This worker's private wakeup channel: it is the only thread that
+    /// ever waits on this condvar (guarded by the global sleep_mu_, which
+    /// keeps the lost-wakeup proof in one place). `SubmitTo` notifies the
+    /// home shard's condvar directly, so a targeted submission wakes the
+    /// worker that owns the ring instead of whichever sleeper the OS picks
+    /// off a shared condvar — the woken worker starts with an uncontended
+    /// PopFront, not a steal.
+    std::condition_variable cv;
+    /// True while the owner is blocked on `cv`. Guarded by sleep_mu_;
+    /// submitters use it to pick a wake target (home first, then any
+    /// sleeper, so stealing still gets parked-home work running).
+    bool asleep = false;
     /// Tasks this worker executed / executed-but-stolen-from-elsewhere.
     /// Written (relaxed) by the owning worker only; the aggregate
     /// accessors read them lockless — monotone counters, staleness is
@@ -143,7 +161,10 @@ class ThreadPool {
   /// Pops own ring or steals; runs at most one task. False = pool is dry.
   bool TryRunOne(int self);
   void WorkerLoop(int self);
-  void NotifyIfSleepers();
+  /// Wakes one sleeping worker for a task just queued on `home`'s ring:
+  /// the home worker when it is asleep, else the nearest other sleeper
+  /// (scan from home) so parked-home work is still picked up by a thief.
+  void NotifyIfSleepers(int home);
 
   std::unique_ptr<Shard[]> shards_;
   std::vector<std::thread> workers_;
@@ -153,12 +174,17 @@ class ThreadPool {
   std::atomic<size_t> unfinished_{0};
   /// Round-robin cursor for home assignment of plain Submit calls.
   std::atomic<uint64_t> next_home_{0};
-  /// Workers currently blocked on work_cv_; lets submitters skip the
-  /// notify syscall entirely while everyone is busy.
+  /// Workers currently blocked on their shard condvar; lets submitters
+  /// skip the lock + notify entirely while everyone is busy. Modified
+  /// only under sleep_mu_ (alongside Shard::asleep); read lockless on the
+  /// submit fast path.
   std::atomic<int> sleepers_{0};
   std::atomic<bool> shutting_down_{false};
+  /// One global sleep lock for every shard's asleep flag and condvar:
+  /// sleeping is the cold path, and a single lock keeps the
+  /// no-lost-wakeup argument identical to the old single-condvar design —
+  /// only the notification target became per-worker.
   std::mutex sleep_mu_;
-  std::condition_variable work_cv_;
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   double spawn_seconds_ = 0.0;

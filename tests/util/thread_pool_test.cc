@@ -326,6 +326,50 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
   EXPECT_EQ(counter.load(), 40);
 }
 
+TEST(ThreadPoolTest, SubmitToWakesTheSleepingHomeWorkerDirectly) {
+  // Per-worker condvars: when the home worker is asleep, SubmitTo must
+  // wake *it* — the task then runs on its home shard via an uncontended
+  // PopFront, with no steal. Repeat from a fully-parked pool each round so
+  // every submission exercises the targeted-wake path, not a still-awake
+  // worker's drain loop.
+  ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    const int home = round % 4;
+    while (pool.sleeping_workers() < 4) std::this_thread::yield();
+    const uint64_t stolen_before = pool.stolen_tasks();
+    std::atomic<int> ran_on{-1};
+    pool.SubmitTo(home, [&pool, &ran_on] {
+      ran_on.store(pool.current_worker_index());
+    });
+    pool.Wait();
+    EXPECT_EQ(ran_on.load(), home) << "round " << round;
+    EXPECT_EQ(pool.stolen_tasks(), stolen_before) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ParkedHomeStillGetsItsWorkRunByASleepingThief) {
+  // The targeted wake must not strand work when the home worker is busy:
+  // with workers 0-2 parked and only worker 3 asleep, a SubmitTo(0, ...)
+  // has to fall through to "wake any sleeper" and get the task stolen by
+  // worker 3 — never a silent hang waiting for worker 0.
+  ThreadPool pool(4);
+  ParkedWorkers parked(pool);
+  parked.Release(3);
+  // Worker 3 finishes its park task and goes to sleep; the others stay
+  // parked (busy, not asleep).
+  while (pool.sleeping_workers() < 1) std::this_thread::yield();
+  std::atomic<int> ran_on{-1};
+  std::atomic<bool> done{false};
+  pool.SubmitTo(0, [&pool, &ran_on, &done] {
+    ran_on.store(pool.current_worker_index());
+    done.store(true);
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_EQ(ran_on.load(), 3);
+  parked.ReleaseAll();
+  pool.Wait();
+}
+
 TEST(ThreadPoolTest, ThrowingTaskIsContainedCountedAndPoolSurvives) {
   ThreadPool pool(2);
   std::atomic<int> ran{0};
