@@ -29,8 +29,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "kgacc/store/checkpoint.h"
 
 // Global allocation counter: every operator new in the process ticks it, so
 // (delta / audits) is the whole-pipeline allocation cost of one audit.
@@ -238,6 +241,147 @@ int main() {
       }
     }
   }
+  // ---- Durable multi-writer cell -----------------------------------------
+  // N concurrent jobs share ONE annotation store with per-label fsync
+  // durability (`sync_appends`): every judgment funnels through the store's
+  // group-commit queue, so the cell's fsync bill is `commit_syncs`, far
+  // below one per label when coalescing works. Each job also checkpoints
+  // itself every step (the durable-audit shape), which litters the log with
+  // superseded snapshots — exactly the garbage the closing compaction
+  // record then measures reclaiming. The second batch re-runs the same jobs
+  // against the now-populated store: every triple must answer from the
+  // index (zero oracle calls), the durable replay fast path.
+  {
+    const char* store_path = "BENCH_store.wal";
+    std::remove(store_path);
+    AnnotationStore::Options store_options;
+    store_options.sync_appends = true;
+    auto store_open = AnnotationStore::Open(store_path, store_options);
+    if (!store_open.ok()) {
+      std::fprintf(stderr, "cannot open bench store: %s\n",
+                   store_open.status().ToString().c_str());
+      return 1;
+    }
+    AnnotationStore* store = store_open->get();
+    const int durable_jobs_n = 16;
+    const int durable_threads = std::min(4, std::max(1, max_threads));
+    std::vector<std::unique_ptr<CheckpointManager>> managers;
+    std::vector<EvaluationJob> jobs;
+    jobs.reserve(durable_jobs_n);
+    for (int i = 0; i < durable_jobs_n; ++i) {
+      EvaluationJob job;
+      job.sampler = (i % 2 == 0) ? static_cast<const Sampler*>(&srs)
+                                 : static_cast<const Sampler*>(&twcs);
+      job.annotator = &annotator;
+      job.config.method = methods[(i / 2) % 4];
+      // A looser MoE keeps the fsync-bound cell short; the throughput
+      // story lives in the sweep above, this cell is about commit batching.
+      job.config.moe_threshold = 0.1;
+      job.seed = EvaluationService::DeriveJobSeed(seed, 4096 + i);
+      job.store = store;
+      job.audit_id = static_cast<uint64_t>(i) + 1;
+      managers.push_back(std::make_unique<CheckpointManager>(
+          store, job.audit_id, CheckpointOptions{}));
+      CheckpointManager* manager = managers.back().get();
+      job.on_step = [manager](const EvaluationSession& session) {
+        return manager->OnStep(session);
+      };
+      jobs.push_back(std::move(job));
+    }
+    EvaluationService service(
+        EvaluationService::Options{.num_threads = durable_threads});
+    const EvaluationBatchResult write_batch = service.RunBatch(jobs);
+    const EvaluationBatchResult replay_batch = service.RunBatch(jobs);
+    const ServiceBatchStats& ws = write_batch.stats;
+    const ServiceBatchStats& rs = replay_batch.stats;
+    if (rs.store_oracle_calls != 0 || rs.annotated_triples !=
+        ws.annotated_triples) {
+      deterministic = false;  // Replay must be free and identical.
+    }
+    const double fsyncs_per_label =
+        ws.store_oracle_calls > 0
+            ? static_cast<double>(ws.store_commit_syncs) /
+                  static_cast<double>(ws.store_oracle_calls)
+            : 0.0;
+    std::printf("durable multi-writer: %d jobs x 1 store, %d threads: "
+                "%llu labels, %llu group commits, %llu fsyncs "
+                "(%.3f/label), replay oracle calls: %llu\n",
+                durable_jobs_n, durable_threads,
+                static_cast<unsigned long long>(ws.store_oracle_calls),
+                static_cast<unsigned long long>(ws.store_commit_batches),
+                static_cast<unsigned long long>(ws.store_commit_syncs),
+                fsyncs_per_label,
+                static_cast<unsigned long long>(rs.store_oracle_calls));
+    if (json != nullptr) {
+      std::fprintf(
+          json,
+          ",\n  {\"bench\": \"store_multi_writer\", \"jobs\": %d, "
+          "\"threads\": %d, \"wall_seconds\": %.6f, \"failed\": %zu, "
+          "\"degraded_jobs\": %zu, \"total_retries\": %llu, "
+          "\"store_oracle_calls\": %llu, \"store_hits\": %llu, "
+          "\"commit_batches\": %llu, \"commit_frames\": %llu, "
+          "\"commit_syncs\": %llu, \"fsyncs_per_label\": %.4f, "
+          "\"replay_oracle_calls\": %llu, \"replay_store_hits\": %llu, "
+          "\"replay_identical\": %s}",
+          durable_jobs_n, durable_threads, ws.wall_seconds, ws.failed,
+          ws.degraded_jobs + rs.degraded_jobs,
+          static_cast<unsigned long long>(ws.total_retries +
+                                          rs.total_retries),
+          static_cast<unsigned long long>(ws.store_oracle_calls),
+          static_cast<unsigned long long>(ws.store_hits),
+          static_cast<unsigned long long>(ws.store_commit_batches),
+          static_cast<unsigned long long>(ws.store_commit_frames),
+          static_cast<unsigned long long>(ws.store_commit_syncs),
+          fsyncs_per_label,
+          static_cast<unsigned long long>(rs.store_oracle_calls),
+          static_cast<unsigned long long>(rs.store_hits),
+          rs.store_oracle_calls == 0 &&
+                  rs.annotated_triples == ws.annotated_triples
+              ? "true"
+              : "false");
+    }
+    // Compaction space amplification: live bytes are known exactly from
+    // the store's byte accounting, so `bytes_after / live_before` is a
+    // machine-independent structural ratio (trailer + header overhead
+    // only) — the absolute gate check_perf_regression.py enforces.
+    const uint64_t bytes_before = store->file_bytes();
+    const uint64_t live_before = store->live_bytes();
+    const Status compacted = store->Compact();
+    if (!compacted.ok()) {
+      std::fprintf(stderr, "bench store compaction failed: %s\n",
+                   compacted.ToString().c_str());
+      return 1;
+    }
+    const uint64_t bytes_after = store->file_bytes();
+    const double amp_before =
+        live_before > 0 ? static_cast<double>(bytes_before) /
+                              static_cast<double>(live_before)
+                        : 0.0;
+    const double amp_after =
+        live_before > 0 ? static_cast<double>(bytes_after) /
+                              static_cast<double>(live_before)
+                        : 0.0;
+    std::printf("store compaction: %llu -> %llu bytes (%llu live), "
+                "amplification %.2fx -> %.4fx\n",
+                static_cast<unsigned long long>(bytes_before),
+                static_cast<unsigned long long>(bytes_after),
+                static_cast<unsigned long long>(live_before), amp_before,
+                amp_after);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   ",\n  {\"bench\": \"store_compaction\", "
+                   "\"bytes_before\": %llu, \"live_before\": %llu, "
+                   "\"bytes_after\": %llu, "
+                   "\"space_amplification_before\": %.4f, "
+                   "\"space_amplification_after\": %.4f}",
+                   static_cast<unsigned long long>(bytes_before),
+                   static_cast<unsigned long long>(live_before),
+                   static_cast<unsigned long long>(bytes_after), amp_before,
+                   amp_after);
+    }
+    std::remove(store_path);
+  }
+
   // Thread-scaling ratio on the largest (steadiest) cell: median 4-thread
   // audits/s over median 1-thread audits/s. The gate only enforces it on
   // hosts with >= 4 hardware threads — on smaller boxes the ratio measures

@@ -74,6 +74,11 @@ struct EvaluationConfig {
   /// sample memory; keep it on (default) when `session.sample().units()`
   /// is inspected afterwards (diagnostics, bootstrap, custom estimators).
   bool retain_unit_history = true;
+  /// With retention off, keep a seeded uniform reservoir of this many units
+  /// instead (0 = nothing): post-run bootstrap/design-effect diagnostics
+  /// read `sample().reservoir_units()` while the audit itself stays O(1) in
+  /// sample memory. Ignored while `retain_unit_history` is on.
+  uint64_t unit_reservoir_capacity = 256;
 };
 
 /// One point of the convergence trace.

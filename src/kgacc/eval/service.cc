@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -148,12 +149,22 @@ void EvaluationService::RunJob(const EvaluationJob& job,
         " sampler does not support Clone(); jobs need per-job isolation");
     return;
   }
+  // Store-backed job: wrap the annotator in a per-job StoredAnnotator so
+  // this job reads the shared label pool and appends its fresh judgments
+  // through the store's group-commit queue. The wrapper is per-job state on
+  // this worker thread; only the store underneath is shared.
+  std::optional<StoredAnnotator> stored;
+  Annotator* annotator = job.annotator;
+  if (job.store != nullptr) {
+    stored.emplace(job.annotator, job.store, job.audit_id, job.store_options);
+    annotator = &*stored;
+  }
   // The whole job body runs behind a catch-all: an annotator or hook that
   // throws must cost its own job an Internal outcome, never the process
   // (the pool's workers are shared by the entire batch).
   Result<EvaluationResult> result = [&]() -> Result<EvaluationResult> {
     try {
-      EvaluationSession session(*sampler, *job.annotator, job.config, job.seed,
+      EvaluationSession session(*sampler, *annotator, job.config, job.seed,
                                 context != nullptr ? &context->scratch
                                                    : nullptr);
       const bool budgeted = job.max_steps > 0 || job.deadline_seconds > 0.0;
@@ -206,6 +217,17 @@ void EvaluationService::RunJob(const EvaluationJob& job,
     out->degraded = robustness.degraded;
     out->retries = robustness.retries;
   }
+  if (stored) {
+    out->store_hits = stored->store_hits();
+    out->store_oracle_calls = stored->oracle_calls();
+    if (stored->degraded()) out->degraded = true;
+    out->retries += stored->retries();
+    if (out->status.ok() && !stored->status().ok()) {
+      // kFailFast sticky append failure: the report would outrun its log —
+      // fail the job rather than return labels the store never saw.
+      out->status = stored->status();
+    }
+  }
 }
 
 namespace {
@@ -234,6 +256,20 @@ EvaluationBatchResult EvaluationService::RunBatch(
     // cells cannot hide it inside throughput.
     stats.spawn_seconds = pool_.spawn_seconds();
     spawn_charged_ = true;
+  }
+
+  // Snapshot group-commit telemetry for every distinct store the batch
+  // references, so the stats below report the *batch's* fsync bill and
+  // coalescing factor as deltas, independent of the stores' prior history.
+  std::vector<AnnotationStore*> stores;
+  std::vector<GroupCommitStats> stores_before;
+  for (const EvaluationJob& job : jobs) {
+    if (job.store == nullptr) continue;
+    if (std::find(stores.begin(), stores.end(), job.store) != stores.end()) {
+      continue;
+    }
+    stores.push_back(job.store);
+    stores_before.push_back(job.store->group_commit_stats());
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -314,11 +350,19 @@ EvaluationBatchResult EvaluationService::RunBatch(
     if (out.degraded) ++stats.degraded_jobs;
     stats.total_retries += out.retries;
     if (out.deadline_exceeded) ++stats.deadline_hits;
+    stats.store_hits += out.store_hits;
+    stats.store_oracle_calls += out.store_oracle_calls;
     if (!out.status.ok()) {
       ++stats.failed;
       continue;
     }
     stats.annotated_triples += out.result.annotated_triples;
+  }
+  for (size_t s = 0; s < stores.size(); ++s) {
+    const GroupCommitStats after = stores[s]->group_commit_stats();
+    stats.store_commit_batches += after.batches - stores_before[s].batches;
+    stats.store_commit_frames += after.frames - stores_before[s].frames;
+    stats.store_commit_syncs += after.syncs - stores_before[s].syncs;
   }
   if (stats.wall_seconds > 0.0) {
     stats.audits_per_second =

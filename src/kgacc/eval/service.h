@@ -11,6 +11,7 @@
 #include "kgacc/eval/session.h"
 #include "kgacc/intervals/credible.h"
 #include "kgacc/sampling/sampler.h"
+#include "kgacc/store/annotation_store.h"
 #include "kgacc/util/status.h"
 #include "kgacc/util/thread_pool.h"
 
@@ -66,6 +67,21 @@ struct EvaluationJob {
   /// per-job Rng argument. `InteractiveAnnotator` does not; route human
   /// audits through a single-job batch or `RunEvaluation`.
   Annotator* annotator = nullptr;
+  /// Optional durable label store. When set, the worker wraps `annotator`
+  /// in a per-job `StoredAnnotator` over `(store, audit_id)`: stored
+  /// triples answer from the index at zero oracle cost and fresh judgments
+  /// are appended through the store's group-commit queue — so any number
+  /// of jobs in one batch may point at the *same* store and share one
+  /// label pool (concurrent appends coalesce under shared fsyncs). The
+  /// store must outlive RunBatch. A sticky store-write failure fails the
+  /// job (kFailFast) or degrades it (kDegrade, surfaced in the outcome).
+  AnnotationStore* store = nullptr;
+  /// Audit id for the job's store writes and checkpoints. Concurrent jobs
+  /// sharing a store must use distinct ids.
+  uint64_t audit_id = 0;
+  /// Policy for the wrapping `StoredAnnotator` (retry/degradation, Rng
+  /// burning). Ignored when `store` is null.
+  StoredAnnotator::Options store_options;
   EvaluationConfig config;
   /// Seed of the job's stochastic path. Use `DeriveJobSeed` to split one
   /// base seed into independent per-job streams, or assign sequential
@@ -114,6 +130,10 @@ struct EvaluationJobOutcome {
   /// The job was cancelled at its step or wall-clock budget (`status` is
   /// then DeadlineExceeded).
   bool deadline_exceeded = false;
+  /// Store-backed jobs only: triples answered from the shared store's
+  /// index (no oracle call) and triples delegated to the inner annotator.
+  uint64_t store_hits = 0;
+  uint64_t store_oracle_calls = 0;
 };
 
 /// Aggregate throughput accounting for one RunBatch call.
@@ -164,6 +184,18 @@ struct ServiceBatchStats {
   size_t degraded_jobs = 0;
   uint64_t total_retries = 0;
   size_t deadline_hits = 0;
+  /// Store-backed batch aggregates. Hits/oracle-calls are summed over the
+  /// jobs; the commit counters are deltas of `group_commit_stats()` across
+  /// the batch for every distinct store the jobs referenced — so
+  /// `store_commit_syncs` is the batch's total fsync bill and
+  /// `store_commit_frames / store_commit_batches` the group-commit
+  /// coalescing factor (frames settled per leader round). All zero for
+  /// store-less batches.
+  uint64_t store_hits = 0;
+  uint64_t store_oracle_calls = 0;
+  uint64_t store_commit_batches = 0;
+  uint64_t store_commit_frames = 0;
+  uint64_t store_commit_syncs = 0;
 };
 
 /// Ordered per-job outcomes plus the batch throughput stats.

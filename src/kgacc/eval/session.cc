@@ -53,6 +53,12 @@ EvaluationSession::EvaluationSession(Sampler& sampler, Annotator& annotator,
   }
   cost_model_.annotators_per_triple = annotator_.JudgmentsPerTriple();
   sample_->set_retain_units(config_.retain_unit_history);
+  if (!config_.retain_unit_history && config_.unit_reservoir_capacity > 0) {
+    // The reservoir's stream is decorrelated from the session Rng (its own
+    // seeded generator), so arming it never perturbs the audit's draws.
+    sample_->EnableReservoir(config_.unit_reservoir_capacity,
+                             Mix64(seed ^ 0x7265737672756e69ULL));
+  }
   if (init_status_.ok()) sampler_.Reset();
 }
 
@@ -186,6 +192,7 @@ void EvaluationSession::SaveState(ByteWriter* w) const {
   w->PutDouble(config_.max_cost_seconds);
   w->PutBool(config_.finite_population_correction);
   w->PutBool(config_.retain_unit_history);
+  w->PutVarint(config_.unit_reservoir_capacity);
   w->PutBool(config_.record_trace);
   w->PutVarint(config_.priors.size());
   // The prior *parameters*, not just the count: a snapshot solved under
@@ -239,6 +246,7 @@ Status EvaluationSession::LoadState(ByteReader* r) {
   KGACC_ASSIGN_OR_RETURN(const double max_cost, r->Double());
   KGACC_ASSIGN_OR_RETURN(const bool fpc, r->Bool());
   KGACC_ASSIGN_OR_RETURN(const bool retain, r->Bool());
+  KGACC_ASSIGN_OR_RETURN(const uint64_t reservoir_capacity, r->Varint());
   KGACC_ASSIGN_OR_RETURN(const bool record_trace, r->Bool());
   KGACC_ASSIGN_OR_RETURN(const uint64_t num_priors, r->Varint());
   bool priors_match = num_priors == config_.priors.size();
@@ -256,6 +264,7 @@ Status EvaluationSession::LoadState(ByteReader* r) {
       max_cost != config_.max_cost_seconds ||
       fpc != config_.finite_population_correction ||
       retain != config_.retain_unit_history ||
+      reservoir_capacity != config_.unit_reservoir_capacity ||
       record_trace != config_.record_trace || !priors_match) {
     return Status::InvalidArgument(
         "session snapshot fingerprint does not match this session's design, "

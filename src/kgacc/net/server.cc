@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -99,7 +100,9 @@ struct AuditDaemon::Session {
   uint64_t audit_id = 0;
   std::string kg_name;
   std::string design_name;
-  std::unique_ptr<AnnotationStore> store;
+  /// The KG's shared store (co-owned with the daemon registry and any
+  /// sibling session auditing the same KG; appends group-commit).
+  std::shared_ptr<AnnotationStore> store;
   std::unique_ptr<Sampler> sampler;
   OracleAnnotator inner;
   std::unique_ptr<StoredAnnotator> annotator;
@@ -447,6 +450,30 @@ bool AuditDaemon::HandleFrame(Connection& conn, const NetFrame& frame) {
   }
 }
 
+Result<std::shared_ptr<AnnotationStore>> AuditDaemon::StoreForKg(
+    const std::string& name) {
+  auto it = stores_.find(name);
+  if (it != stores_.end()) return it->second;
+  AnnotationStore::Options store_options;
+  store_options.sync_checkpoints = options_.sync_checkpoints;
+  store_options.auto_compact_garbage_ratio =
+      options_.auto_compact_garbage_ratio;
+  // Registered names are client-chosen; keep the filename shell-safe.
+  std::string sanitized;
+  sanitized.reserve(name.size());
+  for (const char c : name) {
+    sanitized.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0
+                            ? c
+                            : '_');
+  }
+  const std::string path = options_.store_dir + "/kg_" + sanitized + ".wal";
+  auto store = AnnotationStore::Open(path, store_options);
+  if (!store.ok()) return store.status();
+  std::shared_ptr<AnnotationStore> shared = std::move(*store);
+  stores_.emplace(name, shared);
+  return shared;
+}
+
 void AuditDaemon::HandleOpenAudit(Connection& conn, const OpenAuditMsg& msg) {
   if (draining()) {
     QueueBusy(conn, "daemon is draining; reconnect after restart");
@@ -524,11 +551,7 @@ void AuditDaemon::HandleOpenAudit(Connection& conn, const OpenAuditMsg& msg) {
   session->config.alpha = msg.alpha;
   session->config.moe_threshold = msg.epsilon;
 
-  AnnotationStore::Options store_options;
-  store_options.sync_checkpoints = options_.sync_checkpoints;
-  const std::string store_path =
-      options_.store_dir + "/audit_" + std::to_string(msg.audit_id) + ".wal";
-  auto store = AnnotationStore::Open(store_path, store_options);
+  auto store = StoreForKg(msg.kg_name);
   if (!store.ok()) {
     QueueError(conn, store.status().code(), msg.audit_id, true, false,
                "cannot open annotation store: " + store.status().message());
@@ -942,14 +965,21 @@ void AuditDaemon::PollLoop() {
     if (!drain_started) ReapIdle();
   }
 
-  // Drain epilogue: every live session checkpoints and flushes before the
-  // process exits — nothing a restart cannot resume.
+  // Drain epilogue: every live session checkpoints, then every per-KG
+  // store settles once — flush, fsync, and a final compaction so a restart
+  // replays a minimal log (the checkpoints just written superseded their
+  // predecessors; compacting here also heals a sticky WAL, since the index
+  // holds only acknowledged records). A compaction failure is harmless:
+  // whichever log it left installed is complete and durable.
   for (auto& [id, session] : sessions_) {
     if (!session->finished && !session->failed) {
       (void)session->ckpt->Checkpoint(*session->session);
     }
-    (void)session->store->Flush();
-    (void)session->store->Sync();
+  }
+  for (auto& [name, store] : stores_) {
+    (void)store->Flush();
+    (void)store->Sync();
+    (void)store->Compact();
   }
   for (auto& [fd, conn] : conns_) {
     (void)FlushOutbox(*conn);

@@ -58,7 +58,10 @@ class AuditDaemon {
   struct Options {
     /// Listen port (0 = ephemeral; read back with `port()`).
     uint16_t port = 0;
-    /// Directory for per-audit annotation stores (`audit_<id>.wal`).
+    /// Directory for per-KG annotation stores (`kg_<name>.wal`). Every
+    /// session auditing the same registered KG shares one store — labels
+    /// bought by any audit serve every later audit of that KG, and
+    /// concurrent sessions append through the store's group-commit queue.
     std::string store_dir;
     /// Step-execution workers (0 = hardware concurrency).
     int workers = 0;
@@ -85,6 +88,10 @@ class AuditDaemon {
     /// Chaos: SIGKILL the process after this many total steps, *between* a
     /// step and its checkpoint — the hard recovery case (0 = never).
     uint64_t crash_after_steps = 0;
+    /// Auto-compaction threshold handed to every per-KG store (0 = manual
+    /// only; drain always compacts). See
+    /// `AnnotationStore::Options::auto_compact_garbage_ratio`.
+    double auto_compact_garbage_ratio = 0.0;
   };
 
   /// Monotone robustness counters, readable concurrently with operation.
@@ -196,6 +203,9 @@ class AuditDaemon {
   void ReapIdle();
   void WakePoll();
   void DoDrain();
+  /// The shared annotation store for a registered KG, opened on first use
+  /// (`store_dir/kg_<sanitized-name>.wal`) and kept for the daemon's life.
+  Result<std::shared_ptr<AnnotationStore>> StoreForKg(const std::string& name);
   /// Builds the final AuditReport frame for a finished session.
   std::vector<uint8_t> BuildReportFrame(Session& session,
                                         const EvaluationResult& result);
@@ -203,6 +213,9 @@ class AuditDaemon {
   Options options_;
   Stats stats_;
   std::map<std::string, const KnowledgeGraph*> kgs_;
+  /// One shared store per KG name (poll-thread-opened; the store itself is
+  /// thread-safe, so worker-side sessions append concurrently).
+  std::map<std::string, std::shared_ptr<AnnotationStore>> stores_;
 
   OwnedFd listener_;
   uint16_t port_ = 0;

@@ -1,19 +1,15 @@
 #include "kgacc/store/annotation_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 
+#include "kgacc/store/log_format.h"
 #include "kgacc/util/codec.h"
 #include "kgacc/util/failpoint.h"
+#include "kgacc/util/random.h"
 
 namespace kgacc {
-
-namespace {
-
-/// WAL frame types owned by the annotation store.
-constexpr uint8_t kAnnotationFrame = 1;
-constexpr uint8_t kCheckpointFrame = 2;
-
-}  // namespace
 
 uint64_t AnnotationStore::Key(uint64_t cluster, uint64_t offset) {
   // Same packing invariant as AnnotatedSample::TripleKey: offsets stay
@@ -23,11 +19,23 @@ uint64_t AnnotationStore::Key(uint64_t cluster, uint64_t offset) {
   return (cluster << 24) | offset;
 }
 
+AnnotationStore::Shard& AnnotationStore::ShardFor(uint64_t key) {
+  return shards_[Mix64(key) & (kNumShards - 1)];
+}
+
+const AnnotationStore::Shard& AnnotationStore::ShardFor(uint64_t key) const {
+  return shards_[Mix64(key) & (kNumShards - 1)];
+}
+
 Status AnnotationStore::Replay(uint8_t type,
                                std::span<const uint8_t> payload) {
+  // Open-time only: single-threaded, so the shard locks are not taken. The
+  // byte accounting mirrors what the live append path records.
+  const uint64_t frame_bytes = walfmt::FrameBytesOnDisk(payload.size());
+  file_bytes_ += frame_bytes;
   ByteReader reader(payload);
   switch (type) {
-    case kAnnotationFrame: {
+    case walfmt::kAnnotationFrame: {
       KGACC_ASSIGN_OR_RETURN(const uint64_t audit_id, reader.Varint());
       KGACC_ASSIGN_OR_RETURN(const uint64_t seq, reader.Varint());
       KGACC_ASSIGN_OR_RETURN(const uint64_t cluster, reader.Varint());
@@ -35,36 +43,83 @@ Status AnnotationStore::Replay(uint8_t type,
       KGACC_ASSIGN_OR_RETURN(const bool label, reader.Bool());
       (void)audit_id;
       const uint64_t key = Key(cluster, offset);
-      if (labeled_.insert(key) && label) correct_.insert(key);
-      next_seq_ = std::max(next_seq_, seq + 1);
+      Shard& shard = ShardFor(key);
+      if (shard.labeled.insert(key)) {
+        if (label) shard.correct.insert(key);
+      } else {
+        // A duplicate record (benign append race); its bytes are garbage.
+        garbage_bytes_ += frame_bytes;
+      }
+      next_seq_ = std::max(next_seq_.load(std::memory_order_relaxed), seq + 1);
       ++stats_.records_replayed;
-      return Status::OK();
+      break;
     }
-    case kCheckpointFrame: {
+    case walfmt::kCheckpointFrame: {
       KGACC_ASSIGN_OR_RETURN(const uint64_t audit_id, reader.Varint());
       KGACC_ASSIGN_OR_RETURN(const std::span<const uint8_t> snapshot,
                              reader.LengthPrefixed());
       std::vector<uint8_t> copy(snapshot.begin(), snapshot.end());
-      for (auto& [id, bytes] : checkpoints_) {
-        if (id == audit_id) {
-          bytes = std::move(copy);
-          ++stats_.checkpoints_replayed;
+      ++stats_.checkpoints_replayed;
+      for (CheckpointEntry& entry : checkpoints_) {
+        if (entry.audit_id == audit_id) {
+          garbage_bytes_ += entry.frame_bytes;  // The old frame is dead.
+          entry.snapshot = std::move(copy);
+          entry.frame_bytes = frame_bytes;
+          replay_crc_.Extend(payload);
           return Status::OK();
         }
       }
-      checkpoints_.emplace_back(audit_id, std::move(copy));
-      ++stats_.checkpoints_replayed;
-      return Status::OK();
+      checkpoints_.push_back({audit_id, std::move(copy), frame_bytes});
+      break;
+    }
+    case walfmt::kCompactionTrailerFrame: {
+      // The trailer seals a compacted log: every frame before it must be
+      // exactly the live set the rewrite emitted, in order. Verify the
+      // counts and the chained payload CRC — a lost, duplicated, or
+      // reordered frame in the rewritten region fails loudly here instead
+      // of resurfacing as a silently different resume.
+      KGACC_ASSIGN_OR_RETURN(const uint64_t version, reader.Varint());
+      if (version != 1) {
+        return Status::IoError(
+            "annotation store: unknown compaction trailer version " +
+            std::to_string(version));
+      }
+      KGACC_ASSIGN_OR_RETURN(const uint64_t records, reader.Varint());
+      KGACC_ASSIGN_OR_RETURN(const uint64_t checkpoints, reader.Varint());
+      KGACC_ASSIGN_OR_RETURN(const uint64_t carried_next_seq, reader.Varint());
+      KGACC_ASSIGN_OR_RETURN(const uint32_t live_crc, reader.Fixed32());
+      if (records != stats_.records_replayed ||
+          checkpoints != stats_.checkpoints_replayed) {
+        return Status::IoError(
+            "annotation store: compaction trailer frame counts disagree with "
+            "the rewritten log (incomplete or reordered rewrite)");
+      }
+      if (live_crc != replay_crc_.value()) {
+        return Status::IoError(
+            "annotation store: compaction trailer live-CRC mismatch "
+            "(rewritten log corrupted)");
+      }
+      next_seq_ = std::max(next_seq_.load(std::memory_order_relaxed),
+                           carried_next_seq);
+      ++stats_.trailers_replayed;
+      break;
     }
     default:
       return Status::IoError("annotation store: unknown WAL frame type " +
                              std::to_string(int(type)));
   }
+  replay_crc_.Extend(payload);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<AnnotationStore>> AnnotationStore::Open(
     const std::string& path, const Options& options) {
+  // A `.compact` temp means a compaction died before its rename: the old
+  // log at `path` is authoritative and the partial rewrite is trash.
+  ::unlink((path + ".compact").c_str());
+
   std::unique_ptr<AnnotationStore> store(new AnnotationStore(options));
+  store->path_ = path;
   KGACC_ASSIGN_OR_RETURN(
       store->log_,
       WriteAheadLog::Open(
@@ -73,24 +128,93 @@ Result<std::unique_ptr<AnnotationStore>> AnnotationStore::Open(
             return store->Replay(type, payload);
           },
           &store->stats_.recovery));
+  // The header is counted from the recovered size, not per-frame replay.
+  store->file_bytes_ = store->log_->size_bytes();
   return store;
 }
+
+AnnotationStore::~AnnotationStore() = default;
 
 std::optional<bool> AnnotationStore::Lookup(uint64_t cluster,
                                             uint64_t offset) const {
   const uint64_t key = Key(cluster, offset);
-  if (!labeled_.contains(key)) return std::nullopt;
-  return correct_.contains(key);
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!shard.labeled.contains(key)) return std::nullopt;
+  return shard.correct.contains(key);
+}
+
+Status AnnotationStore::CommitFrame(uint8_t type,
+                                    std::span<const uint8_t> payload,
+                                    bool sync,
+                                    const std::function<void()>& apply) {
+  Commit req;
+  req.type = type;
+  req.payload = payload;
+  req.sync = sync;
+
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  if (!log_lost_.ok()) return log_lost_;
+  commit_queue_.push_back(&req);
+  // Wait until a leader settles this frame, or until this thread is the
+  // queue head with no leader active — then it *is* the leader.
+  while (!req.done &&
+         (leader_active_ || commit_queue_.front() != &req)) {
+    commit_cv_.wait(lock);
+  }
+  if (!req.done) {
+    leader_active_ = true;
+    std::vector<Commit*> batch;
+    batch.swap(commit_queue_);
+    lock.unlock();
+
+    // Write the whole batch, then settle it under one flush — and one
+    // fsync when any member asked for media durability. Later writers keep
+    // enqueueing meanwhile; the next leader picks them up.
+    bool want_sync = false;
+    for (Commit* c : batch) {
+      c->status = log_->AppendFrame(c->type, c->payload);
+      if (c->status.ok() && c->sync) want_sync = true;
+    }
+    const Status settle = want_sync ? log_->Sync() : log_->Flush();
+
+    lock.lock();
+    ++gc_stats_.batches;
+    ++gc_stats_.flushes;
+    if (want_sync) ++gc_stats_.syncs;
+    gc_stats_.frames += batch.size();
+    gc_stats_.max_batch_frames =
+        std::max(gc_stats_.max_batch_frames, uint64_t{batch.size()});
+    for (Commit* c : batch) {
+      // An unflushed frame is not durable: a failed settle fails every
+      // member whose write "succeeded" into the stdio buffer.
+      if (c->status.ok() && !settle.ok()) c->status = settle;
+      c->done = true;
+    }
+    leader_active_ = false;
+    commit_cv_.notify_all();
+  }
+  // Index and accounting update, under the commit lock: a concurrent
+  // Compact() (which holds this lock with the queue drained) therefore
+  // always snapshots an index in step with the log.
+  if (req.status.ok() && apply) apply();
+  return req.status;
 }
 
 Status AnnotationStore::Append(uint64_t audit_id, uint64_t cluster,
                                uint64_t offset, bool label) {
   const uint64_t key = Key(cluster, offset);
-  if (labeled_.contains(key)) {
-    if (correct_.contains(key) == label) return Status::OK();  // Idempotent.
-    return Status::FailedPrecondition(
-        "annotation store: conflicting label for an already-stored triple "
-        "(stored judgments are immutable)");
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.labeled.contains(key)) {
+      if (shard.correct.contains(key) == label) {
+        return Status::OK();  // Idempotent.
+      }
+      return Status::FailedPrecondition(
+          "annotation store: conflicting label for an already-stored triple "
+          "(stored judgments are immutable)");
+    }
   }
   // Transient-injection site: fires *before* the WAL write, so unlike a
   // real sticky WAL failure the store heals when the policy does.
@@ -100,16 +224,27 @@ Status AnnotationStore::Append(uint64_t audit_id, uint64_t cluster,
   }
   ByteWriter record;
   record.PutVarint(audit_id);
-  record.PutVarint(next_seq_);
+  record.PutVarint(next_seq_.fetch_add(1, std::memory_order_relaxed));
   record.PutVarint(cluster);
   record.PutVarint(offset);
   record.PutBool(label);
   // Log first, index second: the WAL is the source of truth, and an append
   // failure must leave the index claiming nothing the log cannot replay.
-  KGACC_RETURN_IF_ERROR(log_->Append(kAnnotationFrame, record.span()));
-  ++next_seq_;
-  labeled_.insert(key);
-  if (label) correct_.insert(key);
+  const uint64_t frame_bytes = walfmt::FrameBytesOnDisk(record.size());
+  KGACC_RETURN_IF_ERROR(CommitFrame(
+      walfmt::kAnnotationFrame, record.span(), options_.sync_appends, [&] {
+        file_bytes_ += frame_bytes;
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.labeled.insert(key)) {
+          if (label) shard.correct.insert(key);
+        } else {
+          // Two writers raced the same novel key past the pre-check; both
+          // frames are in the log, one entry is live. Replay is idempotent
+          // (first record wins), so the duplicate is merely garbage bytes.
+          garbage_bytes_ += frame_bytes;
+        }
+      }));
+  MaybeAutoCompact();
   return Status::OK();
 }
 
@@ -122,25 +257,110 @@ Status AnnotationStore::AppendCheckpoint(uint64_t audit_id,
   ByteWriter record;
   record.PutVarint(audit_id);
   record.PutLengthPrefixed(snapshot);
-  KGACC_RETURN_IF_ERROR(log_->Append(kCheckpointFrame, record.span()));
-  if (options_.sync_checkpoints) KGACC_RETURN_IF_ERROR(log_->Sync());
-  std::vector<uint8_t> copy(snapshot.begin(), snapshot.end());
-  for (auto& [id, bytes] : checkpoints_) {
-    if (id == audit_id) {
-      bytes = std::move(copy);
-      return Status::OK();
-    }
-  }
-  checkpoints_.emplace_back(audit_id, std::move(copy));
+  const uint64_t frame_bytes = walfmt::FrameBytesOnDisk(record.size());
+  KGACC_RETURN_IF_ERROR(CommitFrame(
+      walfmt::kCheckpointFrame, record.span(), options_.sync_checkpoints,
+      [&] {
+        file_bytes_ += frame_bytes;
+        std::vector<uint8_t> copy(snapshot.begin(), snapshot.end());
+        std::lock_guard<std::mutex> lock(checkpoints_mu_);
+        for (CheckpointEntry& entry : checkpoints_) {
+          if (entry.audit_id == audit_id) {
+            garbage_bytes_ += entry.frame_bytes;  // Superseded frame.
+            entry.snapshot = std::move(copy);
+            entry.frame_bytes = frame_bytes;
+            return;
+          }
+        }
+        checkpoints_.push_back({audit_id, std::move(copy), frame_bytes});
+      }));
+  MaybeAutoCompact();
   return Status::OK();
 }
 
 const std::vector<uint8_t>* AnnotationStore::LatestCheckpoint(
     uint64_t audit_id) const {
-  for (const auto& [id, bytes] : checkpoints_) {
-    if (id == audit_id) return &bytes;
+  std::lock_guard<std::mutex> lock(checkpoints_mu_);
+  for (const CheckpointEntry& entry : checkpoints_) {
+    if (entry.audit_id == audit_id) return &entry.snapshot;
   }
   return nullptr;
+}
+
+double AnnotationStore::GarbageRatioLocked() const {
+  if (file_bytes_ == 0) return 0.0;
+  return static_cast<double>(garbage_bytes_) /
+         static_cast<double>(file_bytes_);
+}
+
+double AnnotationStore::garbage_ratio() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return GarbageRatioLocked();
+}
+
+uint64_t AnnotationStore::file_bytes() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return file_bytes_;
+}
+
+uint64_t AnnotationStore::live_bytes() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return file_bytes_ - garbage_bytes_;
+}
+
+GroupCommitStats AnnotationStore::group_commit_stats() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return gc_stats_;
+}
+
+CompactionStats AnnotationStore::compaction_stats() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return compaction_stats_;
+}
+
+uint64_t AnnotationStore::num_labeled() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.labeled.size();
+  }
+  return total;
+}
+
+void AnnotationStore::MaybeAutoCompact() {
+  if (options_.auto_compact_garbage_ratio <= 0.0) return;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    if (file_bytes_ < options_.auto_compact_min_bytes) return;
+    if (GarbageRatioLocked() < options_.auto_compact_garbage_ratio) return;
+  }
+  // Best-effort: a failed compaction (injected or real) must never fail
+  // the append that happened to trip the threshold — the store keeps
+  // running on whichever log the failure left installed, and the next
+  // threshold crossing retries.
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    ++compaction_stats_.auto_compactions;
+  }
+  (void)Compact();
+}
+
+Status AnnotationStore::Flush() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (!log_lost_.ok()) return log_lost_;
+  return log_->Flush();
+}
+
+Status AnnotationStore::Sync() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (!log_lost_.ok()) return log_lost_;
+  return log_->Sync();
+}
+
+Status AnnotationStore::wal_error() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (!log_lost_.ok()) return log_lost_;
+  return log_->sticky_error();
 }
 
 bool StoredAnnotator::Annotate(const KgView& kg, const TripleRef& ref,

@@ -1,8 +1,13 @@
 #ifndef KGACC_STORE_ANNOTATION_STORE_H_
 #define KGACC_STORE_ANNOTATION_STORE_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -21,8 +26,8 @@
 /// the in-memory evaluation state forfeits them on any restart. The
 /// `AnnotationStore` writes every judgment to a write-ahead log as a
 /// `(triple, label, audit_id, seq)` record *before* the evaluation loop
-/// consumes it, and keeps a `FlatSet64`-backed index over the labeled
-/// triples, so:
+/// consumes it, and keeps a sharded `FlatSet64`-backed index over the
+/// labeled triples, so:
 ///
 /// * a crashed audit resumes without re-paying a single judgment — the
 ///   resumed steps replay their labels from the store;
@@ -32,13 +37,48 @@
 ///
 /// Session snapshots interleave with the annotation records in the same
 /// log (`AppendCheckpoint`), giving one self-contained durable artifact per
-/// audit store — the classic log-structured WAL + snapshot design.
+/// audit store — an LSM-lite log + snapshot design with three structural
+/// pieces on top of the plain WAL:
+///
+/// **Sharded index + group commit (concurrent writers).** The label index
+/// is split across `kNumShards` lock-striped shards (hash of the packed
+/// `(cluster, offset)` key), and every WAL write funnels through a
+/// group-commit queue: writers enqueue their frame and block; one of them
+/// becomes the commit leader, drains the queue, writes the whole batch
+/// through `WriteAheadLog::AppendFrame`, and settles it under a single
+/// flush — and a single fsync when any member asked for durability. A batch
+/// of N concurrent appends therefore pays one fsync, not N, and multiple
+/// `EvaluationService` jobs in one `RunBatch` can share one store. Index
+/// and byte accounting updates run under the commit lock after the log
+/// write succeeds, preserving the log-first-index-second invariant.
+///
+/// **Size-tiered compaction (bounded file size).** Checkpoints supersede
+/// each other and duplicate appends can race into the log, so a long-lived
+/// store accumulates garbage; `garbage_ratio()` tracks it bytewise.
+/// `Compact()` (store/compaction.cc) rewrites the live label set plus the
+/// latest checkpoint per audit into a fresh log sealed with a trailer
+/// frame, fsyncs it, atomically renames it over the old file, fsyncs the
+/// directory, and swaps the live WAL handle — the store's contents and
+/// `next_seq` are byte-equivalent across the swap, so a post-compaction
+/// resume is identical to an uncompacted one. Crash-safe at every phase:
+/// before the rename the old log is untouched (a stale `.compact` temp is
+/// deleted at the next `Open`); after it the new log is complete and
+/// fsynced. Set `Options::auto_compact_garbage_ratio` to trigger it
+/// automatically once enough garbage accumulates.
+///
+/// **mmap'd replay (fast resumes).** `Open` maps the log through
+/// `LogReader` and rebuilds the index from the mapping, falling back to a
+/// streaming read where mmap fails (`stats().recovery.used_mmap`).
 ///
 /// Fault-injection sites (chaos tests): `store.append` fails an annotation
 /// append and `store.checkpoint` a checkpoint append, both *before* the WAL
 /// write — unlike a sticky WAL-level failure these heal when the armed
 /// policy heals, which is what the retry/degradation machinery in
-/// `StoredAnnotator` and `CheckpointManager` is built to absorb.
+/// `StoredAnnotator` and `CheckpointManager` is built to absorb. Compaction
+/// phases have their own sites (`store.compact.write`, `store.compact.sync`,
+/// `store.compact.rename`, `store.compact.dirsync`); a failed compaction is
+/// transient — the store keeps running on whichever log the failure left
+/// installed. `store.mmap` forces the replay fallback.
 
 namespace kgacc {
 
@@ -48,32 +88,83 @@ struct AnnotationStoreStats {
   uint64_t records_replayed = 0;
   /// Checkpoint frames replayed (all audits).
   uint64_t checkpoints_replayed = 0;
-  /// WAL-level recovery accounting (torn-tail truncation).
+  /// Compaction trailer frames replayed (1 when the log was last written
+  /// by `Compact()`, 0 for a never-compacted log).
+  uint64_t trailers_replayed = 0;
+  /// WAL-level recovery accounting (torn-tail truncation, mmap use).
   WalRecoveryInfo recovery;
 };
 
-/// A durable, shareable label store over one WAL file. Single-threaded by
-/// design: one audit session appends at a time (concurrent audits over the
-/// same KG should share a store between runs, not within one — the
-/// in-memory index is not synchronized).
+/// Group-commit telemetry (cumulative since open). `syncs`/`batches` is the
+/// fsync-per-batch figure the multi-writer bench records: well below 1.0
+/// per frame means the queue is coalescing concurrent writers as designed.
+struct GroupCommitStats {
+  /// Leader rounds (each settles one batch of queued frames).
+  uint64_t batches = 0;
+  /// Frames committed through the queue.
+  uint64_t frames = 0;
+  /// Flush calls (one per batch).
+  uint64_t flushes = 0;
+  /// fsync calls (at most one per batch, only when a member asked).
+  uint64_t syncs = 0;
+  /// Largest single batch settled so far.
+  uint64_t max_batch_frames = 0;
+};
+
+/// Compaction telemetry (cumulative since open).
+struct CompactionStats {
+  /// Completed compactions (manual + automatic).
+  uint64_t compactions = 0;
+  /// The subset triggered by `auto_compact_garbage_ratio`.
+  uint64_t auto_compactions = 0;
+  /// File size before/after the most recent completed compaction.
+  uint64_t last_bytes_before = 0;
+  uint64_t last_bytes_after = 0;
+  /// Live records / checkpoints the most recent compaction rewrote.
+  uint64_t last_records = 0;
+  uint64_t last_checkpoints = 0;
+};
+
+/// A durable, shareable label store over one WAL file. Thread-safe: lookups
+/// probe a lock-striped shard, appends serialize through the group-commit
+/// queue, so concurrent `EvaluationService` jobs may share one store within
+/// a batch. Checkpoint frames are keyed by audit id; concurrent audits must
+/// use distinct ids (the pointer `LatestCheckpoint` returns is stable only
+/// while no writer replaces that same audit's checkpoint).
 class AnnotationStore {
  public:
   struct Options {
     /// fsync checkpoint frames (annotation records are always flushed to
     /// the OS per append; media durability for snapshots is opt-in).
     bool sync_checkpoints = false;
+    /// fsync annotation appends too. Under concurrent writers the
+    /// group-commit queue coalesces a whole batch under one fsync, so this
+    /// buys media durability per label at far less than one fsync per
+    /// label.
+    bool sync_appends = false;
+    /// When positive, `Compact()` runs automatically after an append pushes
+    /// `garbage_ratio()` past this fraction (checked once the file exceeds
+    /// `auto_compact_min_bytes`). A failed auto-compaction never fails the
+    /// append that triggered it; the next trigger retries.
+    double auto_compact_garbage_ratio = 0.0;
+    /// Floor below which auto-compaction never bothers.
+    uint64_t auto_compact_min_bytes = 1 << 16;
   };
 
   /// Opens (creating if absent) the store at `path`, replaying the log into
   /// the in-memory index and retaining the latest checkpoint per audit id.
   /// Torn or corrupt tails are truncated per WAL semantics; a frame of
-  /// unknown type is rejected (the store owns its log exclusively).
+  /// unknown type is rejected (the store owns its log exclusively). A stale
+  /// `.compact` temp file from a compaction the process died inside is
+  /// deleted — the rename never happened, so the old log is authoritative.
   static Result<std::unique_ptr<AnnotationStore>> Open(
       const std::string& path, const Options& options);
   static Result<std::unique_ptr<AnnotationStore>> Open(
       const std::string& path) {
     return Open(path, Options{});
   }
+
+  ~AnnotationStore();
 
   /// The stored label for a triple, or nullopt when it was never annotated.
   std::optional<bool> Lookup(uint64_t cluster, uint64_t offset) const;
@@ -91,43 +182,137 @@ class AnnotationStore {
                           std::span<const uint8_t> snapshot);
 
   /// The latest replayed-or-appended checkpoint for `audit_id`; nullptr
-  /// when the audit never checkpointed (fresh start).
+  /// when the audit never checkpointed (fresh start). The pointer is
+  /// invalidated by a later checkpoint append — under concurrency, only
+  /// the audit that owns `audit_id` may call this.
   const std::vector<uint8_t>* LatestCheckpoint(uint64_t audit_id) const;
 
+  /// Rewrites the live label set plus the latest checkpoint per audit into
+  /// a fresh log and atomically installs it (see the file comment). On
+  /// failure before the rename the store keeps running on the old log; a
+  /// post-rename directory-sync failure is reported but the new log is
+  /// already installed and in use. Blocks new commits for the duration;
+  /// safe to call concurrently with appends and lookups.
+  Status Compact();
+
+  /// Fraction of the log file occupied by superseded frames (old
+  /// checkpoints, duplicate appends): 0 right after compaction, growing
+  /// toward 1 as checkpoints replace each other.
+  double garbage_ratio() const;
+
+  /// Exact on-disk log size (header + every frame appended).
+  uint64_t file_bytes() const;
+  /// Bytes of the file still live (file_bytes - superseded frames).
+  uint64_t live_bytes() const;
+
+  GroupCommitStats group_commit_stats() const;
+  CompactionStats compaction_stats() const;
+
   /// Distinct triples with a stored label.
-  uint64_t num_labeled() const { return labeled_.size(); }
-  /// Next record sequence number (monotone across reopens).
+  uint64_t num_labeled() const;
+  /// Next record sequence number (monotone across reopens — compaction
+  /// carries it through the trailer frame).
   uint64_t next_seq() const { return next_seq_; }
   const AnnotationStoreStats& stats() const { return stats_; }
-  const std::string& path() const { return log_->path(); }
+  const std::string& path() const { return path_; }
 
-  Status Flush() { return log_->Flush(); }
-  Status Sync() { return log_->Sync(); }
+  Status Flush();
+  Status Sync();
 
   /// The WAL's sticky error — non-OK once the underlying log fails
   /// permanently (every subsequent append will fail). Long-lived drivers
   /// (the audit daemon) distinguish this from transient degradation: a
-  /// sticky WAL fails the session, never the process.
-  const Status& wal_error() const { return log_->sticky_error(); }
+  /// sticky WAL fails the session, never the process. A successful
+  /// `Compact()` installs a fresh log and clears the condition — the index
+  /// only ever holds acknowledged records, so rewriting it is a recovery.
+  Status wal_error() const;
 
  private:
+  /// Lock-striped index shards: a power of two so the mixed key selects a
+  /// shard with a mask. 16 stripes keep cross-writer contention negligible
+  /// at service-batch concurrency while staying cheap to enumerate.
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Membership = "this triple has a stored label"; `correct` holds the
+    /// subset labeled correct — together a boolean map without per-entry
+    /// boxes, probed once per annotation on the hot path.
+    FlatSet64 labeled;
+    FlatSet64 correct;
+  };
+
+  struct CheckpointEntry {
+    uint64_t audit_id = 0;
+    std::vector<uint8_t> snapshot;
+    /// On-disk size of the frame currently holding this checkpoint, so a
+    /// replacement knows how many bytes it turned into garbage.
+    uint64_t frame_bytes = 0;
+  };
+
+  /// One queued WAL write: the requester blocks until a commit leader
+  /// settles it and reports the per-frame status.
+  struct Commit {
+    uint8_t type = 0;
+    std::span<const uint8_t> payload;
+    bool sync = false;
+    Status status;
+    bool done = false;
+  };
+
   explicit AnnotationStore(const Options& options) : options_(options) {}
 
   static uint64_t Key(uint64_t cluster, uint64_t offset);
+  Shard& ShardFor(uint64_t key);
+  const Shard& ShardFor(uint64_t key) const;
 
   Status Replay(uint8_t type, std::span<const uint8_t> payload);
 
+  /// Routes one frame through the group-commit queue. On success, runs
+  /// `apply` (index/accounting update) under the commit lock before
+  /// returning, so a concurrent `Compact()` — which drains the queue and
+  /// takes the same lock — always observes index and accounting in step
+  /// with the log.
+  Status CommitFrame(uint8_t type, std::span<const uint8_t> payload,
+                     bool sync, const std::function<void()>& apply);
+
+  /// Runs `Compact()` when auto-compaction is configured and the garbage
+  /// ratio crossed the threshold. Never surfaces a failure.
+  void MaybeAutoCompact();
+
+  double GarbageRatioLocked() const;
+
   Options options_;
+  std::string path_;
   std::unique_ptr<WriteAheadLog> log_;
-  /// Membership = "this triple has a stored label"; `correct_` holds the
-  /// subset labeled correct — together a boolean map without per-entry
-  /// boxes, probed once per annotation on the hot path.
-  FlatSet64 labeled_;
-  FlatSet64 correct_;
+  std::array<Shard, kNumShards> shards_;
+  std::atomic<uint64_t> next_seq_{0};
+
   /// Latest checkpoint per audit id (a handful of audits per store; linear
-  /// scan beats a map).
-  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> checkpoints_;
-  uint64_t next_seq_ = 0;
+  /// scan beats a map). Guarded by `checkpoints_mu_`.
+  mutable std::mutex checkpoints_mu_;
+  std::vector<CheckpointEntry> checkpoints_;
+
+  /// Group-commit queue state; `commit_mu_` also guards `log_` itself
+  /// between leader rounds and the byte accounting below.
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::vector<Commit*> commit_queue_;
+  bool leader_active_ = false;
+  /// Set only if compaction installed a new log but could not reopen it
+  /// (fd exhaustion class): the store then refuses every later write
+  /// instead of acknowledging labels into nothing.
+  Status log_lost_;
+  GroupCommitStats gc_stats_;
+  CompactionStats compaction_stats_;
+  /// Exact on-disk bytes (header + all frames) and the subset superseded.
+  uint64_t file_bytes_ = 0;
+  uint64_t garbage_bytes_ = 0;
+
+  /// Running chained CRC over replayed frame payloads, consumed by the
+  /// compaction-trailer integrity check during `Open` replay.
+  Crc32cChain replay_crc_;
+
   AnnotationStoreStats stats_;
 };
 
@@ -136,7 +321,9 @@ class AnnotationStore {
 /// calls — the saved judgments are exactly what the store exists to avoid
 /// re-buying); misses are delegated and durably appended before being
 /// returned. Wrap the production annotator with it and pass the result to
-/// the session/service as usual.
+/// the session/service as usual. Distinct `StoredAnnotator` instances (one
+/// per job) may share one `AnnotationStore` concurrently; the instance
+/// itself belongs to its job's thread.
 ///
 /// Stream caveat: by default a hit consumes no Rng, so with *stochastic*
 /// simulation annotators (Noisy, MajorityVote) a store-backed run follows a

@@ -6,8 +6,9 @@
 
 #include <cerrno>
 #include <cstring>
-#include <vector>
 
+#include "kgacc/store/log_format.h"
+#include "kgacc/store/log_reader.h"
 #include "kgacc/util/codec.h"
 #include "kgacc/util/failpoint.h"
 
@@ -15,36 +16,8 @@ namespace kgacc {
 
 namespace {
 
-/// File magic: identifies the format and its version in the first 8 bytes.
-constexpr char kMagic[8] = {'k', 'g', 'a', 'c', 'W', 'A', 'L', '1'};
-
-/// Upper bound on one frame's payload. Snapshots of audit sessions are
-/// kilobytes; anything near this limit in a length prefix is corruption,
-/// not data, and must not drive a giant allocation during recovery.
-constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 30;
-
 Status IoError(const std::string& what, const std::string& path) {
   return Status::IoError(what + " '" + path + "': " + std::strerror(errno));
-}
-
-/// Fsyncs the directory containing `path`, making a just-created file's
-/// directory entry (or a just-truncated file's metadata) durable. Creating
-/// or resizing a file only becomes crash-safe once its parent directory is
-/// synced too.
-Status FsyncParentDir(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash == 0 ? 1 : slash);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd < 0) return IoError("cannot open WAL parent dir", dir);
-  if (::fsync(dfd) != 0) {
-    const Status status = IoError("cannot fsync WAL parent dir", dir);
-    ::close(dfd);
-    return status;
-  }
-  ::close(dfd);
-  return Status::OK();
 }
 
 /// Scans `data` (past the magic) frame by frame. Returns the byte offset
@@ -61,7 +34,7 @@ size_t ScanFrames(std::span<const uint8_t> data, size_t start,
     const Result<uint8_t> type = reader.U8();
     if (!type.ok()) break;
     const Result<uint64_t> len = reader.Varint();
-    if (!len.ok() || *len > kMaxPayloadBytes) break;
+    if (!len.ok() || *len > walfmt::kMaxPayloadBytes) break;
     const Result<std::span<const uint8_t>> payload = reader.Bytes(*len);
     if (!payload.ok()) break;
     const Result<uint32_t> stored_crc = reader.Fixed32();
@@ -91,84 +64,76 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) return IoError("cannot open WAL", path);
 
-  // Read the whole file: audit logs are small (annotation records plus
-  // periodic snapshots), and whole-file recovery keeps the scan simple and
-  // the torn-tail decision exact.
-  std::vector<uint8_t> data;
-  {
-    struct stat st;
-    if (::fstat(fd, &st) != 0) {
-      ::close(fd);
-      return IoError("cannot stat WAL", path);
-    }
-    data.resize(static_cast<size_t>(st.st_size));
-    size_t read_so_far = 0;
-    while (read_so_far < data.size()) {
-      const ssize_t n = ::pread(fd, data.data() + read_so_far,
-                                data.size() - read_so_far,
-                                static_cast<off_t>(read_so_far));
-      if (n < 0) {
-        ::close(fd);
-        return IoError("cannot read WAL", path);
-      }
-      if (n == 0) break;  // Raced truncation; treat the shortfall as tail.
-      read_so_far += static_cast<size_t>(n);
-    }
-    data.resize(read_so_far);
-  }
-
   WalRecoveryInfo recovery;
   size_t valid_end = 0;
-  if (data.empty()) {
-    // Fresh log: stamp the magic, then make the file itself and its
-    // directory entry durable before handing out a writable log.
-    if (::pwrite(fd, kMagic, sizeof(kMagic), 0) !=
-        static_cast<ssize_t>(sizeof(kMagic))) {
+  size_t file_size = 0;
+  {
+    // Map (or stream-read) the whole file for recovery: the scan walks the
+    // page cache directly on the mmap path, so replay-heavy resumes pay no
+    // copy of the log. The reader is released before the tail truncation
+    // below — recovery never touches discarded bytes afterwards.
+    Result<LogReader> reader = LogReader::Open(fd, path);
+    if (!reader.ok()) {
       ::close(fd);
-      return IoError("cannot initialize WAL", path);
+      return reader.status();
     }
-    if (::fsync(fd) != 0) {
-      ::close(fd);
-      return IoError("cannot fsync new WAL", path);
-    }
-    const Status dir_status = FsyncParentDir(path);
-    if (!dir_status.ok()) {
-      ::close(fd);
-      return dir_status;
-    }
-    valid_end = sizeof(kMagic);
-  } else if (data.size() < sizeof(kMagic) ||
-             std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
-    ::close(fd);
-    return Status::IoError("'" + path +
-                           "' is not a kgacc WAL (bad or truncated magic)");
-  } else {
-    Status callback_status;
-    valid_end = ScanFrames({data.data(), data.size()}, sizeof(kMagic), replay,
-                           &recovery.frames_replayed, &callback_status);
-    if (!callback_status.ok()) {
-      ::close(fd);
-      return callback_status;
-    }
-    if (valid_end < data.size()) {
-      recovery.truncated_tail = true;
-      recovery.bytes_discarded = data.size() - valid_end;
-      if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+    const std::span<const uint8_t> data = reader->data();
+    file_size = data.size();
+    recovery.used_mmap = reader->mapped();
+
+    if (data.empty()) {
+      // Fresh log: stamp the magic, then make the file itself and its
+      // directory entry durable before handing out a writable log.
+      if (::pwrite(fd, walfmt::kMagic, walfmt::kMagicSize, 0) !=
+          static_cast<ssize_t>(walfmt::kMagicSize)) {
         ::close(fd);
-        return IoError("cannot truncate torn WAL tail", path);
+        return IoError("cannot initialize WAL", path);
       }
-      // The truncation must be durable before new frames land after it: a
-      // crash that resurrects the torn tail under fresh appends would
-      // interleave garbage mid-log.
       if (::fsync(fd) != 0) {
         ::close(fd);
-        return IoError("cannot fsync truncated WAL", path);
+        return IoError("cannot fsync new WAL", path);
       }
       const Status dir_status = FsyncParentDir(path);
       if (!dir_status.ok()) {
         ::close(fd);
         return dir_status;
       }
+      valid_end = walfmt::kMagicSize;
+      file_size = valid_end;
+    } else if (data.size() < walfmt::kMagicSize ||
+               std::memcmp(data.data(), walfmt::kMagic, walfmt::kMagicSize) !=
+                   0) {
+      ::close(fd);
+      return Status::IoError("'" + path +
+                             "' is not a kgacc WAL (bad or truncated magic)");
+    } else {
+      Status callback_status;
+      valid_end = ScanFrames(data, walfmt::kMagicSize, replay,
+                             &recovery.frames_replayed, &callback_status);
+      if (!callback_status.ok()) {
+        ::close(fd);
+        return callback_status;
+      }
+    }
+  }
+  if (valid_end < file_size) {
+    recovery.truncated_tail = true;
+    recovery.bytes_discarded = file_size - valid_end;
+    if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+      ::close(fd);
+      return IoError("cannot truncate torn WAL tail", path);
+    }
+    // The truncation must be durable before new frames land after it: a
+    // crash that resurrects the torn tail under fresh appends would
+    // interleave garbage mid-log.
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return IoError("cannot fsync truncated WAL", path);
+    }
+    const Status dir_status = FsyncParentDir(path);
+    if (!dir_status.ok()) {
+      ::close(fd);
+      return dir_status;
     }
   }
   recovery.bytes_kept = valid_end;
@@ -188,7 +153,7 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     return IoError("cannot seek WAL", path);
   }
   return std::unique_ptr<WriteAheadLog>(
-      new WriteAheadLog(path, file));
+      new WriteAheadLog(path, file, valid_end));
 }
 
 WriteAheadLog::~WriteAheadLog() {
@@ -200,9 +165,10 @@ Status WriteAheadLog::MarkSticky(Status status) {
   return status;
 }
 
-Status WriteAheadLog::Append(uint8_t type, std::span<const uint8_t> payload) {
+Status WriteAheadLog::AppendFrame(uint8_t type,
+                                  std::span<const uint8_t> payload) {
   if (!sticky_.ok()) return sticky_;
-  if (payload.size() > kMaxPayloadBytes) {
+  if (payload.size() > walfmt::kMaxPayloadBytes) {
     return Status::InvalidArgument("WAL frame payload exceeds 1 GiB");
   }
   if (FailpointHit("wal.append")) {
@@ -212,10 +178,7 @@ Status WriteAheadLog::Append(uint8_t type, std::span<const uint8_t> payload) {
   // Assemble the whole frame first so a partial write can only tear the
   // file at a frame boundary the CRC scan detects, never interleave.
   ByteWriter frame;
-  frame.PutU8(type);
-  frame.PutVarint(payload.size());
-  frame.PutBytes(payload.data(), payload.size());
-  frame.PutFixed32(Crc32c(frame.bytes().data(), frame.size()));
+  walfmt::AppendFrame(&frame, type, payload);
   if (FailpointHit("wal.append.torn")) {
     // Write a genuine partial frame so recovery exercises the torn-tail
     // truncation path, then sticky-fail like a real mid-write crash.
@@ -229,10 +192,14 @@ Status WriteAheadLog::Append(uint8_t type, std::span<const uint8_t> payload) {
       frame.size()) {
     return MarkSticky(IoError("short write to WAL", path_));
   }
-  const Status flushed = Flush();
-  if (!flushed.ok()) return flushed;  // Flush already marked the log sticky.
-  ++frames_appended_;
+  ++unflushed_frames_;
+  size_bytes_ += frame.size();
   return Status::OK();
+}
+
+Status WriteAheadLog::Append(uint8_t type, std::span<const uint8_t> payload) {
+  KGACC_RETURN_IF_ERROR(AppendFrame(type, payload));
+  return Flush();  // A failed flush already marked the log sticky.
 }
 
 Status WriteAheadLog::Flush() {
@@ -240,6 +207,9 @@ Status WriteAheadLog::Flush() {
   if (std::fflush(file_) != 0) {
     return MarkSticky(IoError("cannot flush WAL", path_));
   }
+  // Buffered frames are settled: they now survive a process crash.
+  frames_appended_ += unflushed_frames_;
+  unflushed_frames_ = 0;
   return Status::OK();
 }
 

@@ -18,13 +18,22 @@
 ///   [type u8][payload_len varint][payload bytes][crc32c fixed32]
 ///
 /// where the checksum covers the type byte, the length prefix, and the
-/// payload, so a flipped bit anywhere in a frame is detected. Appends are
-/// flushed frame by frame; a crash can therefore tear at most the frame
-/// being written. `Open` replays every valid frame through a caller
-/// callback, then *physically truncates* a torn or corrupt tail so the next
-/// append starts at a clean frame boundary — everything before the first
-/// bad byte is kept, everything after is discarded (standard WAL recovery:
-/// a corrupt frame severs the chain, later frames are unreachable).
+/// payload, so a flipped bit anywhere in a frame is detected (the encoding
+/// lives in store/log_format.h, shared with the compaction rewriter).
+/// `Open` memory-maps the file (store/log_reader.h; streaming fallback on
+/// platforms or failpoints where mmap fails), replays every valid frame
+/// through a caller callback, then *physically truncates* a torn or corrupt
+/// tail so the next append starts at a clean frame boundary — everything
+/// before the first bad byte is kept, everything after is discarded
+/// (standard WAL recovery: a corrupt frame severs the chain, later frames
+/// are unreachable).
+///
+/// Two append granularities serve the store's group-commit queue:
+/// `Append` writes one frame and flushes it (the single-writer path), while
+/// `AppendFrame` only buffers the frame — a commit leader strings many
+/// `AppendFrame`s together and settles them under one `Flush`/`Sync`, so a
+/// batch of concurrent writers pays one fsync, not one each. Frames are
+/// only counted as appended once flushed.
 ///
 /// Failure semantics: any write, flush, or fsync failure puts the log in a
 /// *sticky error state* — every later `Append`/`Flush`/`Sync` returns the
@@ -33,7 +42,8 @@
 /// rather than risk interleaving good frames after a torn one; callers
 /// reopen (which truncates any torn tail) to recover. Fault-injection sites
 /// for the chaos tests: `wal.append` (fail before writing), `wal.append.torn`
-/// (write a partial frame, then fail), `wal.sync` (fail the fsync).
+/// (write a partial frame, then fail), `wal.sync` (fail the fsync),
+/// `store.mmap` (force the streaming read fallback in `Open`).
 
 namespace kgacc {
 
@@ -47,11 +57,15 @@ struct WalRecoveryInfo {
   uint64_t bytes_discarded = 0;
   /// True when a torn or corrupt tail was truncated away.
   bool truncated_tail = false;
+  /// True when recovery read the log through the mmap path (false: the
+  /// streaming fallback, or a freshly created empty log).
+  bool used_mmap = false;
 };
 
-/// An append-only typed-record log bound to one file. Not thread-safe: one
-/// writer at a time (the evaluation session driving an audit), matching the
-/// single-owner discipline of the store layer.
+/// An append-only typed-record log bound to one file. Not internally
+/// synchronized: the annotation store serializes writers through its
+/// group-commit queue (exactly one commit leader touches the log at a
+/// time), and standalone users keep the old one-writer discipline.
 class WriteAheadLog {
  public:
   /// Replay callback: one call per valid frame, in log order. The payload
@@ -77,6 +91,11 @@ class WriteAheadLog {
   /// returns the original error.
   Status Append(uint8_t type, std::span<const uint8_t> payload);
 
+  /// Appends one frame into the stdio buffer *without* flushing — the
+  /// group-commit building block. The frame is not durable (and not counted
+  /// in `frames_appended`) until the next successful `Flush`/`Sync`.
+  Status AppendFrame(uint8_t type, std::span<const uint8_t> payload);
+
   /// Flushes the stdio buffer to the OS.
   Status Flush();
 
@@ -89,9 +108,13 @@ class WriteAheadLog {
   const std::string& path() const { return path_; }
   uint64_t frames_appended() const { return frames_appended_; }
 
+  /// Logical file size: recovered bytes plus every frame appended since
+  /// (exact on-disk bytes — the store's space-amplification numerator).
+  uint64_t size_bytes() const { return size_bytes_; }
+
  private:
-  WriteAheadLog(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  WriteAheadLog(std::string path, std::FILE* file, uint64_t size_bytes)
+      : path_(std::move(path)), file_(file), size_bytes_(size_bytes) {}
 
   /// Records the first write-path failure and returns it.
   Status MarkSticky(Status status);
@@ -99,6 +122,9 @@ class WriteAheadLog {
   std::string path_;
   std::FILE* file_ = nullptr;
   uint64_t frames_appended_ = 0;
+  /// Frames written into the stdio buffer but not yet settled by a flush.
+  uint64_t unflushed_frames_ = 0;
+  uint64_t size_bytes_ = 0;
   Status sticky_;
 };
 

@@ -30,6 +30,25 @@ namespace kgacc {
 /// the checksum across fragments). The WAL frames every record with it.
 uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
 
+/// Incremental CRC32C over a sequence of fragments — the running-checksum
+/// form of the `seed` chaining above. A compacted store log seals itself
+/// with one of these in its trailer frame: the rewriter extends the chain
+/// over every live payload it writes, and replay re-derives the same chain
+/// to prove the rewrite arrived complete and in order (per-frame CRCs catch
+/// bit flips; the chain catches a lost, duplicated, or reordered frame).
+class Crc32cChain {
+ public:
+  void Extend(const void* data, size_t n) { value_ = Crc32c(data, n, value_); }
+  void Extend(std::span<const uint8_t> data) {
+    Extend(data.data(), data.size());
+  }
+  uint32_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint32_t value_ = 0;
+};
+
 /// Append-only serialization buffer.
 class ByteWriter {
  public:

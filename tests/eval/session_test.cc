@@ -169,6 +169,52 @@ TEST(EvaluationSessionTest, DroppingUnitHistoryDoesNotChangeTheRun) {
   }
 }
 
+TEST(EvaluationSessionTest, LeanSessionsKeepASeededReservoirSubsample) {
+  // retain_unit_history=false no longer throws every unit away: the
+  // session keeps a bounded, seeded reservoir subsample for post-hoc
+  // diagnostics, without changing the audit itself.
+  const auto kg = MakeKg(0.85);
+  OracleAnnotator annotator;
+  EvaluationConfig lean;
+  lean.retain_unit_history = false;
+  lean.unit_reservoir_capacity = 16;
+
+  SrsSampler sampler_a(kg, SrsConfig{}), sampler_b(kg, SrsConfig{});
+  EvaluationSession a(sampler_a, annotator, lean, 33);
+  EvaluationSession b(sampler_b, annotator, lean, 33);
+  const auto result_a = *a.Run();
+  const auto result_b = *b.Run();
+  ExpectSameResult(result_a, result_b);
+
+  EXPECT_TRUE(a.sample().units().empty());
+  const auto& reservoir = a.sample().reservoir_units();
+  EXPECT_EQ(reservoir.size(),
+            std::min<uint64_t>(16, a.sample().num_units()));
+  EXPECT_FALSE(reservoir.empty());
+  // Seeded: identical sessions keep the identical subsample.
+  ASSERT_EQ(reservoir.size(), b.sample().reservoir_units().size());
+  for (size_t i = 0; i < reservoir.size(); ++i) {
+    EXPECT_EQ(reservoir[i].cluster, b.sample().reservoir_units()[i].cluster);
+    EXPECT_EQ(reservoir[i].correct, b.sample().reservoir_units()[i].correct);
+  }
+
+  // Capacity zero opts out; full retention never engages the reservoir.
+  EvaluationConfig none = lean;
+  none.unit_reservoir_capacity = 0;
+  SrsSampler sampler_c(kg, SrsConfig{});
+  EvaluationSession c(sampler_c, annotator, none, 33);
+  ExpectSameResult(*c.Run(), result_a);
+  EXPECT_TRUE(c.sample().reservoir_units().empty());
+
+  EvaluationConfig full;
+  full.record_trace = lean.record_trace;
+  SrsSampler sampler_d(kg, SrsConfig{});
+  EvaluationSession d(sampler_d, annotator, full, 33);
+  (void)d.Run();
+  EXPECT_FALSE(d.sample().units().empty());
+  EXPECT_TRUE(d.sample().reservoir_units().empty());
+}
+
 TEST(EvaluationSessionTest, StepByStepMatchesSingleRun) {
   const auto kg = MakeKg(0.85);
   OracleAnnotator annotator;

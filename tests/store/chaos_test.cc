@@ -223,6 +223,174 @@ TEST(ChaosTest, RandomFailpointSchedulesNeverBreakResumeExactness) {
   EXPECT_GT(rounds_with_faults, 0);
 }
 
+TEST(ChaosTest, CompactionCrashMatrixLeavesStoreRecoverable) {
+  // Every failable compaction phase, injected one at a time: the store
+  // must come back on either the old log (pre-rename failures) or the new
+  // one (post-rename), with the identical label set and latest checkpoint
+  // — never torn, never half-rewritten. A successful retry then proves the
+  // failure left nothing sticky behind.
+  const auto kg = TestKg();
+  const EvaluationConfig config = TestConfig();
+  constexpr const char* kCompactSites[] = {
+      "store.compact.write", "store.compact.sync", "store.compact.rename",
+      "store.compact.dirsync"};
+  int site_index = 0;
+  for (const char* site : kCompactSites) {
+    SCOPED_TRACE(site);
+    const std::string path = TempPath("compact_matrix", site_index++);
+    std::remove(path.c_str());
+
+    // Seed: one finished audit plus a re-audit for checkpoint garbage.
+    uint64_t labels_before = 0;
+    std::vector<uint8_t> checkpoint_before;
+    {
+      auto store = AnnotationStore::Open(path);
+      ASSERT_TRUE(store.ok());
+      for (int round = 0; round < 2; ++round) {
+        OracleAnnotator oracle;
+        StoredAnnotator annotator(&oracle, store->get(), 1);
+        SrsSampler sampler(kg, SrsConfig{});
+        EvaluationSession session(sampler, annotator, config, 61);
+        CheckpointManager manager(store->get(), 1, CheckpointOptions{});
+        ASSERT_TRUE(RunDurableAudit(session, manager, &annotator).ok());
+      }
+      labels_before = (*store)->num_labeled();
+      ASSERT_GT(labels_before, 0u);
+      ASSERT_NE((*store)->LatestCheckpoint(1), nullptr);
+      checkpoint_before = *(*store)->LatestCheckpoint(1);
+
+      // The injected compaction: every phase failure surfaces as a
+      // non-OK status, and the store object is then abandoned without
+      // cleanup — the in-process stand-in for crashing at that phase.
+      ScopedFailpoints armed(std::string(site) + "=once");
+      ASSERT_TRUE(armed.status().ok());
+      EXPECT_FALSE((*store)->Compact().ok());
+      EXPECT_EQ(FailpointRegistry::Instance().Stats(site).failures, 1u);
+    }
+
+    // Disarmed reopen: whichever log the failure left installed replays to
+    // the identical index.
+    auto store = AnnotationStore::Open(path);
+    ASSERT_TRUE(store.ok()) << site << " left an unopenable store";
+    EXPECT_EQ((*store)->num_labeled(), labels_before);
+    ASSERT_NE((*store)->LatestCheckpoint(1), nullptr);
+    EXPECT_EQ(*(*store)->LatestCheckpoint(1), checkpoint_before);
+    // Nothing sticky: the next compaction succeeds and changes nothing
+    // about the live state.
+    ASSERT_TRUE((*store)->Compact().ok());
+    EXPECT_EQ((*store)->num_labeled(), labels_before);
+    EXPECT_EQ(*(*store)->LatestCheckpoint(1), checkpoint_before);
+    EXPECT_EQ((*store)->garbage_ratio(), 0.0);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ChaosTest, RandomSchedulesWithAutoCompactionKeepResumeExactness) {
+  // The full collision: group-commit writes, per-step checkpoints, and
+  // garbage-ratio-triggered compactions racing randomized faults on every
+  // write-path *and* compaction-path site. Auto-compaction is best-effort
+  // (a failed attempt must never fail the append that tripped it), so the
+  // invariant is unchanged from the plain chaos loop: the disarmed resume
+  // is byte-identical to the uninjected reference.
+  const auto kg = TestKg();
+  const EvaluationConfig config = TestConfig();
+  const uint64_t seed = 7301;
+
+  EvaluationResult reference;
+  {
+    OracleAnnotator oracle;
+    SrsSampler sampler(kg, SrsConfig{});
+    EvaluationSession session(sampler, oracle, config, seed);
+    const auto result = session.Run();
+    ASSERT_TRUE(result.ok());
+    reference = *result;
+    ASSERT_GE(reference.iterations, 3);
+  }
+
+  AnnotationStore::Options store_options;
+  store_options.sync_checkpoints = true;
+  // Aggressive thresholds so compactions actually fire inside the short
+  // armed window of each round.
+  store_options.auto_compact_garbage_ratio = 0.3;
+  store_options.auto_compact_min_bytes = 1 << 12;
+
+  StoredAnnotator::Options stored_options;
+  stored_options.backoff = FastBackoff();
+  CheckpointOptions manager_options;
+  manager_options.backoff = FastBackoff();
+
+  constexpr const char* kAllSites[] = {
+      "wal.append", "wal.append.torn", "wal.sync", "store.append",
+      "store.checkpoint", "store.compact.write", "store.compact.sync",
+      "store.compact.rename", "store.compact.dirsync"};
+  uint64_t compactions_observed = 0;
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    Rng rng(0xc09ac7 + uint64_t(round));
+    std::string schedule;
+    for (const char* site : kAllSites) {
+      if (rng.Uniform() < 0.5) continue;
+      if (!schedule.empty()) schedule += ";";
+      schedule += std::string(site) + "=every:" +
+                  std::to_string(2 + rng.UniformInt(5));
+    }
+    const std::string path = TempPath("auto_compact", round);
+    std::remove(path.c_str());
+
+    // Two abandoned injected attempts back to back: the second replays the
+    // first's checkpoints, superseding them — garbage enough to cross the
+    // auto-compaction threshold while faults are still armed.
+    {
+      ScopedFailpoints armed(schedule);
+      ASSERT_TRUE(armed.status().ok()) << schedule;
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        auto store = AnnotationStore::Open(path, store_options);
+        ASSERT_TRUE(store.ok()) << "round " << round << ": " << schedule;
+        OracleAnnotator oracle;
+        StoredAnnotator annotator(&oracle, store->get(), seed,
+                                  stored_options);
+        SrsSampler sampler(kg, SrsConfig{});
+        EvaluationSession session(sampler, annotator, config, seed);
+        CheckpointManager manager(store->get(), seed, manager_options);
+        if (manager.CanResume()) {
+          ASSERT_TRUE(manager.Resume(&session).ok())
+              << "round " << round << ": " << schedule;
+        }
+        const uint64_t stop_after =
+            1 + rng.UniformInt(uint64_t(reference.iterations));
+        for (uint64_t i = 0; i < stop_after && !session.done(); ++i) {
+          ASSERT_TRUE(session.Step().ok())
+              << "round " << round << ": " << schedule;
+          ASSERT_TRUE(manager.OnStep(session).ok())
+              << "round " << round << ": " << schedule;
+        }
+        EXPECT_TRUE(annotator.status().ok())
+            << "round " << round << ": " << schedule;
+        compactions_observed += (*store)->compaction_stats().compactions;
+      }
+    }
+
+    // Disarmed resume in fresh objects: byte-identical finish.
+    {
+      auto store = AnnotationStore::Open(path, store_options);
+      ASSERT_TRUE(store.ok())
+          << "round " << round << " left a torn store: " << schedule;
+      OracleAnnotator oracle;
+      StoredAnnotator annotator(&oracle, store->get(), seed, stored_options);
+      SrsSampler sampler(kg, SrsConfig{});
+      EvaluationSession session(sampler, annotator, config, seed);
+      CheckpointManager manager(store->get(), seed, manager_options);
+      const auto result = RunDurableAudit(session, manager, &annotator);
+      ASSERT_TRUE(result.ok()) << "round " << round << ": " << schedule;
+      ExpectIdenticalResults(reference, *result, config, round);
+    }
+    std::remove(path.c_str());
+  }
+  // The thresholds are tuned so compaction genuinely participates in the
+  // chaos — otherwise this test is the plain schedule test again.
+  EXPECT_GT(compactions_observed, 0u);
+}
+
 TEST(ChaosTest, FailFastModeSurfacesExhaustedWriteErrors) {
   // The configurable alternative to degradation: a store whose appends
   // keep failing must stick the error in status() and stop the audit.

@@ -166,6 +166,67 @@ TEST(SnapshotTest, AnnotatedSampleRoundTripsTotalsHistoryAndDistinctSets) {
   }
 }
 
+TEST(SnapshotTest, ReservoirSubsampleRoundTripsAndContinuesDeterministic) {
+  // With retention off, the sample keeps a seeded Algorithm-R reservoir
+  // instead of the full unit history. Two requirements: identical streams
+  // and seeds give identical reservoirs, and a Save/LoadState round trip
+  // restores both the kept units and the replacement RNG mid-stream.
+  const auto compare = [](const AnnotatedSample& x, const AnnotatedSample& y) {
+    ASSERT_EQ(x.reservoir_units().size(), y.reservoir_units().size());
+    for (size_t i = 0; i < x.reservoir_units().size(); ++i) {
+      EXPECT_EQ(x.reservoir_units()[i].cluster, y.reservoir_units()[i].cluster);
+      EXPECT_EQ(x.reservoir_units()[i].cluster_population,
+                y.reservoir_units()[i].cluster_population);
+      EXPECT_EQ(x.reservoir_units()[i].stratum, y.reservoir_units()[i].stratum);
+      EXPECT_EQ(x.reservoir_units()[i].drawn, y.reservoir_units()[i].drawn);
+      EXPECT_EQ(x.reservoir_units()[i].correct, y.reservoir_units()[i].correct);
+    }
+  };
+  AnnotatedSample a, b;
+  a.set_retain_units(false);
+  b.set_retain_units(false);
+  a.EnableReservoir(32, 99);
+  b.EnableReservoir(32, 99);
+  Rng stream_a(4), stream_b(4);
+  for (int i = 0; i < 500; ++i) {
+    a.Add(RandomUnit(&stream_a, 2));
+    b.Add(RandomUnit(&stream_b, 2));
+  }
+  EXPECT_TRUE(a.units().empty());  // Full history stays dropped.
+  ASSERT_EQ(a.reservoir_units().size(), 32u);
+  compare(a, b);
+
+  ByteWriter w;
+  a.SaveState(&w);
+  AnnotatedSample restored;
+  ByteReader r(w.span());
+  ASSERT_TRUE(restored.LoadState(&r).ok());
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(restored.reservoir_capacity(), 32u);
+  compare(a, restored);
+
+  // The replacement stream continues bit-exact after restore: same future
+  // units land in the same slots.
+  Rng future_a(9), future_b(9);
+  for (int i = 0; i < 200; ++i) {
+    a.Add(RandomUnit(&future_a, 2));
+    restored.Add(RandomUnit(&future_b, 2));
+  }
+  EXPECT_EQ(a.num_units(), restored.num_units());
+  compare(a, restored);
+}
+
+TEST(SnapshotTest, ReservoirKeepsEverythingUnderCapacity) {
+  AnnotatedSample sample;
+  sample.set_retain_units(false);
+  sample.EnableReservoir(64, 7);
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) sample.Add(RandomUnit(&rng, 2));
+  // Fewer units than slots: the reservoir IS the history, in arrival order.
+  EXPECT_EQ(sample.reservoir_units().size(), 20u);
+  EXPECT_EQ(sample.num_units(), 20u);
+}
+
 TEST(SnapshotTest, AhpdWarmStateRoundTripsEveryField) {
   AhpdWarmState original;
   original.Sync(3);

@@ -157,6 +157,42 @@ def check_thread_scaling(fresh_path, min_scaling):
     return ratio < min_scaling
 
 
+def check_store_compaction(fresh_path, max_amplification):
+    """Gates post-compaction space amplification; returns True on failure.
+
+    Absolute and machine-independent: `bytes_after / live_before` comes
+    from the store's exact byte accounting, so it is a structural property
+    of the rewritten log (trailer + header overhead only), identical on
+    every host. A compaction that leaves superseded frames behind — or a
+    rewrite that pads the live set — pushes it past the bound. The same
+    record's multi-writer cell must also report zero degraded jobs: the
+    unarmed-failpoint default never downgrades durability.
+    """
+    record = load_service_record(fresh_path, "store_compaction")
+    if record is None or not isinstance(
+            record.get("space_amplification_after"), (int, float)):
+        print(f"error: no usable store_compaction record in {fresh_path} "
+              "(bench compaction cell missing?)", file=sys.stderr)
+        sys.exit(2)
+    amp = record["space_amplification_after"]
+    verdict = "OK" if amp <= max_amplification else "REGRESSION"
+    print(f"  post-compaction space amplification: {amp:.4f} "
+          f"(maximum {max_amplification:.2f}) {verdict}")
+    failed = amp > max_amplification
+    writers = load_service_record(fresh_path, "store_multi_writer")
+    if writers is None:
+        print(f"error: no store_multi_writer record in {fresh_path} "
+              "(durable bench cell missing?)", file=sys.stderr)
+        sys.exit(2)
+    degraded = writers.get("degraded_jobs")
+    replayed = writers.get("replay_identical")
+    healthy = degraded == 0 and replayed is True
+    print(f"  durable multi-writer cell: degraded_jobs={degraded} "
+          f"replay_identical={replayed} "
+          f"{'OK' if healthy else 'REGRESSION'}")
+    return failed or not healthy
+
+
 def check_service(fresh_path, record_path, max_regression):
     """Gates the service-level evals/solve; returns True on regression."""
     fresh = load_service_summary(fresh_path)
@@ -197,6 +233,9 @@ def main():
                         help="minimum 4-thread/1-thread audits/s ratio on "
                              "the largest service cell (default 2.0; "
                              "enforced only on >= 4-hardware-thread hosts)")
+    parser.add_argument("--max-space-amplification", type=float, default=1.1,
+                        help="maximum post-compaction store size over live "
+                             "bytes (default 1.1; absolute, byte-exact)")
     args = parser.parse_args()
 
     fresh = load_summaries(args.fresh)
@@ -222,13 +261,16 @@ def main():
                                 args.max_regression)
     if args.service_fresh:
         failed |= check_thread_scaling(args.service_fresh, args.min_scaling)
+        failed |= check_store_compaction(args.service_fresh,
+                                         args.max_space_amplification)
 
     if failed:
-        print("\nstep-latency ratio, HPD evals-per-solve, or thread-scaling "
-              "ratio out of bounds (see lines above)", file=sys.stderr)
+        print("\nstep-latency ratio, HPD evals-per-solve, thread-scaling "
+              "ratio, or store compaction out of bounds (see lines above)",
+              file=sys.stderr)
         return 1
-    print("\nstep-latency ratios, HPD evals-per-solve, and thread scaling "
-          "within budget")
+    print("\nstep-latency ratios, HPD evals-per-solve, thread scaling, and "
+          "store compaction within budget")
     return 0
 
 

@@ -74,6 +74,9 @@ ArgParser BuildParser() {
                "unlimited)")
       .AddFlag("checkpoint-every",
                "session snapshot cadence floor in steps (default 1)")
+      .AddFlag("compact-threshold",
+               "auto-compact a KG store once this fraction of its log is "
+               "garbage (default 0 = drain-time compaction only)")
       .AddFlag("crash-after-steps",
                "SIGKILL the daemon after N total steps, between a step and "
                "its checkpoint (crash-recovery testing)")
@@ -157,11 +160,13 @@ int RunMain(int argc, char** argv) {
   const auto default_max_steps = parsed->GetInt("default-max-steps", 0);
   const auto checkpoint_every = parsed->GetInt("checkpoint-every", 1);
   const auto crash_after = parsed->GetInt("crash-after-steps", 0);
+  const auto compact_threshold = parsed->GetDouble("compact-threshold", 0.0);
   for (const Status& s :
        {port.status(), workers.status(), max_sessions.status(),
         max_inflight.status(), max_connections.status(),
         heartbeat_ms.status(), idle_ms.status(), default_max_steps.status(),
-        checkpoint_every.status(), crash_after.status()}) {
+        checkpoint_every.status(), crash_after.status(),
+        compact_threshold.status()}) {
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 2;
@@ -180,6 +185,7 @@ int RunMain(int argc, char** argv) {
   options.default_max_steps = static_cast<uint64_t>(*default_max_steps);
   options.checkpoint_every = static_cast<uint64_t>(*checkpoint_every);
   options.crash_after_steps = static_cast<uint64_t>(*crash_after);
+  options.auto_compact_garbage_ratio = *compact_threshold;
 
   AuditDaemon daemon(options);
 
