@@ -12,7 +12,12 @@ namespace {
 /// Bump when the snapshot layout changes; a restored payload of another
 /// version is rejected outright (no cross-version migration — checkpoints
 /// are working state, not archival data).
-constexpr uint8_t kSessionSnapshotVersion = 1;
+///
+/// v1: original layout.
+/// v2: adds `unit_reservoir_capacity` to the config fingerprint and the
+///     reservoir subsample to the AnnotatedSample payload — fields shifted,
+///     so a v1 payload must fail the version gate rather than misparse.
+constexpr uint8_t kSessionSnapshotVersion = 2;
 
 }  // namespace
 
@@ -234,7 +239,11 @@ Status EvaluationSession::LoadState(ByteReader* r) {
   if (!init_status_.ok()) return init_status_;
   KGACC_ASSIGN_OR_RETURN(const uint8_t version, r->U8());
   if (version != kSessionSnapshotVersion) {
-    return Status::InvalidArgument("unsupported session snapshot version");
+    return Status::InvalidArgument(
+        "session snapshot version " + std::to_string(int(version)) +
+        " is incompatible with this build (expects version " +
+        std::to_string(int(kSessionSnapshotVersion)) +
+        "); the audit must restart rather than resume");
   }
   KGACC_ASSIGN_OR_RETURN(const uint64_t seed, r->Fixed64());
   KGACC_ASSIGN_OR_RETURN(const std::string design, r->String());

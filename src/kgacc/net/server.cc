@@ -9,12 +9,14 @@
 #include <cctype>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 
 #include "kgacc/sampling/cluster.h"
 #include "kgacc/sampling/srs.h"
 #include "kgacc/sampling/stratified.h"
 #include "kgacc/sampling/systematic.h"
+#include "kgacc/util/codec.h"
 #include "kgacc/util/failpoint.h"
 
 namespace kgacc {
@@ -458,7 +460,11 @@ Result<std::shared_ptr<AnnotationStore>> AuditDaemon::StoreForKg(
   store_options.sync_checkpoints = options_.sync_checkpoints;
   store_options.auto_compact_garbage_ratio =
       options_.auto_compact_garbage_ratio;
-  // Registered names are client-chosen; keep the filename shell-safe.
+  // Registered names are client-chosen; keep the filename shell-safe, and
+  // make it injective by suffixing a hash of the *raw* name — sanitization
+  // alone would alias distinct KGs ("a b" and "a_b") onto one WAL file,
+  // and two AnnotationStore instances over one log corrupt it (interleaved
+  // frames through separate stdio buffers, conflicting truncation).
   std::string sanitized;
   sanitized.reserve(name.size());
   for (const char c : name) {
@@ -466,7 +472,18 @@ Result<std::shared_ptr<AnnotationStore>> AuditDaemon::StoreForKg(
                             ? c
                             : '_');
   }
-  const std::string path = options_.store_dir + "/kg_" + sanitized + ".wal";
+  char tag[16];
+  std::snprintf(tag, sizeof(tag), "%08x", Crc32c(name.data(), name.size()));
+  const std::string path =
+      options_.store_dir + "/kg_" + sanitized + "-" + tag + ".wal";
+  // Belt over the hash: if two live names ever resolve to one path, refuse
+  // the second instead of silently sharing the file.
+  const auto claimed = store_paths_.emplace(path, name);
+  if (!claimed.second && claimed.first->second != name) {
+    return Status::FailedPrecondition(
+        "KG '" + name + "' resolves to store file '" + path +
+        "' already in use by KG '" + claimed.first->second + "'");
+  }
   auto store = AnnotationStore::Open(path, store_options);
   if (!store.ok()) return store.status();
   std::shared_ptr<AnnotationStore> shared = std::move(*store);

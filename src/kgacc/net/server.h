@@ -58,7 +58,7 @@ class AuditDaemon {
   struct Options {
     /// Listen port (0 = ephemeral; read back with `port()`).
     uint16_t port = 0;
-    /// Directory for per-KG annotation stores (`kg_<name>.wal`). Every
+    /// Directory for per-KG annotation stores (`kg_<name>-<hash>.wal`). Every
     /// session auditing the same registered KG shares one store — labels
     /// bought by any audit serve every later audit of that KG, and
     /// concurrent sessions append through the store's group-commit queue.
@@ -204,7 +204,9 @@ class AuditDaemon {
   void WakePoll();
   void DoDrain();
   /// The shared annotation store for a registered KG, opened on first use
-  /// (`store_dir/kg_<sanitized-name>.wal`) and kept for the daemon's life.
+  /// (`store_dir/kg_<sanitized-name>-<crc32-of-raw-name>.wal`; the hash
+  /// suffix keeps distinct names from aliasing one file) and kept for the
+  /// daemon's life.
   Result<std::shared_ptr<AnnotationStore>> StoreForKg(const std::string& name);
   /// Builds the final AuditReport frame for a finished session.
   std::vector<uint8_t> BuildReportFrame(Session& session,
@@ -216,6 +218,10 @@ class AuditDaemon {
   /// One shared store per KG name (poll-thread-opened; the store itself is
   /// thread-safe, so worker-side sessions append concurrently).
   std::map<std::string, std::shared_ptr<AnnotationStore>> stores_;
+  /// Resolved store path -> raw KG name that owns it; `StoreForKg` refuses
+  /// a second name resolving to an already-claimed path (two stores over
+  /// one WAL would corrupt it).
+  std::map<std::string, std::string> store_paths_;
 
   OwnedFd listener_;
   uint16_t port_ = 0;

@@ -152,6 +152,7 @@ Status AnnotationStore::CommitFrame(uint8_t type,
   req.type = type;
   req.payload = payload;
   req.sync = sync;
+  req.apply = &apply;
 
   std::unique_lock<std::mutex> lock(commit_mu_);
   if (!log_lost_.ok()) return log_lost_;
@@ -185,19 +186,33 @@ Status AnnotationStore::CommitFrame(uint8_t type,
     gc_stats_.frames += batch.size();
     gc_stats_.max_batch_frames =
         std::max(gc_stats_.max_batch_frames, uint64_t{batch.size()});
+    // The leader runs every member's index/accounting apply itself, still
+    // under the commit lock, in batch (= log frame) order, before marking
+    // anything done. Two invariants hang on this:
+    //
+    //  * apply order is exactly replay order — when two frames race the
+    //    same key, the one the log will replay first is also the one the
+    //    in-memory index keeps, so callers are told the same winner a
+    //    post-crash reopen would produce;
+    //  * once `leader_active_` clears with an empty queue the index is in
+    //    step with the log, so that is a sufficient quiesce predicate for
+    //    `Compact()`. Deferring apply to each follower would leave a
+    //    window where a settled frame is in the log but not the index —
+    //    a compaction sneaking in there would rewrite a log omitting a
+    //    durably acknowledged record.
+    //
+    // Each member's stack (and thus its apply closure) stays alive while
+    // this runs: followers are still blocked waiting for `done`.
     for (Commit* c : batch) {
       // An unflushed frame is not durable: a failed settle fails every
       // member whose write "succeeded" into the stdio buffer.
       if (c->status.ok() && !settle.ok()) c->status = settle;
+      if (c->status.ok() && c->apply != nullptr && *c->apply) (*c->apply)();
       c->done = true;
     }
     leader_active_ = false;
     commit_cv_.notify_all();
   }
-  // Index and accounting update, under the commit lock: a concurrent
-  // Compact() (which holds this lock with the queue drained) therefore
-  // always snapshots an index in step with the log.
-  if (req.status.ok() && apply) apply();
   return req.status;
 }
 
@@ -231,6 +246,7 @@ Status AnnotationStore::Append(uint64_t audit_id, uint64_t cluster,
   // Log first, index second: the WAL is the source of truth, and an append
   // failure must leave the index claiming nothing the log cannot replay.
   const uint64_t frame_bytes = walfmt::FrameBytesOnDisk(record.size());
+  Status conflict;
   KGACC_RETURN_IF_ERROR(CommitFrame(
       walfmt::kAnnotationFrame, record.span(), options_.sync_appends, [&] {
         file_bytes_ += frame_bytes;
@@ -239,11 +255,20 @@ Status AnnotationStore::Append(uint64_t audit_id, uint64_t cluster,
           if (label) shard.correct.insert(key);
         } else {
           // Two writers raced the same novel key past the pre-check; both
-          // frames are in the log, one entry is live. Replay is idempotent
-          // (first record wins), so the duplicate is merely garbage bytes.
+          // frames are in the log, the first apply won and replay agrees
+          // (first record wins), so this frame is garbage bytes. If the
+          // winner stored the *opposite* label this caller must not be
+          // told OK — what replay produces is the winner's label — so the
+          // race surfaces the same FailedPrecondition serial callers get.
           garbage_bytes_ += frame_bytes;
+          if (shard.correct.contains(key) != label) {
+            conflict = Status::FailedPrecondition(
+                "annotation store: conflicting label for an already-stored "
+                "triple (stored judgments are immutable)");
+          }
         }
       }));
+  KGACC_RETURN_IF_ERROR(conflict);
   MaybeAutoCompact();
   return Status::OK();
 }
@@ -278,13 +303,16 @@ Status AnnotationStore::AppendCheckpoint(uint64_t audit_id,
   return Status::OK();
 }
 
-const std::vector<uint8_t>* AnnotationStore::LatestCheckpoint(
+std::optional<std::vector<uint8_t>> AnnotationStore::LatestCheckpoint(
     uint64_t audit_id) const {
+  // Copied out under the lock: any audit's first AppendCheckpoint can grow
+  // `checkpoints_` and reallocate, so a pointer into an entry is unsafe to
+  // hand across the lock boundary.
   std::lock_guard<std::mutex> lock(checkpoints_mu_);
   for (const CheckpointEntry& entry : checkpoints_) {
-    if (entry.audit_id == audit_id) return &entry.snapshot;
+    if (entry.audit_id == audit_id) return entry.snapshot;
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 double AnnotationStore::GarbageRatioLocked() const {

@@ -49,8 +49,10 @@
 /// flush — and a single fsync when any member asked for durability. A batch
 /// of N concurrent appends therefore pays one fsync, not N, and multiple
 /// `EvaluationService` jobs in one `RunBatch` can share one store. Index
-/// and byte accounting updates run under the commit lock after the log
-/// write succeeds, preserving the log-first-index-second invariant.
+/// and byte accounting updates are run by the leader under the commit
+/// lock, in log frame order, after the log write succeeds — preserving the
+/// log-first-index-second invariant and keeping in-memory state bitwise in
+/// step with what replay would rebuild at every instant.
 ///
 /// **Size-tiered compaction (bounded file size).** Checkpoints supersede
 /// each other and duplicate appends can race into the log, so a long-lived
@@ -129,8 +131,8 @@ struct CompactionStats {
 /// probe a lock-striped shard, appends serialize through the group-commit
 /// queue, so concurrent `EvaluationService` jobs may share one store within
 /// a batch. Checkpoint frames are keyed by audit id; concurrent audits must
-/// use distinct ids (the pointer `LatestCheckpoint` returns is stable only
-/// while no writer replaces that same audit's checkpoint).
+/// use distinct ids (`LatestCheckpoint` hands back a copy, so it is safe
+/// against any concurrent checkpoint append, same audit or not).
 class AnnotationStore {
  public:
   struct Options {
@@ -181,11 +183,12 @@ class AnnotationStore {
   Status AppendCheckpoint(uint64_t audit_id,
                           std::span<const uint8_t> snapshot);
 
-  /// The latest replayed-or-appended checkpoint for `audit_id`; nullptr
-  /// when the audit never checkpointed (fresh start). The pointer is
-  /// invalidated by a later checkpoint append — under concurrency, only
-  /// the audit that owns `audit_id` may call this.
-  const std::vector<uint8_t>* LatestCheckpoint(uint64_t audit_id) const;
+  /// The latest replayed-or-appended checkpoint for `audit_id`; nullopt
+  /// when the audit never checkpointed (fresh start). Returned by value —
+  /// a copy taken under the checkpoint lock — so it stays valid whatever
+  /// concurrent audits append (a pointer into the registry would dangle
+  /// the moment another audit's first checkpoint grew the vector).
+  std::optional<std::vector<uint8_t>> LatestCheckpoint(uint64_t audit_id) const;
 
   /// Rewrites the live label set plus the latest checkpoint per audit into
   /// a fresh log and atomically installs it (see the file comment). On
@@ -251,11 +254,16 @@ class AnnotationStore {
   };
 
   /// One queued WAL write: the requester blocks until a commit leader
-  /// settles it and reports the per-frame status.
+  /// settles it and reports the per-frame status. The leader also runs
+  /// `apply` (the requester's index/accounting update) under the commit
+  /// lock, in batch order — see CommitFrame for why the leader, not the
+  /// requester, must do this. The pointer targets a live stack frame: the
+  /// requester cannot unblock before `done` is set.
   struct Commit {
     uint8_t type = 0;
     std::span<const uint8_t> payload;
     bool sync = false;
+    const std::function<void()>* apply = nullptr;
     Status status;
     bool done = false;
   };
@@ -268,10 +276,12 @@ class AnnotationStore {
 
   Status Replay(uint8_t type, std::span<const uint8_t> payload);
 
-  /// Routes one frame through the group-commit queue. On success, runs
-  /// `apply` (index/accounting update) under the commit lock before
-  /// returning, so a concurrent `Compact()` — which drains the queue and
-  /// takes the same lock — always observes index and accounting in step
+  /// Routes one frame through the group-commit queue. On success the
+  /// commit *leader* runs `apply` (index/accounting update) under the
+  /// commit lock, in log frame order, before any batch member unblocks —
+  /// so the in-memory winner of a racing key always matches what replay
+  /// produces, and a concurrent `Compact()` (which drains the queue and
+  /// takes the same lock) always observes index and accounting in step
   /// with the log.
   Status CommitFrame(uint8_t type, std::span<const uint8_t> payload,
                      bool sync, const std::function<void()>& apply);

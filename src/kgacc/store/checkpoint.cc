@@ -40,12 +40,15 @@ Status CheckpointManager::Checkpoint(const EvaluationSession& session) {
 }
 
 bool CheckpointManager::CanResume() const {
-  return store_->LatestCheckpoint(audit_id_) != nullptr;
+  return store_->LatestCheckpoint(audit_id_).has_value();
 }
 
 Status CheckpointManager::Resume(EvaluationSession* session) const {
-  const std::vector<uint8_t>* snapshot = store_->LatestCheckpoint(audit_id_);
-  if (snapshot == nullptr) {
+  // The snapshot arrives by value: other audits on a shared store (daemon
+  // worker threads) may append their own checkpoints while this one loads.
+  const std::optional<std::vector<uint8_t>> snapshot =
+      store_->LatestCheckpoint(audit_id_);
+  if (!snapshot.has_value()) {
     return Status::FailedPrecondition(
         "no checkpoint stored for this audit id");
   }

@@ -69,8 +69,14 @@ constexpr uint64_t KeyOffset(uint64_t key) {
 Status AnnotationStore::Compact() {
   std::unique_lock<std::mutex> lock(commit_mu_);
   // Phase 1: quiesce. New writers block enqueueing (they need commit_mu_);
-  // an in-flight leader finishes its batch and drains the queue first, so
-  // everything acknowledged is in the log and in the index.
+  // an in-flight leader finishes its batch and drains the queue. This
+  // predicate is sufficient only because the *leader* runs every batch
+  // member's index apply under the lock before clearing `leader_active_`
+  // (see CommitFrame): there is no window where a settled frame is in the
+  // log but missing from the index, so the snapshot below is always
+  // exactly in step with the log. Were apply deferred to each follower, a
+  // settled-but-unapplied record could be silently dropped from the
+  // rewrite here — durably written, acknowledged, and gone on restart.
   commit_cv_.wait(lock,
                   [&] { return !leader_active_ && commit_queue_.empty(); });
   if (!log_lost_.ok()) return log_lost_;

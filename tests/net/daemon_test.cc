@@ -178,6 +178,44 @@ TEST(AuditDaemonTest, HappyPathMatchesLocalRunByteForByte) {
   daemon.Stop();
 }
 
+TEST(AuditDaemonTest, SanitizedKgNamesNeverShareAStoreFile) {
+  // Regression: the store filename maps non-alphanumerics to '_', so "a b"
+  // and "a_b" used to alias onto one WAL file — two AnnotationStore
+  // instances over one log with separate stdio buffers, i.e. interleaved
+  // frames and corruption. The hash suffix keeps the mapping injective:
+  // distinct registered names get distinct files and audit independently.
+  const KnowledgeGraph kg = TestKg();
+  const std::string dir = TempDir("aliasing");
+  AuditDaemon daemon(DaemonOptions(dir));
+  daemon.RegisterKg("a b", &kg);
+  daemon.RegisterKg("a_b", &kg);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  OpenAuditMsg open;
+  open.audit_id = 1;
+  open.kg_name = "a b";
+  AuditClient first(ClientOptions(daemon.port()));
+  auto report1 = first.RunAudit(open);
+  ASSERT_TRUE(report1.ok()) << report1.status().ToString();
+
+  open.audit_id = 2;
+  open.kg_name = "a_b";
+  AuditClient second(ClientOptions(daemon.port()));
+  auto report2 = second.RunAudit(open);
+  ASSERT_TRUE(report2.ok()) << report2.status().ToString();
+  // The stores are independent: the second KG repaid nothing from the
+  // first one's labels (they are different namespaces, whatever the
+  // sanitized name says).
+  EXPECT_GT(report2->oracle_calls, 0u);
+  daemon.Stop();
+
+  size_t wal_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    wal_files += entry.path().extension() == ".wal" ? 1 : 0;
+  }
+  EXPECT_EQ(wal_files, 2u);
+}
+
 TEST(AuditDaemonTest, ReopeningAFinishedAuditRepaysNothing) {
   const KnowledgeGraph kg = TestKg();
   const std::string dir = TempDir("reopen");

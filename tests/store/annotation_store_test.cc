@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kgacc/eval/session.h"
@@ -71,6 +72,52 @@ TEST(AnnotationStoreTest, StoredLabelsAreImmutable) {
   std::remove(path.c_str());
 }
 
+TEST(AnnotationStoreTest, RacingConflictingLabelsSurfaceTheConflict) {
+  // Regression: two writers racing the same *novel* key with opposite
+  // labels can both pass the immutability pre-check. Both frames reach the
+  // log and the first apply wins — the loser must then get the same
+  // FailedPrecondition a serial caller gets; an OK would certify a label
+  // that replay contradicts.
+  const std::string path = TempPath("conflict_race");
+  std::remove(path.c_str());
+  auto store = AnnotationStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  constexpr uint64_t kKeys = 512;
+  std::vector<Status> as_true(kKeys), as_false(kKeys);
+  std::thread t1([&] {
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      as_true[k] = (*store)->Append(/*audit_id=*/1, k, 1, true);
+    }
+  });
+  std::thread t2([&] {
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      as_false[k] = (*store)->Append(/*audit_id=*/2, k, 1, false);
+    }
+  });
+  t1.join();
+  t2.join();
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    // Exactly one side owns the stored label; the other saw the conflict
+    // (whether its pre-check or its post-log apply detected it).
+    ASSERT_NE(as_true[k].ok(), as_false[k].ok()) << "key " << k;
+    EXPECT_EQ(as_true[k].ok() ? as_false[k].code() : as_true[k].code(),
+              StatusCode::kFailedPrecondition)
+        << "key " << k;
+    EXPECT_EQ((*store)->Lookup(k, 1), std::optional<bool>(as_true[k].ok()))
+        << "key " << k;
+  }
+  // Replay agrees with what the callers were told.
+  store->reset();
+  auto reopened = AnnotationStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ((*reopened)->Lookup(k, 1),
+              std::optional<bool>(as_true[k].ok()))
+        << "key " << k;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(AnnotationStoreTest, CheckpointsAreLatestWinsPerAuditId) {
   const std::string path = TempPath("checkpoints");
   std::remove(path.c_str());
@@ -88,11 +135,11 @@ TEST(AnnotationStoreTest, CheckpointsAreLatestWinsPerAuditId) {
   }
   auto store = AnnotationStore::Open(path);
   ASSERT_TRUE(store.ok());
-  ASSERT_NE((*store)->LatestCheckpoint(42), nullptr);
+  ASSERT_TRUE((*store)->LatestCheckpoint(42).has_value());
   EXPECT_EQ(*(*store)->LatestCheckpoint(42), Bytes({2, 2, 2}));
-  ASSERT_NE((*store)->LatestCheckpoint(77), nullptr);
+  ASSERT_TRUE((*store)->LatestCheckpoint(77).has_value());
   EXPECT_EQ(*(*store)->LatestCheckpoint(77), Bytes({9}));
-  EXPECT_EQ((*store)->LatestCheckpoint(1), nullptr);
+  EXPECT_FALSE((*store)->LatestCheckpoint(1).has_value());
   EXPECT_EQ((*store)->stats().checkpoints_replayed, 3u);
   std::remove(path.c_str());
 }
@@ -131,7 +178,7 @@ TEST(AnnotationStoreTest, CorruptTailRecoversToLastConsistentCheckpoint) {
   ASSERT_TRUE(store.ok());
   EXPECT_TRUE((*store)->stats().recovery.truncated_tail);
   EXPECT_EQ((*store)->num_labeled(), 1u);  // Second record discarded.
-  ASSERT_NE((*store)->LatestCheckpoint(5), nullptr);
+  ASSERT_TRUE((*store)->LatestCheckpoint(5).has_value());
   EXPECT_EQ(*(*store)->LatestCheckpoint(5), Bytes({1}));
   std::remove(path.c_str());
 }

@@ -256,7 +256,7 @@ TEST(ChaosTest, CompactionCrashMatrixLeavesStoreRecoverable) {
       }
       labels_before = (*store)->num_labeled();
       ASSERT_GT(labels_before, 0u);
-      ASSERT_NE((*store)->LatestCheckpoint(1), nullptr);
+      ASSERT_TRUE((*store)->LatestCheckpoint(1).has_value());
       checkpoint_before = *(*store)->LatestCheckpoint(1);
 
       // The injected compaction: every phase failure surfaces as a
@@ -273,7 +273,7 @@ TEST(ChaosTest, CompactionCrashMatrixLeavesStoreRecoverable) {
     auto store = AnnotationStore::Open(path);
     ASSERT_TRUE(store.ok()) << site << " left an unopenable store";
     EXPECT_EQ((*store)->num_labeled(), labels_before);
-    ASSERT_NE((*store)->LatestCheckpoint(1), nullptr);
+    ASSERT_TRUE((*store)->LatestCheckpoint(1).has_value());
     EXPECT_EQ(*(*store)->LatestCheckpoint(1), checkpoint_before);
     // Nothing sticky: the next compaction succeeds and changes nothing
     // about the live state.

@@ -12,10 +12,14 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "kgacc/eval/session.h"
 #include "kgacc/kg/synthetic.h"
@@ -369,6 +373,57 @@ TEST(CompactionTest, GarbageRatioTriggersAutoCompaction) {
   auto reopened = AnnotationStore::Open(path);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(AllLabels(**reopened, kg), labels);
+  std::remove(path.c_str());
+}
+
+TEST(CompactionTest, CompactionNeverDropsConcurrentlyAcknowledgedAppends) {
+  // Regression for the quiesce race: an empty commit queue is not
+  // quiescence. A follower whose frame the leader already settled can
+  // still be blocked re-acquiring the commit lock to run its index apply;
+  // a Compact() winning that lock first would snapshot an index missing
+  // the record and install a rewritten log that omits a durably
+  // acknowledged append. The store counts in-flight commits and Compact
+  // waits them out — hammer appenders against a compaction loop and
+  // require every acknowledged label to survive a reopen.
+  const std::string path = TempPath("concurrent_compact");
+  std::remove(path.c_str());
+  auto store = AnnotationStore::Open(path);
+  ASSERT_TRUE(store.ok());
+
+  constexpr uint64_t kWriters = 4;
+  constexpr uint64_t kKeysPerWriter = 400;
+  std::atomic<bool> stop{false};
+  std::thread compactor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EXPECT_TRUE((*store)->Compact().ok());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<std::thread> writers;
+  for (uint64_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kKeysPerWriter; ++i) {
+        const uint64_t cluster = w * kKeysPerWriter + i;
+        EXPECT_TRUE(
+            (*store)->Append(/*audit_id=*/7, cluster, 0, cluster % 3 == 0)
+                .ok());
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  compactor.join();
+
+  ASSERT_EQ((*store)->num_labeled(), kWriters * kKeysPerWriter);
+  store->reset();
+  auto reopened = AnnotationStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  for (uint64_t cluster = 0; cluster < kWriters * kKeysPerWriter; ++cluster) {
+    ASSERT_EQ((*reopened)->Lookup(cluster, 0),
+              std::optional<bool>(cluster % 3 == 0))
+        << "acknowledged label for cluster " << cluster
+        << " lost across a concurrent compaction";
+  }
   std::remove(path.c_str());
 }
 

@@ -347,6 +347,29 @@ TEST(SnapshotTest, StatelessClusterSamplersRoundTripTrivially) {
   CheckSamplerRoundTrip(kg, rcs, 16, 4);
 }
 
+TEST(SnapshotTest, SessionSnapshotRejectsOtherFormatVersions) {
+  // v2 inserted fields mid-payload (reservoir capacity + subsample); a
+  // payload stamped with another version must fail the explicit version
+  // gate up front, not misparse with every later field shifted by one.
+  const auto kg = TestKg();
+  OracleAnnotator annotator;
+  SrsSampler sampler(kg, SrsConfig{});
+  EvaluationConfig config;
+  EvaluationSession session(sampler, annotator, config, 42);
+  ASSERT_TRUE(session.Step().ok());
+  ByteWriter w;
+  session.SaveState(&w);
+  std::vector<uint8_t> bytes(w.span().begin(), w.span().end());
+  ASSERT_FALSE(bytes.empty());
+  bytes[0] = 1;  // The pre-reservoir format.
+  EvaluationSession same(sampler, annotator, config, 42);
+  ByteReader r({bytes.data(), bytes.size()});
+  const Status status = same.LoadState(&r);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("incompatible"), std::string::npos)
+      << status.ToString();
+}
+
 TEST(SnapshotTest, SessionSnapshotRejectsFingerprintMismatch) {
   const auto kg = TestKg();
   OracleAnnotator annotator;
