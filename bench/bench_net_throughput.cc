@@ -5,14 +5,18 @@
 // replays/sec for the finished-audit reopen path (the resume fast path:
 // zero oracle calls, one round trip), and a chaos cell with the
 // `net.read.torn` failpoint armed to price reconnect-and-resume under a
-// lossy transport. Emits BENCH_net.json; informational, not CI-gated —
-// the byte-identity and crash-tolerance *contracts* are gated by
-// tests/net/daemon_test.cc and the CI daemon stage, this file only tracks
-// how fast the wire is.
+// lossy transport, and a two-tenant fairness window on a single-worker
+// daemon whose served-step split CI gates against the 3:1 DRR weights
+// (`check_perf_regression.py --net-fresh`). Emits BENCH_net.json; the
+// throughput rows are informational — the byte-identity and
+// crash-tolerance *contracts* are gated by tests/net/daemon_test.cc and
+// the CI daemon stage — but the fairness row is a machine-independent
+// ratio and is gated.
 //
 // Knobs: KGACC_NET_CLIENTS (default 4), KGACC_NET_AUDITS per client
-// (default 6), KGACC_SEED.
+// (default 6), KGACC_NET_FAIRNESS_SECONDS (default 2), KGACC_SEED.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +27,7 @@
 
 #include "kgacc/net/client.h"
 #include "kgacc/net/server.h"
+#include "kgacc/tenant/tenant.h"
 #include "kgacc/util/failpoint.h"
 
 #include "bench_util.h"
@@ -177,6 +182,94 @@ int main() {
   std::printf("daemon: %s\n", daemon.StatsLine().c_str());
   daemon.Stop();
 
+  // Phase 4: weighted fairness under contention. A single-worker daemon with
+  // a 3:1 DRR weight split, two tenants looping full audits flat out for a
+  // fixed wall-clock window. The served-step share is a property of the
+  // scheduler, not the machine, so CI gates |heavy_share - 0.75| via
+  // check_perf_regression.py (skipped when the window saw too few audits).
+  uint64_t heavy_steps = 0, light_steps = 0, fair_completions = 0;
+  double fair_seconds = 0.0;
+  {
+    const std::string fair_dir = store_dir + "_fair";
+    std::filesystem::remove_all(fair_dir);
+    std::filesystem::create_directories(fair_dir);
+    AuditDaemon::Options fair_options;
+    fair_options.port = 0;
+    fair_options.store_dir = fair_dir;
+    fair_options.checkpoint_every = 8;
+    fair_options.workers = 1;  // One lane: contention is the point.
+    auto registry = TenantRegistry::Parse("heavy weight=3\nlight weight=1\n");
+    if (!registry.ok()) {
+      std::fprintf(stderr, "registry: %s\n",
+                   registry.status().ToString().c_str());
+      return 1;
+    }
+    fair_options.tenants = *std::move(registry);
+    AuditDaemon fair_daemon(fair_options);
+    fair_daemon.RegisterKg("bench", &kg);
+    const Status fair_started = fair_daemon.Start();
+    if (!fair_started.ok()) {
+      std::fprintf(stderr, "fair daemon: %s\n",
+                   fair_started.ToString().c_str());
+      return 1;
+    }
+    const int window_seconds = EnvInt("KGACC_NET_FAIRNESS_SECONDS", 2);
+    // Several sessions per tenant keep each tenant's queue backlogged on
+    // the single worker — with one outstanding batch per session the
+    // scheduler would never face a choice and the share would measure
+    // client round-trips, not DRR weights.
+    const int sessions_per_tenant = EnvInt("KGACC_NET_FAIRNESS_SESSIONS", 4);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(window_seconds);
+    const auto fair_start = std::chrono::steady_clock::now();
+    std::atomic<uint64_t> steps_by_side[2] = {{0}, {0}};
+    std::atomic<uint64_t> done_by_side[2] = {{0}, {0}};
+    auto spin = [&](const char* tenant, int side, uint64_t id_base) {
+      AuditClientOptions copts;
+      copts.port = fair_daemon.port();
+      copts.tenant = tenant;
+      copts.batch_steps = 8;
+      copts.recv_timeout_ms = 2000;
+      for (uint64_t a = 0; std::chrono::steady_clock::now() < deadline; ++a) {
+        OpenAuditMsg open;
+        open.audit_id = id_base + a;
+        open.kg_name = "bench";
+        open.seed = seed + open.audit_id;
+        open.checkpoint_every = 8;
+        AuditClient client(copts);
+        if (!client.RunAudit(open).ok()) continue;
+        steps_by_side[side].fetch_add(client.stats().updates_received,
+                                      std::memory_order_relaxed);
+        done_by_side[side].fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    std::vector<std::thread> spinners;
+    for (int t = 0; t < sessions_per_tenant; ++t) {
+      spinners.emplace_back(spin, "heavy", 0,
+                            uint64_t{100000} + uint64_t(t) * 10000);
+      spinners.emplace_back(spin, "light", 1,
+                            uint64_t{200000} + uint64_t(t) * 10000);
+    }
+    for (auto& t : spinners) t.join();
+    heavy_steps = steps_by_side[0].load();
+    light_steps = steps_by_side[1].load();
+    fair_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - fair_start)
+                       .count();
+    fair_completions = done_by_side[0].load() + done_by_side[1].load();
+    fair_daemon.Stop();
+    std::filesystem::remove_all(fair_dir);
+  }
+  const uint64_t fair_steps = heavy_steps + light_steps;
+  const double heavy_share =
+      fair_steps == 0 ? 0.0
+                      : static_cast<double>(heavy_steps) /
+                            static_cast<double>(fair_steps);
+  std::printf("tenant fairness  %6llu audits  heavy share %.3f "
+              "(weights 3:1 -> 0.750)\n",
+              static_cast<unsigned long long>(fair_completions), heavy_share);
+  bench::Rule(72);
+
   const uint64_t expected =
       static_cast<uint64_t>(clients) * audits_per_client;
   const bool complete = cold.audits == expected &&
@@ -199,10 +292,20 @@ int main() {
                  clients, replay.audits / replay.seconds);
     std::fprintf(json,
                  "  {\"bench\": \"net_chaos_torn_read\", \"clients\": %d, "
-                 "\"audits_per_sec\": %.2f, \"reconnects\": %llu}\n"
-                 "]\n",
+                 "\"audits_per_sec\": %.2f, \"reconnects\": %llu},\n",
                  clients, chaos.audits / chaos.seconds,
                  static_cast<unsigned long long>(chaos.reconnects));
+    std::fprintf(json,
+                 "  {\"bench\": \"net_tenant_fairness\", \"heavy_weight\": 3, "
+                 "\"light_weight\": 1, \"heavy_share\": %.4f, "
+                 "\"expected_share\": 0.75, \"heavy_steps\": %llu, "
+                 "\"light_steps\": %llu, \"completions\": %llu, "
+                 "\"seconds\": %.2f}\n"
+                 "]\n",
+                 heavy_share, static_cast<unsigned long long>(heavy_steps),
+                 static_cast<unsigned long long>(light_steps),
+                 static_cast<unsigned long long>(fair_completions),
+                 fair_seconds);
     std::fclose(json);
     std::printf("wrote BENCH_net.json\n");
   }

@@ -1,0 +1,81 @@
+#include "kgacc/eval/diagnostics.h"
+
+#include <vector>
+
+namespace kgacc {
+
+Result<SampleDiagnostics> ComputeSampleDiagnostics(
+    const AnnotatedSample& sample, const BootstrapOptions& bootstrap,
+    const DesignEffectOptions& design_effect) {
+  const bool from_reservoir = !sample.retain_units();
+  const std::vector<AnnotatedUnit>& units =
+      from_reservoir ? sample.reservoir_units() : sample.units();
+  if (units.empty()) {
+    return Status::FailedPrecondition(
+        from_reservoir
+            ? "no per-unit history: unit retention is off and no reservoir "
+              "was armed (set unit_reservoir_capacity > 0)"
+            : "no per-unit history: the sample is empty");
+  }
+
+  std::vector<double> accuracies;
+  accuracies.reserve(units.size());
+  uint64_t subsample_triples = 0;
+  for (const AnnotatedUnit& unit : units) {
+    if (unit.drawn == 0) continue;
+    accuracies.push_back(static_cast<double>(unit.correct) /
+                         static_cast<double>(unit.drawn));
+    subsample_triples += unit.drawn;
+  }
+  if (accuracies.size() < 2) {
+    return Status::FailedPrecondition(
+        "per-unit diagnostics need at least two annotated units");
+  }
+
+  double mean = 0.0;
+  for (double a : accuracies) mean += a;
+  mean /= static_cast<double>(accuracies.size());
+  double ss = 0.0;
+  for (double a : accuracies) ss += (a - mean) * (a - mean);
+  const double m = static_cast<double>(accuracies.size());
+
+  SampleDiagnostics diag;
+  diag.units_used = accuracies.size();
+  diag.units_total = sample.num_units();
+  diag.from_reservoir = from_reservoir;
+  diag.unit_mean = mean;
+
+  KGACC_ASSIGN_OR_RETURN(
+      diag.unit_mean_interval,
+      BootstrapInterval(
+          accuracies,
+          [](const std::vector<double>& xs) {
+            double sum = 0.0;
+            for (double x : xs) sum += x;
+            return sum / static_cast<double>(xs.size());
+          },
+          bootstrap));
+
+  // Design effect on the subsample: both the between-unit variance of the
+  // mean and the SRS reference variance are computed over the same units,
+  // so the ratio is a consistent estimate of the full stream's deff (the
+  // reservoir is a uniform subsample). The effective sizes then anchor to
+  // the audit's full totals.
+  AccuracyEstimate estimate;
+  estimate.mu = mean;
+  estimate.variance = ss / (m * (m - 1.0));
+  estimate.n = subsample_triples;
+  estimate.num_units = accuracies.size();
+  const EffectiveSample eff = ComputeEffectiveSample(estimate, design_effect);
+  diag.deff = eff.deff;
+  diag.n_eff = static_cast<double>(sample.num_triples()) / eff.deff;
+  const double full_mu =
+      sample.num_triples() == 0
+          ? 0.0
+          : static_cast<double>(sample.num_correct()) /
+                static_cast<double>(sample.num_triples());
+  diag.tau_eff = full_mu * diag.n_eff;
+  return diag;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,58 @@
+#ifndef KGACC_EVAL_DIAGNOSTICS_H_
+#define KGACC_EVAL_DIAGNOSTICS_H_
+
+#include <cstdint>
+
+#include "kgacc/estimate/design_effect.h"
+#include "kgacc/intervals/interval.h"
+#include "kgacc/sampling/sample.h"
+#include "kgacc/stats/bootstrap.h"
+#include "kgacc/util/status.h"
+
+/// \file diagnostics.h
+/// Post-audit per-unit diagnostics: a percentile-bootstrap interval on the
+/// between-unit accuracy and a Kish design effect estimated from the same
+/// unit history. The point of this module is the *source selection*: with
+/// `retain_unit_history` on it replays the full `units()` record, and with
+/// retention off — the O(1)-memory audit mode — it consumes the seeded
+/// uniform reservoir (`AnnotatedSample::reservoir_units()`) that the
+/// session maintains for exactly this purpose. Either way an audit that
+/// held constant memory still gets distribution-level diagnostics at the
+/// end, from an unbiased subsample instead of nothing.
+
+namespace kgacc {
+
+/// Per-unit diagnostics for one finished (or paused) annotated sample.
+struct SampleDiagnostics {
+  /// Units the diagnostics were computed from.
+  uint64_t units_used = 0;
+  /// Units the audit accumulated in total (`num_units()`); larger than
+  /// `units_used` when the reservoir subsampled the stream.
+  uint64_t units_total = 0;
+  /// True when the reservoir (retention off) fed the diagnostics.
+  bool from_reservoir = false;
+  /// Mean of per-unit accuracies over the units used (the cluster-design
+  /// point estimate of Eq. 3 restricted to this subsample).
+  double unit_mean = 0.0;
+  /// Percentile-bootstrap interval on that mean.
+  Interval unit_mean_interval;
+  /// Kish design effect from the between-unit variance of the units used.
+  double deff = 1.0;
+  /// Effective SRS-equivalent sample size for the *full* audit:
+  /// `num_triples() / deff` (the subsample estimates the ratio; the full
+  /// totals anchor the scale).
+  double n_eff = 0.0;
+  double tau_eff = 0.0;
+};
+
+/// Computes diagnostics from whichever per-unit record the sample holds:
+/// the full history when retention is on, the reservoir otherwise.
+/// FailedPrecondition when neither exists (retention off and no reservoir
+/// armed) or fewer than two multi-triple-capable units are available.
+Result<SampleDiagnostics> ComputeSampleDiagnostics(
+    const AnnotatedSample& sample, const BootstrapOptions& bootstrap = {},
+    const DesignEffectOptions& design_effect = {});
+
+}  // namespace kgacc
+
+#endif  // KGACC_EVAL_DIAGNOSTICS_H_

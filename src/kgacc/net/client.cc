@@ -65,8 +65,10 @@ Status AuditClient::Establish(OpenAuditMsg open) {
                                 : 2000;
     KGACC_RETURN_IF_ERROR(SetRecvTimeoutMs(fd_.get(), effective_timeout_ms_));
 
+    HelloMsg hello;
+    hello.tenant = options_.tenant;
     KGACC_RETURN_IF_ERROR(
-        SendFrame(FrameOf(MessageType::kHello, EncodeHello, HelloMsg{})));
+        SendFrame(FrameOf(MessageType::kHello, EncodeHello, hello)));
     auto reply = ReadFrame();
     if (!reply.ok()) {
       last = reply.status();
@@ -78,13 +80,18 @@ Status AuditClient::Establish(OpenAuditMsg open) {
       continue;
     }
     if (reply->type == static_cast<uint8_t>(MessageType::kError)) {
-      // No session exists yet, so any Error here is connection-scoped
-      // (e.g. the daemon saw our Hello arrive torn) — rebuild and retry.
       KGACC_ASSIGN_OR_RETURN(
           const ErrorMsg err,
           DecodeError({reply->payload.data(), reply->payload.size()}));
       last = err.ToStatus();
       Disconnect();
+      if (last.code() == StatusCode::kNotFound) {
+        // The registry rejected our tenant: no reconnect fixes that until
+        // an operator amends the tenants file. Surface it verbatim.
+        return last;
+      }
+      // Anything else here is connection-scoped (e.g. the daemon saw our
+      // Hello arrive torn) — rebuild and retry.
       continue;
     }
     if (reply->type != static_cast<uint8_t>(MessageType::kHelloAck)) {
@@ -121,6 +128,17 @@ Status AuditClient::Establish(OpenAuditMsg open) {
       last = Status::IoError("daemon busy at OpenAudit: " + busy.reason);
       Disconnect();
       continue;
+    }
+    if (opened->type == static_cast<uint8_t>(MessageType::kQuotaExceeded)) {
+      // A spent quota is not load: no amount of backoff admits this audit
+      // until an operator raises the budget. Surface it immediately.
+      KGACC_ASSIGN_OR_RETURN(
+          const QuotaExceededMsg exceeded,
+          DecodeQuotaExceeded(
+              {opened->payload.data(), opened->payload.size()}));
+      ++stats_.quota_exceeded_frames;
+      stats_.last_quota_exceeded = exceeded;
+      return exceeded.ToStatus();
     }
     if (opened->type == static_cast<uint8_t>(MessageType::kError)) {
       KGACC_ASSIGN_OR_RETURN(
@@ -261,6 +279,22 @@ Result<AuditReportMsg> AuditClient::RunAudit(
         SleepMs(std::max<double>(static_cast<double>(busy.retry_after_ms),
                                  reconnect_backoff.NextDelayMs()));
         break;
+      }
+      case MessageType::kQuotaExceeded: {
+        KGACC_ASSIGN_OR_RETURN(const QuotaExceededMsg exceeded,
+                               DecodeQuotaExceeded(payload));
+        ++stats_.quota_exceeded_frames;
+        stats_.last_quota_exceeded = exceeded;
+        if (!exceeded.fatal_to_session && exceeded.quota == "store_quota") {
+          // Informational: the audit keeps progressing under degraded
+          // read-only persistence; the final report will say so.
+          stats_.degraded_seen = true;
+          break;
+        }
+        // Exhausted oracle budget (or an admission-grade rejection): the
+        // session is checkpointed daemon-side and resumes once the budget
+        // grows, but no retry loop here can make progress now.
+        return exceeded.ToStatus();
       }
       case MessageType::kError: {
         KGACC_ASSIGN_OR_RETURN(const ErrorMsg err, DecodeError(payload));

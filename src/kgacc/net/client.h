@@ -24,7 +24,13 @@
 /// * `Drain` → treated as a transport death: back off, reconnect, resume
 ///   against the restarted daemon;
 /// * session-fatal `Error` frames (deadline, step budget, WAL failure) →
-///   surfaced to the caller as the carried Status.
+///   surfaced to the caller as the carried Status;
+/// * `QuotaExceeded` (tenant budget or cap spent) → surfaced *immediately*
+///   as `kQuotaExceeded` — unlike `Busy`, retrying cannot help until an
+///   operator raises the quota, so the client never burns its backoff
+///   budget on it. The one exception is a non-fatal store-quota notice,
+///   which merely announces degraded read-only persistence while the
+///   audit keeps progressing.
 ///
 /// The client heartbeats whenever the daemon goes quiet and counts the
 /// acks; consecutive misses are a liveness verdict, not a hang.
@@ -53,6 +59,8 @@ struct AuditClientOptions {
   int max_reconnects = 8;
   /// Backoff schedule for Busy frames, connect failures, and reconnects.
   BackoffPolicy backoff;
+  /// Tenant id announced in Hello (empty = the daemon's "default" tenant).
+  std::string tenant;
 };
 
 /// Counters describing how eventful one RunAudit call was.
@@ -64,6 +72,11 @@ struct AuditClientStats {
   uint64_t heartbeat_acks = 0;
   /// The daemon reported the session degraded to read-only persistence.
   bool degraded_seen = false;
+  /// QuotaExceeded frames received (admission rejections and mid-audit
+  /// budget exhaustion alike).
+  uint64_t quota_exceeded_frames = 0;
+  /// The most recent QuotaExceeded frame (which quota, how much remains).
+  QuotaExceededMsg last_quota_exceeded;
   /// The last AuditOpened reply (resume diagnostics).
   AuditOpenedMsg opened;
 };

@@ -88,6 +88,7 @@ const char* MessageTypeName(uint8_t type) {
     case MessageType::kBusy: return "Busy";
     case MessageType::kError: return "Error";
     case MessageType::kDrain: return "Drain";
+    case MessageType::kQuotaExceeded: return "QuotaExceeded";
   }
   return "Unknown";
 }
@@ -96,6 +97,7 @@ std::vector<uint8_t> EncodeHello(const HelloMsg& m) {
   ByteWriter w;
   w.PutFixed32(m.magic);
   w.PutVarint(m.version);
+  w.PutString(m.tenant);
   return w.bytes();
 }
 
@@ -104,6 +106,11 @@ Result<HelloMsg> DecodeHello(std::span<const uint8_t> payload) {
   HelloMsg m;
   KGACC_ASSIGN_OR_RETURN(m.magic, r.Fixed32());
   KGACC_ASSIGN_OR_RETURN(m.version, r.Varint());
+  // v1 Hellos end here; the tenant string is a v2 addition and its absence
+  // means the default tenant.
+  if (!r.empty()) {
+    KGACC_ASSIGN_OR_RETURN(m.tenant, r.String());
+  }
   KGACC_RETURN_IF_ERROR(ExpectDrained(r, "Hello"));
   return m;
 }
@@ -350,6 +357,29 @@ Result<DrainMsg> DecodeDrain(std::span<const uint8_t> payload) {
   DrainMsg m;
   KGACC_ASSIGN_OR_RETURN(m.message, r.String());
   KGACC_RETURN_IF_ERROR(ExpectDrained(r, "Drain"));
+  return m;
+}
+
+std::vector<uint8_t> EncodeQuotaExceeded(const QuotaExceededMsg& m) {
+  ByteWriter w;
+  w.PutVarint(m.audit_id);
+  w.PutString(m.quota);
+  w.PutVarint(m.remaining);
+  w.PutBool(m.fatal_to_session);
+  w.PutString(m.message);
+  return w.bytes();
+}
+
+Result<QuotaExceededMsg> DecodeQuotaExceeded(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  QuotaExceededMsg m;
+  KGACC_ASSIGN_OR_RETURN(m.audit_id, r.Varint());
+  KGACC_ASSIGN_OR_RETURN(m.quota, r.String());
+  KGACC_ASSIGN_OR_RETURN(m.remaining, r.Varint());
+  KGACC_ASSIGN_OR_RETURN(m.fatal_to_session, r.Bool());
+  KGACC_ASSIGN_OR_RETURN(m.message, r.String());
+  KGACC_RETURN_IF_ERROR(ExpectDrained(r, "QuotaExceeded"));
   return m;
 }
 

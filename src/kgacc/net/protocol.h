@@ -41,8 +41,10 @@ namespace kgacc {
 
 /// First four payload bytes of a Hello frame.
 inline constexpr uint32_t kNetMagic = 0x4b474143;  // "KGAC"
-/// Protocol revision; bumped on incompatible changes.
-inline constexpr uint64_t kNetVersion = 1;
+/// Protocol revision; bumped on incompatible changes. v2 added the tenant
+/// id to Hello and the QuotaExceeded frame; a v1 Hello (no tenant field)
+/// still decodes — the daemon maps it to the default tenant.
+inline constexpr uint64_t kNetVersion = 2;
 
 /// Frame type bytes. Values are wire format — append only, never renumber.
 enum class MessageType : uint8_t {
@@ -59,6 +61,7 @@ enum class MessageType : uint8_t {
   kBusy = 11,
   kError = 12,
   kDrain = 13,
+  kQuotaExceeded = 14,
 };
 
 /// Stable name for a frame type ("OpenAudit"), for diagnostics.
@@ -69,6 +72,9 @@ const char* MessageTypeName(uint8_t type);
 struct HelloMsg {
   uint32_t magic = kNetMagic;
   uint64_t version = kNetVersion;
+  /// Tenant this connection bills against. Empty (a v1 client, or one that
+  /// never asked) maps to the daemon's default tenant.
+  std::string tenant;
 };
 
 /// Server reply to Hello: advertised liveness parameters the client should
@@ -202,6 +208,31 @@ struct DrainMsg {
   std::string message;
 };
 
+/// Hard quota rejection — the *non-retryable* counterpart of Busy. Busy
+/// means "capacity will free up, back off and retry"; QuotaExceeded means
+/// "this tenant's allowance is spent — retrying cannot help until an
+/// operator raises the budget". Sent at OpenAudit admission (session cap,
+/// exhausted budget) and mid-audit when the oracle budget runs out
+/// (`fatal_to_session=false`: the session stays open, degraded to
+/// store-hit-only annotation, and resumable).
+struct QuotaExceededMsg {
+  uint64_t audit_id = 0;  // 0 when the rejection is connection-scoped.
+  /// Which quota tripped: "oracle_budget", "store_quota", "max_sessions".
+  std::string quota;
+  /// Remaining allowance under that quota at rejection time.
+  uint64_t remaining = 0;
+  /// The session was ended by this rejection (admission); false for the
+  /// mid-audit budget-exhaustion push, where the session stays resumable.
+  bool fatal_to_session = true;
+  std::string message;
+
+  Status ToStatus() const {
+    return Status::QuotaExceeded(message.empty()
+                                     ? "tenant quota exceeded: " + quota
+                                     : message);
+  }
+};
+
 /// Payload codecs. Encode appends to a fresh payload vector; Decode
 /// consumes a payload span and rejects truncated or trailing bytes.
 std::vector<uint8_t> EncodeHello(const HelloMsg& m);
@@ -217,6 +248,7 @@ std::vector<uint8_t> EncodeHeartbeatAck(const HeartbeatMsg& m);
 std::vector<uint8_t> EncodeBusy(const BusyMsg& m);
 std::vector<uint8_t> EncodeError(const ErrorMsg& m);
 std::vector<uint8_t> EncodeDrain(const DrainMsg& m);
+std::vector<uint8_t> EncodeQuotaExceeded(const QuotaExceededMsg& m);
 
 Result<HelloMsg> DecodeHello(std::span<const uint8_t> payload);
 Result<HelloAckMsg> DecodeHelloAck(std::span<const uint8_t> payload);
@@ -231,6 +263,7 @@ Result<HeartbeatMsg> DecodeHeartbeat(std::span<const uint8_t> payload);
 Result<BusyMsg> DecodeBusy(std::span<const uint8_t> payload);
 Result<ErrorMsg> DecodeError(std::span<const uint8_t> payload);
 Result<DrainMsg> DecodeDrain(std::span<const uint8_t> payload);
+Result<QuotaExceededMsg> DecodeQuotaExceeded(std::span<const uint8_t> payload);
 
 /// Encodes a complete frame (header + payload + CRC) for a message.
 template <typename EncodeFn, typename Msg>

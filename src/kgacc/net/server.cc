@@ -89,6 +89,10 @@ struct AuditDaemon::Connection {
   size_t inflight_batches = 0;
   /// Audit ids attached to this connection.
   std::vector<uint64_t> audits;
+  /// Normalized tenant id from Hello and its registry config (points into
+  /// the daemon's immutable Options::tenants; set once Hello succeeds).
+  std::string tenant;
+  const TenantConfig* tenant_config = nullptr;
 
   explicit Connection(OwnedFd sock, uint64_t generation)
       : fd(std::move(sock)), gen(generation) {}
@@ -119,15 +123,27 @@ struct AuditDaemon::Session {
   int conn_fd = -1;
   uint64_t conn_gen = 0;
   int home_worker = 0;
+  /// Owning tenant (from the opening connection's Hello) and its config —
+  /// a pointer into the daemon's immutable Options::tenants, stable for
+  /// the daemon's life.
+  std::string tenant;
+  const TenantConfig* tenant_config = nullptr;
   /// A batch is executing on the pool (poll thread sets before SubmitTo,
   /// clears on the batch_done event).
   bool busy = false;
-  /// Batches admitted while busy, dispatched FIFO on batch completion.
-  std::deque<uint64_t> pending;
   /// Written by the worker while busy; read by the poll thread after.
   bool failed = false;
   bool finished = false;
   bool degraded_notified = false;
+  /// The tenant's oracle budget ran out mid-audit: the session idles at
+  /// its checkpoint (each further batch re-answers with a non-fatal
+  /// QuotaExceeded) instead of dying. Worker-written, like `failed`.
+  bool quota_exhausted = false;
+  /// Spend already charged to the ledger — advanced only on a successful
+  /// Charge, so a failed append leaves the delta pending for the next
+  /// step (never lost, never double-counted).
+  uint64_t metered_oracle_calls = 0;
+  uint64_t metered_store_bytes = 0;
   /// Steps completed, atomically mirrored for the poll thread (AuditOpened
   /// on re-adoption reads it while a batch may be running).
   std::atomic<uint64_t> steps_done{0};
@@ -172,6 +188,19 @@ Status AuditDaemon::Start() {
   }
   if (workers <= 0) workers = 1;
   pool_ = std::make_unique<ThreadPool>(workers);
+  worker_sched_.assign(static_cast<size_t>(workers),
+                       DrrScheduler(options_.drr_quantum));
+  worker_busy_.assign(static_cast<size_t>(workers), 0);
+  // The tenant ledger shares the store directory but never a KG store's
+  // filename (those carry a `kg_` prefix). Appends flush to the OS per
+  // frame — enough to survive the SIGKILL the daemon is built around —
+  // and the drain epilogue fsyncs.
+  AnnotationStore::Options ledger_options;
+  auto ledger =
+      QuotaLedger::Open(options_.store_dir + "/tenant_ledger.wal",
+                        ledger_options);
+  if (!ledger.ok()) return ledger.status();
+  ledger_ = std::move(*ledger);
   started_.store(true, std::memory_order_release);
   poll_thread_ = std::thread(&AuditDaemon::PollLoop, this);
   return Status::OK();
@@ -228,6 +257,21 @@ void AuditDaemon::QueueBusy(Connection& conn, const std::string& reason) {
   QueueFrame(conn, FrameOf(MessageType::kBusy, EncodeBusy, busy));
 }
 
+void AuditDaemon::QueueQuotaExceeded(Connection& conn, uint64_t audit_id,
+                                     const std::string& quota,
+                                     uint64_t remaining,
+                                     const std::string& message) {
+  stats_.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+  QuotaExceededMsg exceeded;
+  exceeded.audit_id = audit_id;
+  exceeded.quota = quota;
+  exceeded.remaining = remaining;
+  exceeded.fatal_to_session = true;
+  exceeded.message = message;
+  QueueFrame(conn, FrameOf(MessageType::kQuotaExceeded, EncodeQuotaExceeded,
+                           exceeded));
+}
+
 bool AuditDaemon::FlushOutbox(Connection& conn) {
   if (conn.outbox_off >= conn.outbox.size()) return true;
   if (FailpointHit("net.write")) {
@@ -250,10 +294,30 @@ bool AuditDaemon::FlushOutbox(Connection& conn) {
   return true;
 }
 
+void AuditDaemon::DropQueuedBatches(Session& session) {
+  if (session.home_worker < 0 ||
+      static_cast<size_t>(session.home_worker) >= worker_sched_.size()) {
+    return;
+  }
+  const DrrRemoved removed =
+      worker_sched_[session.home_worker].RemoveId(session.audit_id);
+  if (removed.items == 0) return;
+  auto tit = tenant_inflight_steps_.find(session.tenant);
+  if (tit != tenant_inflight_steps_.end()) {
+    tit->second -= std::min(tit->second, removed.cost);
+    if (tit->second == 0) tenant_inflight_steps_.erase(tit);
+  }
+  auto cit = conns_.find(session.conn_fd);
+  if (cit != conns_.end() && cit->second->gen == session.conn_gen) {
+    Connection& conn = *cit->second;
+    conn.inflight_batches -= std::min(conn.inflight_batches, removed.items);
+  }
+}
+
 void AuditDaemon::DetachSession(Session& session) {
+  DropQueuedBatches(session);
   session.conn_fd = -1;
   session.conn_gen = 0;
-  session.pending.clear();
   if (!session.busy && !session.finished && !session.failed) {
     // Bound the reconnect replay: a detached session re-adopts from its
     // freshest possible snapshot. Best effort — every label is already in
@@ -381,6 +445,16 @@ bool AuditDaemon::HandleFrame(Connection& conn, const NetFrame& frame) {
                        std::to_string(msg->version));
         return true;
       }
+      const std::string tenant = TenantRegistry::Normalize(msg->tenant);
+      const TenantConfig* tenant_config = options_.tenants.Lookup(tenant);
+      if (tenant_config == nullptr) {
+        QueueError(conn, StatusCode::kNotFound, 0, false, true,
+                   "unknown tenant '" + tenant +
+                       "' (closed registry with no '*' fallback)");
+        return true;
+      }
+      conn.tenant = tenant;
+      conn.tenant_config = tenant_config;
       conn.hello_done = true;
       HelloAckMsg ack;
       ack.draining = draining();
@@ -507,8 +581,18 @@ void AuditDaemon::HandleOpenAudit(Connection& conn, const OpenAuditMsg& msg) {
                      " is attached to another live connection");
       return;
     }
+    if (session.tenant != conn.tenant) {
+      QueueError(conn, StatusCode::kFailedPrecondition, msg.audit_id, false,
+                 false,
+                 "audit " + std::to_string(msg.audit_id) +
+                     " belongs to tenant '" + session.tenant + "'");
+      return;
+    }
     // Re-adoption: the session survived its connection. Budgets restart
     // from the adopt point; the evaluation state continues untouched.
+    // Tenant quota admission is deliberately skipped — a live session
+    // reattaching is not new work, and an exhausted budget already stops
+    // its steps.
     session.conn_fd = conn.fd.get();
     session.conn_gen = conn.gen;
     if (!session.busy) {
@@ -539,6 +623,43 @@ void AuditDaemon::HandleOpenAudit(Connection& conn, const OpenAuditMsg& msg) {
                         std::to_string(options_.max_sessions) + ") reached");
     return;
   }
+  // Tenant quota admission. Exhausted budgets *reject* new audits (even
+  // resumable ones — an operator must raise the budget first); a live
+  // session hitting the budget mid-run degrades instead (see RunBatch).
+  // QuotaExceeded is not Busy: retrying cannot help until the quota grows.
+  const TenantConfig& tenant_config = *conn.tenant_config;
+  if (tenant_config.max_sessions != 0) {
+    size_t live = 0;
+    for (const auto& [id, s] : sessions_) {
+      if (s->tenant == conn.tenant) ++live;
+    }
+    if (live >= tenant_config.max_sessions) {
+      QueueQuotaExceeded(
+          conn, msg.audit_id, "max_sessions", 0,
+          "tenant '" + conn.tenant + "' session cap (" +
+              std::to_string(tenant_config.max_sessions) + ") reached");
+      return;
+    }
+  }
+  const TenantBalance spent = ledger_->Balance(conn.tenant);
+  if (tenant_config.oracle_budget != 0 &&
+      spent.oracle_spent >= tenant_config.oracle_budget) {
+    QueueQuotaExceeded(
+        conn, msg.audit_id, "oracle_budget",
+        RemainingAllowance(tenant_config.oracle_budget, spent.oracle_spent),
+        "tenant '" + conn.tenant + "' oracle-call budget (" +
+            std::to_string(tenant_config.oracle_budget) + ") exhausted");
+    return;
+  }
+  if (tenant_config.store_byte_quota != 0 &&
+      spent.store_bytes >= tenant_config.store_byte_quota) {
+    QueueQuotaExceeded(
+        conn, msg.audit_id, "store_quota",
+        RemainingAllowance(tenant_config.store_byte_quota, spent.store_bytes),
+        "tenant '" + conn.tenant + "' store-byte quota (" +
+            std::to_string(tenant_config.store_byte_quota) + ") exhausted");
+    return;
+  }
   const auto kg_it = kgs_.find(msg.kg_name);
   if (kg_it == kgs_.end()) {
     QueueError(conn, StatusCode::kNotFound, msg.audit_id, true, false,
@@ -562,6 +683,8 @@ void AuditDaemon::HandleOpenAudit(Connection& conn, const OpenAuditMsg& msg) {
   auto session = std::make_unique<Session>();
   session->audit_id = msg.audit_id;
   session->kg_name = msg.kg_name;
+  session->tenant = conn.tenant;
+  session->tenant_config = conn.tenant_config;
   session->sampler = std::move(*sampler);
   session->design_name = session->sampler->name();
   session->config.method = *method;
@@ -647,18 +770,55 @@ void AuditDaemon::HandleStepBatch(Connection& conn, const StepBatchMsg& msg) {
     return;
   }
   Session& session = *sit->second;
+  const TenantConfig& tenant_config = *session.tenant_config;
+  if (tenant_config.max_inflight_steps != 0) {
+    uint64_t inflight = 0;
+    auto tit = tenant_inflight_steps_.find(session.tenant);
+    if (tit != tenant_inflight_steps_.end()) inflight = tit->second;
+    if (inflight + msg.steps > tenant_config.max_inflight_steps) {
+      // Transient back-pressure, not a budget violation: the cap frees as
+      // batches complete, so Busy (retry-later) is the honest answer.
+      QueueBusy(conn, "tenant '" + session.tenant +
+                          "' in-flight step cap (" +
+                          std::to_string(tenant_config.max_inflight_steps) +
+                          ") reached");
+      return;
+    }
+  }
   ++conn.inflight_batches;
-  if (session.busy) {
-    session.pending.push_back(msg.steps);
+  tenant_inflight_steps_[session.tenant] += msg.steps;
+  // Weighted fairness: batches queue per worker in tenant DRR queues
+  // (cost = steps) instead of running FIFO, so a heavy tenant's backlog
+  // cannot starve a light tenant sharing the worker.
+  worker_sched_[session.home_worker].Push(
+      session.tenant, tenant_config.weight,
+      DrrItem{session.audit_id, msg.steps});
+  PumpWorker(session.home_worker);
+}
+
+void AuditDaemon::PumpWorker(int worker) {
+  if (worker < 0 || static_cast<size_t>(worker) >= worker_sched_.size()) {
     return;
   }
-  session.busy = true;
-  Session* sp = &session;
-  const uint64_t steps = msg.steps;
-  const int fd = session.conn_fd;
-  const uint64_t gen = session.conn_gen;
-  pool_->SubmitTo(session.home_worker,
-                  [this, sp, steps, fd, gen] { RunBatch(sp, steps, fd, gen); });
+  if (worker_busy_[worker] != 0) return;
+  DrrScheduler& sched = worker_sched_[worker];
+  while (!sched.empty()) {
+    const std::optional<DrrItem> item = sched.Pop();
+    if (!item.has_value()) break;
+    auto sit = sessions_.find(item->id);
+    if (sit == sessions_.end()) continue;  // evicted with work still queued
+    Session& session = *sit->second;
+    session.busy = true;
+    worker_busy_[worker] = 1;
+    Session* sp = &session;
+    const uint64_t steps = item->cost;
+    const int fd = session.conn_fd;
+    const uint64_t gen = session.conn_gen;
+    pool_->SubmitTo(worker, [this, sp, steps, fd, gen, worker] {
+      RunBatch(sp, steps, fd, gen, worker);
+    });
+    return;
+  }
 }
 
 std::vector<uint8_t> AuditDaemon::BuildReportFrame(
@@ -684,11 +844,14 @@ std::vector<uint8_t> AuditDaemon::BuildReportFrame(
 }
 
 void AuditDaemon::RunBatch(Session* session, uint64_t steps, int conn_fd,
-                           uint64_t conn_gen) {
+                           uint64_t conn_gen, int worker) {
   Event ev;
   ev.conn_fd = conn_fd;
   ev.conn_gen = conn_gen;
   ev.audit_id = session->audit_id;
+  ev.worker = worker;
+  ev.steps = steps;
+  ev.tenant = session->tenant;
   auto fail_session = [&](StatusCode code, const std::string& message,
                           bool count_failed) {
     ErrorMsg err;
@@ -705,6 +868,19 @@ void AuditDaemon::RunBatch(Session* session, uint64_t steps, int conn_fd,
       stats_.sessions_failed.fetch_add(1, std::memory_order_relaxed);
     }
   };
+  auto push_quota_exceeded = [&](const std::string& quota, uint64_t remaining,
+                                 const std::string& message) {
+    QuotaExceededMsg exceeded;
+    exceeded.audit_id = session->audit_id;
+    exceeded.quota = quota;
+    exceeded.remaining = remaining;
+    exceeded.fatal_to_session = false;
+    exceeded.message = message;
+    const std::vector<uint8_t> frame =
+        FrameOf(MessageType::kQuotaExceeded, EncodeQuotaExceeded, exceeded);
+    ev.frames.insert(ev.frames.end(), frame.begin(), frame.end());
+  };
+  const TenantConfig& tenant_config = *session->tenant_config;
 
   for (uint64_t i = 0; i < steps; ++i) {
     if (session->failed || session->finished) break;
@@ -729,6 +905,35 @@ void AuditDaemon::RunBatch(Session* session, uint64_t steps, int conn_fd,
                        "s) exceeded; reopen to continue from the checkpoint",
                    /*count_failed=*/false);
       break;
+    }
+    if (tenant_config.oracle_budget != 0) {
+      // Pre-step budget gate: stop at a step boundary once the tenant's
+      // durable spend (plus any delta a failed charge left pending) meets
+      // the budget. The session checkpoints and idles — a non-fatal
+      // QuotaExceeded per batch, never a kill — so the audit resumes the
+      // moment the budget grows. Overshoot is bounded by one step's calls.
+      const uint64_t unmetered = session->annotator->oracle_calls() -
+                                 session->metered_oracle_calls;
+      const uint64_t durable =
+          ledger_->Balance(session->tenant).oracle_spent;
+      if (durable + unmetered >= tenant_config.oracle_budget) {
+        if (!session->quota_exhausted) {
+          session->quota_exhausted = true;
+          stats_.quota_exhaustions.fetch_add(1, std::memory_order_relaxed);
+        }
+        (void)session->ckpt->Checkpoint(*session->session);
+        push_quota_exceeded(
+            "oracle_budget",
+            RemainingAllowance(tenant_config.oracle_budget,
+                               durable + unmetered),
+            "tenant '" + session->tenant + "' oracle-call budget (" +
+                std::to_string(tenant_config.oracle_budget) +
+                ") exhausted at step " +
+                std::to_string(
+                    session->steps_done.load(std::memory_order_relaxed)) +
+                "; session checkpointed — reopen once the budget grows");
+        break;
+      }
     }
 
     const auto outcome = session->session->Step();
@@ -769,6 +974,48 @@ void AuditDaemon::RunBatch(Session* session, uint64_t steps, int conn_fd,
       }
       fail_session(checkpointed.code(), message, /*count_failed=*/true);
       break;
+    }
+
+    // Meter the step's spend durably. Deltas are computed against the
+    // last *successfully charged* totals, so a failed append simply rolls
+    // the delta into the next step's charge — acknowledged spend is never
+    // lost and never double-counted (Charge acks only after the durable
+    // cumulative frame settles).
+    const uint64_t oracle_now = session->annotator->oracle_calls();
+    const uint64_t bytes_now = session->annotator->bytes_appended() +
+                               session->ckpt->bytes_appended();
+    const uint64_t oracle_delta = oracle_now - session->metered_oracle_calls;
+    const uint64_t bytes_delta = bytes_now - session->metered_store_bytes;
+    if (oracle_delta != 0 || bytes_delta != 0) {
+      const Status charged =
+          ledger_->Charge(session->tenant, oracle_delta, bytes_delta);
+      if (charged.ok()) {
+        session->metered_oracle_calls = oracle_now;
+        session->metered_store_bytes = bytes_now;
+      }
+    }
+    if (tenant_config.store_byte_quota != 0 &&
+        !session->annotator->degraded()) {
+      const uint64_t durable_bytes =
+          ledger_->Balance(session->tenant).store_bytes;
+      const uint64_t unmetered_bytes =
+          bytes_now - session->metered_store_bytes;
+      if (durable_bytes + unmetered_bytes >=
+          tenant_config.store_byte_quota) {
+        // Soft quota: the audit keeps running, but new oracle labels stop
+        // being persisted (store hits keep serving) — the same degraded
+        // read-only mode a sticky WAL failure drops into. Checkpoints
+        // still append so the session stays resumable.
+        session->annotator->ForceDegrade(Status::QuotaExceeded(
+            "tenant '" + session->tenant + "' store-byte quota (" +
+            std::to_string(tenant_config.store_byte_quota) + ") exhausted"));
+        stats_.quota_degraded.fetch_add(1, std::memory_order_relaxed);
+        push_quota_exceeded(
+            "store_quota", 0,
+            "tenant '" + session->tenant + "' store-byte quota (" +
+                std::to_string(tenant_config.store_byte_quota) +
+                ") exhausted; annotation persistence degraded to read-only");
+      }
     }
 
     const bool degraded =
@@ -849,36 +1096,37 @@ void AuditDaemon::DrainEvents() {
     if (conn != nullptr && conn->inflight_batches > 0) {
       --conn->inflight_batches;
     }
+    // Return the batch's reservations before any early-out: the worker
+    // slot frees, and the tenant's inflight-step account shrinks.
+    if (ev.worker >= 0 &&
+        static_cast<size_t>(ev.worker) < worker_busy_.size()) {
+      worker_busy_[ev.worker] = 0;
+    }
+    auto tit = tenant_inflight_steps_.find(ev.tenant);
+    if (tit != tenant_inflight_steps_.end()) {
+      tit->second -= std::min(tit->second, ev.steps);
+      if (tit->second == 0) tenant_inflight_steps_.erase(tit);
+    }
     auto sit = sessions_.find(ev.audit_id);
-    if (sit == sessions_.end()) continue;
-    Session& session = *sit->second;
-    session.busy = false;
-    if (ev.session_finished || ev.session_failed) {
-      // The session leaves the registry; its store (flushed WAL +
-      // checkpoints) remains the durable artifact a reopen resumes from.
-      if (ev.session_failed && !session.finished) {
+    if (sit != sessions_.end()) {
+      Session& session = *sit->second;
+      session.busy = false;
+      if (ev.session_finished || ev.session_failed) {
+        // The session leaves the registry; its store (flushed WAL +
+        // checkpoints) remains the durable artifact a reopen resumes from.
+        if (ev.session_failed && !session.finished) {
+          (void)session.ckpt->Checkpoint(*session.session);
+        }
+        if (conn != nullptr) std::erase(conn->audits, ev.audit_id);
+        DropQueuedBatches(session);
+        sessions_.erase(sit);
+      } else if (session.conn_fd < 0) {
+        // Detached mid-batch: checkpoint now that the worker is done.
         (void)session.ckpt->Checkpoint(*session.session);
       }
-      if (conn != nullptr) std::erase(conn->audits, ev.audit_id);
-      sessions_.erase(sit);
-      continue;
     }
-    if (session.conn_fd < 0) {
-      // Detached mid-batch: checkpoint now that the worker is done.
-      (void)session.ckpt->Checkpoint(*session.session);
-      continue;
-    }
-    if (!session.pending.empty()) {
-      const uint64_t steps = session.pending.front();
-      session.pending.pop_front();
-      session.busy = true;
-      Session* sp = &session;
-      const int fd = session.conn_fd;
-      const uint64_t gen = session.conn_gen;
-      pool_->SubmitTo(session.home_worker, [this, sp, steps, fd, gen] {
-        RunBatch(sp, steps, fd, gen);
-      });
-    }
+    // The freed worker serves its next queued batch (DRR order).
+    if (ev.worker >= 0) PumpWorker(ev.worker);
   }
 }
 
@@ -910,7 +1158,8 @@ void AuditDaemon::DoDrain() {
     QueueFrame(*conn, FrameOf(MessageType::kDrain, EncodeDrain, notice));
     conn->close_after_flush = true;
   }
-  for (auto& [id, session] : sessions_) session->pending.clear();
+  for (DrrScheduler& sched : worker_sched_) sched.Clear();
+  tenant_inflight_steps_.clear();
 }
 
 void AuditDaemon::PollLoop() {
@@ -998,6 +1247,13 @@ void AuditDaemon::PollLoop() {
     (void)store->Sync();
     (void)store->Compact();
   }
+  if (ledger_ != nullptr) {
+    // Same settle for the tenant ledger: fsync the balances and fold each
+    // tenant's history to its single live frame.
+    (void)ledger_->Flush();
+    (void)ledger_->Sync();
+    (void)ledger_->Compact();
+  }
   for (auto& [fd, conn] : conns_) {
     (void)FlushOutbox(*conn);
   }
@@ -1019,6 +1275,9 @@ std::string AuditDaemon::StatsLine() const {
          " failed=" + v(stats_.sessions_failed) +
          " degraded=" + v(stats_.sessions_degraded) +
          " steps=" + v(stats_.steps_executed) +
+         " quota_rejected=" + v(stats_.quota_rejections) +
+         " quota_exhausted=" + v(stats_.quota_exhaustions) +
+         " quota_degraded=" + v(stats_.quota_degraded) +
          " hb_acked=" + v(stats_.heartbeats_acked) +
          " hb_dropped=" + v(stats_.heartbeat_acks_dropped) +
          " faults=" + v(stats_.faults_injected);

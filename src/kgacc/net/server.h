@@ -19,6 +19,8 @@
 #include "kgacc/net/socket.h"
 #include "kgacc/store/annotation_store.h"
 #include "kgacc/store/checkpoint.h"
+#include "kgacc/tenant/drr.h"
+#include "kgacc/tenant/tenant.h"
 #include "kgacc/util/thread_pool.h"
 
 /// \file server.h
@@ -92,6 +94,17 @@ class AuditDaemon {
     /// only; drain always compacts). See
     /// `AnnotationStore::Options::auto_compact_garbage_ratio`.
     double auto_compact_garbage_ratio = 0.0;
+    /// Tenant id -> quota/weight table. The default (open) registry admits
+    /// every tenant with unlimited budgets — single-tenant compatibility
+    /// mode. Load a tenants file (`TenantRegistry::LoadFile`) to enforce
+    /// per-tenant oracle budgets, store-byte quotas, scheduling weights,
+    /// and session/inflight caps. Spend is metered durably in
+    /// `store_dir/tenant_ledger.wal`, so budgets survive SIGKILL.
+    TenantRegistry tenants;
+    /// Per-visit DRR credit for a weight-1 tenant, in steps. Pick the
+    /// typical StepBatch size so one scheduler visit serves about
+    /// `weight` batches.
+    uint64_t drr_quantum = 8;
   };
 
   /// Monotone robustness counters, readable concurrently with operation.
@@ -113,6 +126,15 @@ class AuditDaemon {
     /// Sessions that dropped to degraded read-only persistence.
     std::atomic<uint64_t> sessions_degraded{0};
     std::atomic<uint64_t> steps_executed{0};
+    /// Admissions refused with a QuotaExceeded frame (tenant budget or cap
+    /// already spent — distinct from transient `busy_rejections`).
+    std::atomic<uint64_t> quota_rejections{0};
+    /// Sessions whose tenant exhausted its oracle budget mid-audit (the
+    /// session checkpoints and idles instead of dying).
+    std::atomic<uint64_t> quota_exhaustions{0};
+    /// Sessions demoted to degraded read-only annotation by a store-byte
+    /// quota overrun.
+    std::atomic<uint64_t> quota_degraded{0};
     std::atomic<uint64_t> heartbeats_acked{0};
     /// HeartbeatAcks suppressed by the net.heartbeat.drop failpoint.
     std::atomic<uint64_t> heartbeat_acks_dropped{0};
@@ -152,6 +174,11 @@ class AuditDaemon {
 
   const Stats& stats() const { return stats_; }
 
+  /// The durable tenant spend ledger (valid after Start()). Exposed for
+  /// tests and the kgaccd stats path; budget checks live in the daemon.
+  QuotaLedger* ledger() { return ledger_.get(); }
+  const QuotaLedger* ledger() const { return ledger_.get(); }
+
   /// Renders the robustness counters as one log line.
   std::string StatsLine() const;
 
@@ -165,6 +192,13 @@ class AuditDaemon {
     int conn_fd = -1;
     uint64_t conn_gen = 0;
     uint64_t audit_id = 0;
+    /// Worker whose DRR slot this batch held (-1 = none); freed on
+    /// batch_done so the poll thread can pump the next queued batch.
+    int worker = -1;
+    /// Steps this batch reserved against its tenant's inflight cap.
+    uint64_t steps = 0;
+    /// Tenant the reservation belongs to.
+    std::string tenant;
     /// Encoded frames to append to the connection's outbox.
     std::vector<uint8_t> frames;
     /// The batch the worker was running completed (dispatch next).
@@ -187,7 +221,14 @@ class AuditDaemon {
   /// session pointer stays valid for the batch's duration: sessions are
   /// only evicted by the poll thread after the batch_done event.
   void RunBatch(Session* session, uint64_t steps, int conn_fd,
-                uint64_t conn_gen);
+                uint64_t conn_gen, int worker);
+  /// If `worker` is idle, pops its DRR scheduler and dispatches the next
+  /// queued batch (weighted fairness across tenants).
+  void PumpWorker(int worker);
+  /// Removes a session's still-queued batches from its worker's scheduler,
+  /// returning the admission slots (connection inflight counter, tenant
+  /// inflight steps) they held.
+  void DropQueuedBatches(Session& session);
   /// Flushes as much outbox as the socket accepts. False = failed.
   bool FlushOutbox(Connection& conn);
   void QueueFrame(Connection& conn, std::vector<uint8_t> frame);
@@ -195,6 +236,11 @@ class AuditDaemon {
                   bool fatal_to_session, bool fatal_to_connection,
                   const std::string& message);
   void QueueBusy(Connection& conn, const std::string& reason);
+  /// Admission-path quota rejection: a fatal-to-session QuotaExceeded
+  /// frame naming the spent quota and the remaining allowance.
+  void QueueQuotaExceeded(Connection& conn, uint64_t audit_id,
+                          const std::string& quota, uint64_t remaining,
+                          const std::string& message);
   /// Closes a connection, detaching (and checkpointing) its sessions.
   void CloseConnection(int fd, const Status& cause);
   /// Detaches one session from its connection; checkpoints unless busy.
@@ -232,10 +278,25 @@ class AuditDaemon {
   std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
 
+  /// Durable per-tenant spend; opened in Start() at
+  /// `store_dir/tenant_ledger.wal`. Thread-safe — workers charge it
+  /// directly from RunBatch.
+  std::unique_ptr<QuotaLedger> ledger_;
+
   /// Poll-thread-owned state (workers never touch it).
   std::map<int, std::unique_ptr<Connection>> conns_;
   std::map<uint64_t, std::unique_ptr<Session>> sessions_;
   uint64_t next_conn_gen_ = 1;
+  /// Per-worker weighted DRR queues replacing FIFO dispatch: batches queue
+  /// here (cost = steps) and `PumpWorker` serves them one-at-a-time per
+  /// worker in tenant-weighted shares. Poll-thread-owned.
+  std::vector<DrrScheduler> worker_sched_;
+  /// 1 while a batch is executing on that worker (DRR serves the next item
+  /// only when the slot frees — the fairness grain is one batch).
+  std::vector<uint8_t> worker_busy_;
+  /// Steps queued or running per tenant, against
+  /// `TenantConfig::max_inflight_steps` (breach is a transient Busy).
+  std::map<std::string, uint64_t> tenant_inflight_steps_;
 
   /// Worker -> poll thread event queue.
   std::mutex events_mu_;

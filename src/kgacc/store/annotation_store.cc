@@ -72,6 +72,26 @@ Status AnnotationStore::Replay(uint8_t type,
       checkpoints_.push_back({audit_id, std::move(copy), frame_bytes});
       break;
     }
+    case walfmt::kTenantLedgerFrame: {
+      // Cumulative totals, latest-wins per tenant: a superseded frame's
+      // bytes are garbage, exactly like a replaced checkpoint.
+      KGACC_ASSIGN_OR_RETURN(const std::string tenant, reader.String());
+      KGACC_ASSIGN_OR_RETURN(const uint64_t oracle_spent, reader.Varint());
+      KGACC_ASSIGN_OR_RETURN(const uint64_t store_bytes, reader.Varint());
+      ++stats_.ledgers_replayed;
+      for (LedgerEntry& entry : ledgers_) {
+        if (entry.balance.tenant == tenant) {
+          garbage_bytes_ += entry.frame_bytes;  // The old frame is dead.
+          entry.balance.oracle_spent = oracle_spent;
+          entry.balance.store_bytes = store_bytes;
+          entry.frame_bytes = frame_bytes;
+          replay_crc_.Extend(payload);
+          return Status::OK();
+        }
+      }
+      ledgers_.push_back({{tenant, oracle_spent, store_bytes}, frame_bytes});
+      break;
+    }
     case walfmt::kCompactionTrailerFrame: {
       // The trailer seals a compacted log: every frame before it must be
       // exactly the live set the rewrite emitted, in order. Verify the
@@ -79,17 +99,24 @@ Status AnnotationStore::Replay(uint8_t type,
       // reordered frame in the rewritten region fails loudly here instead
       // of resurfacing as a silently different resume.
       KGACC_ASSIGN_OR_RETURN(const uint64_t version, reader.Varint());
-      if (version != 1) {
+      if (version != 1 && version != 2) {
         return Status::IoError(
             "annotation store: unknown compaction trailer version " +
             std::to_string(version));
       }
       KGACC_ASSIGN_OR_RETURN(const uint64_t records, reader.Varint());
       KGACC_ASSIGN_OR_RETURN(const uint64_t checkpoints, reader.Varint());
+      // v2 adds the tenant-ledger count; a v1 trailer was written before
+      // ledger frames existed, so its rewritten region holds none.
+      uint64_t ledgers = 0;
+      if (version >= 2) {
+        KGACC_ASSIGN_OR_RETURN(ledgers, reader.Varint());
+      }
       KGACC_ASSIGN_OR_RETURN(const uint64_t carried_next_seq, reader.Varint());
       KGACC_ASSIGN_OR_RETURN(const uint32_t live_crc, reader.Fixed32());
       if (records != stats_.records_replayed ||
-          checkpoints != stats_.checkpoints_replayed) {
+          checkpoints != stats_.checkpoints_replayed ||
+          ledgers != stats_.ledgers_replayed) {
         return Status::IoError(
             "annotation store: compaction trailer frame counts disagree with "
             "the rewritten log (incomplete or reordered rewrite)");
@@ -217,7 +244,9 @@ Status AnnotationStore::CommitFrame(uint8_t type,
 }
 
 Status AnnotationStore::Append(uint64_t audit_id, uint64_t cluster,
-                               uint64_t offset, bool label) {
+                               uint64_t offset, bool label,
+                               uint64_t* appended_bytes) {
+  if (appended_bytes != nullptr) *appended_bytes = 0;
   const uint64_t key = Key(cluster, offset);
   Shard& shard = ShardFor(key);
   {
@@ -269,12 +298,17 @@ Status AnnotationStore::Append(uint64_t audit_id, uint64_t cluster,
         }
       }));
   KGACC_RETURN_IF_ERROR(conflict);
+  // The frame hit the log even when a racing writer won the index (the
+  // loser's bytes are garbage but they are still this caller's bytes).
+  if (appended_bytes != nullptr) *appended_bytes = frame_bytes;
   MaybeAutoCompact();
   return Status::OK();
 }
 
 Status AnnotationStore::AppendCheckpoint(uint64_t audit_id,
-                                         std::span<const uint8_t> snapshot) {
+                                         std::span<const uint8_t> snapshot,
+                                         uint64_t* appended_bytes) {
+  if (appended_bytes != nullptr) *appended_bytes = 0;
   if (FailpointHit("store.checkpoint")) {
     return Status::IoError(
         "injected checkpoint append failure (failpoint store.checkpoint)");
@@ -299,8 +333,81 @@ Status AnnotationStore::AppendCheckpoint(uint64_t audit_id,
         }
         checkpoints_.push_back({audit_id, std::move(copy), frame_bytes});
       }));
+  if (appended_bytes != nullptr) *appended_bytes = frame_bytes;
   MaybeAutoCompact();
   return Status::OK();
+}
+
+Status AnnotationStore::AppendTenantSpend(const std::string& tenant,
+                                          uint64_t oracle_delta,
+                                          uint64_t store_bytes_delta) {
+  // Serialized per store: the frame carries the cumulative total, so the
+  // read-balance → encode → commit sequence must not interleave with a
+  // concurrent spend for the same tenant (see ledger_append_mu_).
+  std::lock_guard<std::mutex> append_lock(ledger_append_mu_);
+  // Shares the annotation-append failpoint: a ledger append *is* an
+  // append, and the chaos tests arm one site to hit both.
+  if (FailpointHit("store.append")) {
+    return Status::IoError(
+        "injected tenant ledger append failure (failpoint store.append)");
+  }
+  uint64_t oracle_total = oracle_delta;
+  uint64_t bytes_total = store_bytes_delta;
+  {
+    std::lock_guard<std::mutex> lock(ledgers_mu_);
+    for (const LedgerEntry& entry : ledgers_) {
+      if (entry.balance.tenant == tenant) {
+        oracle_total += entry.balance.oracle_spent;
+        bytes_total += entry.balance.store_bytes;
+        break;
+      }
+    }
+  }
+  ByteWriter record;
+  record.PutString(tenant);
+  record.PutVarint(oracle_total);
+  record.PutVarint(bytes_total);
+  const uint64_t frame_bytes = walfmt::FrameBytesOnDisk(record.size());
+  KGACC_RETURN_IF_ERROR(CommitFrame(
+      walfmt::kTenantLedgerFrame, record.span(), options_.sync_appends, [&] {
+        file_bytes_ += frame_bytes;
+        std::lock_guard<std::mutex> lock(ledgers_mu_);
+        for (LedgerEntry& entry : ledgers_) {
+          if (entry.balance.tenant == tenant) {
+            garbage_bytes_ += entry.frame_bytes;  // Superseded frame.
+            entry.balance.oracle_spent = oracle_total;
+            entry.balance.store_bytes = bytes_total;
+            entry.frame_bytes = frame_bytes;
+            return;
+          }
+        }
+        ledgers_.push_back({{tenant, oracle_total, bytes_total}, frame_bytes});
+      }));
+  MaybeAutoCompact();
+  return Status::OK();
+}
+
+std::vector<TenantBalance> AnnotationStore::TenantBalances() const {
+  std::vector<TenantBalance> out;
+  {
+    std::lock_guard<std::mutex> lock(ledgers_mu_);
+    out.reserve(ledgers_.size());
+    for (const LedgerEntry& entry : ledgers_) out.push_back(entry.balance);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TenantBalance& a, const TenantBalance& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
+std::optional<TenantBalance> AnnotationStore::TenantBalanceFor(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(ledgers_mu_);
+  for (const LedgerEntry& entry : ledgers_) {
+    if (entry.balance.tenant == tenant) return entry.balance;
+  }
+  return std::nullopt;
 }
 
 std::optional<std::vector<uint8_t>> AnnotationStore::LatestCheckpoint(
@@ -415,11 +522,18 @@ void StoredAnnotator::PersistLabel(const TripleRef& ref, bool label) {
     return;
   }
   if (!status_.ok()) return;  // Fail-fast already tripped; stop appending.
+  uint64_t appended = 0;
   const Status append = RetryWithBackoff(
       options_.backoff,
-      [&] { return store_->Append(audit_id_, ref.cluster, ref.offset, label); },
+      [&] {
+        return store_->Append(audit_id_, ref.cluster, ref.offset, label,
+                              &appended);
+      },
       &retries_);
-  if (append.ok()) return;
+  if (append.ok()) {
+    bytes_appended_ += appended;
+    return;
+  }
   if (IsTransientError(append) &&
       options_.write_error_mode == WriteErrorMode::kDegrade) {
     degraded_ = true;

@@ -90,6 +90,8 @@ struct AnnotationStoreStats {
   uint64_t records_replayed = 0;
   /// Checkpoint frames replayed (all audits).
   uint64_t checkpoints_replayed = 0;
+  /// Tenant quota-ledger frames replayed (all tenants).
+  uint64_t ledgers_replayed = 0;
   /// Compaction trailer frames replayed (1 when the log was last written
   /// by `Compact()`, 0 for a never-compacted log).
   uint64_t trailers_replayed = 0;
@@ -122,9 +124,22 @@ struct CompactionStats {
   /// File size before/after the most recent completed compaction.
   uint64_t last_bytes_before = 0;
   uint64_t last_bytes_after = 0;
-  /// Live records / checkpoints the most recent compaction rewrote.
+  /// Live records / checkpoints / tenant ledgers the most recent compaction
+  /// rewrote.
   uint64_t last_records = 0;
   uint64_t last_checkpoints = 0;
+  uint64_t last_ledgers = 0;
+};
+
+/// One tenant's durable spend totals, as replayed/appended. Cumulative
+/// since the tenant's first ledger frame (compaction preserves the totals
+/// in a single live frame per tenant).
+struct TenantBalance {
+  std::string tenant;
+  /// Oracle (inner-annotator) calls charged to this tenant.
+  uint64_t oracle_spent = 0;
+  /// Store bytes (annotation + checkpoint frames) charged to this tenant.
+  uint64_t store_bytes = 0;
 };
 
 /// A durable, shareable label store over one WAL file. Thread-safe: lookups
@@ -174,14 +189,36 @@ class AnnotationStore {
   /// Durably records one judgment. Idempotent on the index (a re-appended
   /// triple keeps its first label; the framework never re-judges a stored
   /// triple, so a conflicting append indicates a caller bug and is
-  /// rejected).
+  /// rejected). When `appended_bytes` is non-null it receives the exact
+  /// on-disk bytes this call added to the log (0 for an idempotent no-op),
+  /// so callers can meter store-byte quotas without re-deriving the frame
+  /// encoding.
   Status Append(uint64_t audit_id, uint64_t cluster, uint64_t offset,
-                bool label);
+                bool label, uint64_t* appended_bytes = nullptr);
 
   /// Interleaves a session snapshot into the log, replacing this audit's
-  /// previous checkpoint as the resume point.
-  Status AppendCheckpoint(uint64_t audit_id,
-                          std::span<const uint8_t> snapshot);
+  /// previous checkpoint as the resume point. `appended_bytes` as in
+  /// `Append`.
+  Status AppendCheckpoint(uint64_t audit_id, std::span<const uint8_t> snapshot,
+                          uint64_t* appended_bytes = nullptr);
+
+  /// Durably charges spend to a tenant by writing one cumulative ledger
+  /// frame (`deltas` are added to the tenant's current balance and the new
+  /// *totals* are what hits the log — replay is latest-wins, so a frame
+  /// lost to a crash is healed by the next append rather than silently
+  /// double-counted). Routed through the same group-commit queue as
+  /// annotation appends and gated on the same `store.append` failpoint;
+  /// the in-memory balance is updated only after the frame is settled, so
+  /// `TenantBalances()` never reports spend the log cannot replay.
+  Status AppendTenantSpend(const std::string& tenant, uint64_t oracle_delta,
+                           uint64_t store_bytes_delta);
+
+  /// Current balances for every tenant with at least one ledger frame,
+  /// sorted by tenant id (copy — safe against concurrent appends).
+  std::vector<TenantBalance> TenantBalances() const;
+
+  /// The current balance for one tenant; nullopt when it never spent.
+  std::optional<TenantBalance> TenantBalanceFor(const std::string& tenant) const;
 
   /// The latest replayed-or-appended checkpoint for `audit_id`; nullopt
   /// when the audit never checkpointed (fresh start). Returned by value —
@@ -253,6 +290,13 @@ class AnnotationStore {
     uint64_t frame_bytes = 0;
   };
 
+  struct LedgerEntry {
+    TenantBalance balance;
+    /// On-disk size of the live frame holding this balance (for garbage
+    /// accounting when a newer cumulative frame supersedes it).
+    uint64_t frame_bytes = 0;
+  };
+
   /// One queued WAL write: the requester blocks until a commit leader
   /// settles it and reports the per-frame status. The leader also runs
   /// `apply` (the requester's index/accounting update) under the commit
@@ -302,6 +346,17 @@ class AnnotationStore {
   /// scan beats a map). Guarded by `checkpoints_mu_`.
   mutable std::mutex checkpoints_mu_;
   std::vector<CheckpointEntry> checkpoints_;
+
+  /// Latest cumulative balance per tenant (same shape as the checkpoint
+  /// registry: a handful of tenants per store, linear scan). Guarded by
+  /// `ledgers_mu_`.
+  mutable std::mutex ledgers_mu_;
+  std::vector<LedgerEntry> ledgers_;
+  /// Serializes AppendTenantSpend calls: a ledger frame carries the *total*
+  /// balance, so read-balance → encode → commit must be atomic per store or
+  /// two concurrent spends for one tenant would both encode the same base
+  /// and one delta would be lost.
+  std::mutex ledger_append_mu_;
 
   /// Group-commit queue state; `commit_mu_` also guards `log_` itself
   /// between leader rounds and the byte accounting below.
@@ -421,6 +476,20 @@ class StoredAnnotator final : public Annotator {
   uint64_t retries() const { return retries_; }
   /// Judgments delegated but not persisted because the store was degraded.
   uint64_t labels_dropped() const { return labels_dropped_; }
+  /// Exact on-disk bytes this annotator's appends added to the store —
+  /// what a per-tenant store-byte quota meters.
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+  /// Drops the annotator into the same degraded read-only mode an
+  /// exhausted write-retry budget produces, from the outside: used when a
+  /// tenant's store-byte quota runs out mid-audit — stored labels keep
+  /// serving, misses still delegate but are no longer persisted
+  /// (`labels_dropped` counts them), and the audit continues. Idempotent.
+  void ForceDegrade(const Status& cause) {
+    if (degraded_) return;
+    degraded_ = true;
+    degraded_cause_ = cause;
+  }
 
  private:
   /// Persists one miss's label, applying retry/degradation policy.
@@ -437,6 +506,7 @@ class StoredAnnotator final : public Annotator {
   Status degraded_cause_;
   uint64_t retries_ = 0;
   uint64_t labels_dropped_ = 0;
+  uint64_t bytes_appended_ = 0;
 };
 
 }  // namespace kgacc

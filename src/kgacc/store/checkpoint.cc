@@ -22,12 +22,17 @@ Status CheckpointManager::Checkpoint(const EvaluationSession& session) {
   if (degraded_) return Status::OK();  // Snapshotting was abandoned.
   ByteWriter snapshot;
   session.SaveState(&snapshot);
+  uint64_t frame_bytes = 0;
   const Status appended = RetryWithBackoff(
       options_.backoff,
-      [&] { return store_->AppendCheckpoint(audit_id_, snapshot.span()); },
+      [&] {
+        return store_->AppendCheckpoint(audit_id_, snapshot.span(),
+                                        &frame_bytes);
+      },
       &retries_);
   if (appended.ok()) {
     ++checkpoints_written_;
+    bytes_appended_ += frame_bytes;
     return Status::OK();
   }
   if (IsTransientError(appended) &&

@@ -70,6 +70,9 @@ class CheckpointManager {
 
   uint64_t audit_id() const { return audit_id_; }
   uint64_t checkpoints_written() const { return checkpoints_written_; }
+  /// Exact on-disk bytes this manager's snapshot appends added to the
+  /// store — the checkpoint half of a tenant's store-byte metering.
+  uint64_t bytes_appended() const { return bytes_appended_; }
 
   /// True once snapshotting was abandoned after an exhausted retry budget
   /// (OnError::kDegrade only). The audit keeps running without it.
@@ -84,6 +87,7 @@ class CheckpointManager {
   uint64_t audit_id_;
   CheckpointOptions options_;
   uint64_t checkpoints_written_ = 0;
+  uint64_t bytes_appended_ = 0;
   bool degraded_ = false;
   Status degraded_cause_;
   uint64_t retries_ = 0;

@@ -111,6 +111,20 @@ Status AnnotationStore::Compact() {
               return a->audit_id < b->audit_id;
             });
 
+  // Tenant ledgers likewise: one live cumulative frame per tenant,
+  // id-sorted for a deterministic rewrite. Stable under commit_mu_ for the
+  // same reason checkpoints are (AppendTenantSpend applies under it).
+  std::vector<const LedgerEntry*> live_ledgers;
+  {
+    std::lock_guard<std::mutex> ledger_lock(ledgers_mu_);
+    live_ledgers.reserve(ledgers_.size());
+    for (const LedgerEntry& entry : ledgers_) live_ledgers.push_back(&entry);
+  }
+  std::sort(live_ledgers.begin(), live_ledgers.end(),
+            [](const LedgerEntry* a, const LedgerEntry* b) {
+              return a->balance.tenant < b->balance.tenant;
+            });
+
   // Phase 2: build the rewrite. Records carry audit id 0 (the rewrite owns
   // them) and fresh dense seqs; the pre-compaction next_seq travels in the
   // trailer so sequence numbers stay monotone across the swap.
@@ -139,10 +153,19 @@ Status AnnotationStore::Compact() {
     chain.Extend(payload.span());
     walfmt::AppendFrame(&out, walfmt::kCheckpointFrame, payload.span());
   }
+  for (const LedgerEntry* entry : live_ledgers) {
+    payload.Clear();
+    payload.PutString(entry->balance.tenant);
+    payload.PutVarint(entry->balance.oracle_spent);
+    payload.PutVarint(entry->balance.store_bytes);
+    chain.Extend(payload.span());
+    walfmt::AppendFrame(&out, walfmt::kTenantLedgerFrame, payload.span());
+  }
   payload.Clear();
-  payload.PutVarint(1);  // Trailer version.
+  payload.PutVarint(2);  // Trailer version (2 = tenant-ledger count added).
   payload.PutVarint(live.size());
   payload.PutVarint(live_checkpoints.size());
+  payload.PutVarint(live_ledgers.size());
   payload.PutVarint(carried_next_seq);
   payload.PutFixed32(chain.value());
   walfmt::AppendFrame(&out, walfmt::kCompactionTrailerFrame, payload.span());
@@ -229,6 +252,7 @@ Status AnnotationStore::Compact() {
   compaction_stats_.last_bytes_after = file_bytes_;
   compaction_stats_.last_records = live.size();
   compaction_stats_.last_checkpoints = live_checkpoints.size();
+  compaction_stats_.last_ledgers = live_ledgers.size();
   return dirsync;
 }
 
@@ -296,19 +320,36 @@ Result<StoreVerifyInfo> VerifyStoreLog(const std::string& path) {
         ++info.checkpoints;
         break;
       }
+      case walfmt::kTenantLedgerFrame: {
+        Status decode = body.String().status();
+        if (decode.ok()) decode = body.Varint().status();
+        if (decode.ok()) decode = body.Varint().status();
+        if (!decode.ok()) {
+          defect = Status::IoError(
+              "store log: tenant ledger frame with valid CRC fails to decode");
+        }
+        ++info.ledgers;
+        break;
+      }
       case walfmt::kCompactionTrailerFrame: {
         const Result<uint64_t> version = body.Varint();
         const Result<uint64_t> records = body.Varint();
         const Result<uint64_t> checkpoints = body.Varint();
+        // v2 inserts the tenant-ledger count here; v1 predates ledgers.
+        Result<uint64_t> ledgers(uint64_t{0});
+        if (version.ok() && *version >= 2) ledgers = body.Varint();
         const Result<uint64_t> next_seq = body.Varint();
         const Result<uint32_t> live_crc = body.Fixed32();
         if (!version.ok() || !records.ok() || !checkpoints.ok() ||
-            !next_seq.ok() || !live_crc.ok() || *version != 1) {
+            !ledgers.ok() || !next_seq.ok() || !live_crc.ok() ||
+            (*version != 1 && *version != 2)) {
           defect = Status::IoError(
               "store log: malformed compaction trailer frame");
-        } else if (*records + *checkpoints != frames_before_trailer ||
+        } else if (*records + *checkpoints + *ledgers !=
+                       frames_before_trailer ||
                    *records != info.records ||
-                   *checkpoints != info.checkpoints) {
+                   *checkpoints != info.checkpoints ||
+                   *ledgers != info.ledgers) {
           defect = Status::IoError(
               "store log: compaction trailer frame counts disagree with the "
               "rewritten log");

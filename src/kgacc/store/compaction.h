@@ -23,6 +23,7 @@ struct StoreVerifyInfo {
   /// Intact frames of each kind.
   uint64_t records = 0;
   uint64_t checkpoints = 0;
+  uint64_t ledgers = 0;
   uint64_t trailers = 0;
   /// Bytes of valid log (header + intact frames) and of torn/corrupt tail.
   uint64_t bytes_valid = 0;

@@ -40,6 +40,10 @@ inline constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 30;
 inline constexpr uint8_t kAnnotationFrame = 1;
 inline constexpr uint8_t kCheckpointFrame = 2;
 inline constexpr uint8_t kCompactionTrailerFrame = 3;
+/// Tenant quota-ledger frame: `string(tenant_id), varint(oracle_spent),
+/// varint(store_bytes)`. Totals are *cumulative*, so replay is latest-wins
+/// per tenant and a frame lost to a torn tail is healed by the next one.
+inline constexpr uint8_t kTenantLedgerFrame = 4;
 
 /// Encoded size of a varint, needed for exact on-disk byte accounting
 /// (space-amplification tracking) without re-encoding.

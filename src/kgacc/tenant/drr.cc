@@ -1,0 +1,117 @@
+#include "kgacc/tenant/drr.h"
+
+namespace kgacc {
+
+DrrScheduler::TenantQueue* DrrScheduler::FindOrCreate(
+    const std::string& tenant, uint32_t weight) {
+  for (TenantQueue& q : queues_) {
+    if (q.tenant == tenant) {
+      q.weight = weight < 1 ? 1 : weight;
+      return &q;
+    }
+  }
+  TenantQueue q;
+  q.tenant = tenant;
+  q.weight = weight < 1 ? 1 : weight;
+  queues_.push_back(std::move(q));
+  rotation_.push_back(queues_.size() - 1);
+  return &queues_.back();
+}
+
+void DrrScheduler::Push(const std::string& tenant, uint32_t weight,
+                        DrrItem item) {
+  TenantQueue* q = FindOrCreate(tenant, weight);
+  if (q->ready.empty()) {
+    // Waking from idle: stale credit was forfeited, start a fresh visit.
+    q->deficit = 0;
+    q->fresh = true;
+  }
+  q->ready.push_back(item);
+  ++total_items_;
+}
+
+std::optional<DrrItem> DrrScheduler::Pop() {
+  if (total_items_ == 0) return std::nullopt;
+  // Terminates: some queue is backlogged, and every fresh visit to it adds
+  // quantum x weight >= 1 to its deficit, which eventually covers any
+  // finite head cost.
+  for (;;) {
+    TenantQueue& q = queues_[rotation_[cursor_]];
+    if (q.ready.empty()) {
+      q.deficit = 0;  // Idle queues forfeit credit.
+      q.fresh = true;
+      Advance();
+      continue;
+    }
+    if (q.fresh) {
+      q.deficit += static_cast<int64_t>(quantum_) * q.weight;
+      q.fresh = false;
+    }
+    const DrrItem head = q.ready.front();
+    if (q.deficit >= static_cast<int64_t>(head.cost)) {
+      q.deficit -= static_cast<int64_t>(head.cost);
+      q.ready.pop_front();
+      --total_items_;
+      if (q.ready.empty()) {
+        // Forfeit on empty and leave the rotation slot: if the queue
+        // refills before our next visit it must wait its turn, not spend
+        // a fresh quantum ahead of everyone it just outran.
+        q.deficit = 0;
+        q.fresh = true;
+        Advance();
+      }
+      return head;
+    }
+    // Head costs more than the remaining credit: yield the rotation; the
+    // next visit is fresh and earns another quantum.
+    q.fresh = true;
+    Advance();
+  }
+}
+
+size_t DrrScheduler::QueuedFor(const std::string& tenant) const {
+  for (const TenantQueue& q : queues_) {
+    if (q.tenant == tenant) return q.ready.size();
+  }
+  return 0;
+}
+
+DrrRemoved DrrScheduler::RemoveId(uint64_t id) {
+  DrrRemoved removed;
+  for (TenantQueue& q : queues_) {
+    for (auto it = q.ready.begin(); it != q.ready.end();) {
+      if (it->id == id) {
+        ++removed.items;
+        removed.cost += it->cost;
+        it = q.ready.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (q.ready.empty()) q.deficit = 0;
+  }
+  total_items_ -= removed.items;
+  return removed;
+}
+
+void DrrScheduler::Clear() {
+  for (TenantQueue& q : queues_) {
+    q.ready.clear();
+    q.deficit = 0;
+    q.fresh = true;
+  }
+  total_items_ = 0;
+}
+
+uint64_t DrrScheduler::QueuedCostFor(const std::string& tenant) const {
+  uint64_t total = 0;
+  for (const TenantQueue& q : queues_) {
+    if (q.tenant == tenant) {
+      for (const DrrItem& item : q.ready) total += item.cost;
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,162 @@
+#include "kgacc/tenant/tenant.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace kgacc {
+
+namespace {
+
+bool ValidTenantId(const std::string& id) {
+  if (id.empty()) return false;
+  for (const char c : id) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status ParseU64(const std::string& key, const std::string& value,
+                uint64_t* out) {
+  if (value.empty()) {
+    return Status::InvalidArgument("tenants file: empty value for '" + key +
+                                   "'");
+  }
+  uint64_t parsed = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("tenants file: non-numeric value '" +
+                                     value + "' for '" + key + "'");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (parsed > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return Status::InvalidArgument("tenants file: value overflows for '" +
+                                     key + "'");
+    }
+    parsed = parsed * 10 + digit;
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+Status ApplyKeyValue(TenantConfig* config, const std::string& key,
+                     const std::string& value) {
+  uint64_t v = 0;
+  KGACC_RETURN_IF_ERROR(ParseU64(key, value, &v));
+  if (key == "oracle_budget") {
+    config->oracle_budget = v;
+  } else if (key == "store_quota") {
+    config->store_byte_quota = v;
+  } else if (key == "weight") {
+    if (v < 1 || v > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument(
+          "tenants file: weight must be in [1, 2^32) for tenant '" +
+          config->id + "'");
+    }
+    config->weight = static_cast<uint32_t>(v);
+  } else if (key == "max_sessions") {
+    if (v > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("tenants file: max_sessions too large");
+    }
+    config->max_sessions = static_cast<uint32_t>(v);
+  } else if (key == "max_inflight_steps") {
+    if (v > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument(
+          "tenants file: max_inflight_steps too large");
+    }
+    config->max_inflight_steps = static_cast<uint32_t>(v);
+  } else {
+    return Status::InvalidArgument("tenants file: unknown key '" + key + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string TenantRegistry::Normalize(const std::string& tenant) {
+  return tenant.empty() ? std::string("default") : tenant;
+}
+
+Result<TenantRegistry> TenantRegistry::Parse(const std::string& text) {
+  TenantRegistry registry;
+  registry.open_ = false;
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string id;
+    if (!(fields >> id)) continue;  // Blank or comment-only line.
+    TenantConfig config;
+    const bool fallback = (id == "*");
+    if (!fallback && !ValidTenantId(id)) {
+      return Status::InvalidArgument(
+          "tenants file line " + std::to_string(line_no) +
+          ": invalid tenant id '" + id + "' (want [A-Za-z0-9_.-]+ or '*')");
+    }
+    config.id = fallback ? "*" : id;
+    std::string pair;
+    while (fields >> pair) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            "tenants file line " + std::to_string(line_no) +
+            ": expected key=value, got '" + pair + "'");
+      }
+      KGACC_RETURN_IF_ERROR(
+          ApplyKeyValue(&config, pair.substr(0, eq), pair.substr(eq + 1)));
+    }
+    if (fallback) {
+      if (registry.fallback_.has_value()) {
+        return Status::InvalidArgument("tenants file line " +
+                                       std::to_string(line_no) +
+                                       ": duplicate '*' fallback entry");
+      }
+      registry.fallback_ = std::move(config);
+      continue;
+    }
+    for (const TenantConfig& existing : registry.tenants_) {
+      if (existing.id == config.id) {
+        return Status::InvalidArgument(
+            "tenants file line " + std::to_string(line_no) +
+            ": duplicate tenant '" + config.id + "'");
+      }
+    }
+    registry.tenants_.push_back(std::move(config));
+  }
+  return registry;
+}
+
+Result<TenantRegistry> TenantRegistry::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open tenants file '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Parse(text.str());
+}
+
+const TenantConfig* TenantRegistry::Lookup(const std::string& tenant) const {
+  for (const TenantConfig& config : tenants_) {
+    if (config.id == tenant) return &config;
+  }
+  if (fallback_.has_value()) return &*fallback_;
+  if (open_) return &open_default_;
+  return nullptr;
+}
+
+Result<std::unique_ptr<QuotaLedger>> QuotaLedger::Open(
+    const std::string& path, const AnnotationStore::Options& options) {
+  KGACC_ASSIGN_OR_RETURN(std::unique_ptr<AnnotationStore> store,
+                         AnnotationStore::Open(path, options));
+  return std::unique_ptr<QuotaLedger>(new QuotaLedger(std::move(store)));
+}
+
+}  // namespace kgacc

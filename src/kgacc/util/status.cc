@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kQuotaExceeded:
+      return "QuotaExceeded";
   }
   return "Unknown";
 }

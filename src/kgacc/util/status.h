@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kDeadlineExceeded,
+  kQuotaExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -72,6 +73,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status QuotaExceeded(std::string msg) {
+    return Status(StatusCode::kQuotaExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

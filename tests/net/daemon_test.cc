@@ -209,11 +209,16 @@ TEST(AuditDaemonTest, SanitizedKgNamesNeverShareAStoreFile) {
   EXPECT_GT(report2->oracle_calls, 0u);
   daemon.Stop();
 
-  size_t wal_files = 0;
+  // Exactly one per-KG store each (plus the daemon's tenant quota ledger,
+  // which is not a KG namespace).
+  size_t kg_wal_files = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    wal_files += entry.path().extension() == ".wal" ? 1 : 0;
+    if (entry.path().extension() != ".wal") continue;
+    kg_wal_files +=
+        entry.path().filename().string().rfind("kg_", 0) == 0 ? 1 : 0;
   }
-  EXPECT_EQ(wal_files, 2u);
+  EXPECT_EQ(kg_wal_files, 2u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/tenant_ledger.wal"));
 }
 
 TEST(AuditDaemonTest, ReopeningAFinishedAuditRepaysNothing) {

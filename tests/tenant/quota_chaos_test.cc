@@ -1,0 +1,164 @@
+// Chaos coverage for the tenant quota ledger, per ISSUE: two tenants spend
+// concurrently while `store.append` faults are injected, a compaction is
+// made to fail at its rename point, and a real child process is SIGKILLed
+// after a known spend — in every case the reopened ledger must replay
+// exactly the acknowledged balances: a charge the ledger acked is never
+// lost, a charge it failed is never counted.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kgacc/tenant/tenant.h"
+#include "kgacc/util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/kgacc_quota_chaos_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(QuotaChaosTest, InjectedAppendFaultsNeverLoseOrDoubleCountSpend) {
+  const std::string path = TempPath("faults");
+  std::remove(path.c_str());
+  // Acknowledged charges per tenant, counted by the spending threads
+  // themselves: the ground truth the durable log is measured against.
+  std::atomic<uint64_t> acked_alice{0};
+  std::atomic<uint64_t> acked_bob{0};
+  {
+    auto ledger = QuotaLedger::Open(path);
+    ASSERT_TRUE(ledger.ok());
+    ScopedFailpoints faults("store.append=prob:0.3:seed:9001");
+    ASSERT_TRUE(faults.status().ok());
+    std::thread alice([&] {
+      for (int i = 0; i < 200; ++i) {
+        if ((*ledger)->Charge("alice", 1, 3).ok()) {
+          acked_alice.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    std::thread bob([&] {
+      for (int i = 0; i < 200; ++i) {
+        if ((*ledger)->Charge("bob", 2, 5).ok()) {
+          acked_bob.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    alice.join();
+    bob.join();
+    // Faults actually fired (prob 0.3 over 400 charges) and some charges
+    // still landed — otherwise the round proves nothing.
+    ASSERT_LT(acked_alice.load() + acked_bob.load(), 400u);
+    ASSERT_GT(acked_alice.load() + acked_bob.load(), 0u);
+    // In-memory balances already equal the acknowledged spend.
+    EXPECT_EQ((*ledger)->Balance("alice").oracle_spent, acked_alice.load());
+    EXPECT_EQ((*ledger)->Balance("bob").oracle_spent,
+              2u * acked_bob.load());
+    ASSERT_TRUE((*ledger)->Sync().ok());
+  }
+  // Reopen with injection disarmed: replay must land on exactly the
+  // acknowledged totals — nothing lost, nothing double-counted.
+  auto reopened = QuotaLedger::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  const TenantBalance alice = (*reopened)->Balance("alice");
+  EXPECT_EQ(alice.oracle_spent, acked_alice.load());
+  EXPECT_EQ(alice.store_bytes, 3u * acked_alice.load());
+  const TenantBalance bob = (*reopened)->Balance("bob");
+  EXPECT_EQ(bob.oracle_spent, 2u * acked_bob.load());
+  EXPECT_EQ(bob.store_bytes, 5u * acked_bob.load());
+  std::remove(path.c_str());
+}
+
+TEST(QuotaChaosTest, FailedCompactionRenameLeavesBalancesIntact) {
+  const std::string path = TempPath("compact_rename");
+  std::remove(path.c_str());
+  {
+    auto ledger = QuotaLedger::Open(path);
+    ASSERT_TRUE(ledger.ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*ledger)->Charge("alice", 3, 7).ok());
+      ASSERT_TRUE((*ledger)->Charge("bob", 1, 2).ok());
+    }
+    {
+      ScopedFailpoints faults("store.compact.rename=once");
+      ASSERT_TRUE(faults.status().ok());
+      // The compaction dies at the atomic-rename point: the original log
+      // must stay authoritative and the balances untouched.
+      EXPECT_FALSE((*ledger)->Compact().ok());
+    }
+    EXPECT_EQ((*ledger)->Balance("alice").oracle_spent, 60u);
+    EXPECT_EQ((*ledger)->Balance("bob").store_bytes, 40u);
+    // Charging keeps working after the failed fold, and a clean retry
+    // compacts normally.
+    ASSERT_TRUE((*ledger)->Charge("alice", 1, 1).ok());
+    ASSERT_TRUE((*ledger)->Compact().ok());
+  }
+  // Reopen (recovery also reaps any stale .compact temp): balances exact.
+  auto reopened = QuotaLedger::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Balance("alice").oracle_spent, 61u);
+  EXPECT_EQ((*reopened)->Balance("alice").store_bytes, 141u);
+  EXPECT_EQ((*reopened)->Balance("bob").oracle_spent, 20u);
+  EXPECT_EQ((*reopened)->Balance("bob").store_bytes, 40u);
+  std::remove(path.c_str());
+}
+
+/// Child body: spend a fixed, known amount for two tenants and SIGKILL
+/// ourselves — no destructors, no explicit sync beyond the store's own
+/// per-frame discipline. Plain exits only; never unwind into gtest.
+[[noreturn]] void RunChildAndCrash(const std::string& path) {
+  auto ledger = QuotaLedger::Open(path);
+  if (!ledger.ok()) _exit(10);
+  for (int i = 0; i < 37; ++i) {
+    if (!(*ledger)->Charge("alice", 1, 3).ok()) _exit(11);
+  }
+  for (int i = 0; i < 21; ++i) {
+    if (!(*ledger)->Charge("bob", 2, 5).ok()) _exit(12);
+  }
+  std::raise(SIGKILL);
+  _exit(13);  // Unreachable.
+}
+
+TEST(QuotaChaosTest, SigkilledSpenderReplaysExactBalances) {
+  const std::string path = TempPath("sigkill");
+  std::remove(path.c_str());
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) RunChildAndCrash(path);
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wait_status))
+      << "child exited with code "
+      << (WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : -1)
+      << " instead of dying by SIGKILL";
+  ASSERT_EQ(WTERMSIG(wait_status), SIGKILL);
+
+  // A fresh process (this one) reopens the ledger: every acknowledged
+  // charge must replay, bit for bit — the daemon-restart guarantee.
+  auto ledger = QuotaLedger::Open(path);
+  ASSERT_TRUE(ledger.ok());
+  const TenantBalance alice = (*ledger)->Balance("alice");
+  EXPECT_EQ(alice.oracle_spent, 37u);
+  EXPECT_EQ(alice.store_bytes, 111u);
+  const TenantBalance bob = (*ledger)->Balance("bob");
+  EXPECT_EQ(bob.oracle_spent, 42u);
+  EXPECT_EQ(bob.store_bytes, 105u);
+  // And the survivor can keep charging on the same log.
+  ASSERT_TRUE((*ledger)->Charge("alice", 1, 1).ok());
+  EXPECT_EQ((*ledger)->Balance("alice").oracle_spent, 38u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,331 @@
+// Tenant subsystem semantics: the registry's file grammar and lookup
+// policy (explicit entry vs '*' fallback vs open single-tenant mode), the
+// durable quota ledger (cumulative frames, latest-wins replay, compaction
+// to one live frame per tenant, byte-exact balances across reopen), and
+// the weighted deficit-round-robin scheduler (long-run shares track the
+// weight ratio; an idle tenant forfeits its deficit; removal returns
+// exactly what was queued).
+
+#include "kgacc/tenant/tenant.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kgacc/tenant/drr.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/kgacc_tenant_test_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+// ---------------------------------------------------------------------------
+// TenantRegistry
+
+TEST(TenantRegistryTest, ParsesTenantsFileWithFallback) {
+  const auto registry = TenantRegistry::Parse(
+      "# fleet quotas\n"
+      "alice  oracle_budget=500 store_quota=1048576 weight=3\n"
+      "bob    weight=1 max_sessions=2 max_inflight_steps=64\n"
+      "\n"
+      "*      weight=1  # everyone else\n");
+  ASSERT_TRUE(registry.ok());
+  EXPECT_FALSE(registry->open());
+  ASSERT_EQ(registry->tenants().size(), 2u);
+
+  const TenantConfig* alice = registry->Lookup("alice");
+  ASSERT_NE(alice, nullptr);
+  EXPECT_EQ(alice->oracle_budget, 500u);
+  EXPECT_EQ(alice->store_byte_quota, 1048576u);
+  EXPECT_EQ(alice->weight, 3u);
+  EXPECT_EQ(alice->max_sessions, 0u);
+
+  const TenantConfig* bob = registry->Lookup("bob");
+  ASSERT_NE(bob, nullptr);
+  EXPECT_EQ(bob->oracle_budget, 0u);
+  EXPECT_EQ(bob->max_sessions, 2u);
+  EXPECT_EQ(bob->max_inflight_steps, 64u);
+
+  // Unlisted tenants land on the '*' fallback.
+  const TenantConfig* carol = registry->Lookup("carol");
+  ASSERT_NE(carol, nullptr);
+  EXPECT_EQ(carol->id, "*");
+  EXPECT_EQ(carol->weight, 1u);
+}
+
+TEST(TenantRegistryTest, ClosedRegistryRejectsUnknownTenants) {
+  const auto registry = TenantRegistry::Parse("alice oracle_budget=10\n");
+  ASSERT_TRUE(registry.ok());
+  EXPECT_NE(registry->Lookup("alice"), nullptr);
+  EXPECT_EQ(registry->Lookup("mallory"), nullptr);
+}
+
+TEST(TenantRegistryTest, OpenRegistryAdmitsEveryoneUnlimited) {
+  const TenantRegistry registry;  // Daemon-without---tenants mode.
+  EXPECT_TRUE(registry.open());
+  const TenantConfig* config = registry.Lookup("anyone");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->oracle_budget, 0u);
+  EXPECT_EQ(config->store_byte_quota, 0u);
+  EXPECT_EQ(config->weight, 1u);
+}
+
+TEST(TenantRegistryTest, NormalizeMapsEmptyToDefault) {
+  EXPECT_EQ(TenantRegistry::Normalize(""), "default");
+  EXPECT_EQ(TenantRegistry::Normalize("alice"), "alice");
+}
+
+TEST(TenantRegistryTest, RejectsMalformedInput) {
+  // One representative per error class; every line must fail Parse.
+  const char* bad[] = {
+      "al/ice oracle_budget=1\n",       // invalid id characters
+      "alice oracle_budget\n",          // missing '='
+      "alice oracle_budget=abc\n",      // non-numeric value
+      "alice froop=3\n",                // unknown key
+      "alice weight=0\n",               // weight floor is 1
+      "alice weight=1\nalice weight=2\n",  // duplicate tenant
+      "* weight=1\n* weight=2\n",       // duplicate fallback
+  };
+  for (const char* text : bad) {
+    const auto registry = TenantRegistry::Parse(text);
+    EXPECT_FALSE(registry.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(TenantRegistryTest, RemainingAllowanceTreatsZeroAsUnlimited) {
+  EXPECT_EQ(RemainingAllowance(0, 12345),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(RemainingAllowance(100, 40), 60u);
+  EXPECT_EQ(RemainingAllowance(100, 100), 0u);
+  EXPECT_EQ(RemainingAllowance(100, 5000), 0u);  // Overshoot clamps.
+}
+
+// ---------------------------------------------------------------------------
+// QuotaLedger
+
+TEST(QuotaLedgerTest, ChargesAccumulateAndSurviveReopen) {
+  const std::string path = TempPath("reopen");
+  std::remove(path.c_str());
+  {
+    auto ledger = QuotaLedger::Open(path);
+    ASSERT_TRUE(ledger.ok());
+    EXPECT_EQ((*ledger)->Balance("alice").oracle_spent, 0u);
+    ASSERT_TRUE((*ledger)->Charge("alice", 10, 100).ok());
+    ASSERT_TRUE((*ledger)->Charge("bob", 1, 7).ok());
+    ASSERT_TRUE((*ledger)->Charge("alice", 5, 50).ok());
+    const TenantBalance alice = (*ledger)->Balance("alice");
+    EXPECT_EQ(alice.oracle_spent, 15u);
+    EXPECT_EQ(alice.store_bytes, 150u);
+    ASSERT_TRUE((*ledger)->Sync().ok());
+  }
+  auto ledger = QuotaLedger::Open(path);
+  ASSERT_TRUE(ledger.ok());
+  // Bitwise-identical balances after reopen: the restart guarantee the
+  // daemon's admission checks ride on.
+  EXPECT_EQ((*ledger)->Balance("alice").oracle_spent, 15u);
+  EXPECT_EQ((*ledger)->Balance("alice").store_bytes, 150u);
+  EXPECT_EQ((*ledger)->Balance("bob").oracle_spent, 1u);
+  EXPECT_EQ((*ledger)->Balance("bob").store_bytes, 7u);
+  // Replay saw every cumulative frame (3 appends), latest-wins.
+  EXPECT_EQ((*ledger)->store()->stats().ledgers_replayed, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(QuotaLedgerTest, BalancesAreSortedAndCompleteAndNeverSpentIsZero) {
+  const std::string path = TempPath("sorted");
+  std::remove(path.c_str());
+  auto ledger = QuotaLedger::Open(path);
+  ASSERT_TRUE(ledger.ok());
+  ASSERT_TRUE((*ledger)->Charge("zeta", 1, 1).ok());
+  ASSERT_TRUE((*ledger)->Charge("alpha", 2, 2).ok());
+  const std::vector<TenantBalance> balances = (*ledger)->Balances();
+  ASSERT_EQ(balances.size(), 2u);
+  EXPECT_EQ(balances[0].tenant, "alpha");
+  EXPECT_EQ(balances[1].tenant, "zeta");
+  const TenantBalance never = (*ledger)->Balance("never-spent");
+  EXPECT_EQ(never.oracle_spent, 0u);
+  EXPECT_EQ(never.store_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(QuotaLedgerTest, CompactionFoldsToOneFramePerTenant) {
+  const std::string path = TempPath("compact");
+  std::remove(path.c_str());
+  {
+    auto ledger = QuotaLedger::Open(path);
+    ASSERT_TRUE(ledger.ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*ledger)->Charge("alice", 2, 20).ok());
+      ASSERT_TRUE((*ledger)->Charge("bob", 1, 10).ok());
+    }
+    ASSERT_TRUE((*ledger)->Compact().ok());
+    EXPECT_EQ((*ledger)->Balance("alice").oracle_spent, 100u);
+  }
+  auto ledger = QuotaLedger::Open(path);
+  ASSERT_TRUE(ledger.ok());
+  // 100 historical frames fold to exactly one live frame per tenant, and
+  // the folded totals equal the pre-compaction balances.
+  EXPECT_EQ((*ledger)->store()->stats().ledgers_replayed, 2u);
+  EXPECT_EQ((*ledger)->Balance("alice").oracle_spent, 100u);
+  EXPECT_EQ((*ledger)->Balance("alice").store_bytes, 1000u);
+  EXPECT_EQ((*ledger)->Balance("bob").oracle_spent, 50u);
+  EXPECT_EQ((*ledger)->Balance("bob").store_bytes, 500u);
+  // And charging continues cleanly on the compacted log.
+  ASSERT_TRUE((*ledger)->Charge("alice", 1, 1).ok());
+  EXPECT_EQ((*ledger)->Balance("alice").oracle_spent, 101u);
+  std::remove(path.c_str());
+}
+
+TEST(QuotaLedgerTest, ConcurrentChargesAreNeverLost) {
+  const std::string path = TempPath("concurrent");
+  std::remove(path.c_str());
+  auto ledger = QuotaLedger::Open(path);
+  ASSERT_TRUE(ledger.ok());
+  constexpr int kThreads = 4;
+  constexpr int kChargesPerThread = 64;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ledger, t] {
+      const std::string tenant = (t % 2 == 0) ? "even" : "odd";
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        ASSERT_TRUE((*ledger)->Charge(tenant, 1, 3).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Two threads fed each tenant; the serialized read-modify-append must
+  // not have dropped a single delta.
+  for (const char* tenant : {"even", "odd"}) {
+    const TenantBalance balance = (*ledger)->Balance(tenant);
+    EXPECT_EQ(balance.oracle_spent, 2u * kChargesPerThread);
+    EXPECT_EQ(balance.store_bytes, 6u * kChargesPerThread);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// DrrScheduler
+
+TEST(DrrSchedulerTest, FifoWithinOneTenant) {
+  DrrScheduler sched(4);
+  sched.Push("a", 1, DrrItem{1, 1});
+  sched.Push("a", 1, DrrItem{2, 1});
+  sched.Push("a", 1, DrrItem{3, 1});
+  EXPECT_EQ(sched.size(), 3u);
+  EXPECT_EQ(sched.Pop()->id, 1u);
+  EXPECT_EQ(sched.Pop()->id, 2u);
+  EXPECT_EQ(sched.Pop()->id, 3u);
+  EXPECT_FALSE(sched.Pop().has_value());
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(DrrSchedulerTest, LongRunSharesTrackWeights) {
+  // Two always-backlogged tenants at weights 3:1 and equal unit costs:
+  // served shares must converge to 75% / 25%. The ISSUE's fairness
+  // tolerance is 15%; a deterministic scheduler does far better.
+  DrrScheduler sched(2);
+  std::map<std::string, int> served;
+  int queued_a = 0;
+  int queued_b = 0;
+  constexpr int kRounds = 400;
+  for (int i = 0; i < kRounds; ++i) {
+    // Keep both backlogs topped up so neither queue ever empties.
+    while (queued_a < 8) {
+      sched.Push("heavy", 3, DrrItem{100, 1});
+      ++queued_a;
+    }
+    while (queued_b < 8) {
+      sched.Push("light", 1, DrrItem{200, 1});
+      ++queued_b;
+    }
+    const auto item = sched.Pop();
+    ASSERT_TRUE(item.has_value());
+    if (item->id == 100) {
+      ++served["heavy"];
+      --queued_a;
+    } else {
+      ++served["light"];
+      --queued_b;
+    }
+  }
+  const double heavy_share =
+      static_cast<double>(served["heavy"]) / static_cast<double>(kRounds);
+  EXPECT_NEAR(heavy_share, 0.75, 0.05);
+}
+
+TEST(DrrSchedulerTest, WeightsApplyToCostsNotJustCounts) {
+  // Same 3:1 weights but the heavy tenant's items cost 3 each: served
+  // *cost* should still track the weights, so item counts equalize.
+  DrrScheduler sched(3);
+  uint64_t heavy_cost = 0;
+  uint64_t light_cost = 0;
+  for (int round = 0; round < 200; ++round) {
+    if (sched.QueuedFor("heavy") < 4) sched.Push("heavy", 3, DrrItem{1, 3});
+    if (sched.QueuedFor("light") < 4) sched.Push("light", 1, DrrItem{2, 1});
+    const auto item = sched.Pop();
+    ASSERT_TRUE(item.has_value());
+    (item->id == 1 ? heavy_cost : light_cost) += item->cost;
+  }
+  const double heavy_share =
+      static_cast<double>(heavy_cost) /
+      static_cast<double>(heavy_cost + light_cost);
+  EXPECT_NEAR(heavy_share, 0.75, 0.08);
+}
+
+TEST(DrrSchedulerTest, IdleTenantForfeitsDeficit) {
+  DrrScheduler sched(10);
+  // One expensive item: the first visit credits quantum x weight = 10,
+  // serves the cost-4 item, and the emptied queue forfeits the remaining
+  // 6 credits.
+  sched.Push("a", 1, DrrItem{1, 4});
+  EXPECT_EQ(sched.Pop()->id, 1u);
+  // After idling, a cost-16 item needs two fresh visits' credit (10 + 10),
+  // not the hoarded remainder — the scheduler must not serve it on credit
+  // accumulated while the queue slept.
+  sched.Push("a", 1, DrrItem{2, 16});
+  EXPECT_EQ(sched.Pop()->id, 2u);  // Still served: visits repeat until it fits.
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(DrrSchedulerTest, RemoveIdReturnsExactlyWhatWasQueued) {
+  DrrScheduler sched(4);
+  sched.Push("a", 1, DrrItem{7, 2});
+  sched.Push("a", 1, DrrItem{8, 3});
+  sched.Push("b", 1, DrrItem{7, 5});
+  const DrrRemoved removed = sched.RemoveId(7);
+  EXPECT_EQ(removed.items, 2u);
+  EXPECT_EQ(removed.cost, 7u);
+  EXPECT_EQ(sched.size(), 1u);
+  EXPECT_EQ(sched.QueuedFor("a"), 1u);
+  EXPECT_EQ(sched.QueuedCostFor("a"), 3u);
+  EXPECT_EQ(sched.QueuedFor("b"), 0u);
+  // Removing an unknown id is a no-op.
+  const DrrRemoved nothing = sched.RemoveId(999);
+  EXPECT_EQ(nothing.items, 0u);
+  EXPECT_EQ(sched.Pop()->id, 8u);
+}
+
+TEST(DrrSchedulerTest, ClearDropsEverything) {
+  DrrScheduler sched(4);
+  sched.Push("a", 1, DrrItem{1, 1});
+  sched.Push("b", 2, DrrItem{2, 1});
+  sched.Clear();
+  EXPECT_TRUE(sched.empty());
+  EXPECT_FALSE(sched.Pop().has_value());
+  // The scheduler stays usable after Clear.
+  sched.Push("a", 1, DrrItem{3, 1});
+  EXPECT_EQ(sched.Pop()->id, 3u);
+}
+
+}  // namespace
+}  // namespace kgacc

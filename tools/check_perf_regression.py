@@ -37,10 +37,20 @@ Ratios and counts, not absolute latencies: CI runners differ wildly in
 clock speed and noise, but every gated metric is a property of the
 algorithm, not of the machine.
 
+--net-fresh arms the *tenant fairness* gate over BENCH_net.json: the
+`net_tenant_fairness` record carries the heavy tenant's share of served
+annotation steps from a two-tenant (3:1 weights) window against a
+single-worker daemon, and the gate fails when the share drifts more than
+--fairness-tolerance from the weight-implied 0.75. Like thread scaling
+the bound is absolute — the share is a ratio between two identical
+workloads on one host, so the machine divides out — and the gate
+report-and-skips when the window completed too few audits to judge.
+
 Usage:
     check_perf_regression.py <fresh BENCH_step.json> <checked-in record>
         [--service-fresh BENCH_service.json]
         [--service-record BENCH_service.json]
+        [--net-fresh BENCH_net.json]
         [--max-regression 2.0]
 
 Exit code 0 = within bounds, 1 = regression, 2 = unusable input.
@@ -193,6 +203,39 @@ def check_store_compaction(fresh_path, max_amplification):
     return failed or not healthy
 
 
+def check_net_fairness(fresh_path, tolerance):
+    """Gates the two-tenant DRR share from BENCH_net.json; True on failure.
+
+    The bench runs heavy (weight 3) and light (weight 1) tenants flat out
+    against a single-worker daemon and reports heavy's share of served
+    annotation steps. The share is a property of the DRR dispatch, not of
+    the machine — both tenants run identical audits on the same host, so
+    clock speed divides out — which makes an absolute tolerance around the
+    weight-implied share portable. Skips (with a printed reason) when the
+    window completed too few audits for the share to have converged.
+    """
+    record = load_service_record(fresh_path, "net_tenant_fairness")
+    if record is None or not isinstance(
+            record.get("heavy_share"), (int, float)) or not isinstance(
+            record.get("expected_share"), (int, float)):
+        print(f"error: no usable net_tenant_fairness record in {fresh_path} "
+              "(bench fairness window missing?)", file=sys.stderr)
+        sys.exit(2)
+    share = record["heavy_share"]
+    expected = record["expected_share"]
+    completions = record.get("completions")
+    if not isinstance(completions, int) or completions < 8:
+        print(f"  tenant fairness share: {share:.3f} on {completions} "
+              f"completed audits (< 8, window too short, gate skipped)")
+        return False
+    drift = abs(share - expected)
+    verdict = "OK" if drift <= tolerance else "REGRESSION"
+    print(f"  tenant fairness share (weights 3:1): {share:.3f} vs expected "
+          f"{expected:.3f} (tolerance {tolerance:.2f}, {completions} "
+          f"audits) {verdict}")
+    return drift > tolerance
+
+
 def check_service(fresh_path, record_path, max_regression):
     """Gates the service-level evals/solve; returns True on regression."""
     fresh = load_service_summary(fresh_path)
@@ -236,6 +279,13 @@ def main():
     parser.add_argument("--max-space-amplification", type=float, default=1.1,
                         help="maximum post-compaction store size over live "
                              "bytes (default 1.1; absolute, byte-exact)")
+    parser.add_argument("--net-fresh",
+                        help="freshly measured BENCH_net.json (arms the "
+                             "two-tenant DRR fairness gate)")
+    parser.add_argument("--fairness-tolerance", type=float, default=0.15,
+                        help="allowed absolute drift of the heavy tenant's "
+                             "served-step share from its weight-implied "
+                             "share (default 0.15)")
     args = parser.parse_args()
 
     fresh = load_summaries(args.fresh)
@@ -263,14 +313,16 @@ def main():
         failed |= check_thread_scaling(args.service_fresh, args.min_scaling)
         failed |= check_store_compaction(args.service_fresh,
                                          args.max_space_amplification)
+    if args.net_fresh:
+        failed |= check_net_fairness(args.net_fresh, args.fairness_tolerance)
 
     if failed:
         print("\nstep-latency ratio, HPD evals-per-solve, thread-scaling "
-              "ratio, or store compaction out of bounds (see lines above)",
-              file=sys.stderr)
+              "ratio, store compaction, or tenant fairness out of bounds "
+              "(see lines above)", file=sys.stderr)
         return 1
-    print("\nstep-latency ratios, HPD evals-per-solve, thread scaling, and "
-          "store compaction within budget")
+    print("\nstep-latency ratios, HPD evals-per-solve, thread scaling, "
+          "store compaction, and tenant fairness within budget")
     return 0
 
 

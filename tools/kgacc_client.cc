@@ -42,6 +42,9 @@ ArgParser BuildParser() {
       .AddFlag("port-wait-ms",
                "how long to wait for --port-file (default 10000)")
       .AddFlag("kg", "daemon-registered population name (required)")
+      .AddFlag("tenant",
+               "tenant id announced at Hello (default: the daemon's "
+               "'default' tenant)")
       .AddFlag("audit-id",
                "audit identity: the unit of durability and resume "
                "(default: the seed)")
@@ -208,6 +211,7 @@ int RunMain(int argc, char** argv) {
   options.recv_timeout_ms = static_cast<uint64_t>(*recv_timeout);
   options.heartbeat_miss_limit = static_cast<int>(*miss_limit);
   options.max_reconnects = static_cast<int>(*reconnects);
+  options.tenant = parsed->GetString("tenant");
 
   AuditClient client(options);
   const bool show_progress = *progress;
@@ -224,6 +228,12 @@ int RunMain(int argc, char** argv) {
   if (!report.ok()) {
     std::fprintf(stderr, "audit failed: %s\n",
                  report.status().ToString().c_str());
+    if (client.stats().quota_exceeded_frames != 0) {
+      const QuotaExceededMsg& q = client.stats().last_quota_exceeded;
+      std::fprintf(stderr, "[client] quota_exceeded=%s remaining=%llu\n",
+                   q.quota.c_str(),
+                   static_cast<unsigned long long>(q.remaining));
+    }
     return 1;
   }
 

@@ -45,9 +45,9 @@ int RunVerify(const std::string& path) {
                  info.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s: %" PRIu64 " records, %" PRIu64 " checkpoints%s, %" PRIu64
-              " valid bytes (%s)%s\n",
-              path.c_str(), info->records, info->checkpoints,
+  std::printf("%s: %" PRIu64 " records, %" PRIu64 " checkpoints, %" PRIu64
+              " tenant ledgers%s, %" PRIu64 " valid bytes (%s)%s\n",
+              path.c_str(), info->records, info->checkpoints, info->ledgers,
               info->compacted ? ", compacted (trailer verified)" : "",
               info->bytes_valid, info->used_mmap ? "mmap" : "streamed",
               info->clean_tail
@@ -77,6 +77,8 @@ int RunInspect(const std::string& path) {
               stats.records_replayed);
   std::printf("  checkpoints     %" PRIu64 " replayed\n",
               stats.checkpoints_replayed);
+  std::printf("  tenant ledgers  %" PRIu64 " replayed\n",
+              stats.ledgers_replayed);
   std::printf("  compacted       %s\n",
               stats.trailers_replayed > 0 ? "yes" : "no");
   std::printf("  replay          %s\n",
@@ -85,6 +87,15 @@ int RunInspect(const std::string& path) {
   std::printf("  live bytes      %" PRIu64 "\n", (*store)->live_bytes());
   std::printf("  garbage ratio   %.3f\n", (*store)->garbage_ratio());
   std::printf("  next seq        %" PRIu64 "\n", (*store)->next_seq());
+  // Tenant quota balances (present in ledger logs; empty elsewhere). The
+  // byte-exact output here is what restart tests diff to prove budgets
+  // survived a SIGKILL.
+  for (const TenantBalance& balance : (*store)->TenantBalances()) {
+    std::printf("  tenant %s: oracle_spent=%" PRIu64 " store_bytes=%" PRIu64
+                "\n",
+                balance.tenant.c_str(), balance.oracle_spent,
+                balance.store_bytes);
+  }
   return 0;
 }
 

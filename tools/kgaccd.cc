@@ -77,6 +77,11 @@ ArgParser BuildParser() {
       .AddFlag("compact-threshold",
                "auto-compact a KG store once this fraction of its log is "
                "garbage (default 0 = drain-time compaction only)")
+      .AddFlag("tenants",
+               "tenants file: one 'id key=value...' line per tenant "
+               "(oracle_budget, store_quota, weight, max_sessions, "
+               "max_inflight_steps; '*' = fallback). Omitted = open "
+               "single-tenant mode with unlimited budgets")
       .AddFlag("crash-after-steps",
                "SIGKILL the daemon after N total steps, between a step and "
                "its checkpoint (crash-recovery testing)")
@@ -187,6 +192,20 @@ int RunMain(int argc, char** argv) {
   options.crash_after_steps = static_cast<uint64_t>(*crash_after);
   options.auto_compact_garbage_ratio = *compact_threshold;
 
+  const std::string tenants_file = parsed->GetString("tenants");
+  if (!tenants_file.empty()) {
+    auto registry = TenantRegistry::LoadFile(tenants_file);
+    if (!registry.ok()) {
+      std::fprintf(stderr, "bad --tenants %s: %s\n", tenants_file.c_str(),
+                   registry.status().ToString().c_str());
+      return 2;
+    }
+    options.tenants = std::move(*registry);
+    std::fprintf(stderr, "[kgaccd] tenants loaded: %zu explicit%s\n",
+                 options.tenants.tenants().size(),
+                 options.tenants.open() ? "" : " (closed registry)");
+  }
+
   AuditDaemon daemon(options);
 
   // The populations must outlive the daemon; a deque never reallocates
@@ -237,6 +256,15 @@ int RunMain(int argc, char** argv) {
   g_daemon = nullptr;
   std::fprintf(stderr, "[kgaccd] drained: %s\n",
                daemon.StatsLine().c_str());
+  if (daemon.ledger() != nullptr) {
+    for (const TenantBalance& balance : daemon.ledger()->Balances()) {
+      std::fprintf(stderr,
+                   "[kgaccd] tenant %s: oracle_spent=%llu store_bytes=%llu\n",
+                   balance.tenant.c_str(),
+                   static_cast<unsigned long long>(balance.oracle_spent),
+                   static_cast<unsigned long long>(balance.store_bytes));
+    }
+  }
   return 0;
 }
 
